@@ -1,0 +1,165 @@
+// The scalability study the paper defers to future work (§5.2/§7, the
+// OPTIMACS "hybrid query" benchmark): how do service-oriented queries
+// scale with the number of services and tuples, and how much does logical
+// optimization (Table 5 pushdowns) buy as the environment grows?
+//
+// Also serves as the ablation harness for DESIGN.md's design choices:
+// per-instant invocation memoization on/off equivalents, optimized vs
+// naive plans, and hash-join vs nested evaluation shape via cardinality.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "env/scenario.h"
+#include "rewrite/rewriter.h"
+
+namespace serena {
+namespace {
+
+/// Hybrid query: join data (surveillance) with service-backed relations
+/// (sensors realized through getTemperature), filter, and message — the
+/// data+stream+service mix the paper calls a "hybrid query".
+///
+/// The naive formulation filters by location only *after* invoking
+/// getTemperature on every sensor; since getTemperature is passive, the
+/// Table 5 rules may push the location filter below the invocation, so
+/// only office sensors are ever contacted. The final sendMessage is
+/// active: nothing moves across it (§3.3).
+PlanPtr HybridQuery() {
+  PlanPtr readings = Invoke(Scan("sensors"), "getTemperature");
+  PlanPtr hot = Select(
+      readings,
+      Formula::And(
+          Formula::Compare(Operand::Attr("temperature"), CompareOp::kGt,
+                           Operand::Const(Value::Real(30.0))),
+          Formula::Compare(Operand::Attr("location"), CompareOp::kEq,
+                           Operand::Const(Value::String("office")))));
+  PlanPtr managed = Join(hot, Scan("surveillance"));
+  return Invoke(Assign(Join(managed, Scan("contacts")), "text",
+                       Value::String("Hot!")),
+                "sendMessage");
+}
+
+void ReproduceSweep() {
+  bench::PrintHeader(
+      "Scalability study (paper future work, §5.2/§7)",
+      "Hybrid data+service queries as the environment grows; naive vs "
+      "optimized plans. Numbers are per one-shot evaluation.");
+
+  std::printf("%-10s %-10s %-14s %-14s %-12s\n", "sensors", "contacts",
+              "invocations", "opt-invk", "result");
+  for (const auto& [sensors, contacts] :
+       {std::pair{16, 16}, {64, 64}, {256, 64}, {1024, 64}}) {
+    TemperatureScenarioOptions options;
+    options.extra_sensors = sensors;
+    options.extra_contacts = contacts;
+    options.extra_areas = 13;  // Office sensors become a small fraction.
+    auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+    // Heat everything: the result tracks office sensors x office contacts.
+    for (const auto& sensor : scenario->sensors()) {
+      sensor->set_bias(20.0);
+    }
+    Rewriter rewriter(&scenario->env(), &scenario->streams());
+    PlanPtr naive = HybridQuery();
+    PlanPtr optimized = rewriter.Optimize(naive).ValueOrDie();
+
+    scenario->env().registry().ResetStats();
+    auto r1 = Execute(naive, &scenario->env(), &scenario->streams(), 1);
+    const auto naive_inv =
+        scenario->env().registry().stats().physical_invocations;
+    scenario->env().registry().ResetStats();
+    auto r2 =
+        Execute(optimized, &scenario->env(), &scenario->streams(), 2);
+    const auto opt_inv =
+        scenario->env().registry().stats().physical_invocations;
+    std::printf("%-10d %-10d %-14llu %-14llu %zu tuples\n", sensors + 4,
+                contacts + 3, static_cast<unsigned long long>(naive_inv),
+                static_cast<unsigned long long>(opt_inv),
+                r2.ok() ? r2->relation.size() : 0);
+    (void)r1;
+  }
+  std::printf(
+      "(shape check: naive invocations grow with the full sensor "
+      "population; the optimizer pushes the location filter below the "
+      "passive getTemperature so optimized invocations track only office "
+      "sensors — while the active sendMessage stays untouched, §3.3)\n");
+}
+
+// ---------------------------------------------------------------------------
+
+void BM_HybridNaive(benchmark::State& state) {
+  TemperatureScenarioOptions options;
+  options.extra_sensors = static_cast<int>(state.range(0));
+  options.extra_contacts = 32;
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  const PlanPtr plan = HybridQuery();
+  Timestamp instant = 0;
+  for (auto _ : state) {
+    auto result = Execute(plan, &scenario->env(), &scenario->streams(),
+                          ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 4));
+}
+BENCHMARK(BM_HybridNaive)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_HybridOptimized(benchmark::State& state) {
+  TemperatureScenarioOptions options;
+  options.extra_sensors = static_cast<int>(state.range(0));
+  options.extra_contacts = 32;
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  Rewriter rewriter(&scenario->env(), &scenario->streams());
+  const PlanPtr plan = rewriter.Optimize(HybridQuery()).ValueOrDie();
+  Timestamp instant = 0;
+  for (auto _ : state) {
+    auto result = Execute(plan, &scenario->env(), &scenario->streams(),
+                          ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 4));
+}
+BENCHMARK(BM_HybridOptimized)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MemoizationAblation(benchmark::State& state) {
+  // Design choice #2 (DESIGN.md): per-instant memoization. Re-evaluating
+  // the same query at ONE instant (memo hits) vs fresh instants (misses).
+  const bool same_instant = state.range(1) == 1;
+  TemperatureScenarioOptions options;
+  options.extra_sensors = static_cast<int>(state.range(0));
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  const PlanPtr plan = Invoke(Scan("sensors"), "getTemperature");
+  Timestamp instant = 1;
+  for (auto _ : state) {
+    auto result = Execute(plan, &scenario->env(), &scenario->streams(),
+                          same_instant ? 1 : ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 4));
+}
+BENCHMARK(BM_MemoizationAblation)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->ArgNames({"sensors", "memo"});
+
+void BM_JoinScaling(benchmark::State& state) {
+  // Join cardinality growth: sensors x surveillance (per-location).
+  TemperatureScenarioOptions options;
+  options.extra_sensors = static_cast<int>(state.range(0));
+  options.extra_contacts = static_cast<int>(state.range(0));
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  const PlanPtr plan = Join(Scan("sensors"), Scan("surveillance"));
+  for (auto _ : state) {
+    auto result =
+        Execute(plan, &scenario->env(), &scenario->streams(), 1);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinScaling)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace serena
+
+int main(int argc, char** argv) {
+  return serena::bench::RunReproAndBenchmarks(
+      argc, argv, [] { serena::ReproduceSweep(); });
+}

@@ -1,0 +1,136 @@
+// Extension benchmarks (beyond the paper's artifacts): derived-stream
+// pipelines, row-based windows, streaming binding patterns and lease-based
+// discovery — the features DESIGN.md row 12 documents. Demonstrates the
+// full sense -> derive -> decide pipeline and measures its steady-state
+// cost.
+
+#include "bench_util.h"
+#include "env/sim_services.h"
+#include "pems/monitor.h"
+#include "pems/pems.h"
+
+namespace serena {
+namespace {
+
+/// Builds a PEMS with `sensors` streaming power meters feeding a derived
+/// per-room consumption stream and a standing aggregate on top.
+Result<std::unique_ptr<Pems>> BuildPipeline(int sensors) {
+  Pems::Options options;
+  options.network.min_latency = 0;
+  options.network.max_latency = 0;
+  options.announcement_ttl = 8;
+  options.reannounce_interval = 2;
+  SERENA_ASSIGN_OR_RETURN(std::unique_ptr<Pems> pems,
+                          Pems::Create(options));
+  SERENA_RETURN_NOT_OK(pems->tables().ExecuteDdl(
+      "PROTOTYPE getTemperature() : (temperature REAL) STREAMING;"
+      "EXTENDED RELATION sensors (sensor SERVICE, room STRING, "
+      "temperature REAL VIRTUAL) USING BINDING PATTERNS ("
+      "getTemperature[sensor]() : (temperature));"));
+  for (int i = 0; i < sensors; ++i) {
+    const std::string ref = "s" + std::to_string(i);
+    SERENA_RETURN_NOT_OK(
+        pems->Deploy("node" + std::to_string(i % 8),
+                     std::make_shared<TemperatureSensorService>(
+                         ref, 18.0 + i % 7, i)));
+    SERENA_RETURN_NOT_OK(
+        pems->tables()
+            .InsertTuple("sensors",
+                         Tuple{Value::String(ref),
+                               Value::String("room" +
+                                             std::to_string(i % 4))})
+            .status());
+  }
+  pems->Run(2);  // Discovery.
+  // Stage 1: per-room means into a derived stream.
+  SERENA_RETURN_NOT_OK(pems->queries().RegisterContinuousInto(
+      "means",
+      "aggregate[room; avg(temperature) -> mean](invoke[getTemperature]("
+      "sensors))",
+      "room_means"));
+  // Stage 2: a row window over the derived stream.
+  SERENA_RETURN_NOT_OK(pems->queries().RegisterContinuous(
+      "trend", "aggregate[room; max(mean) -> peak](window[rows "
+               "16](room_means))"));
+  return pems;
+}
+
+void ReproducePipeline() {
+  bench::PrintHeader(
+      "Extensions (DESIGN.md row 12)",
+      "Streaming binding patterns + derived streams + row windows + "
+      "lease-based discovery, composed into one running pipeline.");
+  auto pems = BuildPipeline(8).MoveValueOrDie();
+  pems->Run(6);
+  bench::PrintSection("pipeline state after 6 instants");
+  std::printf("%s", SnapshotMetrics(*pems).ToString().c_str());
+  auto peaks = pems->queries().ExecuteOneShot(
+      "aggregate[room; max(mean) -> peak](window[rows 16](room_means))");
+  if (peaks.ok()) {
+    std::printf("\nper-room peak of windowed means:\n%s",
+                peaks->relation.ToTableString().c_str());
+  }
+}
+
+void BM_PipelineTick(benchmark::State& state) {
+  auto pems = BuildPipeline(static_cast<int>(state.range(0)))
+                  .MoveValueOrDie();
+  for (auto _ : state) {
+    pems->Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineTick)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RowWindowVsTimeWindow(benchmark::State& state) {
+  const bool rows = state.range(1) == 1;
+  auto pems = BuildPipeline(static_cast<int>(state.range(0)))
+                  .MoveValueOrDie();
+  (void)pems->queries().RegisterContinuous(
+      "probe", rows ? "window[rows 32](room_means)"
+                    : "window[8](room_means)");
+  for (auto _ : state) {
+    pems->Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RowWindowVsTimeWindow)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->ArgNames({"sensors", "rows"});
+
+void BM_LeaseChurn(benchmark::State& state) {
+  // Devices appear and crash every instant; measures discovery + expiry
+  // overhead under churn.
+  Pems::Options options;
+  options.network.min_latency = 0;
+  options.network.max_latency = 0;
+  options.announcement_ttl = 2;
+  options.reannounce_interval = 1;
+  auto pems = Pems::Create(options).MoveValueOrDie();
+  (void)pems->tables().ExecuteDdl(
+      "PROTOTYPE getTemperature() : (temperature REAL);");
+  int counter = 0;
+  for (auto _ : state) {
+    const std::string node = "churn" + std::to_string(counter++);
+    auto erm = pems->CreateLocalErm(node);
+    if (erm.ok()) {
+      (void)(*erm)->Host(pems->env().clock().now(),
+                         std::make_shared<TemperatureSensorService>(
+                             "svc" + std::to_string(counter), 20.0,
+                             counter));
+    }
+    pems->Tick();
+    (void)pems->CrashNode(node);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeaseChurn);
+
+}  // namespace
+}  // namespace serena
+
+int main(int argc, char** argv) {
+  return serena::bench::RunReproAndBenchmarks(
+      argc, argv, [] { serena::ReproducePipeline(); });
+}

@@ -1,0 +1,146 @@
+// Reproduces Figure 1 (the PEMS architecture): exercises the full stack —
+// Local ERMs announcing services over the simulated network, the core ERM
+// registering proxies, the Extended Table Manager executing DDL, and the
+// Query Processor running discovery + continuous queries — and measures
+// discovery-to-visibility latency and per-tick cost.
+
+#include "bench_util.h"
+#include "env/sim_services.h"
+#include "pems/pems.h"
+
+namespace serena {
+namespace {
+
+void ReproduceFigure1() {
+  bench::PrintHeader(
+      "Figure 1",
+      "PEMS architecture walkthrough: devices -> Local ERMs -> network -> "
+      "core ERM -> registry -> Extended Table Manager / Query Processor.");
+
+  auto pems = Pems::Create().MoveValueOrDie();
+  (void)pems->tables().ExecuteDdl(
+      "PROTOTYPE getTemperature() : (temperature REAL);"
+      "PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) "
+      "ACTIVE;");
+
+  bench::PrintSection("deployment");
+  for (int i = 0; i < 4; ++i) {
+    const std::string node = "node-" + std::to_string(i);
+    const std::string ref = "sensor0" + std::to_string(i);
+    (void)pems->Deploy(node, std::make_shared<TemperatureSensorService>(
+                                 ref, 18.0 + i, i + 1));
+    std::printf("  %s hosted on Local ERM '%s'\n", ref.c_str(),
+                node.c_str());
+  }
+  std::printf("  core ERM visible services before delivery: %zu\n",
+              pems->env().registry().size());
+
+  bench::PrintSection("discovery-to-visibility latency");
+  int ticks = 0;
+  while (pems->env().registry().size() < 4 && ticks < 10) {
+    pems->Tick();
+    ++ticks;
+  }
+  std::printf("  all 4 services visible after %d tick(s) "
+              "(network latency 0-1 instants)\n",
+              ticks);
+  std::printf("  services discovered: %llu, control messages: %llu\n",
+              static_cast<unsigned long long>(
+                  pems->erm().services_discovered()),
+              static_cast<unsigned long long>(pems->network().stats().sent));
+
+  bench::PrintSection("query processor over discovered services");
+  (void)pems->queries().RegisterDiscoveryQuery("thermometers",
+                                               "getTemperature");
+  auto result = pems->queries().ExecuteOneShot(
+      "invoke[getTemperature](thermometers)");
+  std::printf("  invoke[getTemperature](thermometers): %zu readings, "
+              "%llu invocation round trips\n",
+              result->relation.size(),
+              static_cast<unsigned long long>(
+                  pems->network().stats().invocation_round_trips));
+}
+
+// ---------------------------------------------------------------------------
+
+void BM_DiscoveryStorm(benchmark::State& state) {
+  // N services announce at once; measure ticks until all visible.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pems = Pems::Create().MoveValueOrDie();
+    (void)pems->tables().ExecuteDdl(
+        "PROTOTYPE getTemperature() : (temperature REAL);");
+    auto erm = pems->CreateLocalErm("node").MoveValueOrDie();
+    for (int i = 0; i < n; ++i) {
+      (void)erm->Host(0, std::make_shared<TemperatureSensorService>(
+                             "s" + std::to_string(i), 20.0, i));
+    }
+    state.ResumeTiming();
+    while (pems->env().registry().size() < static_cast<std::size_t>(n)) {
+      pems->Tick();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DiscoveryStorm)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_PemsTick(benchmark::State& state) {
+  // Steady-state tick cost with a standing query over n services.
+  const int n = static_cast<int>(state.range(0));
+  auto pems = Pems::Create().MoveValueOrDie();
+  (void)pems->tables().ExecuteDdl(
+      "PROTOTYPE getTemperature() : (temperature REAL);");
+  auto erm = pems->CreateLocalErm("node").MoveValueOrDie();
+  for (int i = 0; i < n; ++i) {
+    (void)erm->Host(0, std::make_shared<TemperatureSensorService>(
+                           "s" + std::to_string(i), 20.0, i));
+  }
+  pems->Run(3);
+  (void)pems->queries().RegisterDiscoveryQuery("thermometers",
+                                               "getTemperature");
+  (void)pems->queries().RegisterContinuous(
+      "readings", "invoke[getTemperature](thermometers)");
+  for (auto _ : state) {
+    pems->Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PemsTick)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_RemoteVsLocalInvocation(benchmark::State& state) {
+  // The proxy path (registry -> proxy -> Local ERM -> device) vs a
+  // directly registered service.
+  const bool remote = state.range(0) == 1;
+  auto pems = Pems::Create().MoveValueOrDie();
+  (void)pems->tables().ExecuteDdl(
+      "PROTOTYPE getTemperature() : (temperature REAL);");
+  auto sensor =
+      std::make_shared<TemperatureSensorService>("sensor01", 20.0, 1);
+  if (remote) {
+    (void)pems->Deploy("node", sensor);
+    pems->Run(2);
+  } else {
+    (void)pems->env().registry().Register(sensor);
+  }
+  PrototypePtr proto =
+      pems->env().GetPrototype("getTemperature").ValueOrDie();
+  Timestamp instant = 100;
+  for (auto _ : state) {
+    auto result = pems->env().registry().Invoke(*proto, "sensor01", Tuple(),
+                                                ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RemoteVsLocalInvocation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"remote"});
+
+}  // namespace
+}  // namespace serena
+
+int main(int argc, char** argv) {
+  return serena::bench::RunReproAndBenchmarks(
+      argc, argv, [] { serena::ReproduceFigure1(); });
+}

@@ -1,0 +1,110 @@
+// Reproduces Table 1 (prototype and service declarations) and measures
+// the Serena DDL front end: parse + catalog-apply throughput as the
+// declaration count grows.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "ddl/catalog.h"
+
+namespace serena {
+namespace {
+
+constexpr const char* kTable1 = R"(
+PROTOTYPE sendMessage( address STRING, text STRING ) : (sent BOOLEAN) ACTIVE;
+PROTOTYPE checkPhoto( area STRING ) : (quality INTEGER, delay REAL );
+PROTOTYPE takePhoto( area STRING, quality INTEGER ) : (photo BLOB );
+PROTOTYPE getTemperature( ) : (temperature REAL );
+SERVICE email IMPLEMENTS sendMessage;
+SERVICE jabber IMPLEMENTS sendMessage;
+SERVICE camera01 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE camera02 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE webcam07 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE sensor01 IMPLEMENTS getTemperature;
+SERVICE sensor06 IMPLEMENTS getTemperature;
+SERVICE sensor07 IMPLEMENTS getTemperature;
+SERVICE sensor22 IMPLEMENTS getTemperature;
+)";
+
+void ReproduceTable1() {
+  bench::PrintHeader("Table 1",
+                     "Prototypes and services of the temperature "
+                     "surveillance scenario, parsed and re-rendered from "
+                     "the library's catalog.");
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  const Status status = catalog.Execute(kTable1);
+  std::printf("catalog load: %s\n", status.ToString().c_str());
+
+  bench::PrintSection("prototypes (as declared)");
+  for (const std::string& name : env.PrototypeNames()) {
+    std::printf("%s;\n",
+                env.GetPrototype(name).ValueOrDie()->ToString().c_str());
+  }
+  bench::PrintSection("services (ref -> implemented prototypes)");
+  for (const std::string& ref : env.registry().ServiceRefs()) {
+    auto service = env.registry().Lookup(ref).ValueOrDie();
+    std::vector<std::string> protos;
+    for (const auto& p : service->prototypes()) protos.push_back(p->name());
+    std::printf("SERVICE %s IMPLEMENTS %s;\n", ref.c_str(),
+                Join(protos, ", ").c_str());
+  }
+  std::printf("\nservices implementing getTemperature: %zu (paper: 4)\n",
+              env.registry().ServicesImplementing("getTemperature").size());
+}
+
+/// Synthesizes a DDL script with `n` prototype+service pairs.
+std::string SyntheticDdl(int n) {
+  std::string ddl;
+  for (int i = 0; i < n; ++i) {
+    ddl += StringFormat(
+        "PROTOTYPE proto%04d(a%04d STRING) : (r%04d REAL);\n", i, i, i);
+    ddl += StringFormat("SERVICE svc%04d IMPLEMENTS proto%04d;\n", i, i);
+  }
+  return ddl;
+}
+
+void BM_ParseDdl(benchmark::State& state) {
+  const std::string ddl = SyntheticDdl(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto statements = ParseDdl(ddl);
+    benchmark::DoNotOptimize(statements);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ParseDdl)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CatalogApply(benchmark::State& state) {
+  const std::string ddl = SyntheticDdl(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Environment env;
+    StreamStore streams;
+    SerenaCatalog catalog(&env, &streams);
+    const Status status = catalog.Execute(ddl);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_CatalogApply)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  (void)catalog.Execute(SyntheticDdl(static_cast<int>(state.range(0))));
+  int i = 0;
+  for (auto _ : state) {
+    auto service = env.registry().Lookup(
+        StringFormat("svc%04d", i++ % static_cast<int>(state.range(0))));
+    benchmark::DoNotOptimize(service);
+  }
+}
+BENCHMARK(BM_RegistryLookup)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace serena
+
+int main(int argc, char** argv) {
+  return serena::bench::RunReproAndBenchmarks(
+      argc, argv, [] { serena::ReproduceTable1(); });
+}

@@ -1,0 +1,140 @@
+// Reproduces Table 4 (queries Q1, Q1', Q2, Q2' and continuous Q3, Q4)
+// together with Example 6's action sets and Example 7's equivalence
+// verdicts, then measures end-to-end query execution.
+
+#include "bench_util.h"
+#include "env/scenario.h"
+#include "rewrite/equivalence.h"
+#include "stream/executor.h"
+
+namespace serena {
+namespace {
+
+void ReproduceTable4() {
+  bench::PrintHeader("Table 4 + Examples 6/7",
+                     "The canonical Serena queries, their action sets and "
+                     "equivalence verdicts.");
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  Environment& env = scenario->env();
+  StreamStore& streams = scenario->streams();
+
+  bench::PrintSection("queries (Serena Algebra Language)");
+  std::printf("Q1  = %s\n", scenario->Q1()->ToString().c_str());
+  std::printf("Q1' = %s\n", scenario->Q1Prime()->ToString().c_str());
+  std::printf("Q2  = %s\n", scenario->Q2()->ToString().c_str());
+  std::printf("Q2' = %s\n", scenario->Q2Prime()->ToString().c_str());
+  std::printf("Q3  = %s\n", scenario->Q3()->ToString().c_str());
+  std::printf("Q4  = %s\n", scenario->Q4()->ToString().c_str());
+
+  bench::PrintSection("action sets (Example 6)");
+  QueryResult r1 = Execute(scenario->Q1(), &env, &streams, 1).ValueOrDie();
+  std::printf("Actions(Q1)  = %s\n", r1.actions.ToString().c_str());
+  QueryResult r1p =
+      Execute(scenario->Q1Prime(), &env, &streams, 1).ValueOrDie();
+  std::printf("Actions(Q1') = %s\n", r1p.actions.ToString().c_str());
+  std::printf("(paper: Q1 has 2 actions, Q1' has 3 — Carla included)\n");
+
+  bench::PrintSection("equivalence (Example 7, Def. 9)");
+  std::printf("Q1 vs Q1': result %s, actions %s  =>  %s\n",
+              r1.relation.SetEquals(r1p.relation) ? "same" : "differ",
+              r1.actions == r1p.actions ? "same" : "differ",
+              r1.actions == r1p.actions ? "EQUIVALENT" : "NOT EQUIVALENT");
+  EquivalenceReport q2_report =
+      CheckEquivalence(scenario->Q2(), scenario->Q2Prime(), &env, &streams,
+                       2)
+          .ValueOrDie();
+  std::printf("Q2 vs Q2' (passive photos): %s\n",
+              q2_report.ToString().c_str());
+
+  bench::PrintSection("continuous Q3/Q4 (Example 8), 6 instants");
+  ContinuousExecutor executor(&env, &streams);
+  executor.AddSource(
+      [&](Timestamp t) { return scenario->PumpTemperatureStream(t); });
+  auto q3 = std::make_shared<ContinuousQuery>("q3", scenario->Q3());
+  auto q4 = std::make_shared<ContinuousQuery>("q4", scenario->Q4());
+  (void)executor.Register(q3);
+  (void)executor.Register(q4);
+  scenario->ClearOutboxes();
+  executor.Run(2);
+  scenario->sensors()[1]->set_bias(25.0);   // Office overheats.
+  scenario->sensors()[3]->set_bias(-8.0);   // Roof freezes.
+  executor.Run(4);
+  std::printf("alerts sent: %zu (to Carla, office manager)\n",
+              scenario->AllSentMessages().size());
+  std::printf("photos taken by roof camera: %llu\n",
+              static_cast<unsigned long long>(
+                  scenario->cameras()[2]->photos_taken()));
+}
+
+// ---------------------------------------------------------------------------
+
+struct ScenarioFixture {
+  explicit ScenarioFixture(int scale) {
+    TemperatureScenarioOptions options;
+    options.extra_contacts = scale;
+    options.extra_cameras = scale;
+    scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  }
+  std::unique_ptr<TemperatureScenario> scenario;
+};
+
+void BM_Q1_Execute(benchmark::State& state) {
+  ScenarioFixture fixture(static_cast<int>(state.range(0)));
+  Timestamp instant = 0;
+  for (auto _ : state) {
+    auto result = Execute(fixture.scenario->Q1(), &fixture.scenario->env(),
+                          &fixture.scenario->streams(), ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 3));
+}
+BENCHMARK(BM_Q1_Execute)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_Q2_Execute(benchmark::State& state) {
+  ScenarioFixture fixture(static_cast<int>(state.range(0)));
+  Timestamp instant = 0;
+  for (auto _ : state) {
+    auto result = Execute(fixture.scenario->Q2(), &fixture.scenario->env(),
+                          &fixture.scenario->streams(), ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 3));
+}
+BENCHMARK(BM_Q2_Execute)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_Q2Prime_Execute(benchmark::State& state) {
+  ScenarioFixture fixture(static_cast<int>(state.range(0)));
+  Timestamp instant = 0;
+  for (auto _ : state) {
+    auto result =
+        Execute(fixture.scenario->Q2Prime(), &fixture.scenario->env(),
+                &fixture.scenario->streams(), ++instant);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 3));
+}
+BENCHMARK(BM_Q2Prime_Execute)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_ContinuousQ3_Tick(benchmark::State& state) {
+  TemperatureScenarioOptions options;
+  options.extra_sensors = static_cast<int>(state.range(0));
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  ContinuousExecutor executor(&scenario->env(), &scenario->streams());
+  executor.AddSource(
+      [&](Timestamp t) { return scenario->PumpTemperatureStream(t); });
+  (void)executor.Register(
+      std::make_shared<ContinuousQuery>("q3", scenario->Q3()));
+  for (auto _ : state) {
+    executor.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 4));
+}
+BENCHMARK(BM_ContinuousQ3_Tick)->Arg(4)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace serena
+
+int main(int argc, char** argv) {
+  return serena::bench::RunReproAndBenchmarks(
+      argc, argv, [] { serena::ReproduceTable4(); });
+}

@@ -1,0 +1,42 @@
+#ifndef SERENA_BENCH_BENCH_UTIL_H_
+#define SERENA_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace serena {
+namespace bench {
+
+/// Prints the banner separating the paper-artifact reproduction section
+/// (exact rows/series the paper reports) from the google-benchmark
+/// timings that follow.
+inline void PrintHeader(const char* artifact, const char* description) {
+  std::printf(
+      "==============================================================\n"
+      "Reproduction: %s\n%s\n"
+      "==============================================================\n",
+      artifact, description);
+}
+
+inline void PrintSection(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+/// Runs the reproduction `body` then hands over to google-benchmark.
+/// Usage inside main(): return RunReproAndBenchmarks(argc, argv, [] {...});
+template <typename Body>
+int RunReproAndBenchmarks(int argc, char** argv, Body body) {
+  body();
+  std::printf("\n================ microbenchmarks ================\n");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace serena
+
+#endif  // SERENA_BENCH_BENCH_UTIL_H_

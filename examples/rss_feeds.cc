@@ -1,0 +1,51 @@
+// The second §5.2 experiment: RSS feeds as streams.
+//
+// Wrapper services (one per feed) turn polled items into the `news`
+// stream. A continuous keyword query keeps "the last items containing a
+// given word within a window"; a second standing query forwards matching
+// items to a contact as messages — each item exactly once, even though it
+// stays in the window for many instants (§4.2 delta semantics).
+
+#include <iostream>
+
+#include "env/scenario.h"
+#include "stream/executor.h"
+
+int main() {
+  using namespace serena;
+
+  RssScenarioOptions options;
+  options.items_per_instant = 3;
+  options.keyword_rate = 0.2;
+  auto scenario = RssScenario::Build(options).MoveValueOrDie();
+
+  ContinuousExecutor executor(&scenario->env(), &scenario->streams());
+  executor.AddSource([&](Timestamp t) { return scenario->PumpNews(t); });
+
+  // "Items mentioning Obama within the last 12 instants."
+  PlanPtr keyword_plan = scenario->KeywordQuery("Obama", 12);
+  std::cout << "keyword query: " << keyword_plan->ToString() << "\n\n";
+  auto keyword = std::make_shared<ContinuousQuery>("obama", keyword_plan);
+  keyword->set_sink([](Timestamp t, const XRelation& items) {
+    std::cout << "[t=" << t << "] in-window matches: " << items.size()
+              << "\n";
+  });
+  (void)executor.Register(keyword);
+
+  // Forward matches to Carla by mail.
+  auto forward = std::make_shared<ContinuousQuery>(
+      "forward", scenario->ForwardQuery("Obama", 12, "Carla"));
+  (void)executor.Register(forward);
+
+  executor.Run(15);
+
+  const auto& outbox = scenario->email()->outbox();
+  std::cout << "\nforwarded to carla@elysee.fr: " << outbox.size()
+            << " distinct items\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(outbox.size(), 5); ++i) {
+    std::cout << "  [t=" << outbox[i].instant << "] \"" << outbox[i].text
+              << "\"\n";
+  }
+  if (outbox.size() > 5) std::cout << "  ...\n";
+  return 0;
+}

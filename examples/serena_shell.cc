@@ -1,0 +1,310 @@
+// An interactive PEMS shell: type Serena DDL and Serena Algebra Language
+// statements against a live (simulated) pervasive environment.
+//
+//   $ ./serena_shell
+//   serena> PROTOTYPE getTemperature() : (temperature REAL);
+//   serena> SERVICE sensor01 IMPLEMENTS getTemperature;
+//   serena> EXTENDED RELATION sensors (sensor SERVICE, location STRING,
+//           temperature REAL VIRTUAL) USING BINDING PATTERNS (
+//           getTemperature[sensor]() : (temperature));
+//   serena> INSERT INTO sensors VALUES ('sensor01', 'office');
+//   serena> invoke[getTemperature](sensors);
+//   serena> \explain invoke[getTemperature](sensors)
+//   serena> \register watch invoke[getTemperature](sensors)
+//   serena> \tick 3
+//   serena> \quit
+//
+// SERVICE declarations instantiate synthetic (simulated) devices, so a
+// DDL-only session is fully executable. Also usable non-interactively:
+// `./serena_shell < script.serena`.
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algebra/explain.h"
+#include "algebra/validate.h"
+#include "common/string_util.h"
+#include "ddl/dump.h"
+#include "io/csv.h"
+#include "pems/monitor.h"
+#include "pems/pems.h"
+
+namespace {
+
+using namespace serena;
+
+void PrintHelp() {
+  std::cout <<
+      "Statements (end with ';'):\n"
+      "  PROTOTYPE name(in...) : (out...) [ACTIVE];\n"
+      "  SERVICE ref IMPLEMENTS proto[, proto...];   (synthetic device)\n"
+      "  EXTENDED RELATION name (...) [USING BINDING PATTERNS (...)];\n"
+      "  EXTENDED STREAM name (...);\n"
+      "  INSERT INTO name VALUES (...)[, (...)];\n"
+      "  DELETE FROM name [WHERE condition];\n"
+      "  DROP RELATION name;   DROP STREAM name;\n"
+      "  <algebra expression>;                       (one-shot query)\n"
+      "Commands:\n"
+      "  \\tables            list relations and streams\n"
+      "  \\services          list registered services\n"
+      "  \\show NAME         print a relation\n"
+      "  \\explain EXPR      show the operator tree with schemas\n"
+      "  \\optimize EXPR     show the rewritten plan\n"
+      "  \\validate EXPR     static diagnostics (errors + warnings)\n"
+      "  \\register NAME EXPR   register a continuous query\n"
+      "  \\unregister NAME   drop a continuous query\n"
+      "  \\prepare NAME EXPR    store a :param query template\n"
+      "  \\exec NAME k=v ...    bind parameters and run a template\n"
+      "  \\tick [N]          advance N logical instants (default 1)\n"
+      "  \\stats             invocation / network statistics\n"
+      "  \\dump              environment as a reloadable DDL script\n"
+      "  \\save FILE         write the DDL dump to a file\n"
+      "  \\load FILE         execute a DDL script from a file\n"
+      "  \\csv NAME          relation as CSV\n"
+      "  \\help  \\quit\n";
+}
+
+bool IsDdl(const std::string& text) {
+  std::istringstream in(text);
+  std::string head;
+  in >> head;
+  const std::string lower = ToLower(head);
+  return lower == "prototype" || lower == "service" || lower == "extended" ||
+         lower == "insert" || lower == "delete" || lower == "drop";
+}
+
+void RunStatement(Pems& pems, const std::string& statement) {
+  if (IsDdl(statement)) {
+    const Status status = pems.tables().ExecuteDdl(statement);
+    std::cout << (status.ok() ? "ok" : status.ToString()) << "\n";
+    return;
+  }
+  auto result = pems.queries().ExecuteOneShot(statement);
+  if (!result.ok()) {
+    std::cout << result.status() << "\n";
+    return;
+  }
+  std::cout << result->relation.ToTableString();
+  std::cout << result->relation.size() << " tuple(s)";
+  if (!result->actions.empty()) {
+    std::cout << ", actions: " << result->actions.ToString();
+  }
+  std::cout << "\n";
+}
+
+void RunCommand(Pems& pems, const std::string& line) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  std::string rest;
+  std::getline(in, rest);
+  const std::string arg(Trim(rest));
+
+  if (command == "\\help") {
+    PrintHelp();
+  } else if (command == "\\tables") {
+    for (const std::string& name : pems.env().RelationNames()) {
+      const XRelation* r = pems.env().GetRelation(name).ValueOrDie();
+      std::cout << "  " << name << " (" << r->size() << " tuples, "
+                << r->schema().binding_patterns().size()
+                << " binding patterns)\n";
+    }
+    for (const std::string& name : pems.streams().StreamNames()) {
+      std::cout << "  " << name << " (stream)\n";
+    }
+  } else if (command == "\\services") {
+    for (const std::string& ref : pems.env().registry().ServiceRefs()) {
+      auto service = pems.env().registry().Lookup(ref).ValueOrDie();
+      std::cout << "  " << ref << " implements";
+      for (const auto& proto : service->prototypes()) {
+        std::cout << " " << proto->name();
+      }
+      std::cout << "\n";
+    }
+  } else if (command == "\\show") {
+    auto relation = pems.env().GetRelation(arg);
+    if (!relation.ok()) {
+      std::cout << relation.status() << "\n";
+    } else {
+      std::cout << (*relation)->ToTableString();
+    }
+  } else if (command == "\\explain" || command == "\\optimize") {
+    auto plan = ParseAlgebra(arg);
+    if (!plan.ok()) {
+      std::cout << plan.status() << "\n";
+      return;
+    }
+    PlanPtr shown = *plan;
+    if (command == "\\optimize") {
+      Rewriter rewriter(&pems.env(), &pems.streams());
+      auto optimized = rewriter.Optimize(shown);
+      if (!optimized.ok()) {
+        std::cout << optimized.status() << "\n";
+        return;
+      }
+      shown = *optimized;
+    }
+    std::cout << ExplainPlan(shown, pems.env(), &pems.streams());
+  } else if (command == "\\validate") {
+    auto plan = ParseAlgebra(arg);
+    if (!plan.ok()) {
+      std::cout << plan.status() << "\n";
+      return;
+    }
+    auto diagnostics = ValidatePlan(*plan, pems.env(), &pems.streams());
+    if (!diagnostics.ok()) {
+      std::cout << diagnostics.status() << "\n";
+    } else if (diagnostics->empty()) {
+      std::cout << "ok: no findings\n";
+    } else {
+      for (const Diagnostic& d : *diagnostics) {
+        std::cout << "  " << d.ToString() << "\n";
+      }
+    }
+  } else if (command == "\\register") {
+    std::istringstream args(arg);
+    std::string name;
+    args >> name;
+    std::string expr;
+    std::getline(args, expr);
+    const Status status = pems.queries().RegisterContinuous(
+        name, Trim(expr),
+        [name](Timestamp t, const XRelation& result) {
+          if (!result.empty()) {
+            std::cout << "[" << name << " @t=" << t << "]\n"
+                      << result.ToTableString();
+          }
+        });
+    std::cout << (status.ok() ? "registered" : status.ToString()) << "\n";
+  } else if (command == "\\unregister") {
+    const Status status = pems.queries().UnregisterContinuous(arg);
+    std::cout << (status.ok() ? "unregistered" : status.ToString()) << "\n";
+  } else if (command == "\\prepare") {
+    std::istringstream args(arg);
+    std::string name;
+    args >> name;
+    std::string expr;
+    std::getline(args, expr);
+    const Status status = pems.queries().Prepare(name, Trim(expr));
+    if (status.ok()) {
+      auto params = pems.queries().PreparedParameters(name).ValueOrDie();
+      std::cout << "prepared with " << params.size() << " parameter(s)";
+      for (const std::string& p : params) std::cout << " :" << p;
+      std::cout << "\n";
+    } else {
+      std::cout << status << "\n";
+    }
+  } else if (command == "\\exec") {
+    std::istringstream args(arg);
+    std::string name;
+    args >> name;
+    std::map<std::string, Value> bindings;
+    std::string pair;
+    while (args >> pair) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        std::cout << "expected k=v, got " << pair << "\n";
+        return;
+      }
+      // Values are typed like algebra literals; bare words are strings.
+      const std::string raw = pair.substr(eq + 1);
+      Value value = Value::String(raw);
+      if (raw == "true" || raw == "false") {
+        value = Value::Bool(raw == "true");
+      } else if (raw.find_first_not_of("-0123456789.") ==
+                 std::string::npos) {
+        value = raw.find('.') == std::string::npos
+                    ? Value::Int(std::atoll(raw.c_str()))
+                    : Value::Real(std::atof(raw.c_str()));
+      }
+      bindings.emplace(pair.substr(0, eq), std::move(value));
+    }
+    auto result = pems.queries().ExecutePrepared(name, bindings);
+    if (!result.ok()) {
+      std::cout << result.status() << "\n";
+    } else {
+      std::cout << result->relation.ToTableString();
+      if (!result->actions.empty()) {
+        std::cout << "actions: " << result->actions.ToString() << "\n";
+      }
+    }
+  } else if (command == "\\tick") {
+    const int n = arg.empty() ? 1 : std::atoi(arg.c_str());
+    const Timestamp now = pems.Run(n);
+    std::cout << "t=" << now << "\n";
+  } else if (command == "\\stats") {
+    std::cout << SnapshotMetrics(pems).ToString();
+  } else if (command == "\\dump") {
+    std::cout << DumpEnvironment(pems.env(), &pems.streams());
+  } else if (command == "\\save") {
+    std::ofstream out(arg);
+    if (!out) {
+      std::cout << "cannot write " << arg << "\n";
+    } else {
+      out << DumpEnvironment(pems.env(), &pems.streams());
+      std::cout << "saved to " << arg << "\n";
+    }
+  } else if (command == "\\load") {
+    std::ifstream in(arg);
+    if (!in) {
+      std::cout << "cannot read " << arg << "\n";
+    } else {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const Status status = pems.tables().ExecuteDdl(buffer.str());
+      std::cout << (status.ok() ? "loaded" : status.ToString()) << "\n";
+    }
+  } else if (command == "\\csv") {
+    auto relation = pems.env().GetRelation(arg);
+    if (!relation.ok()) {
+      std::cout << relation.status() << "\n";
+    } else {
+      auto csv = ToCsv(**relation);
+      std::cout << (csv.ok() ? *csv : csv.status().ToString());
+    }
+  } else {
+    std::cout << "unknown command " << command << " (try \\help)\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto pems = Pems::Create().MoveValueOrDie();
+  const bool interactive = isatty(0);
+  if (interactive) {
+    std::cout << "Serena PEMS shell. \\help for help, \\quit to exit.\n";
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << (buffer.empty() ? "serena> " : "   ...> ");
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+
+    if (buffer.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      RunCommand(*pems, trimmed);
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    // Statements are ';'-terminated.
+    const std::string_view current = Trim(buffer);
+    if (!current.empty() && current.back() == ';') {
+      std::string statement(current);
+      if (!IsDdl(statement)) {
+        statement.pop_back();  // Algebra expressions carry no ';'.
+      }
+      RunStatement(*pems, statement);
+      buffer.clear();
+    }
+  }
+  return 0;
+}

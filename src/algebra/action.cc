@@ -1,0 +1,30 @@
+#include "algebra/action.h"
+
+namespace serena {
+
+std::string Action::ToString() const {
+  std::string s = "(";
+  s += prototype;
+  s += '[';
+  s += service_attribute;
+  s += "], ";
+  s += service_ref;
+  s += ", ";
+  s += input.ToString();
+  s += ')';
+  return s;
+}
+
+std::string ActionSet::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const Action& action : actions_) {
+    if (!first) s += ", ";
+    first = false;
+    s += action.ToString();
+  }
+  s += '}';
+  return s;
+}
+
+}  // namespace serena

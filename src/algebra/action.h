@@ -1,0 +1,71 @@
+#ifndef SERENA_ALGEBRA_ACTION_H_
+#define SERENA_ALGEBRA_ACTION_H_
+
+#include <set>
+#include <string>
+
+#include "types/tuple.h"
+
+namespace serena {
+
+/// An action (Def. 8): a 3-tuple (bp, s, t) — one invocation of an *active*
+/// binding pattern bp on the service referenced by s with input tuple t.
+///
+/// The binding pattern is identified by its prototype name and service
+/// reference attribute. Actions capture the environmental impact of a
+/// query (e.g. the set of messages a query sends).
+struct Action {
+  std::string prototype;          ///< prototype_bp's name.
+  std::string service_attribute;  ///< service_bp: the reference attribute.
+  std::string service_ref;        ///< s: the invoked service's reference.
+  Tuple input;                    ///< t: the input tuple over Input_ψ.
+
+  bool operator==(const Action& other) const {
+    return prototype == other.prototype &&
+           service_attribute == other.service_attribute &&
+           service_ref == other.service_ref && input == other.input;
+  }
+  bool operator<(const Action& other) const {
+    if (prototype != other.prototype) return prototype < other.prototype;
+    if (service_attribute != other.service_attribute) {
+      return service_attribute < other.service_attribute;
+    }
+    if (service_ref != other.service_ref) {
+      return service_ref < other.service_ref;
+    }
+    return input < other.input;
+  }
+
+  /// "(sendMessage[messenger], email, ('nicolas@elysee.fr', 'Bonjour!'))".
+  std::string ToString() const;
+};
+
+/// The action set Actions_p(q) of a query against an environment (Def. 8):
+/// all active-binding-pattern invocations the query triggers. Definition 9
+/// makes two queries equivalent only if their results *and* action sets
+/// coincide.
+class ActionSet {
+ public:
+  ActionSet() = default;
+
+  void Add(Action action) { actions_.insert(std::move(action)); }
+
+  std::size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const std::set<Action>& actions() const { return actions_; }
+
+  bool operator==(const ActionSet& other) const {
+    return actions_ == other.actions_;
+  }
+  bool operator!=(const ActionSet& other) const { return !(*this == other); }
+
+  /// "{a1, a2, ...}" in canonical order.
+  std::string ToString() const;
+
+ private:
+  std::set<Action> actions_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_ACTION_H_

@@ -1,0 +1,202 @@
+#include "algebra/aggregate.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace serena {
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kAvg:
+      return "avg";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+Result<AggregateFn> AggregateFnFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "count") return AggregateFn::kCount;
+  if (lower == "sum") return AggregateFn::kSum;
+  if (lower == "avg" || lower == "mean") return AggregateFn::kAvg;
+  if (lower == "min") return AggregateFn::kMin;
+  if (lower == "max") return AggregateFn::kMax;
+  return Status::ParseError("unknown aggregate function: ",
+                            std::string(name));
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string s = AggregateFnToString(fn);
+  s += '(';
+  s += input;
+  s += ") -> ";
+  s += output;
+  return s;
+}
+
+namespace {
+
+/// Output type of an aggregate over an input of type `input_type`.
+Result<DataType> AggregateOutputType(AggregateFn fn, DataType input_type,
+                                     const std::string& input) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return DataType::kInt;
+    case AggregateFn::kSum:
+    case AggregateFn::kAvg:
+      if (input_type != DataType::kInt && input_type != DataType::kReal) {
+        return Status::TypeMismatch("aggregate over non-numeric attribute '",
+                                    input, "'");
+      }
+      return fn == AggregateFn::kAvg ? DataType::kReal : input_type;
+    case AggregateFn::kMin:
+    case AggregateFn::kMax:
+      return input_type;
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+/// Streaming accumulator for one (group, spec) cell.
+struct Accumulator {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  std::int64_t isum = 0;
+  bool all_int = true;
+  Value min;
+  Value max;
+
+  void Add(const Value* v) {
+    ++count;
+    if (v == nullptr) return;
+    if (v->is_int()) {
+      isum += v->int_value();
+      sum += static_cast<double>(v->int_value());
+    } else if (v->is_real()) {
+      all_int = false;
+      sum += v->real_value();
+    }
+    if (count == 1) {
+      min = *v;
+      max = *v;
+    } else {
+      if (*v < min) min = *v;
+      if (max < *v) max = *v;
+    }
+  }
+
+  Result<Value> Finish(AggregateFn fn) const {
+    switch (fn) {
+      case AggregateFn::kCount:
+        return Value::Int(count);
+      case AggregateFn::kSum:
+        return all_int ? Value::Int(isum) : Value::Real(sum);
+      case AggregateFn::kAvg:
+        if (count == 0) return Status::Internal("avg of empty group");
+        return Value::Real(sum / static_cast<double>(count));
+      case AggregateFn::kMin:
+        return min;
+      case AggregateFn::kMax:
+        return max;
+    }
+    return Status::Internal("unknown aggregate");
+  }
+};
+
+}  // namespace
+
+Result<ExtendedSchemaPtr> AggregateSchema(
+    const ExtendedSchemaPtr& schema, const std::vector<std::string>& group_by,
+    const std::vector<AggregateSpec>& aggregates) {
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("aggregate: no aggregate columns");
+  }
+  std::vector<Attribute> attributes;
+  for (const std::string& name : group_by) {
+    const Attribute* attr = schema->FindAttribute(name);
+    if (attr == nullptr || !attr->is_real()) {
+      return Status::InvalidArgument(
+          "aggregate: group-by attribute '", name,
+          "' must be a real attribute of schema '", schema->name(), "'");
+    }
+    attributes.push_back(*attr);
+  }
+  for (const AggregateSpec& spec : aggregates) {
+    if (spec.output.empty()) {
+      return Status::InvalidArgument("aggregate: empty output name");
+    }
+    DataType input_type = DataType::kInt;
+    if (!spec.input.empty()) {
+      const Attribute* attr = schema->FindAttribute(spec.input);
+      if (attr == nullptr || !attr->is_real()) {
+        return Status::InvalidArgument(
+            "aggregate: input attribute '", spec.input,
+            "' must be a real attribute of schema '", schema->name(), "'");
+      }
+      input_type = attr->type;
+    } else if (spec.fn != AggregateFn::kCount) {
+      return Status::InvalidArgument("aggregate: ",
+                                     AggregateFnToString(spec.fn),
+                                     " requires an input attribute");
+    }
+    SERENA_ASSIGN_OR_RETURN(
+        DataType out_type,
+        AggregateOutputType(spec.fn, input_type, spec.input));
+    attributes.emplace_back(spec.output, out_type, AttributeKind::kReal);
+  }
+  return ExtendedSchema::Create("aggregate(" + schema->name() + ")",
+                                std::move(attributes));
+}
+
+Result<XRelation> Aggregate(const XRelation& r,
+                            const std::vector<std::string>& group_by,
+                            const std::vector<AggregateSpec>& aggregates) {
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr schema,
+      AggregateSchema(r.schema_ptr(), group_by, aggregates));
+
+  SERENA_ASSIGN_OR_RETURN(std::vector<std::size_t> key_coords,
+                          r.schema().CoordinatesOf(group_by));
+  std::vector<std::size_t> input_coords(aggregates.size(), 0);
+  std::vector<bool> has_input(aggregates.size(), false);
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    if (!aggregates[i].input.empty()) {
+      input_coords[i] = *r.schema().CoordinateOf(aggregates[i].input);
+      has_input[i] = true;
+    }
+  }
+
+  // Group via the canonical sorted order of key tuples (deterministic
+  // output independent of insertion order).
+  std::map<Tuple, std::vector<Accumulator>> groups;
+  for (const Tuple& t : r.tuples()) {
+    const Tuple key = t.Project(key_coords);
+    auto [it, inserted] =
+        groups.try_emplace(key, aggregates.size(), Accumulator());
+    std::vector<Accumulator>& accs = it->second;
+    for (std::size_t i = 0; i < aggregates.size(); ++i) {
+      accs[i].Add(has_input[i] ? &t[input_coords[i]] : nullptr);
+    }
+  }
+
+  XRelation result(std::move(schema));
+  for (const auto& [key, accs] : groups) {
+    std::vector<Value> values(key.values());
+    for (std::size_t i = 0; i < aggregates.size(); ++i) {
+      SERENA_ASSIGN_OR_RETURN(Value v, accs[i].Finish(aggregates[i].fn));
+      values.push_back(std::move(v));
+    }
+    result.InsertUnchecked(Tuple(std::move(values)));
+  }
+  return result;
+}
+
+}  // namespace serena

@@ -1,0 +1,54 @@
+#ifndef SERENA_ALGEBRA_AGGREGATE_H_
+#define SERENA_ALGEBRA_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xrel/xrelation.h"
+
+namespace serena {
+
+/// Aggregate functions for the grouping operator.
+///
+/// The paper's motivating example (§1.2) needs "the mean temperature for
+/// a given location"; γ is the standard grouping extension of the
+/// relational algebra lifted to X-Relations. Grouping and aggregate input
+/// attributes must be *real* (virtual attributes have no value, Def. 3).
+enum class AggregateFn { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateFnToString(AggregateFn fn);
+Result<AggregateFn> AggregateFnFromString(std::string_view name);
+
+/// One aggregate column: `fn(input) -> output`. For kCount the input
+/// attribute may be empty (count of tuples per group).
+struct AggregateSpec {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string input;   // Real attribute; empty allowed for kCount.
+  std::string output;  // Result attribute name.
+
+  /// "avg(temperature) -> mean_temp".
+  std::string ToString() const;
+
+  bool operator==(const AggregateSpec& other) const {
+    return fn == other.fn && input == other.input && output == other.output;
+  }
+};
+
+/// Output schema of γ: the group-by attributes (all real) followed by one
+/// real attribute per aggregate. All binding patterns are dropped — the
+/// aggregated relation no longer carries per-service rows.
+Result<ExtendedSchemaPtr> AggregateSchema(
+    const ExtendedSchemaPtr& schema, const std::vector<std::string>& group_by,
+    const std::vector<AggregateSpec>& aggregates);
+
+/// γ_{group_by; aggregates}(r). With an empty `group_by`, produces a
+/// single row aggregating the whole relation (or zero rows for an empty
+/// input, matching SQL's grouped semantics).
+Result<XRelation> Aggregate(const XRelation& r,
+                            const std::vector<std::string>& group_by,
+                            const std::vector<AggregateSpec>& aggregates);
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_AGGREGATE_H_

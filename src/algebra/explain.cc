@@ -1,0 +1,111 @@
+#include "algebra/explain.h"
+
+#include "common/string_util.h"
+
+namespace serena {
+
+namespace {
+
+/// The operator label without its children, e.g. "select[name != 'Carla']".
+std::string NodeLabel(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      return static_cast<const ScanNode&>(node).relation();
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference:
+    case PlanKind::kJoin:
+      return PlanKindToString(node.kind());
+    case PlanKind::kProject: {
+      const auto& n = static_cast<const ProjectNode&>(node);
+      return "project[" + Join(n.attributes(), ", ") + "]";
+    }
+    case PlanKind::kSelect: {
+      const auto& n = static_cast<const SelectNode&>(node);
+      return "select[" + n.formula()->ToString() + "]";
+    }
+    case PlanKind::kRename: {
+      const auto& n = static_cast<const RenameNode&>(node);
+      return "rename[" + n.from() + " -> " + n.to() + "]";
+    }
+    case PlanKind::kAssign: {
+      const auto& n = static_cast<const AssignNode&>(node);
+      return "assign[" + n.target() + " := " +
+             (n.from_attribute() ? n.source_attribute()
+                                 : n.constant().ToString()) +
+             "]";
+    }
+    case PlanKind::kInvoke: {
+      const auto& n = static_cast<const InvokeNode&>(node);
+      std::string label = "invoke[" + n.prototype();
+      if (!n.service_attribute().empty()) {
+        label += "[" + n.service_attribute() + "]";
+      }
+      return label + "]";
+    }
+    case PlanKind::kAggregate: {
+      const auto& n = static_cast<const AggregateNode&>(node);
+      std::string label = "aggregate[" + Join(n.group_by(), ", ") + "; ";
+      for (std::size_t i = 0; i < n.aggregates().size(); ++i) {
+        if (i > 0) label += ", ";
+        label += n.aggregates()[i].ToString();
+      }
+      return label + "]";
+    }
+    case PlanKind::kWindow:
+      // Leaf: the rendered form is already child-free.
+      return node.ToString();
+    case PlanKind::kStreaming: {
+      const auto& n = static_cast<const StreamingNode&>(node);
+      return std::string("stream[") + StreamingTypeToString(n.type()) + "]";
+    }
+  }
+  return "?";
+}
+
+void ExplainNode(const PlanPtr& plan, const Environment& env,
+                 const StreamStore* streams, const ExplainOptions& options,
+                 int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->append(NodeLabel(*plan));
+
+  std::string annotation;
+  if (options.show_schemas || options.show_binding_patterns) {
+    auto schema = plan->InferSchema(env, streams);
+    if (schema.ok()) {
+      if (options.show_binding_patterns &&
+          plan->kind() == PlanKind::kInvoke) {
+        const auto* node = static_cast<const InvokeNode*>(plan.get());
+        annotation += node->IsActive(env, streams) ? "ACTIVE β; " : "passive β; ";
+      }
+      if (options.show_schemas) {
+        annotation += "real: {" + Join((*schema)->RealNames(), ", ") + "}";
+        const auto virtuals = (*schema)->VirtualNames();
+        if (!virtuals.empty()) {
+          annotation += ", virtual: {" + Join(virtuals, ", ") + "}";
+        }
+      }
+    }
+  }
+  if (!annotation.empty()) {
+    out->append("   -- ");
+    out->append(annotation);
+  }
+  out->push_back('\n');
+  for (const PlanPtr& child : plan->children()) {
+    ExplainNode(child, env, streams, options, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanPtr& plan, const Environment& env,
+                        const StreamStore* streams,
+                        const ExplainOptions& options) {
+  if (plan == nullptr) return "(null plan)\n";
+  std::string out;
+  ExplainNode(plan, env, streams, options, 0, &out);
+  return out;
+}
+
+}  // namespace serena

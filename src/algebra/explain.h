@@ -1,0 +1,36 @@
+#ifndef SERENA_ALGEBRA_EXPLAIN_H_
+#define SERENA_ALGEBRA_EXPLAIN_H_
+
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// Options for `ExplainPlan`.
+struct ExplainOptions {
+  /// Annotate each node with its inferred output schema partition.
+  bool show_schemas = true;
+  /// Annotate invocation nodes with their binding pattern and tag.
+  bool show_binding_patterns = true;
+};
+
+/// Renders a query plan as an indented operator tree, e.g.
+///
+/// ```
+/// invoke[sendMessage]           {active β; real: ..., virtual: ...}
+///   assign[text := 'Bonjour!']  {real: ..., virtual: ...}
+///     select[name != 'Carla']
+///       contacts
+/// ```
+///
+/// Schema annotations require the environment (and stream store when the
+/// plan reads streams); inference failures degrade to plain rendering of
+/// the affected subtree, never to an error — EXPLAIN must always work.
+std::string ExplainPlan(const PlanPtr& plan, const Environment& env,
+                        const StreamStore* streams,
+                        const ExplainOptions& options = {});
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_EXPLAIN_H_

@@ -1,0 +1,151 @@
+#ifndef SERENA_ALGEBRA_FORMULA_H_
+#define SERENA_ALGEBRA_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/extended_schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace serena {
+
+/// Comparison operators usable in selection formulas. `kContains` is a
+/// string-containment predicate (used e.g. by the RSS keyword queries of
+/// §5.2); the rest are the usual orderings.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+const char* CompareOpToString(CompareOp op);
+
+/// One side of a comparison: a (real) attribute reference, a constant
+/// from D, or a named parameter (`:name`) bound before execution —
+/// prepared-statement style.
+class Operand {
+ public:
+  enum class Kind { kAttribute, kConstant, kParameter };
+
+  static Operand Attr(std::string name) {
+    Operand op;
+    op.kind_ = Kind::kAttribute;
+    op.name_ = std::move(name);
+    return op;
+  }
+  static Operand Const(Value value) {
+    Operand op;
+    op.kind_ = Kind::kConstant;
+    op.value_ = std::move(value);
+    return op;
+  }
+  static Operand Param(std::string name) {
+    Operand op;
+    op.kind_ = Kind::kParameter;
+    op.name_ = std::move(name);
+    return op;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_attribute() const { return kind_ == Kind::kAttribute; }
+  bool is_parameter() const { return kind_ == Kind::kParameter; }
+  const std::string& attribute() const { return name_; }
+  const std::string& parameter() const { return name_; }
+  const Value& value() const { return value_; }
+
+  std::string ToString() const {
+    switch (kind_) {
+      case Kind::kAttribute:
+        return name_;
+      case Kind::kParameter:
+        return ":" + name_;
+      default:
+        return value_.ToString();
+    }
+  }
+  bool operator==(const Operand& other) const {
+    if (kind_ != other.kind_) return false;
+    return kind_ == Kind::kConstant ? value_ == other.value_
+                                    : name_ == other.name_;
+  }
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  std::string name_;
+  Value value_;
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// A selection formula F over realSchema(R) (Table 3 (b)).
+///
+/// Formulas are immutable trees of comparisons combined with AND / OR /
+/// NOT. Per the paper, a formula may only reference *real* attributes —
+/// virtual attributes have no value; `Validate` enforces this, and the
+/// selection operator refuses formulas that fail it.
+class Formula {
+ public:
+  virtual ~Formula() = default;
+
+  /// Checks that every referenced attribute is a real attribute of
+  /// `schema` and that comparisons are type-sensible.
+  virtual Status Validate(const ExtendedSchema& schema) const = 0;
+
+  /// t ⊨ F (logical implication of [18], §3.1.2).
+  virtual Result<bool> Evaluate(const ExtendedSchema& schema,
+                                const Tuple& tuple) const = 0;
+
+  /// Adds every referenced attribute name to `out`. Rewrite rules use this
+  /// for their side conditions (e.g. "A ∉ F", Table 5).
+  virtual void CollectAttributes(std::set<std::string>* out) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Structural equality (used to compare plans).
+  virtual bool Equals(const Formula& other) const = 0;
+
+  /// If this formula is a top-level conjunction F1 ∧ F2, exposes both
+  /// sides and returns true. Lets the rewriter push individual conjuncts
+  /// independently (σ_{F1∧F2} ≡ σ_F1 ∘ σ_F2).
+  virtual bool AsConjunction(FormulaPtr* lhs, FormulaPtr* rhs) const {
+    (void)lhs;
+    (void)rhs;
+    return false;
+  }
+
+  /// A copy of this formula with every reference to attribute `from`
+  /// replaced by `to` (used when commuting σ with ρ).
+  virtual FormulaPtr WithRenamedAttribute(std::string_view from,
+                                          std::string_view to) const = 0;
+
+  /// Adds every `:parameter` name referenced by the formula to `out`.
+  virtual void CollectParameters(std::set<std::string>* out) const = 0;
+
+  /// A copy with parameters substituted by their bound values; parameters
+  /// absent from `bindings` are left in place (Validate/Evaluate then
+  /// reject them as unbound).
+  virtual FormulaPtr WithBoundParameters(
+      const std::map<std::string, Value>& bindings) const = 0;
+
+  // Factories.
+  static FormulaPtr Compare(Operand lhs, CompareOp op, Operand rhs);
+  static FormulaPtr And(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Or(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Not(FormulaPtr inner);
+};
+
+/// True if the formula references attribute `name`.
+bool FormulaReferences(const Formula& formula, std::string_view name);
+
+/// Recursively splits top-level conjunctions into their conjuncts
+/// (a single non-conjunction formula yields itself).
+std::vector<FormulaPtr> SplitConjuncts(const FormulaPtr& formula);
+
+/// Conjoins formulas back together; returns nullptr for an empty list.
+FormulaPtr CombineConjuncts(const std::vector<FormulaPtr>& conjuncts);
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_FORMULA_H_

@@ -1,0 +1,127 @@
+#include "algebra/parameters.h"
+
+namespace serena {
+
+namespace {
+
+void Collect(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan == nullptr) return;
+  if (plan->kind() == PlanKind::kSelect) {
+    static_cast<const SelectNode*>(plan.get())
+        ->formula()
+        ->CollectParameters(out);
+  } else if (plan->kind() == PlanKind::kAssign) {
+    const auto* assign = static_cast<const AssignNode*>(plan.get());
+    if (assign->from_parameter()) out->insert(assign->parameter());
+  }
+  for (const PlanPtr& child : plan->children()) Collect(child, out);
+}
+
+Result<PlanPtr> Bind(const PlanPtr& plan,
+                     const std::map<std::string, Value>& bindings) {
+  // Rebind children first.
+  std::vector<PlanPtr> children = plan->children();
+  bool child_changed = false;
+  for (PlanPtr& child : children) {
+    SERENA_ASSIGN_OR_RETURN(PlanPtr bound, Bind(child, bindings));
+    if (bound != child) child_changed = true;
+    child = std::move(bound);
+  }
+
+  switch (plan->kind()) {
+    case PlanKind::kSelect: {
+      const auto* select = static_cast<const SelectNode*>(plan.get());
+      std::set<std::string> params;
+      select->formula()->CollectParameters(&params);
+      if (params.empty() && !child_changed) return plan;
+      return Select(children[0],
+                    select->formula()->WithBoundParameters(bindings));
+    }
+    case PlanKind::kAssign: {
+      const auto* assign = static_cast<const AssignNode*>(plan.get());
+      if (assign->from_parameter()) {
+        const auto it = bindings.find(assign->parameter());
+        if (it != bindings.end()) {
+          return Assign(children[0], assign->target(), it->second);
+        }
+      }
+      if (!child_changed) return plan;
+      if (assign->from_parameter()) {
+        return AssignParam(children[0], assign->target(),
+                           assign->parameter());
+      }
+      return assign->from_attribute()
+                 ? Assign(children[0], assign->target(),
+                          assign->source_attribute())
+                 : Assign(children[0], assign->target(),
+                          assign->constant());
+    }
+    default:
+      break;
+  }
+  if (!child_changed) return plan;
+
+  // Rebuild other node kinds around the rebound children.
+  switch (plan->kind()) {
+    case PlanKind::kUnion:
+      return UnionOf(children[0], children[1]);
+    case PlanKind::kIntersect:
+      return IntersectOf(children[0], children[1]);
+    case PlanKind::kDifference:
+      return DifferenceOf(children[0], children[1]);
+    case PlanKind::kJoin:
+      return Join(children[0], children[1]);
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      return Project(children[0], node->attributes());
+    }
+    case PlanKind::kRename: {
+      const auto* node = static_cast<const RenameNode*>(plan.get());
+      return Rename(children[0], node->from(), node->to());
+    }
+    case PlanKind::kInvoke: {
+      const auto* node = static_cast<const InvokeNode*>(plan.get());
+      return Invoke(children[0], node->prototype(),
+                    node->service_attribute());
+    }
+    case PlanKind::kAggregate: {
+      const auto* node = static_cast<const AggregateNode*>(plan.get());
+      return Aggregate(children[0], node->group_by(), node->aggregates());
+    }
+    case PlanKind::kStreaming: {
+      const auto* node = static_cast<const StreamingNode*>(plan.get());
+      return Streaming(children[0], node->type());
+    }
+    default:
+      return Status::Internal("unexpected plan kind while binding");
+  }
+}
+
+}  // namespace
+
+std::set<std::string> CollectParameters(const PlanPtr& plan) {
+  std::set<std::string> params;
+  Collect(plan, &params);
+  return params;
+}
+
+Result<PlanPtr> BindParameters(
+    const PlanPtr& plan, const std::map<std::string, Value>& bindings) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  const std::set<std::string> referenced = CollectParameters(plan);
+  for (const auto& [name, value] : bindings) {
+    if (referenced.count(name) == 0) {
+      return Status::InvalidArgument("binding for unknown parameter :",
+                                     name);
+    }
+  }
+  for (const std::string& name : referenced) {
+    if (bindings.count(name) == 0) {
+      return Status::InvalidArgument("missing binding for parameter :",
+                                     name);
+    }
+  }
+  return Bind(plan, bindings);
+}
+
+}  // namespace serena

@@ -1,0 +1,38 @@
+#ifndef SERENA_ALGEBRA_PARAMETERS_H_
+#define SERENA_ALGEBRA_PARAMETERS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// Named parameters (`:name`) make Serena plans reusable templates — the
+/// prepared-statement pattern:
+///
+///   auto plan = ParseAlgebra(
+///       "invoke[sendMessage](assign[text := :msg]("
+///       "select[name = :who](contacts)))").ValueOrDie();
+///   SERENA_ASSIGN_OR_RETURN(
+///       PlanPtr bound,
+///       BindParameters(plan, {{"msg", Value::String("Hi!")},
+///                             {"who", Value::String("Carla")}}));
+///
+/// Parameters may appear as comparison operands in selection formulas and
+/// as assignment right-hand sides. Executing a plan with unbound
+/// parameters fails with FailedPrecondition.
+
+/// All parameter names the plan references.
+std::set<std::string> CollectParameters(const PlanPtr& plan);
+
+/// Returns a copy of `plan` with every parameter in `bindings`
+/// substituted by its value. Fails if any referenced parameter remains
+/// unbound or a binding names a parameter the plan does not use.
+Result<PlanPtr> BindParameters(const PlanPtr& plan,
+                               const std::map<std::string, Value>& bindings);
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_PARAMETERS_H_

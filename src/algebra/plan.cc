@@ -1,0 +1,565 @@
+#include "algebra/plan.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace serena {
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "scan";
+    case PlanKind::kUnion:
+      return "union";
+    case PlanKind::kIntersect:
+      return "intersect";
+    case PlanKind::kDifference:
+      return "difference";
+    case PlanKind::kProject:
+      return "project";
+    case PlanKind::kSelect:
+      return "select";
+    case PlanKind::kRename:
+      return "rename";
+    case PlanKind::kJoin:
+      return "join";
+    case PlanKind::kAssign:
+      return "assign";
+    case PlanKind::kInvoke:
+      return "invoke";
+    case PlanKind::kAggregate:
+      return "aggregate";
+    case PlanKind::kWindow:
+      return "window";
+    case PlanKind::kStreaming:
+      return "stream";
+  }
+  return "?";
+}
+
+const char* StreamingTypeToString(StreamingType type) {
+  switch (type) {
+    case StreamingType::kInsertion:
+      return "insertion";
+    case StreamingType::kDeletion:
+      return "deletion";
+    case StreamingType::kHeartbeat:
+      return "heartbeat";
+  }
+  return "?";
+}
+
+Result<StreamingType> StreamingTypeFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "insertion") return StreamingType::kInsertion;
+  if (lower == "deletion") return StreamingType::kDeletion;
+  if (lower == "heartbeat") return StreamingType::kHeartbeat;
+  return Status::ParseError("unknown streaming type: ", std::string(name));
+}
+
+// ---------------------------------------------------------------------------
+// ScanNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> ScanNode::InferSchema(
+    const Environment& env, const StreamStore* /*streams*/) const {
+  SERENA_ASSIGN_OR_RETURN(const XRelation* relation,
+                          env.GetRelation(relation_));
+  return relation->schema_ptr();
+}
+
+Result<XRelation> ScanNode::Evaluate(EvalContext& ctx) const {
+  if (ctx.env == nullptr) {
+    return Status::InvalidArgument("evaluation context has no environment");
+  }
+  SERENA_ASSIGN_OR_RETURN(const XRelation* relation,
+                          ctx.env->GetRelation(relation_));
+  return *relation;  // Copy: plans must not alias environment storage.
+}
+
+// ---------------------------------------------------------------------------
+// SetOpNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> SetOpNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr left,
+                          left_->InferSchema(env, streams));
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr right,
+                          right_->InferSchema(env, streams));
+  return SetOpSchema(left, right, PlanKindToString(kind()));
+}
+
+Result<XRelation> SetOpNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation left, left_->Evaluate(ctx));
+  SERENA_ASSIGN_OR_RETURN(XRelation right, right_->Evaluate(ctx));
+  switch (kind()) {
+    case PlanKind::kUnion:
+      return Union(left, right);
+    case PlanKind::kIntersect:
+      return Intersect(left, right);
+    case PlanKind::kDifference:
+      return Difference(left, right);
+    default:
+      return Status::Internal("SetOpNode with non-set kind");
+  }
+}
+
+std::string SetOpNode::ToString() const {
+  return std::string(PlanKindToString(kind())) + "(" + left_->ToString() +
+         ", " + right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// ProjectNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> ProjectNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr child,
+                          child_->InferSchema(env, streams));
+  return ProjectSchema(child, attributes_);
+}
+
+Result<XRelation> ProjectNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  return Project(child, attributes_);
+}
+
+std::string ProjectNode::ToString() const {
+  return "project[" + Join(attributes_, ", ") + "](" + child_->ToString() +
+         ")";
+}
+
+// ---------------------------------------------------------------------------
+// SelectNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> SelectNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr child,
+                          child_->InferSchema(env, streams));
+  return SelectSchema(child, formula_);
+}
+
+Result<XRelation> SelectNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  return Select(child, formula_);
+}
+
+std::string SelectNode::ToString() const {
+  return "select[" + formula_->ToString() + "](" + child_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// RenameNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> RenameNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr child,
+                          child_->InferSchema(env, streams));
+  return RenameSchema(child, from_, to_);
+}
+
+Result<XRelation> RenameNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  return Rename(child, from_, to_);
+}
+
+std::string RenameNode::ToString() const {
+  return "rename[" + from_ + " -> " + to_ + "](" + child_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// JoinNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> JoinNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr left,
+                          left_->InferSchema(env, streams));
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr right,
+                          right_->InferSchema(env, streams));
+  return JoinSchema(left, right);
+}
+
+Result<XRelation> JoinNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation left, left_->Evaluate(ctx));
+  SERENA_ASSIGN_OR_RETURN(XRelation right, right_->Evaluate(ctx));
+  return NaturalJoin(left, right);
+}
+
+std::string JoinNode::ToString() const {
+  return "join(" + left_->ToString() + ", " + right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// AssignNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> AssignNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr child,
+                          child_->InferSchema(env, streams));
+  // A parameter assignment types like a constant of the target's type.
+  if (from_attribute() && !child->IsReal(source_attribute_)) {
+    return Status::InvalidArgument("assign: source attribute '",
+                                   source_attribute_,
+                                   "' must be a real attribute");
+  }
+  return AssignSchema(child, target_);
+}
+
+Result<XRelation> AssignNode::Evaluate(EvalContext& ctx) const {
+  if (from_parameter()) {
+    return Status::FailedPrecondition(
+        "unbound parameter :", parameter_,
+        " (use BindParameters before execution)");
+  }
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  if (from_attribute()) {
+    return AssignFromAttribute(child, target_, source_attribute_);
+  }
+  return AssignConstant(child, target_, *constant_);
+}
+
+std::string AssignNode::ToString() const {
+  std::string rhs;
+  if (from_parameter()) {
+    rhs = ":" + parameter_;
+  } else if (from_attribute()) {
+    rhs = source_attribute_;
+  } else {
+    rhs = constant_->ToString();
+  }
+  return "assign[" + target_ + " := " + rhs + "](" + child_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// InvokeNode
+// ---------------------------------------------------------------------------
+
+Result<BindingPattern> InvokeNode::ResolveBindingPattern(
+    const ExtendedSchema& child_schema) const {
+  const BindingPattern* bp =
+      child_schema.FindBindingPattern(prototype_, service_attribute_);
+  if (bp == nullptr) {
+    return Status::InvalidArgument(
+        "invoke: no (unambiguous) binding pattern for prototype '",
+        prototype_, "'",
+        service_attribute_.empty()
+            ? std::string()
+            : " with service attribute '" + service_attribute_ + "'",
+        " in schema '", child_schema.name(), "'");
+  }
+  return *bp;
+}
+
+bool InvokeNode::IsActive(const Environment& env,
+                          const StreamStore* streams) const {
+  auto schema = child_->InferSchema(env, streams);
+  if (!schema.ok()) return true;  // Conservative.
+  auto bp = ResolveBindingPattern(**schema);
+  if (!bp.ok()) return true;  // Conservative.
+  return bp->active();
+}
+
+Result<ExtendedSchemaPtr> InvokeNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr child,
+                          child_->InferSchema(env, streams));
+  SERENA_ASSIGN_OR_RETURN(BindingPattern bp, ResolveBindingPattern(*child));
+  return InvokeSchema(child, bp);
+}
+
+Result<XRelation> InvokeNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  SERENA_ASSIGN_OR_RETURN(BindingPattern bp,
+                          ResolveBindingPattern(child.schema()));
+  InvokeOptions options;
+  options.instant = ctx.instant;
+  options.error_policy = ctx.error_policy;
+  options.actions = ctx.actions;
+  options.action_sink = ctx.action_sink;
+
+  // Streaming binding patterns (§7 extension): the service provides a
+  // stream, so under continuous evaluation every standing tuple is
+  // re-invoked each instant — the result is the per-instant slice of the
+  // service's stream, never reused across instants.
+  if (ctx.state == nullptr || bp.prototype().streaming()) {
+    return Invoke(child, bp, &ctx.env->registry(), options);
+  }
+
+  // Continuous semantics (§4.2): invoke only for newly inserted tuples;
+  // reuse previous outputs for standing tuples; drop outputs of deleted
+  // tuples.
+  NodeStateStore::NodeState& state = ctx.state->StateFor(this);
+
+  XRelation fresh(child.schema_ptr());
+  for (const Tuple& t : child.tuples()) {
+    if (!state.prev_child.has_value() || !state.prev_child->Contains(t)) {
+      fresh.InsertUnchecked(t);
+    }
+  }
+
+  // Tuples whose invocation fails this instant (vanished service) must
+  // not count as realized: exclude them from the remembered child so
+  // they are retried as "fresh" once the service is back.
+  std::vector<Tuple> failed;
+  options.failed_tuples = &failed;
+  SERENA_ASSIGN_OR_RETURN(XRelation fresh_output,
+                          Invoke(fresh, bp, &ctx.env->registry(), options));
+
+  if (state.prev_output.has_value() && !state.prev_output->empty()) {
+    // Keep previous outputs whose source tuple still stands. The source
+    // part of an output tuple is its projection onto the child's real
+    // attributes.
+    std::vector<std::size_t> source_coords;
+    for (const std::string& name : child.schema().RealNames()) {
+      source_coords.push_back(
+          *state.prev_output->schema().CoordinateOf(name));
+    }
+    for (const Tuple& out : state.prev_output->tuples()) {
+      Tuple source = out.Project(source_coords);
+      if (child.Contains(source) && !fresh.Contains(source)) {
+        fresh_output.InsertUnchecked(out);
+      }
+    }
+  }
+
+  for (const Tuple& t : failed) {
+    child.Erase(t);
+  }
+  state.prev_child = std::move(child);
+  state.prev_output = fresh_output;
+  return fresh_output;
+}
+
+std::string InvokeNode::ToString() const {
+  std::string s = "invoke[" + prototype_;
+  if (!service_attribute_.empty()) s += "[" + service_attribute_ + "]";
+  s += "](" + child_->ToString() + ")";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// AggregateNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> AggregateNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr child,
+                          child_->InferSchema(env, streams));
+  return AggregateSchema(child, group_by_, aggregates_);
+}
+
+Result<XRelation> AggregateNode::Evaluate(EvalContext& ctx) const {
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  return serena::Aggregate(child, group_by_, aggregates_);
+}
+
+std::string AggregateNode::ToString() const {
+  std::string s = "aggregate[" + Join(group_by_, ", ") + "; ";
+  for (std::size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += aggregates_[i].ToString();
+  }
+  s += "](" + child_->ToString() + ")";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// WindowNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> WindowNode::InferSchema(
+    const Environment& /*env*/, const StreamStore* streams) const {
+  if (streams == nullptr) {
+    return Status::FailedPrecondition(
+        "window: no stream store available for stream '", stream_, "'");
+  }
+  SERENA_ASSIGN_OR_RETURN(const XDRelation* stream,
+                          streams->GetStream(stream_));
+  return stream->schema_ptr();
+}
+
+Result<XRelation> WindowNode::Evaluate(EvalContext& ctx) const {
+  if (ctx.streams == nullptr) {
+    return Status::FailedPrecondition(
+        "window: no stream store available for stream '", stream_, "'");
+  }
+  SERENA_ASSIGN_OR_RETURN(const XDRelation* stream,
+                          ctx.streams->GetStream(stream_));
+  XRelation result(stream->schema_ptr());
+  std::vector<Tuple> slice =
+      mode_ == WindowMode::kTime
+          ? stream->InsertedDuring(ctx.instant - period_, ctx.instant)
+          : stream->LastInserted(static_cast<std::size_t>(period_),
+                                 ctx.instant);
+  for (Tuple& t : slice) {
+    result.InsertUnchecked(std::move(t));
+  }
+  return result;
+}
+
+std::string WindowNode::ToString() const {
+  const std::string spec = mode_ == WindowMode::kRows
+                               ? "rows " + std::to_string(period_)
+                               : std::to_string(period_);
+  return "window[" + spec + "](" + stream_ + ")";
+}
+
+// ---------------------------------------------------------------------------
+// StreamingNode
+// ---------------------------------------------------------------------------
+
+Result<ExtendedSchemaPtr> StreamingNode::InferSchema(
+    const Environment& env, const StreamStore* streams) const {
+  return child_->InferSchema(env, streams);
+}
+
+Result<XRelation> StreamingNode::Evaluate(EvalContext& ctx) const {
+  if (ctx.state == nullptr) {
+    return Status::FailedPrecondition(
+        "streaming operator requires continuous evaluation (register the "
+        "query with the continuous executor)");
+  }
+  SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
+  NodeStateStore::NodeState& state = ctx.state->StateFor(this);
+
+  XRelation result(child.schema_ptr());
+  switch (type_) {
+    case StreamingType::kInsertion:
+      for (const Tuple& t : child.tuples()) {
+        if (!state.prev_child.has_value() || !state.prev_child->Contains(t)) {
+          result.InsertUnchecked(t);
+        }
+      }
+      break;
+    case StreamingType::kDeletion:
+      if (state.prev_child.has_value()) {
+        for (const Tuple& t : state.prev_child->tuples()) {
+          if (!child.Contains(t)) result.InsertUnchecked(t);
+        }
+      }
+      break;
+    case StreamingType::kHeartbeat:
+      for (const Tuple& t : child.tuples()) result.InsertUnchecked(t);
+      break;
+  }
+  state.prev_child = std::move(child);
+  return result;
+}
+
+std::string StreamingNode::ToString() const {
+  return std::string("stream[") + StreamingTypeToString(type_) + "](" +
+         child_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+PlanPtr Scan(std::string relation) {
+  return std::make_shared<ScanNode>(std::move(relation));
+}
+PlanPtr UnionOf(PlanPtr left, PlanPtr right) {
+  return std::make_shared<SetOpNode>(PlanKind::kUnion, std::move(left),
+                                     std::move(right));
+}
+PlanPtr IntersectOf(PlanPtr left, PlanPtr right) {
+  return std::make_shared<SetOpNode>(PlanKind::kIntersect, std::move(left),
+                                     std::move(right));
+}
+PlanPtr DifferenceOf(PlanPtr left, PlanPtr right) {
+  return std::make_shared<SetOpNode>(PlanKind::kDifference, std::move(left),
+                                     std::move(right));
+}
+PlanPtr Project(PlanPtr child, std::vector<std::string> attributes) {
+  return std::make_shared<ProjectNode>(std::move(child),
+                                       std::move(attributes));
+}
+PlanPtr Select(PlanPtr child, FormulaPtr formula) {
+  return std::make_shared<SelectNode>(std::move(child), std::move(formula));
+}
+PlanPtr Rename(PlanPtr child, std::string from, std::string to) {
+  return std::make_shared<RenameNode>(std::move(child), std::move(from),
+                                      std::move(to));
+}
+PlanPtr Join(PlanPtr left, PlanPtr right) {
+  return std::make_shared<JoinNode>(std::move(left), std::move(right));
+}
+PlanPtr Assign(PlanPtr child, std::string target, std::string source) {
+  return std::make_shared<AssignNode>(std::move(child), std::move(target),
+                                      std::move(source));
+}
+PlanPtr Assign(PlanPtr child, std::string target, Value constant) {
+  return std::make_shared<AssignNode>(std::move(child), std::move(target),
+                                      std::move(constant));
+}
+PlanPtr AssignParam(PlanPtr child, std::string target,
+                    std::string parameter) {
+  return std::make_shared<AssignNode>(std::move(child), std::move(target),
+                                      std::move(parameter),
+                                      AssignNode::ParamTag{});
+}
+PlanPtr Invoke(PlanPtr child, std::string prototype,
+               std::string service_attribute) {
+  return std::make_shared<InvokeNode>(std::move(child), std::move(prototype),
+                                      std::move(service_attribute));
+}
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                  std::vector<AggregateSpec> aggregates) {
+  return std::make_shared<AggregateNode>(
+      std::move(child), std::move(group_by), std::move(aggregates));
+}
+PlanPtr Window(std::string stream, Timestamp period, WindowMode mode) {
+  return std::make_shared<WindowNode>(std::move(stream), period, mode);
+}
+PlanPtr Streaming(PlanPtr child, StreamingType type) {
+  return std::make_shared<StreamingNode>(std::move(child), type);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-query helpers
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Execute(const PlanPtr& plan, Environment* env,
+                            StreamStore* streams,
+                            std::optional<Timestamp> instant) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (env == nullptr) return Status::InvalidArgument("null environment");
+  ActionSet actions;
+  EvalContext ctx;
+  ctx.env = env;
+  ctx.streams = streams;
+  ctx.instant = instant.value_or(env->clock().now());
+  ctx.actions = &actions;
+  SERENA_ASSIGN_OR_RETURN(XRelation relation, plan->Evaluate(ctx));
+  return QueryResult{std::move(relation), std::move(actions)};
+}
+
+Result<ActionSet> ComputeActionSet(const PlanPtr& plan, Environment* env,
+                                   StreamStore* streams,
+                                   std::optional<Timestamp> instant) {
+  SERENA_ASSIGN_OR_RETURN(QueryResult result,
+                          Execute(plan, env, streams, instant));
+  return result.actions;
+}
+
+bool ContainsActiveInvoke(const PlanPtr& plan, const Environment& env,
+                          const StreamStore* streams) {
+  if (plan == nullptr) return false;
+  if (plan->kind() == PlanKind::kInvoke) {
+    const auto* node = static_cast<const InvokeNode*>(plan.get());
+    if (node->IsActive(env, streams)) return true;
+  }
+  for (const PlanPtr& child : plan->children()) {
+    if (ContainsActiveInvoke(child, env, streams)) return true;
+  }
+  return false;
+}
+
+}  // namespace serena

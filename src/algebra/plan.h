@@ -1,0 +1,486 @@
+#ifndef SERENA_ALGEBRA_PLAN_H_
+#define SERENA_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/action.h"
+#include "algebra/aggregate.h"
+#include "algebra/formula.h"
+#include "algebra/operators.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
+#include "xrel/xrelation.h"
+
+namespace serena {
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// The operator kinds of the (extended) Serena algebra.
+enum class PlanKind {
+  kScan,
+  kUnion,
+  kIntersect,
+  kDifference,
+  kProject,
+  kSelect,
+  kRename,
+  kJoin,
+  kAssign,
+  kInvoke,
+  kAggregate,
+  kWindow,
+  kStreaming,
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+/// S[type] streaming operator flavors (§4.2).
+enum class StreamingType { kInsertion, kDeletion, kHeartbeat };
+
+const char* StreamingTypeToString(StreamingType type);
+Result<StreamingType> StreamingTypeFromString(std::string_view name);
+
+/// Per-node evaluation state enabling continuous semantics: the Streaming
+/// operator needs the previous instant's child relation, and the
+/// continuous invocation operator (§4.2) invokes services only for newly
+/// inserted tuples, reusing previous outputs for standing tuples.
+///
+/// Owned by whoever runs a plan repeatedly (the ContinuousQuery executor);
+/// keyed by node identity, so a state store must only ever be used with
+/// one plan instance.
+class NodeStateStore {
+ public:
+  struct NodeState {
+    std::optional<XRelation> prev_child;
+    std::optional<XRelation> prev_output;
+  };
+
+  NodeState& StateFor(const PlanNode* node) { return states_[node]; }
+  void Clear() { states_.clear(); }
+
+ private:
+  std::unordered_map<const PlanNode*, NodeState> states_;
+};
+
+/// Everything a plan needs to evaluate at one instant τ.
+struct EvalContext {
+  Environment* env = nullptr;
+  /// Optional: named infinite XD-Relations, required by Window nodes.
+  StreamStore* streams = nullptr;
+  /// The evaluation instant (§3.2: all invocations occur "at" τ).
+  Timestamp instant = 0;
+  /// Optional collector for the query's action set (Def. 8).
+  ActionSet* actions = nullptr;
+  /// Optional per-action callback (sees every occurrence; the set above
+  /// deduplicates).
+  std::function<void(const Action&)> action_sink;
+  InvocationErrorPolicy error_policy = InvocationErrorPolicy::kFail;
+  /// Optional: enables continuous (delta-aware) semantics.
+  NodeStateStore* state = nullptr;
+};
+
+/// A query over a relational pervasive environment (Def. 7): an immutable
+/// tree of Serena algebra operators. Rewriting builds new trees; nodes are
+/// shared via `PlanPtr`.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  PlanKind kind() const { return kind_; }
+
+  /// Children in operand order (empty for leaves).
+  virtual std::vector<PlanPtr> children() const = 0;
+
+  /// Static schema inference: the schema of the X-Relation this node
+  /// produces, per the output-schema rules of Table 3.
+  virtual Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const = 0;
+
+  /// Evaluates the subtree at ctx.instant.
+  virtual Result<XRelation> Evaluate(EvalContext& ctx) const = 0;
+
+  /// The Serena Algebra Language rendering of this subtree; parseable by
+  /// the algebra parser (round-trip).
+  virtual std::string ToString() const = 0;
+
+  /// Structural equality (by rendered form).
+  bool Equals(const PlanNode& other) const {
+    return ToString() == other.ToString();
+  }
+
+ protected:
+  explicit PlanNode(PlanKind kind) : kind_(kind) {}
+
+ private:
+  PlanKind kind_;
+};
+
+// ---------------------------------------------------------------------------
+// Node classes. Construct through the factory functions below; they are
+// exposed so the rewriter can inspect operator arguments.
+// ---------------------------------------------------------------------------
+
+/// Leaf: reads a named X-Relation from the environment.
+class ScanNode final : public PlanNode {
+ public:
+  explicit ScanNode(std::string relation)
+      : PlanNode(PlanKind::kScan), relation_(std::move(relation)) {}
+
+  const std::string& relation() const { return relation_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override { return relation_; }
+
+ private:
+  std::string relation_;
+};
+
+/// union / intersect / difference.
+class SetOpNode final : public PlanNode {
+ public:
+  SetOpNode(PlanKind kind, PlanPtr left, PlanPtr right)
+      : PlanNode(kind), left_(std::move(left)), right_(std::move(right)) {}
+
+  const PlanPtr& left() const { return left_; }
+  const PlanPtr& right() const { return right_; }
+
+  std::vector<PlanPtr> children() const override { return {left_, right_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+};
+
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<std::string> attributes)
+      : PlanNode(PlanKind::kProject),
+        child_(std::move(child)),
+        attributes_(std::move(attributes)) {}
+
+  const PlanPtr& child() const { return child_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  std::vector<std::string> attributes_;
+};
+
+class SelectNode final : public PlanNode {
+ public:
+  SelectNode(PlanPtr child, FormulaPtr formula)
+      : PlanNode(PlanKind::kSelect),
+        child_(std::move(child)),
+        formula_(std::move(formula)) {}
+
+  const PlanPtr& child() const { return child_; }
+  const FormulaPtr& formula() const { return formula_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  FormulaPtr formula_;
+};
+
+class RenameNode final : public PlanNode {
+ public:
+  RenameNode(PlanPtr child, std::string from, std::string to)
+      : PlanNode(PlanKind::kRename),
+        child_(std::move(child)),
+        from_(std::move(from)),
+        to_(std::move(to)) {}
+
+  const PlanPtr& child() const { return child_; }
+  const std::string& from() const { return from_; }
+  const std::string& to() const { return to_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  std::string from_;
+  std::string to_;
+};
+
+class JoinNode final : public PlanNode {
+ public:
+  JoinNode(PlanPtr left, PlanPtr right)
+      : PlanNode(PlanKind::kJoin),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  const PlanPtr& left() const { return left_; }
+  const PlanPtr& right() const { return right_; }
+
+  std::vector<PlanPtr> children() const override { return {left_, right_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+};
+
+/// α_{A:=B} (source attribute) or α_{A:=a} (constant).
+class AssignNode final : public PlanNode {
+ public:
+  /// Assignment from a real attribute.
+  AssignNode(PlanPtr child, std::string target, std::string source_attribute)
+      : PlanNode(PlanKind::kAssign),
+        child_(std::move(child)),
+        target_(std::move(target)),
+        source_attribute_(std::move(source_attribute)) {}
+
+  /// Assignment of a constant.
+  AssignNode(PlanPtr child, std::string target, Value constant)
+      : PlanNode(PlanKind::kAssign),
+        child_(std::move(child)),
+        target_(std::move(target)),
+        constant_(std::move(constant)) {}
+
+  /// Tag type selecting the parameter-assignment constructor.
+  struct ParamTag {};
+  /// Assignment of a named parameter (`:name`), bound before execution.
+  AssignNode(PlanPtr child, std::string target, std::string parameter,
+             ParamTag)
+      : PlanNode(PlanKind::kAssign),
+        child_(std::move(child)),
+        target_(std::move(target)),
+        parameter_(std::move(parameter)) {}
+
+  const PlanPtr& child() const { return child_; }
+  const std::string& target() const { return target_; }
+  bool from_parameter() const { return !parameter_.empty(); }
+  bool from_attribute() const {
+    return constant_ == std::nullopt && !from_parameter();
+  }
+  const std::string& source_attribute() const { return source_attribute_; }
+  const std::string& parameter() const { return parameter_; }
+  const Value& constant() const { return *constant_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  std::string target_;
+  std::string source_attribute_;
+  std::string parameter_;
+  std::optional<Value> constant_;
+};
+
+/// β_bp: invokes the binding pattern identified by prototype name (and
+/// optionally the service attribute, when a schema carries several
+/// patterns for the same prototype).
+class InvokeNode final : public PlanNode {
+ public:
+  InvokeNode(PlanPtr child, std::string prototype,
+             std::string service_attribute = {})
+      : PlanNode(PlanKind::kInvoke),
+        child_(std::move(child)),
+        prototype_(std::move(prototype)),
+        service_attribute_(std::move(service_attribute)) {}
+
+  const PlanPtr& child() const { return child_; }
+  const std::string& prototype() const { return prototype_; }
+  const std::string& service_attribute() const { return service_attribute_; }
+
+  /// Resolves the binding pattern against the child's schema.
+  Result<BindingPattern> ResolveBindingPattern(
+      const ExtendedSchema& child_schema) const;
+
+  /// True if the resolved pattern is active. Conservatively true when the
+  /// schema cannot be inferred.
+  bool IsActive(const Environment& env, const StreamStore* streams) const;
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  std::string prototype_;
+  std::string service_attribute_;
+};
+
+/// γ_{group_by; aggregates}: grouping with aggregation (count/sum/avg/
+/// min/max) — the extension the §1.2 "mean temperature" queries need.
+class AggregateNode final : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<std::string> group_by,
+                std::vector<AggregateSpec> aggregates)
+      : PlanNode(PlanKind::kAggregate),
+        child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)) {}
+
+  const PlanPtr& child() const { return child_; }
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+/// How a window bounds the stream history it exposes.
+enum class WindowMode {
+  kTime,  ///< W[p]: tuples inserted during the last `p` instants (§4.2).
+  kRows,  ///< W[rows n]: the last `n` inserted tuples (CQL's ROWS n).
+};
+
+/// W[period] / W[rows n]: leaf over a named infinite XD-Relation,
+/// re-entering the finite algebra with a bounded slice of the stream.
+class WindowNode final : public PlanNode {
+ public:
+  WindowNode(std::string stream, Timestamp period,
+             WindowMode mode = WindowMode::kTime)
+      : PlanNode(PlanKind::kWindow),
+        stream_(std::move(stream)),
+        period_(period),
+        mode_(mode) {}
+
+  const std::string& stream() const { return stream_; }
+  Timestamp period() const { return period_; }
+  WindowMode mode() const { return mode_; }
+
+  std::vector<PlanPtr> children() const override { return {}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  std::string stream_;
+  Timestamp period_;
+  WindowMode mode_;
+};
+
+/// S[insertion|deletion|heartbeat]: converts a finite XD-Relation into
+/// stream deltas (§4.2). Requires continuous evaluation (a NodeStateStore).
+class StreamingNode final : public PlanNode {
+ public:
+  StreamingNode(PlanPtr child, StreamingType type)
+      : PlanNode(PlanKind::kStreaming),
+        child_(std::move(child)),
+        type_(type) {}
+
+  const PlanPtr& child() const { return child_; }
+  StreamingType type() const { return type_; }
+
+  std::vector<PlanPtr> children() const override { return {child_}; }
+  Result<ExtendedSchemaPtr> InferSchema(
+      const Environment& env, const StreamStore* streams) const override;
+  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  PlanPtr child_;
+  StreamingType type_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions — the idiomatic way to build plans:
+//   auto q = Invoke(Assign(Select(Scan("contacts"), f), "text", msg),
+//                   "sendMessage");
+// ---------------------------------------------------------------------------
+
+PlanPtr Scan(std::string relation);
+PlanPtr UnionOf(PlanPtr left, PlanPtr right);
+PlanPtr IntersectOf(PlanPtr left, PlanPtr right);
+PlanPtr DifferenceOf(PlanPtr left, PlanPtr right);
+PlanPtr Project(PlanPtr child, std::vector<std::string> attributes);
+PlanPtr Select(PlanPtr child, FormulaPtr formula);
+PlanPtr Rename(PlanPtr child, std::string from, std::string to);
+PlanPtr Join(PlanPtr left, PlanPtr right);
+PlanPtr Assign(PlanPtr child, std::string target, std::string source);
+PlanPtr Assign(PlanPtr child, std::string target, Value constant);
+/// α_{A := :param}: assignment of a named parameter.
+PlanPtr AssignParam(PlanPtr child, std::string target,
+                    std::string parameter);
+PlanPtr Invoke(PlanPtr child, std::string prototype,
+               std::string service_attribute = {});
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                  std::vector<AggregateSpec> aggregates);
+PlanPtr Window(std::string stream, Timestamp period,
+               WindowMode mode = WindowMode::kTime);
+PlanPtr Streaming(PlanPtr child, StreamingType type);
+
+// ---------------------------------------------------------------------------
+// Whole-query helpers.
+// ---------------------------------------------------------------------------
+
+/// The result of evaluating a query: its X-Relation plus its action set
+/// (Def. 8).
+struct QueryResult {
+  XRelation relation;
+  ActionSet actions;
+};
+
+/// One-shot evaluation of `plan` against `env` at the environment's
+/// current instant (or `instant` when given), collecting the action set.
+Result<QueryResult> Execute(const PlanPtr& plan, Environment* env,
+                            StreamStore* streams = nullptr,
+                            std::optional<Timestamp> instant = std::nullopt);
+
+/// Actions_p(q) (Def. 8): evaluates the query and returns only the action
+/// set it triggers.
+Result<ActionSet> ComputeActionSet(const PlanPtr& plan, Environment* env,
+                                   StreamStore* streams = nullptr,
+                                   std::optional<Timestamp> instant =
+                                       std::nullopt);
+
+/// True if the subtree contains an invocation of an *active* binding
+/// pattern (the rewrite barrier of §3.3).
+bool ContainsActiveInvoke(const PlanPtr& plan, const Environment& env,
+                          const StreamStore* streams);
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_PLAN_H_

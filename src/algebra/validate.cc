@@ -1,0 +1,166 @@
+#include "algebra/validate.h"
+
+#include <optional>
+#include <set>
+
+namespace serena {
+
+namespace {
+
+/// Operator label without children (mirrors the EXPLAIN rendering enough
+/// for diagnostics; full fidelity is not required here).
+std::string LabelOf(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      return static_cast<const ScanNode&>(node).relation();
+    case PlanKind::kSelect: {
+      return "select[" +
+             static_cast<const SelectNode&>(node).formula()->ToString() + "]";
+    }
+    case PlanKind::kInvoke: {
+      const auto& n = static_cast<const InvokeNode&>(node);
+      return "invoke[" + n.prototype() + "]";
+    }
+    case PlanKind::kAssign: {
+      return "assign[" + static_cast<const AssignNode&>(node).target() + "]";
+    }
+    case PlanKind::kWindow: {
+      return "window(" + static_cast<const WindowNode&>(node).stream() + ")";
+    }
+    default:
+      return PlanKindToString(node.kind());
+  }
+}
+
+class Validator {
+ public:
+  Validator(const Environment& env, const StreamStore* streams)
+      : env_(env), streams_(streams) {}
+
+  std::vector<Diagnostic> Run(const PlanPtr& plan) {
+    (void)Visit(plan);
+    return std::move(diagnostics_);
+  }
+
+ private:
+  void Error(const PlanNode& node, std::string message) {
+    diagnostics_.push_back(Diagnostic{Diagnostic::Severity::kError,
+                                      LabelOf(node), std::move(message)});
+  }
+  void Warn(const PlanNode& node, std::string message) {
+    diagnostics_.push_back(Diagnostic{Diagnostic::Severity::kWarning,
+                                      LabelOf(node), std::move(message)});
+  }
+
+  /// Validates the subtree; returns its schema when derivable.
+  std::optional<ExtendedSchemaPtr> Visit(const PlanPtr& plan) {
+    // Validate children first, collecting their schemas.
+    std::vector<std::optional<ExtendedSchemaPtr>> child_schemas;
+    for (const PlanPtr& child : plan->children()) {
+      child_schemas.push_back(Visit(child));
+    }
+    for (const auto& schema : child_schemas) {
+      if (!schema.has_value()) return std::nullopt;  // Already reported.
+    }
+
+    // Node-specific warnings that need child context.
+    EmitWarnings(plan, child_schemas);
+
+    // Reuse the operators' own schema derivation for error checking: it
+    // implements Table 3 exactly. One error per node.
+    auto schema = plan->InferSchema(env_, streams_);
+    if (!schema.ok()) {
+      Error(*plan, schema.status().message());
+      return std::nullopt;
+    }
+    return *schema;
+  }
+
+  void EmitWarnings(
+      const PlanPtr& plan,
+      const std::vector<std::optional<ExtendedSchemaPtr>>& child_schemas) {
+    switch (plan->kind()) {
+      case PlanKind::kJoin: {
+        if (child_schemas.size() != 2) return;
+        const ExtendedSchema& left = **child_schemas[0];
+        const ExtendedSchema& right = **child_schemas[1];
+        bool shared_real = false;
+        for (const std::string& name : left.RealNames()) {
+          if (right.IsReal(name)) shared_real = true;
+        }
+        if (!shared_real) {
+          Warn(*plan,
+               "no attribute is real in both operands: the join degrades "
+               "to a Cartesian product (Table 3 (d))");
+        }
+        break;
+      }
+      case PlanKind::kSelect: {
+        const auto* select = static_cast<const SelectNode*>(plan.get());
+        if (select->child()->kind() == PlanKind::kInvoke) {
+          const auto* invoke =
+              static_cast<const InvokeNode*>(select->child().get());
+          if (invoke->IsActive(env_, streams_)) {
+            Warn(*plan,
+                 "selection above an ACTIVE invocation: the filter does "
+                 "not reduce the action set (Example 6's Q1' pattern) — "
+                 "filter before invoking if that is not intended");
+          }
+        }
+        break;
+      }
+      case PlanKind::kProject: {
+        if (child_schemas.empty() || !child_schemas[0].has_value()) return;
+        const ExtendedSchema& child = **child_schemas[0];
+        if (child.binding_patterns().empty()) return;
+        auto derived = plan->InferSchema(env_, streams_);
+        if (derived.ok() && (*derived)->binding_patterns().empty()) {
+          Warn(*plan,
+               "projection eliminates every binding pattern: no further "
+               "realization is possible above this operator");
+        }
+        break;
+      }
+      case PlanKind::kStreaming: {
+        Warn(*plan,
+             "streaming operator requires continuous evaluation; one-shot "
+             "execution of this plan will fail");
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const Environment& env_;
+  const StreamStore* streams_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::string s =
+      severity == Severity::kError ? "error at " : "warning at ";
+  s += node;
+  s += ": ";
+  s += message;
+  return s;
+}
+
+Result<std::vector<Diagnostic>> ValidatePlan(const PlanPtr& plan,
+                                             const Environment& env,
+                                             const StreamStore* streams) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  Validator validator(env, streams);
+  return validator.Run(plan);
+}
+
+bool IsValid(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.severity == Diagnostic::Severity::kError) return false;
+  }
+  return true;
+}
+
+}  // namespace serena

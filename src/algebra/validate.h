@@ -1,0 +1,55 @@
+#ifndef SERENA_ALGEBRA_VALIDATE_H_
+#define SERENA_ALGEBRA_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// One finding from `ValidatePlan`.
+struct Diagnostic {
+  enum class Severity { kError, kWarning };
+
+  Severity severity = Severity::kError;
+  /// The operator the finding anchors to (rendered label).
+  std::string node;
+  std::string message;
+
+  /// "error at select[...]: ..." / "warning at join: ...".
+  std::string ToString() const;
+};
+
+/// Statically checks a whole plan against an environment, collecting *all*
+/// findings instead of failing at the first (what `InferSchema` does).
+///
+/// Errors (the plan cannot evaluate):
+///  - scans of missing relations / windows over missing streams;
+///  - selection formulas over virtual or missing attributes;
+///  - projections/renames/assignments on missing attributes, assignment
+///    to real attributes (realization is one-way);
+///  - invocations of unknown/ambiguous binding patterns or with virtual
+///    input attributes;
+///  - set operations over mismatched schemas; incompatible join types.
+///
+/// Warnings (legal but suspicious):
+///  - a natural join with no shared real attribute (Cartesian product);
+///  - a selection directly above an ACTIVE invocation (the Q1' pattern:
+///    filtering after the side effect, Example 6);
+///  - a projection that eliminates every binding pattern;
+///  - a streaming operator evaluated outside a continuous query can only
+///    fail at run time.
+///
+/// Never returns an error status for plan content — diagnostics *are* the
+/// result; only a null plan is an argument error.
+Result<std::vector<Diagnostic>> ValidatePlan(const PlanPtr& plan,
+                                             const Environment& env,
+                                             const StreamStore* streams);
+
+/// True if no kError diagnostics are present.
+bool IsValid(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_VALIDATE_H_

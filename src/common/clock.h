@@ -1,0 +1,43 @@
+#ifndef SERENA_COMMON_CLOCK_H_
+#define SERENA_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace serena {
+
+/// A discrete time instant τ from the paper's ordered time domain T (§3.2).
+///
+/// All query evaluation — including every service invocation a query
+/// triggers — happens "at" one logical instant; services are deterministic
+/// within an instant.
+using Timestamp = std::int64_t;
+
+/// The logical clock driving a relational pervasive environment.
+///
+/// The clock only moves forward. Continuous queries are evaluated once per
+/// instant; one-shot queries are evaluated at the instant current when they
+/// are submitted.
+class LogicalClock {
+ public:
+  LogicalClock() = default;
+  explicit LogicalClock(Timestamp start) : now_(start) {}
+
+  /// The current instant.
+  Timestamp now() const { return now_; }
+
+  /// Advances to the next instant and returns it.
+  Timestamp Tick() { return ++now_; }
+
+  /// Advances by `delta` (>= 0) instants and returns the new instant.
+  Timestamp Advance(Timestamp delta) {
+    if (delta > 0) now_ += delta;
+    return now_;
+  }
+
+ private:
+  Timestamp now_ = 0;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_COMMON_CLOCK_H_

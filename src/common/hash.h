@@ -1,0 +1,30 @@
+#ifndef SERENA_COMMON_HASH_H_
+#define SERENA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace serena {
+
+/// Combines a hash value into an accumulator (boost::hash_combine style,
+/// strengthened with a 64-bit mix).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+/// FNV-1a over a byte string; stable across runs (unlike std::hash).
+inline std::uint64_t StableHash(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace serena
+
+#endif  // SERENA_COMMON_HASH_H_

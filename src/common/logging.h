@@ -1,0 +1,60 @@
+#ifndef SERENA_COMMON_LOGGING_H_
+#define SERENA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace serena {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log configuration. Messages below `threshold` are dropped.
+class LogConfig {
+ public:
+  static LogLevel threshold() { return threshold_; }
+  static void set_threshold(LogLevel level) { threshold_ = level; }
+
+ private:
+  static LogLevel threshold_;
+};
+
+/// One log statement; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace serena
+
+#define SERENA_LOG(level)                                              \
+  ::serena::LogMessage(::serena::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal invariant check: aborts with a message when `condition` is false.
+#define SERENA_CHECK(condition)                                          \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__     \
+                << ": " #condition << std::endl;                         \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // SERENA_COMMON_LOGGING_H_

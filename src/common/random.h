@@ -1,0 +1,46 @@
+#ifndef SERENA_COMMON_RANDOM_H_
+#define SERENA_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace serena {
+
+/// Mixes a 64-bit value (the SplitMix64 finalizer). Used both for seeding
+/// and for stateless "hash of (service, input, instant)" determinism in the
+/// simulated services.
+std::uint64_t Mix64(std::uint64_t x);
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// Every stochastic component of the simulation (network latency, sensor
+/// random walks, workload generators) draws from an explicitly seeded
+/// `Rng`, so whole-system runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Approximately standard-normal double (sum-of-uniforms method).
+  double NextGaussian();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace serena
+
+#endif  // SERENA_COMMON_RANDOM_H_

@@ -1,0 +1,103 @@
+#ifndef SERENA_COMMON_RESULT_H_
+#define SERENA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace serena {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`.
+///
+/// This is the library's equivalent of `arrow::Result` / `absl::StatusOr`.
+/// Constructing a `Result` from an OK status is a programming error and is
+/// converted to an Internal error.
+///
+/// ```
+/// Result<int> ParsePort(std::string_view s);
+/// ...
+/// SERENA_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result<T> constructed from an OK status");
+    }
+  }
+
+  /// Constructs from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Accesses the value. Requires `ok()`.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out. Requires `ok()`.
+  T MoveValueOrDie() { return std::get<T>(std::move(repr_)); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error status: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace serena
+
+#define SERENA_CONCAT_IMPL_(x, y) x##y
+#define SERENA_CONCAT_(x, y) SERENA_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a `Result<T>`); on error returns the status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define SERENA_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  SERENA_ASSIGN_OR_RETURN_IMPL_(                                     \
+      SERENA_CONCAT_(serena_result_, __LINE__), lhs, rexpr)
+
+#define SERENA_ASSIGN_OR_RETURN_IMPL_(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                  \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = std::move(result_name).ValueOrDie()
+
+#endif  // SERENA_COMMON_RESULT_H_

@@ -1,0 +1,155 @@
+#ifndef SERENA_COMMON_STATUS_H_
+#define SERENA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace serena {
+
+/// Canonical error codes used throughout the Serena library.
+///
+/// The library never throws exceptions: every fallible operation returns a
+/// `Status` (or a `Result<T>`, see result.h). The codes mirror the usual
+/// database-engine taxonomy (Arrow / RocksDB style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kTypeMismatch,
+  kParseError,
+  kUnimplemented,
+  kUnavailable,
+  kTimeout,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A `Status` carries either success (`ok()`) or an error code plus message.
+///
+/// Usage:
+/// ```
+/// Status DoThing() {
+///   if (bad) return Status::InvalidArgument("bad thing: ", detail);
+///   return Status::OK();
+/// }
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+  // Factory helpers, one per error code. Each concatenates its arguments
+  // into the message.
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Make(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status TypeMismatch(Args&&... args) {
+    return Make(StatusCode::kTypeMismatch, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Timeout(Args&&... args) {
+    return Make(StatusCode::kTimeout, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::string message;
+    (AppendToMessage(&message, std::forward<Args>(args)), ...);
+    return Status(code, std::move(message));
+  }
+
+  static void AppendToMessage(std::string* message, const std::string& part) {
+    message->append(part);
+  }
+  static void AppendToMessage(std::string* message, const char* part) {
+    message->append(part);
+  }
+  static void AppendToMessage(std::string* message, char part) {
+    message->push_back(part);
+  }
+  template <typename T>
+  static void AppendToMessage(std::string* message, const T& part) {
+    message->append(std::to_string(part));
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace serena
+
+/// Propagates a non-OK `Status` to the caller.
+#define SERENA_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::serena::Status serena_status_ = (expr);      \
+    if (!serena_status_.ok()) return serena_status_; \
+  } while (false)
+
+#endif  // SERENA_COMMON_STATUS_H_

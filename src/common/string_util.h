@@ -1,0 +1,31 @@
+#ifndef SERENA_COMMON_STRING_UTIL_H_
+#define SERENA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serena {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace serena
+
+#endif  // SERENA_COMMON_STRING_UTIL_H_

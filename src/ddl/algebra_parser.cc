@@ -1,0 +1,354 @@
+#include "ddl/algebra_parser.h"
+
+#include <cstdlib>
+
+#include "ddl/lexer.h"
+
+namespace serena {
+
+namespace {
+
+// Formula grammar:
+//   or_expr   := and_expr { OR and_expr }
+//   and_expr  := unary { AND unary }
+//   unary     := NOT unary | '(' or_expr ')' | comparison
+//   comparison := operand cmp_op operand
+//   operand   := identifier | literal
+Result<FormulaPtr> ParseOrExpr(TokenCursor* cursor);
+
+Result<Value> ParseLiteral(TokenCursor* cursor) {
+  const Token& token = cursor->Peek();
+  if (token.Is(TokenType::kString)) {
+    cursor->Next();
+    return Value::String(token.text);
+  }
+  bool negative = false;
+  if (token.IsSymbol("-")) {
+    cursor->Next();
+    negative = true;
+  }
+  const Token& number = cursor->Peek();
+  if (number.Is(TokenType::kInteger)) {
+    cursor->Next();
+    const long long v = std::strtoll(number.text.c_str(), nullptr, 10);
+    return Value::Int(negative ? -v : v);
+  }
+  if (number.Is(TokenType::kReal)) {
+    cursor->Next();
+    const double v = std::strtod(number.text.c_str(), nullptr);
+    return Value::Real(negative ? -v : v);
+  }
+  if (!negative && number.IsIdent("true")) {
+    cursor->Next();
+    return Value::Bool(true);
+  }
+  if (!negative && number.IsIdent("false")) {
+    cursor->Next();
+    return Value::Bool(false);
+  }
+  return cursor->ErrorHere("expected literal");
+}
+
+bool IsLiteralStart(const Token& token) {
+  return token.Is(TokenType::kString) || token.Is(TokenType::kInteger) ||
+         token.Is(TokenType::kReal) || token.IsSymbol("-") ||
+         token.IsIdent("true") || token.IsIdent("false");
+}
+
+Result<Operand> ParseOperand(TokenCursor* cursor) {
+  if (cursor->ConsumeSymbol(":")) {
+    SERENA_ASSIGN_OR_RETURN(Token name,
+                            cursor->ExpectIdentifier("parameter name"));
+    return Operand::Param(name.text);
+  }
+  if (IsLiteralStart(cursor->Peek())) {
+    SERENA_ASSIGN_OR_RETURN(Value value, ParseLiteral(cursor));
+    return Operand::Const(std::move(value));
+  }
+  SERENA_ASSIGN_OR_RETURN(Token name,
+                          cursor->ExpectIdentifier("attribute name"));
+  return Operand::Attr(name.text);
+}
+
+Result<CompareOp> ParseCompareOp(TokenCursor* cursor) {
+  const Token& token = cursor->Peek();
+  if (token.IsSymbol("=")) {
+    cursor->Next();
+    return CompareOp::kEq;
+  }
+  if (token.IsSymbol("!=")) {
+    cursor->Next();
+    return CompareOp::kNe;
+  }
+  if (token.IsSymbol("<=")) {
+    cursor->Next();
+    return CompareOp::kLe;
+  }
+  if (token.IsSymbol(">=")) {
+    cursor->Next();
+    return CompareOp::kGe;
+  }
+  if (token.IsSymbol("<")) {
+    cursor->Next();
+    return CompareOp::kLt;
+  }
+  if (token.IsSymbol(">")) {
+    cursor->Next();
+    return CompareOp::kGt;
+  }
+  if (token.IsIdent("contains")) {
+    cursor->Next();
+    return CompareOp::kContains;
+  }
+  return cursor->ErrorHere("expected comparison operator");
+}
+
+Result<FormulaPtr> ParseUnary(TokenCursor* cursor) {
+  if (cursor->ConsumeIdent("not")) {
+    SERENA_ASSIGN_OR_RETURN(FormulaPtr inner, ParseUnary(cursor));
+    return Formula::Not(std::move(inner));
+  }
+  if (cursor->ConsumeSymbol("(")) {
+    SERENA_ASSIGN_OR_RETURN(FormulaPtr inner, ParseOrExpr(cursor));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+    return inner;
+  }
+  SERENA_ASSIGN_OR_RETURN(Operand lhs, ParseOperand(cursor));
+  SERENA_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp(cursor));
+  SERENA_ASSIGN_OR_RETURN(Operand rhs, ParseOperand(cursor));
+  return Formula::Compare(std::move(lhs), op, std::move(rhs));
+}
+
+Result<FormulaPtr> ParseAndExpr(TokenCursor* cursor) {
+  SERENA_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary(cursor));
+  while (cursor->ConsumeIdent("and")) {
+    SERENA_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary(cursor));
+    lhs = Formula::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<FormulaPtr> ParseOrExpr(TokenCursor* cursor) {
+  SERENA_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAndExpr(cursor));
+  while (cursor->ConsumeIdent("or")) {
+    SERENA_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAndExpr(cursor));
+    lhs = Formula::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+// ---------------------------------------------------------------------------
+
+Result<PlanPtr> ParseExpr(TokenCursor* cursor);
+
+Result<PlanPtr> ParseUnaryOperand(TokenCursor* cursor) {
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseExpr(cursor));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  return child;
+}
+
+Result<std::pair<PlanPtr, PlanPtr>> ParseBinaryOperands(TokenCursor* cursor) {
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(PlanPtr left, ParseExpr(cursor));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(","));
+  SERENA_ASSIGN_OR_RETURN(PlanPtr right, ParseExpr(cursor));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  return std::make_pair(std::move(left), std::move(right));
+}
+
+Result<PlanPtr> ParseExpr(TokenCursor* cursor) {
+  SERENA_ASSIGN_OR_RETURN(Token head,
+                          cursor->ExpectIdentifier("operator or relation"));
+
+  if (head.IsIdent("project")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    std::vector<std::string> attributes;
+    for (;;) {
+      SERENA_ASSIGN_OR_RETURN(Token attr,
+                              cursor->ExpectIdentifier("attribute"));
+      attributes.push_back(attr.text);
+      if (!cursor->ConsumeSymbol(",")) break;
+    }
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Project(std::move(child), std::move(attributes));
+  }
+
+  if (head.IsIdent("select")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    SERENA_ASSIGN_OR_RETURN(FormulaPtr formula, ParseOrExpr(cursor));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Select(std::move(child), std::move(formula));
+  }
+
+  if (head.IsIdent("rename")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    SERENA_ASSIGN_OR_RETURN(Token from,
+                            cursor->ExpectIdentifier("attribute"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("->"));
+    SERENA_ASSIGN_OR_RETURN(Token to, cursor->ExpectIdentifier("attribute"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Rename(std::move(child), from.text, to.text);
+  }
+
+  if (head.IsIdent("assign")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    SERENA_ASSIGN_OR_RETURN(Token target,
+                            cursor->ExpectIdentifier("attribute"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(":="));
+    PlanPtr plan;
+    if (cursor->ConsumeSymbol(":")) {
+      SERENA_ASSIGN_OR_RETURN(Token param,
+                              cursor->ExpectIdentifier("parameter name"));
+      SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+      SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+      return AssignParam(std::move(child), target.text, param.text);
+    }
+    if (IsLiteralStart(cursor->Peek())) {
+      SERENA_ASSIGN_OR_RETURN(Value constant, ParseLiteral(cursor));
+      SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+      SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+      return Assign(std::move(child), target.text, std::move(constant));
+    }
+    SERENA_ASSIGN_OR_RETURN(Token source,
+                            cursor->ExpectIdentifier("attribute or literal"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Assign(std::move(child), target.text, source.text);
+  }
+
+  if (head.IsIdent("invoke")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    SERENA_ASSIGN_OR_RETURN(Token proto,
+                            cursor->ExpectIdentifier("prototype"));
+    std::string service_attribute;
+    if (cursor->ConsumeSymbol("[")) {
+      SERENA_ASSIGN_OR_RETURN(
+          Token service_attr,
+          cursor->ExpectIdentifier("service reference attribute"));
+      service_attribute = service_attr.text;
+      SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    }
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Invoke(std::move(child), proto.text, service_attribute);
+  }
+
+  if (head.IsIdent("aggregate")) {
+    // aggregate[g1, g2; fn(attr) -> name, ...](expr); the group list may
+    // be empty: aggregate[; count() -> n](expr).
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    std::vector<std::string> group_by;
+    if (!cursor->Peek().IsSymbol(";")) {
+      for (;;) {
+        SERENA_ASSIGN_OR_RETURN(Token attr,
+                                cursor->ExpectIdentifier("group attribute"));
+        group_by.push_back(attr.text);
+        if (!cursor->ConsumeSymbol(",")) break;
+      }
+    }
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(";"));
+    std::vector<AggregateSpec> aggregates;
+    for (;;) {
+      SERENA_ASSIGN_OR_RETURN(Token fn_token,
+                              cursor->ExpectIdentifier("aggregate function"));
+      AggregateSpec spec;
+      SERENA_ASSIGN_OR_RETURN(spec.fn,
+                              AggregateFnFromString(fn_token.text));
+      SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+      if (!cursor->Peek().IsSymbol(")")) {
+        SERENA_ASSIGN_OR_RETURN(Token input,
+                                cursor->ExpectIdentifier("attribute"));
+        spec.input = input.text;
+      }
+      SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+      SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("->"));
+      SERENA_ASSIGN_OR_RETURN(Token output,
+                              cursor->ExpectIdentifier("output name"));
+      spec.output = output.text;
+      aggregates.push_back(std::move(spec));
+      if (!cursor->ConsumeSymbol(",")) break;
+    }
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Aggregate(std::move(child), std::move(group_by),
+                     std::move(aggregates));
+  }
+
+  if (head.IsIdent("window")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    const WindowMode mode =
+        cursor->ConsumeIdent("rows") ? WindowMode::kRows : WindowMode::kTime;
+    const Token& period_token = cursor->Peek();
+    if (!period_token.Is(TokenType::kInteger)) {
+      return cursor->ErrorHere("expected window period (integer)");
+    }
+    cursor->Next();
+    const Timestamp period =
+        std::strtoll(period_token.text.c_str(), nullptr, 10);
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+    SERENA_ASSIGN_OR_RETURN(Token stream,
+                            cursor->ExpectIdentifier("stream name"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+    return Window(stream.text, period, mode);
+  }
+
+  if (head.IsIdent("stream")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+    SERENA_ASSIGN_OR_RETURN(Token type_token,
+                            cursor->ExpectIdentifier("streaming type"));
+    SERENA_ASSIGN_OR_RETURN(StreamingType type,
+                            StreamingTypeFromString(type_token.text));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+    SERENA_ASSIGN_OR_RETURN(PlanPtr child, ParseUnaryOperand(cursor));
+    return Streaming(std::move(child), type);
+  }
+
+  if (head.IsIdent("join") || head.IsIdent("union") ||
+      head.IsIdent("intersect") || head.IsIdent("difference")) {
+    SERENA_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(cursor));
+    if (head.IsIdent("join")) {
+      return Join(std::move(operands.first), std::move(operands.second));
+    }
+    if (head.IsIdent("union")) {
+      return UnionOf(std::move(operands.first), std::move(operands.second));
+    }
+    if (head.IsIdent("intersect")) {
+      return IntersectOf(std::move(operands.first),
+                         std::move(operands.second));
+    }
+    return DifferenceOf(std::move(operands.first),
+                        std::move(operands.second));
+  }
+
+  // Plain identifier: a scan of a named X-Relation.
+  return Scan(head.text);
+}
+
+}  // namespace
+
+Result<PlanPtr> ParseAlgebra(std::string_view input) {
+  SERENA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cursor(std::move(tokens));
+  SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseExpr(&cursor));
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("unexpected trailing input");
+  }
+  return plan;
+}
+
+Result<FormulaPtr> ParseFormula(std::string_view input) {
+  SERENA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cursor(std::move(tokens));
+  SERENA_ASSIGN_OR_RETURN(FormulaPtr formula, ParseOrExpr(&cursor));
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("unexpected trailing input");
+  }
+  return formula;
+}
+
+}  // namespace serena

@@ -1,0 +1,34 @@
+#ifndef SERENA_DDL_ALGEBRA_PARSER_H_
+#define SERENA_DDL_ALGEBRA_PARSER_H_
+
+#include <string>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+
+namespace serena {
+
+/// Parses the Serena Algebra Language (§5.1) — the textual form of Serena
+/// algebra expressions. The grammar matches `PlanNode::ToString`, so plans
+/// round-trip:
+///
+///   contacts
+///   select[name != 'Carla'](contacts)
+///   project[photo](invoke[takePhoto](assign[quality := 5](cameras)))
+///   invoke[sendMessage[messenger]](...)
+///   rename[location -> area](...)
+///   join(a, b)   union(a, b)   intersect(a, b)   difference(a, b)
+///   window[1](temperatures)
+///   stream[insertion](...)
+///
+/// Formulas support =, !=, <, <=, >, >=, contains, and/or/not and
+/// parentheses; operands are attribute names or literals (integers, reals,
+/// 'strings', true/false).
+Result<PlanPtr> ParseAlgebra(std::string_view input);
+
+/// Parses a standalone selection formula (exposed for tests and tools).
+Result<FormulaPtr> ParseFormula(std::string_view input);
+
+}  // namespace serena
+
+#endif  // SERENA_DDL_ALGEBRA_PARSER_H_

@@ -1,0 +1,167 @@
+#include "ddl/catalog.h"
+
+#include <algorithm>
+
+#include "ddl/algebra_parser.h"
+#include "env/synthetic_service.h"
+
+namespace serena {
+
+SerenaCatalog::SerenaCatalog(Environment* env, StreamStore* streams)
+    : env_(env), streams_(streams) {
+  resolver_ = [](const std::string& id,
+                 const std::vector<PrototypePtr>& prototypes)
+      -> Result<ServicePtr> {
+    return ServicePtr(std::make_shared<SyntheticService>(id, prototypes));
+  };
+}
+
+Status SerenaCatalog::Execute(std::string_view ddl) {
+  SERENA_ASSIGN_OR_RETURN(std::vector<DdlStatement> statements,
+                          ParseDdl(ddl));
+  for (const DdlStatement& statement : statements) {
+    SERENA_RETURN_NOT_OK(Apply(statement));
+  }
+  return Status::OK();
+}
+
+Status SerenaCatalog::Apply(const DdlStatement& statement) {
+  switch (statement.kind) {
+    case DdlStatement::Kind::kPrototype:
+      return ApplyPrototype(statement);
+    case DdlStatement::Kind::kService:
+      return ApplyService(statement);
+    case DdlStatement::Kind::kRelation:
+    case DdlStatement::Kind::kStream:
+      return ApplyRelationOrStream(statement);
+    case DdlStatement::Kind::kInsert:
+      return ApplyInsert(statement);
+    case DdlStatement::Kind::kDelete:
+      return ApplyDelete(statement);
+    case DdlStatement::Kind::kDropRelation:
+      return env_->DropRelation(statement.relation_name);
+    case DdlStatement::Kind::kDropStream:
+      if (streams_ == nullptr) {
+        return Status::FailedPrecondition("no stream store configured");
+      }
+      return streams_->DropStream(statement.relation_name);
+  }
+  return Status::Internal("unknown DDL statement kind");
+}
+
+Status SerenaCatalog::ApplyDelete(const DdlStatement& statement) {
+  SERENA_ASSIGN_OR_RETURN(XRelation * relation,
+                          env_->GetMutableRelation(statement.relation_name));
+  if (statement.where.empty()) {
+    relation->Clear();
+    return Status::OK();
+  }
+  SERENA_ASSIGN_OR_RETURN(FormulaPtr condition,
+                          ParseFormula(statement.where));
+  SERENA_RETURN_NOT_OK(condition->Validate(relation->schema()));
+  std::vector<Tuple> victims;
+  for (const Tuple& t : relation->tuples()) {
+    SERENA_ASSIGN_OR_RETURN(bool matches,
+                            condition->Evaluate(relation->schema(), t));
+    if (matches) victims.push_back(t);
+  }
+  for (const Tuple& t : victims) relation->Erase(t);
+  return Status::OK();
+}
+
+Status SerenaCatalog::ApplyInsert(const DdlStatement& statement) {
+  SERENA_ASSIGN_OR_RETURN(XRelation * relation,
+                          env_->GetMutableRelation(statement.relation_name));
+  const ExtendedSchema& schema = relation->schema();
+  // Literal values are typed by the relation's real attributes in order.
+  std::vector<DataType> types;
+  for (const Attribute& attr : schema.attributes()) {
+    if (attr.is_real()) types.push_back(attr.type);
+  }
+  for (const auto& row : statement.rows) {
+    if (row.size() != types.size()) {
+      return Status::InvalidArgument(
+          "INSERT INTO ", statement.relation_name, ": ", row.size(),
+          " value(s) for ", types.size(), " real attribute(s)");
+    }
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].quoted) {
+        values.push_back(Value::String(row[i].text));
+      } else {
+        SERENA_ASSIGN_OR_RETURN(Value value,
+                                ParseValueLiteral(row[i].text, types[i]));
+        values.push_back(std::move(value));
+      }
+    }
+    SERENA_RETURN_NOT_OK(relation->Insert(Tuple(std::move(values))).status());
+  }
+  return Status::OK();
+}
+
+Status SerenaCatalog::ApplyPrototype(const DdlStatement& statement) {
+  SERENA_ASSIGN_OR_RETURN(RelationSchema input,
+                          RelationSchema::Create(statement.input_attributes));
+  SERENA_ASSIGN_OR_RETURN(
+      RelationSchema output,
+      RelationSchema::Create(statement.output_attributes));
+  SERENA_ASSIGN_OR_RETURN(
+      PrototypePtr prototype,
+      Prototype::Create(statement.prototype_name, std::move(input),
+                        std::move(output), statement.active,
+                        statement.streaming));
+  return env_->AddPrototype(std::move(prototype));
+}
+
+Status SerenaCatalog::ApplyService(const DdlStatement& statement) {
+  std::vector<PrototypePtr> prototypes;
+  prototypes.reserve(statement.implemented_prototypes.size());
+  for (const std::string& name : statement.implemented_prototypes) {
+    SERENA_ASSIGN_OR_RETURN(PrototypePtr prototype,
+                            env_->GetPrototype(name));
+    prototypes.push_back(std::move(prototype));
+  }
+  SERENA_ASSIGN_OR_RETURN(
+      ServicePtr service,
+      resolver_(statement.service_name, prototypes));
+  return env_->registry().Register(std::move(service));
+}
+
+Status SerenaCatalog::ApplyRelationOrStream(const DdlStatement& statement) {
+  std::vector<BindingPattern> binding_patterns;
+  for (const auto& decl : statement.binding_patterns) {
+    SERENA_ASSIGN_OR_RETURN(PrototypePtr prototype,
+                            env_->GetPrototype(decl.prototype));
+    // When the DDL spells out input/output lists (Table 2 syntax), they
+    // must match the prototype declaration.
+    if (!decl.inputs.empty() &&
+        decl.inputs != prototype->input().Names()) {
+      return Status::InvalidArgument(
+          "binding pattern for '", decl.prototype,
+          "' lists inputs that do not match the prototype declaration");
+    }
+    if (!decl.outputs.empty() &&
+        decl.outputs != prototype->output().Names()) {
+      return Status::InvalidArgument(
+          "binding pattern for '", decl.prototype,
+          "' lists outputs that do not match the prototype declaration");
+    }
+    binding_patterns.emplace_back(std::move(prototype),
+                                  decl.service_attribute);
+  }
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr schema,
+      ExtendedSchema::Create(statement.relation_name, statement.attributes,
+                             std::move(binding_patterns)));
+  if (statement.kind == DdlStatement::Kind::kRelation) {
+    return env_->AddRelation(std::move(schema));
+  }
+  if (streams_ == nullptr) {
+    return Status::FailedPrecondition(
+        "EXTENDED STREAM requires a stream store");
+  }
+  return streams_->AddStream(std::move(schema));
+}
+
+}  // namespace serena

@@ -1,0 +1,57 @@
+#ifndef SERENA_DDL_CATALOG_H_
+#define SERENA_DDL_CATALOG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ddl/ddl_parser.h"
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
+
+namespace serena {
+
+/// Executes Serena DDL against an environment — the Extended Table
+/// Manager's language front end (§5.1).
+///
+/// - PROTOTYPE declarations populate the environment's prototype catalog.
+/// - SERVICE declarations instantiate a service through the configurable
+///   `ServiceResolver` and register it; the default resolver builds a
+///   `SyntheticService`, so a pure-DDL environment is fully executable.
+/// - EXTENDED RELATION creates an empty X-Relation.
+/// - EXTENDED STREAM creates an infinite XD-Relation in the stream store.
+class SerenaCatalog {
+ public:
+  /// Produces a service implementation for a SERVICE declaration.
+  using ServiceResolver = std::function<Result<ServicePtr>(
+      const std::string& id, const std::vector<PrototypePtr>& prototypes)>;
+
+  SerenaCatalog(Environment* env, StreamStore* streams);
+
+  /// Replaces the default (synthetic) resolver.
+  void set_service_resolver(ServiceResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Parses and applies a DDL script (one or more `;`-separated
+  /// statements). Statements apply in order; the first failure aborts.
+  Status Execute(std::string_view ddl);
+
+  /// Applies one parsed statement.
+  Status Apply(const DdlStatement& statement);
+
+ private:
+  Status ApplyPrototype(const DdlStatement& statement);
+  Status ApplyService(const DdlStatement& statement);
+  Status ApplyRelationOrStream(const DdlStatement& statement);
+  Status ApplyInsert(const DdlStatement& statement);
+  Status ApplyDelete(const DdlStatement& statement);
+
+  Environment* env_;
+  StreamStore* streams_;
+  ServiceResolver resolver_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_DDL_CATALOG_H_

@@ -1,0 +1,273 @@
+#include "ddl/ddl_parser.h"
+
+#include "ddl/lexer.h"
+
+namespace serena {
+
+namespace {
+
+/// attr_list := [ name TYPE [VIRTUAL] { ',' name TYPE [VIRTUAL] } ]
+/// Parses until the closing ')' (not consumed).
+Result<std::vector<Attribute>> ParseAttributeList(TokenCursor* cursor,
+                                                  bool allow_virtual) {
+  std::vector<Attribute> attributes;
+  if (cursor->Peek().IsSymbol(")")) return attributes;  // Empty list.
+  for (;;) {
+    SERENA_ASSIGN_OR_RETURN(Token name,
+                            cursor->ExpectIdentifier("attribute name"));
+    SERENA_ASSIGN_OR_RETURN(Token type_token,
+                            cursor->ExpectIdentifier("attribute type"));
+    SERENA_ASSIGN_OR_RETURN(DataType type,
+                            DataTypeFromString(type_token.text));
+    AttributeKind kind = AttributeKind::kReal;
+    if (cursor->ConsumeIdent("VIRTUAL")) {
+      if (!allow_virtual) {
+        return cursor->ErrorHere(
+            "VIRTUAL attributes are not allowed in prototype schemas");
+      }
+      kind = AttributeKind::kVirtual;
+    }
+    attributes.emplace_back(name.text, type, kind);
+    if (!cursor->ConsumeSymbol(",")) break;
+  }
+  return attributes;
+}
+
+/// name_list := [ name { ',' name } ], until ')' (not consumed).
+Result<std::vector<std::string>> ParseNameList(TokenCursor* cursor) {
+  std::vector<std::string> names;
+  if (cursor->Peek().IsSymbol(")")) return names;
+  for (;;) {
+    SERENA_ASSIGN_OR_RETURN(Token name, cursor->ExpectIdentifier("name"));
+    names.push_back(name.text);
+    if (!cursor->ConsumeSymbol(",")) break;
+  }
+  return names;
+}
+
+Result<DdlStatement> ParsePrototype(TokenCursor* cursor) {
+  DdlStatement stmt;
+  stmt.kind = DdlStatement::Kind::kPrototype;
+  SERENA_ASSIGN_OR_RETURN(Token name,
+                          cursor->ExpectIdentifier("prototype name"));
+  stmt.prototype_name = name.text;
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(stmt.input_attributes,
+                          ParseAttributeList(cursor, /*allow_virtual=*/false));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(":"));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(stmt.output_attributes,
+                          ParseAttributeList(cursor, /*allow_virtual=*/false));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  // Trailing flags in any order: ACTIVE / PASSIVE / STREAMING.
+  for (;;) {
+    if (cursor->ConsumeIdent("ACTIVE")) {
+      stmt.active = true;
+    } else if (cursor->ConsumeIdent("PASSIVE")) {
+      stmt.active = false;
+    } else if (cursor->ConsumeIdent("STREAMING")) {
+      stmt.streaming = true;
+    } else {
+      break;
+    }
+  }
+  return stmt;
+}
+
+Result<DdlStatement> ParseService(TokenCursor* cursor) {
+  DdlStatement stmt;
+  stmt.kind = DdlStatement::Kind::kService;
+  SERENA_ASSIGN_OR_RETURN(Token name,
+                          cursor->ExpectIdentifier("service name"));
+  stmt.service_name = name.text;
+  SERENA_RETURN_NOT_OK(cursor->ExpectIdent("IMPLEMENTS"));
+  for (;;) {
+    SERENA_ASSIGN_OR_RETURN(Token proto,
+                            cursor->ExpectIdentifier("prototype name"));
+    stmt.implemented_prototypes.push_back(proto.text);
+    if (!cursor->ConsumeSymbol(",")) break;
+  }
+  return stmt;
+}
+
+Result<DdlStatement::BindingPatternDecl> ParseBindingPatternDecl(
+    TokenCursor* cursor) {
+  DdlStatement::BindingPatternDecl decl;
+  SERENA_ASSIGN_OR_RETURN(Token proto,
+                          cursor->ExpectIdentifier("prototype name"));
+  decl.prototype = proto.text;
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("["));
+  SERENA_ASSIGN_OR_RETURN(
+      Token service_attr,
+      cursor->ExpectIdentifier("service reference attribute"));
+  decl.service_attribute = service_attr.text;
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("]"));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(decl.inputs, ParseNameList(cursor));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(":"));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(decl.outputs, ParseNameList(cursor));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  return decl;
+}
+
+Result<DdlStatement> ParseRelationOrStream(TokenCursor* cursor) {
+  DdlStatement stmt;
+  if (cursor->ConsumeIdent("RELATION")) {
+    stmt.kind = DdlStatement::Kind::kRelation;
+  } else if (cursor->ConsumeIdent("STREAM")) {
+    stmt.kind = DdlStatement::Kind::kStream;
+  } else {
+    return cursor->ErrorHere("expected RELATION or STREAM after EXTENDED");
+  }
+  SERENA_ASSIGN_OR_RETURN(Token name,
+                          cursor->ExpectIdentifier("relation name"));
+  stmt.relation_name = name.text;
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+  SERENA_ASSIGN_OR_RETURN(stmt.attributes,
+                          ParseAttributeList(cursor, /*allow_virtual=*/true));
+  SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  if (cursor->ConsumeIdent("USING")) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectIdent("BINDING"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectIdent("PATTERNS"));
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+    for (;;) {
+      SERENA_ASSIGN_OR_RETURN(DdlStatement::BindingPatternDecl decl,
+                              ParseBindingPatternDecl(cursor));
+      stmt.binding_patterns.push_back(std::move(decl));
+      if (!cursor->ConsumeSymbol(",")) break;
+    }
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+  }
+  return stmt;
+}
+
+Result<DdlStatement> ParseInsert(TokenCursor* cursor) {
+  DdlStatement stmt;
+  stmt.kind = DdlStatement::Kind::kInsert;
+  SERENA_RETURN_NOT_OK(cursor->ExpectIdent("INTO"));
+  SERENA_ASSIGN_OR_RETURN(Token name,
+                          cursor->ExpectIdentifier("relation name"));
+  stmt.relation_name = name.text;
+  SERENA_RETURN_NOT_OK(cursor->ExpectIdent("VALUES"));
+  for (;;) {
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol("("));
+    std::vector<DdlStatement::Literal> row;
+    if (!cursor->Peek().IsSymbol(")")) {
+      for (;;) {
+        DdlStatement::Literal literal;
+        const Token& token = cursor->Peek();
+        if (token.Is(TokenType::kString)) {
+          literal.text = token.text;
+          literal.quoted = true;
+          cursor->Next();
+        } else if (token.Is(TokenType::kInteger) ||
+                   token.Is(TokenType::kReal) ||
+                   token.Is(TokenType::kIdentifier)) {
+          literal.text = token.text;
+          cursor->Next();
+        } else if (token.IsSymbol("-")) {
+          cursor->Next();
+          const Token& number = cursor->Peek();
+          if (!number.Is(TokenType::kInteger) &&
+              !number.Is(TokenType::kReal)) {
+            return cursor->ErrorHere("expected number after '-'");
+          }
+          literal.text = "-" + number.text;
+          cursor->Next();
+        } else {
+          return cursor->ErrorHere("expected literal value");
+        }
+        row.push_back(std::move(literal));
+        if (!cursor->ConsumeSymbol(",")) break;
+      }
+    }
+    SERENA_RETURN_NOT_OK(cursor->ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+    if (!cursor->ConsumeSymbol(",")) break;
+  }
+  return stmt;
+}
+
+/// Re-renders one token as source text (for capturing raw WHERE clauses).
+std::string TokenToSource(const Token& token) {
+  if (token.type != TokenType::kString) return token.text;
+  std::string quoted = "'";
+  for (char c : token.text) {
+    if (c == '\'') quoted += "''";
+    else quoted += c;
+  }
+  quoted += '\'';
+  return quoted;
+}
+
+Result<DdlStatement> ParseDelete(TokenCursor* cursor) {
+  DdlStatement stmt;
+  stmt.kind = DdlStatement::Kind::kDelete;
+  SERENA_RETURN_NOT_OK(cursor->ExpectIdent("FROM"));
+  SERENA_ASSIGN_OR_RETURN(Token name,
+                          cursor->ExpectIdentifier("relation name"));
+  stmt.relation_name = name.text;
+  if (cursor->ConsumeIdent("WHERE")) {
+    // Capture the raw condition up to the statement terminator; the
+    // catalog parses it as a selection formula against the schema.
+    while (!cursor->AtEnd() && !cursor->Peek().IsSymbol(";")) {
+      if (!stmt.where.empty()) stmt.where += ' ';
+      stmt.where += TokenToSource(cursor->Next());
+    }
+    if (stmt.where.empty()) {
+      return cursor->ErrorHere("expected condition after WHERE");
+    }
+  }
+  return stmt;
+}
+
+Result<DdlStatement> ParseDrop(TokenCursor* cursor) {
+  DdlStatement stmt;
+  if (cursor->ConsumeIdent("RELATION") || cursor->ConsumeIdent("TABLE")) {
+    stmt.kind = DdlStatement::Kind::kDropRelation;
+  } else if (cursor->ConsumeIdent("STREAM")) {
+    stmt.kind = DdlStatement::Kind::kDropStream;
+  } else {
+    return cursor->ErrorHere("expected RELATION or STREAM after DROP");
+  }
+  SERENA_ASSIGN_OR_RETURN(Token name, cursor->ExpectIdentifier("name"));
+  stmt.relation_name = name.text;
+  return stmt;
+}
+
+}  // namespace
+
+Result<std::vector<DdlStatement>> ParseDdl(std::string_view input) {
+  SERENA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenCursor cursor(std::move(tokens));
+  std::vector<DdlStatement> statements;
+  while (!cursor.AtEnd()) {
+    Result<DdlStatement> stmt = Status::OK();
+    if (cursor.ConsumeIdent("PROTOTYPE")) {
+      stmt = ParsePrototype(&cursor);
+    } else if (cursor.ConsumeIdent("SERVICE")) {
+      stmt = ParseService(&cursor);
+    } else if (cursor.ConsumeIdent("EXTENDED")) {
+      stmt = ParseRelationOrStream(&cursor);
+    } else if (cursor.ConsumeIdent("INSERT")) {
+      stmt = ParseInsert(&cursor);
+    } else if (cursor.ConsumeIdent("DELETE")) {
+      stmt = ParseDelete(&cursor);
+    } else if (cursor.ConsumeIdent("DROP")) {
+      stmt = ParseDrop(&cursor);
+    } else {
+      return cursor.ErrorHere(
+          "expected PROTOTYPE, SERVICE, EXTENDED RELATION/STREAM, INSERT, "
+          "DELETE or DROP");
+    }
+    SERENA_RETURN_NOT_OK(stmt.status());
+    SERENA_RETURN_NOT_OK(cursor.ExpectSymbol(";"));
+    statements.push_back(std::move(*stmt));
+  }
+  return statements;
+}
+
+}  // namespace serena

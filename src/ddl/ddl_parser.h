@@ -1,0 +1,82 @@
+#ifndef SERENA_DDL_DDL_PARSER_H_
+#define SERENA_DDL_DDL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/extended_schema.h"
+#include "service/prototype.h"
+
+namespace serena {
+
+/// Parsed form of the Serena DDL statements (the pseudo-DDL of Tables 1-2,
+/// plus a STREAM form for infinite XD-Relations):
+///
+///   PROTOTYPE sendMessage(address STRING, text STRING)
+///       : (sent BOOLEAN) ACTIVE;
+///   SERVICE email IMPLEMENTS sendMessage;
+///   EXTENDED RELATION contacts (
+///     name STRING, address STRING, text STRING VIRTUAL,
+///     messenger SERVICE, sent BOOLEAN VIRTUAL
+///   ) USING BINDING PATTERNS (
+///     sendMessage[messenger](address, text) : (sent)
+///   );
+///   EXTENDED STREAM temperatures (location STRING, temperature REAL);
+///   INSERT INTO contacts VALUES ('Carla', 'carla@elysee.fr', 'email');
+///   DELETE FROM contacts WHERE name = 'Carla';
+///   DROP RELATION contacts;   DROP STREAM temperatures;
+struct DdlStatement {
+  enum class Kind {
+    kPrototype,
+    kService,
+    kRelation,
+    kStream,
+    kInsert,
+    kDelete,
+    kDropRelation,
+    kDropStream,
+  };
+  Kind kind;
+
+  // kPrototype.
+  std::string prototype_name;
+  std::vector<Attribute> input_attributes;
+  std::vector<Attribute> output_attributes;
+  bool active = false;
+  bool streaming = false;  ///< §7 streaming binding-pattern extension.
+
+  // kService.
+  std::string service_name;
+  std::vector<std::string> implemented_prototypes;
+
+  // kRelation / kStream.
+  std::string relation_name;
+  std::vector<Attribute> attributes;
+  struct BindingPatternDecl {
+    std::string prototype;
+    std::string service_attribute;
+    std::vector<std::string> inputs;   // Informative; checked vs prototype.
+    std::vector<std::string> outputs;  // Informative; checked vs prototype.
+  };
+  std::vector<BindingPatternDecl> binding_patterns;
+
+  // kInsert: one row per VALUES group; literals are raw token texts,
+  // typed against the target relation's real schema by the catalog.
+  struct Literal {
+    std::string text;
+    bool quoted = false;  // String literal (skip numeric/bool parsing).
+  };
+  std::vector<std::vector<Literal>> rows;
+
+  // kDelete: the WHERE condition (raw text, parsed as a selection formula
+  // by the catalog; empty = delete everything).
+  std::string where;
+};
+
+/// Parses a sequence of `;`-terminated DDL statements.
+Result<std::vector<DdlStatement>> ParseDdl(std::string_view input);
+
+}  // namespace serena
+
+#endif  // SERENA_DDL_DDL_PARSER_H_

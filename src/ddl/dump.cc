@@ -1,0 +1,79 @@
+#include "ddl/dump.h"
+
+#include "common/string_util.h"
+
+namespace serena {
+
+namespace {
+
+std::string ValueToDdlLiteral(const Value& value) {
+  if (value.is_string()) {
+    // Single quotes, '' escape (lexer convention).
+    std::string quoted = "'";
+    for (char c : value.string_value()) {
+      if (c == '\'') quoted += "''";
+      else quoted += c;
+    }
+    quoted += '\'';
+    return quoted;
+  }
+  return value.ToString();
+}
+
+}  // namespace
+
+std::string DumpEnvironment(const Environment& env,
+                            const StreamStore* streams) {
+  std::string out;
+
+  for (const std::string& name : env.PrototypeNames()) {
+    out += env.GetPrototype(name).ValueOrDie()->ToString();
+    out += ";\n";
+  }
+  out += '\n';
+
+  for (const std::string& ref : env.registry().ServiceRefs()) {
+    auto service = env.registry().Lookup(ref).ValueOrDie();
+    std::vector<std::string> protos;
+    for (const PrototypePtr& proto : service->prototypes()) {
+      protos.push_back(proto->name());
+    }
+    out += "SERVICE " + ref + " IMPLEMENTS " + Join(protos, ", ") + ";\n";
+  }
+  out += '\n';
+
+  for (const std::string& name : env.RelationNames()) {
+    const XRelation* relation = env.GetRelation(name).ValueOrDie();
+    out += relation->schema().ToString();
+    out += ";\n";
+    if (!relation->empty()) {
+      out += "INSERT INTO " + name + " VALUES\n";
+      const auto sorted = relation->Sorted();
+      for (std::size_t r = 0; r < sorted.size(); ++r) {
+        out += "  (";
+        for (std::size_t i = 0; i < sorted[r].size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ValueToDdlLiteral(sorted[r][i]);
+        }
+        out += r + 1 < sorted.size() ? "),\n" : ");\n";
+      }
+    }
+    out += '\n';
+  }
+
+  if (streams != nullptr) {
+    for (const std::string& name : streams->StreamNames()) {
+      const XDRelation* stream = streams->GetStream(name).ValueOrDie();
+      std::string decl = stream->schema().ToString();
+      // Rewrite the leading keyword: streams use EXTENDED STREAM.
+      const std::string prefix = "EXTENDED RELATION ";
+      if (decl.rfind(prefix, 0) == 0) {
+        decl = "EXTENDED STREAM " + decl.substr(prefix.size());
+      }
+      out += decl + ";\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace serena

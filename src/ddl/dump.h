@@ -1,0 +1,25 @@
+#ifndef SERENA_DDL_DUMP_H_
+#define SERENA_DDL_DUMP_H_
+
+#include <string>
+
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
+
+namespace serena {
+
+/// Serializes a relational pervasive environment back to a Serena DDL
+/// script: PROTOTYPE declarations, SERVICE declarations (by reference and
+/// implemented prototypes — implementations are not serializable),
+/// EXTENDED RELATION / EXTENDED STREAM definitions, and INSERT statements
+/// for current relation contents.
+///
+/// The output re-executes through `SerenaCatalog::Execute` (services come
+/// back as synthetic simulations), giving `environment ≈
+/// Load(Dump(environment))` — the shell's `\dump`.
+std::string DumpEnvironment(const Environment& env,
+                            const StreamStore* streams);
+
+}  // namespace serena
+
+#endif  // SERENA_DDL_DUMP_H_

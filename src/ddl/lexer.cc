@@ -1,0 +1,212 @@
+#include "ddl/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace serena {
+
+bool Token::IsIdent(std::string_view ident) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, ident);
+}
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kString:
+      return "string '" + text + "'";
+    case TokenType::kInteger:
+      return "integer " + text;
+    case TokenType::kReal:
+      return "real " + text;
+    case TokenType::kSymbol:
+      return "'" + text + "'";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+
+  auto make = [&](TokenType type, std::string text) {
+    Token token;
+    token.type = type;
+    token.text = std::move(text);
+    token.line = line;
+    token.column = column;
+    tokens.push_back(std::move(token));
+  };
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < input.size(); ++k, ++i) {
+      if (input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment: -- ... \n
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    // String literal with '' escape.
+    if (c == '\'') {
+      std::string value;
+      std::size_t j = i + 1;
+      bool closed = false;
+      while (j < input.size()) {
+        if (input[j] == '\'') {
+          if (j + 1 < input.size() && input[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          break;
+        }
+        value.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line ",
+                                  line);
+      }
+      make(TokenType::kString, value);
+      advance(j + 1 - i);
+      continue;
+    }
+    // Numbers (integers and reals); a leading '-' is handled as a symbol
+    // and folded by the parser where a signed literal is expected.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_real = false;
+      while (j < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j < input.size() && input[j] == '.' && j + 1 < input.size() &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      make(is_real ? TokenType::kReal : TokenType::kInteger,
+           std::string(input.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_' || input[j] == '@' || input[j] == '.')) {
+        ++j;
+      }
+      make(TokenType::kIdentifier, std::string(input.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    // Multi-character symbols first.
+    const std::string_view rest = input.substr(i);
+    const char* two_char[] = {":=", "->", "!=", "<=", ">=", "<>"};
+    bool matched = false;
+    for (const char* sym : two_char) {
+      if (rest.substr(0, 2) == sym) {
+        make(TokenType::kSymbol, sym == std::string_view("<>") ? "!=" : sym);
+        advance(2);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    const std::string single(1, c);
+    if (single.find_first_of("()[],;:=<>-") != std::string::npos) {
+      make(TokenType::kSymbol, single);
+      advance(1);
+      continue;
+    }
+    return Status::ParseError("unexpected character '", single, "' at line ",
+                              line, " column ", column);
+  }
+  make(TokenType::kEnd, "");
+  return tokens;
+}
+
+const Token& TokenCursor::Peek(std::size_t ahead) const {
+  const std::size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[index];
+}
+
+const Token& TokenCursor::Next() {
+  const Token& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool TokenCursor::ConsumeIdent(std::string_view ident) {
+  if (Peek().IsIdent(ident)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::ConsumeSymbol(std::string_view symbol) {
+  if (Peek().IsSymbol(symbol)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> TokenCursor::ExpectIdentifier(const char* what) {
+  if (!Peek().Is(TokenType::kIdentifier)) {
+    return Status::ParseError("expected ", what, " but found ",
+                              Peek().Describe(), " at line ", Peek().line);
+  }
+  return Next();
+}
+
+Status TokenCursor::ExpectSymbol(std::string_view symbol) {
+  if (!ConsumeSymbol(symbol)) {
+    return Status::ParseError("expected '", std::string(symbol),
+                              "' but found ", Peek().Describe(), " at line ",
+                              Peek().line);
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectIdent(std::string_view ident) {
+  if (!ConsumeIdent(ident)) {
+    return Status::ParseError("expected keyword '", std::string(ident),
+                              "' but found ", Peek().Describe(), " at line ",
+                              Peek().line);
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message, " at line ", Peek().line, " (found ",
+                            Peek().Describe(), ")");
+}
+
+}  // namespace serena

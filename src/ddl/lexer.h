@@ -1,0 +1,69 @@
+#ifndef SERENA_DDL_LEXER_H_
+#define SERENA_DDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace serena {
+
+/// Token categories of the Serena languages (DDL and Algebra Language).
+enum class TokenType {
+  kIdentifier,  // sendMessage, contacts, VIRTUAL (keywords resolved later)
+  kString,      // 'Bonjour!'
+  kInteger,     // 42
+  kReal,        // 35.5
+  kSymbol,      // ( ) [ ] , ; : := -> = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // Identifier/symbol spelling or literal payload.
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive identifier/keyword match.
+  bool IsIdent(std::string_view ident) const;
+  bool IsSymbol(std::string_view symbol) const {
+    return type == TokenType::kSymbol && text == symbol;
+  }
+
+  std::string Describe() const;
+};
+
+/// Tokenizes Serena DDL / Algebra Language input. Comments run from `--`
+/// to end of line. Strings use single quotes with `''` as the escape.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// A cursor over a token stream with the usual recursive-descent helpers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(std::size_t ahead = 0) const;
+  const Token& Next();
+  bool AtEnd() const { return Peek().Is(TokenType::kEnd); }
+
+  /// Consumes the next token if it matches; returns whether it did.
+  bool ConsumeIdent(std::string_view ident);
+  bool ConsumeSymbol(std::string_view symbol);
+
+  /// Consumes a required token or returns a ParseError mentioning it.
+  Result<Token> ExpectIdentifier(const char* what);
+  Status ExpectSymbol(std::string_view symbol);
+  Status ExpectIdent(std::string_view ident);
+
+  Status ErrorHere(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_DDL_LEXER_H_

@@ -1,0 +1,65 @@
+#include "env/prototypes.h"
+
+namespace serena {
+
+namespace {
+
+RelationSchema Schema(std::vector<Attribute> attrs) {
+  return RelationSchema::Create(std::move(attrs)).ValueOrDie();
+}
+
+}  // namespace
+
+PrototypePtr MakeSendMessagePrototype() {
+  return Prototype::Create("sendMessage",
+                           Schema({{"address", DataType::kString},
+                                   {"text", DataType::kString}}),
+                           Schema({{"sent", DataType::kBool}}),
+                           /*active=*/true)
+      .ValueOrDie();
+}
+
+PrototypePtr MakeSendPhotoMessagePrototype() {
+  return Prototype::Create("sendPhotoMessage",
+                           Schema({{"address", DataType::kString},
+                                   {"text", DataType::kString},
+                                   {"photo", DataType::kBlob}}),
+                           Schema({{"delivered", DataType::kBool}}),
+                           /*active=*/true)
+      .ValueOrDie();
+}
+
+PrototypePtr MakeCheckPhotoPrototype() {
+  return Prototype::Create("checkPhoto",
+                           Schema({{"area", DataType::kString}}),
+                           Schema({{"quality", DataType::kInt},
+                                   {"delay", DataType::kReal}}),
+                           /*active=*/false)
+      .ValueOrDie();
+}
+
+PrototypePtr MakeTakePhotoPrototype(bool active) {
+  return Prototype::Create("takePhoto",
+                           Schema({{"area", DataType::kString},
+                                   {"quality", DataType::kInt}}),
+                           Schema({{"photo", DataType::kBlob}}), active)
+      .ValueOrDie();
+}
+
+PrototypePtr MakeGetTemperaturePrototype() {
+  return Prototype::Create("getTemperature", RelationSchema(),
+                           Schema({{"temperature", DataType::kReal}}),
+                           /*active=*/false)
+      .ValueOrDie();
+}
+
+PrototypePtr MakeFetchItemsPrototype() {
+  return Prototype::Create("fetchItems",
+                           Schema({{"feed", DataType::kString}}),
+                           Schema({{"item", DataType::kInt},
+                                   {"title", DataType::kString}}),
+                           /*active=*/false)
+      .ValueOrDie();
+}
+
+}  // namespace serena

@@ -1,0 +1,39 @@
+#ifndef SERENA_ENV_PROTOTYPES_H_
+#define SERENA_ENV_PROTOTYPES_H_
+
+#include "service/prototype.h"
+
+namespace serena {
+
+/// The four canonical prototypes of Table 1, plus the RSS wrapper
+/// prototype used by the second §5.2 experiment. Each factory returns a
+/// fresh immutable instance; prototypes compare by name throughout the
+/// system, so sharing is an optimization, not a requirement.
+
+/// PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) ACTIVE.
+PrototypePtr MakeSendMessagePrototype();
+
+/// PROTOTYPE sendPhotoMessage(address STRING, text STRING, photo BLOB)
+///   : (delivered BOOLEAN) ACTIVE.
+/// The §5.2 experiment extends `contacts` with "an additional attribute
+/// allowing to send a picture with a message" — this is that prototype.
+PrototypePtr MakeSendPhotoMessagePrototype();
+
+/// PROTOTYPE checkPhoto(area STRING) : (quality INTEGER, delay REAL).
+PrototypePtr MakeCheckPhotoPrototype();
+
+/// PROTOTYPE takePhoto(area STRING, quality INTEGER) : (photo BLOB).
+/// `active` reflects the application designer's choice discussed in §3.3:
+/// taking a photo may or may not be considered a side effect.
+PrototypePtr MakeTakePhotoPrototype(bool active = false);
+
+/// PROTOTYPE getTemperature() : (temperature REAL).
+PrototypePtr MakeGetTemperaturePrototype();
+
+/// PROTOTYPE fetchItems(feed STRING) : (item INTEGER, title STRING).
+/// The RSS wrapper functionality of §5.2 (periodically polls a feed).
+PrototypePtr MakeFetchItemsPrototype();
+
+}  // namespace serena
+
+#endif  // SERENA_ENV_PROTOTYPES_H_

@@ -1,0 +1,486 @@
+#include "env/scenario.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace serena {
+
+namespace {
+
+Result<ExtendedSchemaPtr> SensorsSchema(const PrototypePtr& get_temperature) {
+  return ExtendedSchema::Create(
+      TemperatureScenario::kSensors,
+      {{"sensor", DataType::kService},
+       {"location", DataType::kString},
+       {"temperature", DataType::kReal, AttributeKind::kVirtual}},
+      {BindingPattern(get_temperature, "sensor")});
+}
+
+Result<ExtendedSchemaPtr> ContactsSchema(
+    const PrototypePtr& send_message, const char* name,
+    const PrototypePtr& send_photo_message = nullptr) {
+  std::vector<Attribute> attributes = {
+      {"name", DataType::kString},
+      {"address", DataType::kString},
+      {"text", DataType::kString, AttributeKind::kVirtual},
+      {"messenger", DataType::kService},
+      {"sent", DataType::kBool, AttributeKind::kVirtual}};
+  std::vector<BindingPattern> patterns = {
+      BindingPattern(send_message, "messenger")};
+  if (send_photo_message != nullptr) {
+    // §5.2: "an additional attribute allowing to send a picture with a
+    // message".
+    attributes.push_back(
+        {"photo", DataType::kBlob, AttributeKind::kVirtual});
+    attributes.push_back(
+        {"delivered", DataType::kBool, AttributeKind::kVirtual});
+    patterns.push_back(BindingPattern(send_photo_message, "messenger"));
+  }
+  return ExtendedSchema::Create(name, std::move(attributes),
+                                std::move(patterns));
+}
+
+Result<ExtendedSchemaPtr> CamerasSchema(const PrototypePtr& check_photo,
+                                        const PrototypePtr& take_photo) {
+  return ExtendedSchema::Create(
+      TemperatureScenario::kCameras,
+      {{"camera", DataType::kService},
+       {"area", DataType::kString},
+       {"quality", DataType::kInt, AttributeKind::kVirtual},
+       {"delay", DataType::kReal, AttributeKind::kVirtual},
+       {"photo", DataType::kBlob, AttributeKind::kVirtual}},
+      {BindingPattern(check_photo, "camera"),
+       BindingPattern(take_photo, "camera")});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TemperatureScenario
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TemperatureScenario>> TemperatureScenario::Build(
+    const TemperatureScenarioOptions& options) {
+  std::unique_ptr<TemperatureScenario> scenario(new TemperatureScenario());
+  SERENA_RETURN_NOT_OK(scenario->Init(options));
+  return scenario;
+}
+
+Status TemperatureScenario::Init(const TemperatureScenarioOptions& options) {
+  options_ = options;
+
+  // Prototypes of Table 1.
+  PrototypePtr send_message = MakeSendMessagePrototype();
+  PrototypePtr check_photo = MakeCheckPhotoPrototype();
+  PrototypePtr take_photo = MakeTakePhotoPrototype(options.take_photo_active);
+  PrototypePtr get_temperature = MakeGetTemperaturePrototype();
+  SERENA_RETURN_NOT_OK(env_.AddPrototype(send_message));
+  SERENA_RETURN_NOT_OK(env_.AddPrototype(check_photo));
+  SERENA_RETURN_NOT_OK(env_.AddPrototype(take_photo));
+  SERENA_RETURN_NOT_OK(env_.AddPrototype(get_temperature));
+  PrototypePtr send_photo_message;
+  if (options.photo_messaging) {
+    send_photo_message = MakeSendPhotoMessagePrototype();
+    SERENA_RETURN_NOT_OK(env_.AddPrototype(send_photo_message));
+  }
+
+  areas_ = {"corridor", "office", "roof"};
+  for (int i = 0; i < options.extra_areas; ++i) {
+    areas_.push_back(StringFormat("area%03d", i));
+  }
+
+  // Messengers (mail server, Openfire IM, Clickatell SMS gateway).
+  email_ = std::make_shared<MessengerService>("email",
+                                              MessengerService::Kind::kEmail);
+  jabber_ = std::make_shared<MessengerService>(
+      "jabber", MessengerService::Kind::kJabber);
+  sms_ =
+      std::make_shared<MessengerService>("sms", MessengerService::Kind::kSms);
+  SERENA_RETURN_NOT_OK(env_.registry().Register(email_));
+  SERENA_RETURN_NOT_OK(env_.registry().Register(jabber_));
+  SERENA_RETURN_NOT_OK(env_.registry().Register(sms_));
+
+  // X-Relations.
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr sensors_schema,
+                          SensorsSchema(get_temperature));
+  SERENA_RETURN_NOT_OK(env_.AddRelation(std::move(sensors_schema)));
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr contacts_schema,
+      ContactsSchema(send_message, kContacts, send_photo_message));
+  SERENA_RETURN_NOT_OK(env_.AddRelation(std::move(contacts_schema)));
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr cameras_schema,
+                          CamerasSchema(check_photo, take_photo));
+  SERENA_RETURN_NOT_OK(env_.AddRelation(std::move(cameras_schema)));
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr surveillance_schema,
+      ExtendedSchema::Create(kSurveillance, {{"name", DataType::kString},
+                                             {"location",
+                                              DataType::kString}}));
+  SERENA_RETURN_NOT_OK(env_.AddRelation(std::move(surveillance_schema)));
+
+  // The `temperatures` stream (infinite XD-Relation).
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr temperatures_schema,
+      ExtendedSchema::Create(kTemperatures,
+                             {{"location", DataType::kString},
+                              {"temperature", DataType::kReal}}));
+  SERENA_RETURN_NOT_OK(streams_.AddStream(std::move(temperatures_schema)));
+
+  // The paper's sensors (Table 1 / §1.2) ...
+  struct SensorSpec {
+    const char* id;
+    const char* location;
+    double base;
+  };
+  const SensorSpec paper_sensors[] = {{"sensor01", "corridor", 19.0},
+                                      {"sensor06", "office", 21.0},
+                                      {"sensor07", "office", 21.5},
+                                      {"sensor22", "roof", 14.0}};
+  for (const SensorSpec& spec : paper_sensors) {
+    SERENA_RETURN_NOT_OK(AddSensor(spec.id, spec.location, spec.base));
+  }
+  // ... plus synthetic extras for scaling studies.
+  for (int i = 0; i < options.extra_sensors; ++i) {
+    const std::string& location = areas_[i % areas_.size()];
+    SERENA_RETURN_NOT_OK(AddSensor(StringFormat("sensor%04d", 100 + i),
+                                   location,
+                                   16.0 + (i % 10)));
+  }
+
+  // Cameras.
+  struct CameraSpec {
+    const char* id;
+    const char* area;
+  };
+  const CameraSpec paper_cameras[] = {
+      {"camera01", "office"}, {"camera02", "corridor"}, {"webcam07", "roof"}};
+  XRelation* cameras_rel = env_.GetMutableRelation(kCameras).ValueOrDie();
+  auto add_camera = [&](const std::string& id,
+                        const std::string& area) -> Status {
+    auto camera = std::make_shared<CameraService>(
+        id, std::vector<std::string>{area}, options_.seed,
+        options_.take_photo_active);
+    cameras_.push_back(camera);
+    SERENA_RETURN_NOT_OK(env_.registry().Register(std::move(camera)));
+    return cameras_rel
+        ->Insert(Tuple{Value::String(id), Value::String(area)})
+        .status();
+  };
+  for (const CameraSpec& spec : paper_cameras) {
+    SERENA_RETURN_NOT_OK(add_camera(spec.id, spec.area));
+  }
+  for (int i = 0; i < options.extra_cameras; ++i) {
+    SERENA_RETURN_NOT_OK(add_camera(StringFormat("camera%04d", 100 + i),
+                                    areas_[i % areas_.size()]));
+  }
+
+  // Contacts (Example 4) and surveillance assignments.
+  XRelation* contacts_rel = env_.GetMutableRelation(kContacts).ValueOrDie();
+  struct ContactSpec {
+    const char* name;
+    const char* address;
+    const char* messenger;
+    const char* watches;
+  };
+  const ContactSpec paper_contacts[] = {
+      {"Nicolas", "nicolas@elysee.fr", "email", "corridor"},
+      {"Carla", "carla@elysee.fr", "email", "office"},
+      {"Francois", "francois@im.gouv.fr", "jabber", "roof"}};
+  XRelation* surveillance_rel =
+      env_.GetMutableRelation(kSurveillance).ValueOrDie();
+  const char* messenger_cycle[] = {"email", "jabber", "sms"};
+  for (const ContactSpec& spec : paper_contacts) {
+    SERENA_RETURN_NOT_OK(
+        contacts_rel
+            ->Insert(Tuple{Value::String(spec.name),
+                           Value::String(spec.address),
+                           Value::String(spec.messenger)})
+            .status());
+    SERENA_RETURN_NOT_OK(surveillance_rel
+                             ->Insert(Tuple{Value::String(spec.name),
+                                            Value::String(spec.watches)})
+                             .status());
+  }
+  for (int i = 0; i < options.extra_contacts; ++i) {
+    const std::string name = StringFormat("contact%04d", i);
+    SERENA_RETURN_NOT_OK(
+        contacts_rel
+            ->Insert(Tuple{Value::String(name),
+                           Value::String(name + "@example.org"),
+                           Value::String(messenger_cycle[i % 3])})
+            .status());
+    SERENA_RETURN_NOT_OK(
+        surveillance_rel
+            ->Insert(Tuple{Value::String(name),
+                           Value::String(areas_[i % areas_.size()])})
+            .status());
+  }
+  return Status::OK();
+}
+
+std::vector<SentMessage> TemperatureScenario::AllSentMessages() const {
+  std::vector<SentMessage> all;
+  for (const auto& messenger : {email_, jabber_, sms_}) {
+    all.insert(all.end(), messenger->outbox().begin(),
+               messenger->outbox().end());
+  }
+  return all;
+}
+
+void TemperatureScenario::ClearOutboxes() {
+  email_->ClearOutbox();
+  jabber_->ClearOutbox();
+  sms_->ClearOutbox();
+}
+
+Status TemperatureScenario::PumpTemperatureStream(Timestamp t) {
+  // invoke[getTemperature](sensors), then keep (location, temperature).
+  PlanPtr plan = Project(Invoke(Scan(kSensors), "getTemperature"),
+                         {"location", "temperature"});
+  EvalContext ctx;
+  ctx.env = &env_;
+  ctx.streams = &streams_;
+  ctx.instant = t;
+  ctx.error_policy = InvocationErrorPolicy::kSkipTuple;
+  SERENA_ASSIGN_OR_RETURN(XRelation readings, plan->Evaluate(ctx));
+  SERENA_ASSIGN_OR_RETURN(XDRelation * stream,
+                          streams_.GetStream(kTemperatures));
+  for (const Tuple& reading : readings.tuples()) {
+    SERENA_RETURN_NOT_OK(stream->Append(t, reading));
+  }
+  return Status::OK();
+}
+
+Status TemperatureScenario::AddSensor(const std::string& id,
+                                      const std::string& location,
+                                      double base_celsius) {
+  auto sensor =
+      std::make_shared<TemperatureSensorService>(id, base_celsius,
+                                                 options_.seed);
+  sensors_.push_back(sensor);
+  SERENA_RETURN_NOT_OK(env_.registry().Register(std::move(sensor)));
+  SERENA_ASSIGN_OR_RETURN(XRelation * relation,
+                          env_.GetMutableRelation(kSensors));
+  return relation->Insert(Tuple{Value::String(id), Value::String(location)})
+      .status();
+}
+
+Status TemperatureScenario::RemoveSensor(const std::string& id) {
+  SERENA_RETURN_NOT_OK(env_.registry().Unregister(id));
+  SERENA_ASSIGN_OR_RETURN(XRelation * relation,
+                          env_.GetMutableRelation(kSensors));
+  // Find the tuple with this sensor reference.
+  const auto coord = relation->schema().CoordinateOf("sensor");
+  for (const Tuple& t : relation->tuples()) {
+    if (t[*coord] == Value::String(id)) {
+      Tuple victim = t;
+      relation->Erase(victim);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("sensor '", id, "' not present in relation");
+}
+
+PlanPtr TemperatureScenario::Q1() const {
+  return Invoke(
+      Assign(Select(Scan(kContacts),
+                    Formula::Compare(Operand::Attr("name"), CompareOp::kNe,
+                                     Operand::Const(Value::String("Carla")))),
+             "text", Value::String("Bonjour!")),
+      "sendMessage");
+}
+
+PlanPtr TemperatureScenario::Q1Prime() const {
+  return Select(
+      Invoke(Assign(Scan(kContacts), "text", Value::String("Bonjour!")),
+             "sendMessage"),
+      Formula::Compare(Operand::Attr("name"), CompareOp::kNe,
+                       Operand::Const(Value::String("Carla"))));
+}
+
+PlanPtr TemperatureScenario::Q2() const {
+  return Project(
+      Invoke(Select(Invoke(Select(Scan(kCameras),
+                                  Formula::Compare(
+                                      Operand::Attr("area"), CompareOp::kEq,
+                                      Operand::Const(
+                                          Value::String("office")))),
+                           "checkPhoto"),
+                    Formula::Compare(Operand::Attr("quality"), CompareOp::kGe,
+                                     Operand::Const(Value::Int(5)))),
+             "takePhoto"),
+      {"photo"});
+}
+
+PlanPtr TemperatureScenario::Q2Prime() const {
+  return Project(
+      Invoke(Select(Invoke(Scan(kCameras), "checkPhoto"),
+                    Formula::And(
+                        Formula::Compare(Operand::Attr("quality"),
+                                         CompareOp::kGe,
+                                         Operand::Const(Value::Int(5))),
+                        Formula::Compare(Operand::Attr("area"), CompareOp::kEq,
+                                         Operand::Const(
+                                             Value::String("office"))))),
+             "takePhoto"),
+      {"photo"});
+}
+
+PlanPtr TemperatureScenario::Q3() const {
+  // Hot readings in the last instant, joined to the area manager and their
+  // contact entry, then messaged.
+  PlanPtr hot = Select(Window(kTemperatures, 1),
+                       Formula::Compare(Operand::Attr("temperature"),
+                                        CompareOp::kGt,
+                                        Operand::Const(Value::Real(35.5))));
+  PlanPtr managed = Join(hot, Scan(kSurveillance));
+  PlanPtr with_contacts = Join(managed, Scan(kContacts));
+  return Invoke(Assign(with_contacts, "text", Value::String("Hot!")),
+                "sendMessage");
+}
+
+PlanPtr TemperatureScenario::Q4() const {
+  PlanPtr cold = Select(Window(kTemperatures, 1),
+                        Formula::Compare(Operand::Attr("temperature"),
+                                         CompareOp::kLt,
+                                         Operand::Const(Value::Real(12.0))));
+  PlanPtr by_area = Rename(cold, "location", "area");
+  PlanPtr with_cameras = Join(by_area, Scan(kCameras));
+  PlanPtr shot = Invoke(Assign(with_cameras, "quality", Value::Int(5)),
+                        "takePhoto");
+  return Streaming(Project(shot, {"area", "photo"}),
+                   StreamingType::kInsertion);
+}
+
+PlanPtr TemperatureScenario::Q5() const {
+  // Hot readings, routed to the manager and their contact entry...
+  PlanPtr hot = Select(Window(kTemperatures, 1),
+                       Formula::Compare(Operand::Attr("temperature"),
+                                        CompareOp::kGt,
+                                        Operand::Const(Value::Real(35.5))));
+  PlanPtr with_contacts =
+      Join(Join(hot, Scan(kSurveillance)), Scan(kContacts));
+  // ...then matched with the cameras covering the same area. The contact
+  // side's virtual `photo` is realized later by takePhoto on the camera
+  // side of the very same tuples.
+  PlanPtr by_area = Rename(with_contacts, "location", "area");
+  PlanPtr with_cameras = Join(by_area, Scan(kCameras));
+  PlanPtr shot = Invoke(Assign(with_cameras, "quality", Value::Int(5)),
+                        "takePhoto");
+  return Invoke(Assign(shot, "text", Value::String("Hot! photo attached")),
+                "sendPhotoMessage");
+}
+
+// ---------------------------------------------------------------------------
+// RssScenario
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<RssScenario>> RssScenario::Build(
+    const RssScenarioOptions& options) {
+  std::unique_ptr<RssScenario> scenario(new RssScenario());
+  SERENA_RETURN_NOT_OK(scenario->Init(options));
+  return scenario;
+}
+
+Status RssScenario::Init(const RssScenarioOptions& options) {
+  options_ = options;
+
+  PrototypePtr fetch_items = MakeFetchItemsPrototype();
+  PrototypePtr send_message = MakeSendMessagePrototype();
+  SERENA_RETURN_NOT_OK(env_.AddPrototype(fetch_items));
+  SERENA_RETURN_NOT_OK(env_.AddPrototype(send_message));
+
+  email_ = std::make_shared<MessengerService>("email",
+                                              MessengerService::Kind::kEmail);
+  SERENA_RETURN_NOT_OK(env_.registry().Register(email_));
+
+  // feeds(feed SERVICE, item*, title*) with fetchItems[feed](feed):(item,title).
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr feeds_schema,
+      ExtendedSchema::Create(
+          kFeeds,
+          {{"feed", DataType::kService},
+           {"item", DataType::kInt, AttributeKind::kVirtual},
+           {"title", DataType::kString, AttributeKind::kVirtual}},
+          {BindingPattern(fetch_items, "feed")}));
+  SERENA_RETURN_NOT_OK(env_.AddRelation(std::move(feeds_schema)));
+
+  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr contacts_schema,
+                          ContactsSchema(send_message, kContacts));
+  SERENA_RETURN_NOT_OK(env_.AddRelation(std::move(contacts_schema)));
+
+  SERENA_ASSIGN_OR_RETURN(
+      ExtendedSchemaPtr news_schema,
+      ExtendedSchema::Create(kNews, {{"feed", DataType::kString},
+                                     {"item", DataType::kInt},
+                                     {"title", DataType::kString}}));
+  SERENA_RETURN_NOT_OK(streams_.AddStream(std::move(news_schema)));
+
+  const std::vector<std::string> word_pool = {
+      "election", "economie", "europe",  "climat", "sports",
+      "culture",  "science",  "budget",  "sante",  "monde"};
+  const std::vector<std::string> keywords = {"Obama", "Sarkozy"};
+
+  std::vector<std::string> feed_names = {"lemonde", "lefigaro", "cnn"};
+  for (int i = 0; i < options.extra_feeds; ++i) {
+    feed_names.push_back(StringFormat("feed%04d", i));
+  }
+  XRelation* feeds_rel = env_.GetMutableRelation(kFeeds).ValueOrDie();
+  for (std::size_t i = 0; i < feed_names.size(); ++i) {
+    auto feed = std::make_shared<RssFeedService>(
+        feed_names[i], word_pool, keywords, options.keyword_rate,
+        options.items_per_instant, options.seed + i);
+    feeds_.push_back(feed);
+    SERENA_RETURN_NOT_OK(env_.registry().Register(std::move(feed)));
+    SERENA_RETURN_NOT_OK(
+        feeds_rel->Insert(Tuple{Value::String(feed_names[i])}).status());
+  }
+
+  XRelation* contacts_rel = env_.GetMutableRelation(kContacts).ValueOrDie();
+  SERENA_RETURN_NOT_OK(contacts_rel
+                           ->Insert(Tuple{Value::String("Carla"),
+                                          Value::String("carla@elysee.fr"),
+                                          Value::String("email")})
+                           .status());
+  return Status::OK();
+}
+
+Status RssScenario::PumpNews(Timestamp t) {
+  PlanPtr plan = Invoke(Scan(kFeeds), "fetchItems");
+  EvalContext ctx;
+  ctx.env = &env_;
+  ctx.streams = &streams_;
+  ctx.instant = t;
+  ctx.error_policy = InvocationErrorPolicy::kSkipTuple;
+  SERENA_ASSIGN_OR_RETURN(XRelation items, plan->Evaluate(ctx));
+  SERENA_ASSIGN_OR_RETURN(XDRelation * stream, streams_.GetStream(kNews));
+  // Result schema: (feed, item, title) all real, in schema order.
+  for (const Tuple& item : items.tuples()) {
+    SERENA_RETURN_NOT_OK(stream->Append(t, item));
+  }
+  return Status::OK();
+}
+
+PlanPtr RssScenario::KeywordQuery(const std::string& keyword,
+                                  Timestamp window) const {
+  return Select(Window(kNews, window),
+                Formula::Compare(Operand::Attr("title"), CompareOp::kContains,
+                                 Operand::Const(Value::String(keyword))));
+}
+
+PlanPtr RssScenario::ForwardQuery(const std::string& keyword,
+                                  Timestamp window,
+                                  const std::string& name) const {
+  PlanPtr matching = KeywordQuery(keyword, window);
+  PlanPtr recipient =
+      Select(Scan(kContacts),
+             Formula::Compare(Operand::Attr("name"), CompareOp::kEq,
+                              Operand::Const(Value::String(name))));
+  // No shared attributes: the join is a Cartesian pairing of news with the
+  // recipient; each fresh pairing triggers one send in continuous mode.
+  PlanPtr paired = Join(matching, recipient);
+  return Invoke(Assign(paired, "text", "title"), "sendMessage");
+}
+
+}  // namespace serena

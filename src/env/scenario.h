@@ -1,0 +1,185 @@
+#ifndef SERENA_ENV_SCENARIO_H_
+#define SERENA_ENV_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "env/sim_services.h"
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
+
+namespace serena {
+
+/// Sizing knobs for the temperature-surveillance environment. Defaults
+/// reproduce the paper's motivating example exactly (4 sensors, 3 cameras,
+/// 3 contacts, 3 areas); the extras scale the same topology up for the
+/// benchmark sweeps.
+struct TemperatureScenarioOptions {
+  int extra_sensors = 0;
+  int extra_cameras = 0;
+  int extra_contacts = 0;
+  /// Additional synthetic areas beyond corridor/office/roof.
+  int extra_areas = 0;
+  /// The §3.3 design choice: is takePhoto a side effect?
+  bool take_photo_active = false;
+  /// §5.2: extend `contacts` with a photo attribute so alerts can carry a
+  /// picture (enables `Q5()`, the combined surveillance query).
+  bool photo_messaging = false;
+  std::uint64_t seed = 42;
+};
+
+/// The temperature surveillance scenario (§1.2, §5.2): builds the full
+/// relational pervasive environment — prototypes of Table 1, X-Relations
+/// of Table 2 (plus `sensors` and `surveillance`), the `temperatures`
+/// stream, and all simulated devices registered as services.
+class TemperatureScenario {
+ public:
+  static Result<std::unique_ptr<TemperatureScenario>> Build(
+      const TemperatureScenarioOptions& options = {});
+
+  Environment& env() { return env_; }
+  StreamStore& streams() { return streams_; }
+
+  const TemperatureScenarioOptions& options() const { return options_; }
+
+  // Simulated devices (also registered in env().registry()).
+  const std::shared_ptr<MessengerService>& email() const { return email_; }
+  const std::shared_ptr<MessengerService>& jabber() const { return jabber_; }
+  const std::shared_ptr<MessengerService>& sms() const { return sms_; }
+  const std::vector<std::shared_ptr<TemperatureSensorService>>& sensors()
+      const {
+    return sensors_;
+  }
+  const std::vector<std::shared_ptr<CameraService>>& cameras() const {
+    return cameras_;
+  }
+
+  /// All messages sent by any messenger, in send order.
+  std::vector<SentMessage> AllSentMessages() const;
+  void ClearOutboxes();
+
+  /// Reads every sensor in the `sensors` X-Relation (through the algebra:
+  /// invoke[getTemperature](sensors)) and appends (location, temperature)
+  /// tuples to the `temperatures` stream at instant `t`. This is the
+  /// "continuous query building a temperature stream from all available
+  /// sensors" of §1.2; sensors that fail or disappeared are skipped.
+  Status PumpTemperatureStream(Timestamp t);
+
+  /// Dynamic discovery: registers a new sensor and adds it to the
+  /// `sensors` X-Relation, while continuous queries keep running (§5.2).
+  Status AddSensor(const std::string& id, const std::string& location,
+                   double base_celsius);
+
+  /// A sensor disappears: unregistered and removed from `sensors`.
+  Status RemoveSensor(const std::string& id);
+
+  // --- The canonical queries of Table 4 -----------------------------------
+
+  /// Q1: β_sendMessage(α_text:='Bonjour!'(σ_name≠'Carla'(contacts))).
+  PlanPtr Q1() const;
+  /// Q1': σ_name≠'Carla'(β_sendMessage(α_text:='Bonjour!'(contacts))) —
+  /// NOT equivalent to Q1 (its action set also messages Carla, Example 6).
+  PlanPtr Q1Prime() const;
+  /// Q2: π_photo(β_takePhoto(σ_quality≥5(β_checkPhoto(
+  ///        σ_area='office'(cameras))))).
+  PlanPtr Q2() const;
+  /// Q2': π_photo(β_takePhoto(σ_quality≥5 ∧ area='office'(
+  ///        β_checkPhoto(cameras)))) — equivalent to Q2 when the photo
+  /// prototypes are passive (Example 7), but invokes checkPhoto on every
+  /// camera.
+  PlanPtr Q2Prime() const;
+  /// Q3 (continuous, Example 8): when a temperature exceeds 35.5°C, send
+  /// "Hot!" to the manager of the area.
+  PlanPtr Q3() const;
+  /// Q4 (continuous, Example 8): when a temperature drops below 12.0°C,
+  /// take a photo of the area; result is a photo stream.
+  PlanPtr Q4() const;
+  /// Q5 (continuous, full §5.2 surveillance with photo messaging): when a
+  /// temperature exceeds 35.5°C, photograph the area and send the photo
+  /// to the area's manager. Chains two invocation operators on different
+  /// service attributes (camera, then messenger) in one declarative
+  /// query. Requires `options.photo_messaging`.
+  PlanPtr Q5() const;
+
+  // Relation / stream names used by the scenario.
+  static constexpr const char* kSensors = "sensors";
+  static constexpr const char* kContacts = "contacts";
+  static constexpr const char* kCameras = "cameras";
+  static constexpr const char* kSurveillance = "surveillance";
+  static constexpr const char* kTemperatures = "temperatures";
+
+ private:
+  TemperatureScenario() = default;
+
+  Status Init(const TemperatureScenarioOptions& options);
+
+  TemperatureScenarioOptions options_;
+  Environment env_;
+  StreamStore streams_;
+  std::vector<std::string> areas_;
+  std::shared_ptr<MessengerService> email_;
+  std::shared_ptr<MessengerService> jabber_;
+  std::shared_ptr<MessengerService> sms_;
+  std::vector<std::shared_ptr<TemperatureSensorService>> sensors_;
+  std::vector<std::shared_ptr<CameraService>> cameras_;
+};
+
+/// Sizing knobs for the RSS experiment.
+struct RssScenarioOptions {
+  int extra_feeds = 0;
+  int items_per_instant = 2;
+  double keyword_rate = 0.15;
+  std::uint64_t seed = 7;
+};
+
+/// The RSS feed scenario (§5.2): wrapper services turn feeds into the
+/// `news` stream; continuous keyword-window queries select items of
+/// interest and can forward them to contacts as messages.
+class RssScenario {
+ public:
+  static Result<std::unique_ptr<RssScenario>> Build(
+      const RssScenarioOptions& options = {});
+
+  Environment& env() { return env_; }
+  StreamStore& streams() { return streams_; }
+
+  const std::vector<std::shared_ptr<RssFeedService>>& feeds() const {
+    return feeds_;
+  }
+  const std::shared_ptr<MessengerService>& email() const { return email_; }
+
+  /// Polls every feed in the `feeds` X-Relation (through
+  /// invoke[fetchItems](feeds)) and appends new items to `news` at `t` —
+  /// the paper's wrapper that "transforms RSS feeds into real streams".
+  Status PumpNews(Timestamp t);
+
+  /// Continuous query: the last `window` instants of news whose title
+  /// contains `keyword` (the "Obama with a one-hour window" query).
+  PlanPtr KeywordQuery(const std::string& keyword, Timestamp window) const;
+
+  /// Continuous query: forward matching news as messages to contact
+  /// `name` (combines the keyword table with `contacts`, §5.2).
+  PlanPtr ForwardQuery(const std::string& keyword, Timestamp window,
+                       const std::string& name) const;
+
+  static constexpr const char* kFeeds = "feeds";
+  static constexpr const char* kContacts = "contacts";
+  static constexpr const char* kNews = "news";
+
+ private:
+  RssScenario() = default;
+
+  Status Init(const RssScenarioOptions& options);
+
+  RssScenarioOptions options_;
+  Environment env_;
+  StreamStore streams_;
+  std::vector<std::shared_ptr<RssFeedService>> feeds_;
+  std::shared_ptr<MessengerService> email_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_ENV_SCENARIO_H_

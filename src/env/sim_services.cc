@@ -1,0 +1,229 @@
+#include "env/sim_services.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace serena {
+
+namespace {
+
+/// Deterministic uniform double in [0, 1) from a mixed key.
+double Hash01(std::uint64_t key) {
+  return static_cast<double>(Mix64(key) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t KeyOf(std::uint64_t seed, std::string_view salt,
+                    Timestamp now) {
+  return Mix64(seed ^ StableHash(salt) ^
+               (static_cast<std::uint64_t>(now) * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TemperatureSensorService
+// ---------------------------------------------------------------------------
+
+TemperatureSensorService::TemperatureSensorService(std::string id,
+                                                   double base_celsius,
+                                                   std::uint64_t seed)
+    : Service(std::move(id)),
+      prototype_(MakeGetTemperaturePrototype()),
+      base_celsius_(base_celsius),
+      seed_(seed) {}
+
+std::vector<PrototypePtr> TemperatureSensorService::prototypes() const {
+  return {prototype_};
+}
+
+double TemperatureSensorService::TemperatureAt(Timestamp now) const {
+  // Slow "diurnal" drift (period 48 instants) plus bounded noise.
+  const double drift =
+      2.0 * std::sin(static_cast<double>(now) * (2.0 * M_PI / 48.0));
+  const double noise = Hash01(KeyOf(seed_, id(), now)) - 0.5;
+  return base_celsius_ + drift + noise + bias_;
+}
+
+Result<std::vector<Tuple>> TemperatureSensorService::Invoke(
+    const Prototype& prototype, const Tuple& /*input*/, Timestamp now) {
+  if (prototype.name() != prototype_->name()) {
+    return Status::FailedPrecondition("sensor '", id(),
+                                      "' cannot serve prototype '",
+                                      prototype.name(), "'");
+  }
+  ++readings_served_;
+  return std::vector<Tuple>{Tuple{Value::Real(TemperatureAt(now))}};
+}
+
+// ---------------------------------------------------------------------------
+// CameraService
+// ---------------------------------------------------------------------------
+
+CameraService::CameraService(std::string id, std::vector<std::string> areas,
+                             std::uint64_t seed, bool take_photo_active)
+    : Service(std::move(id)),
+      check_photo_(MakeCheckPhotoPrototype()),
+      take_photo_(MakeTakePhotoPrototype(take_photo_active)),
+      areas_(std::move(areas)),
+      seed_(seed) {}
+
+std::vector<PrototypePtr> CameraService::prototypes() const {
+  return {check_photo_, take_photo_};
+}
+
+bool CameraService::Covers(std::string_view area) const {
+  return std::find(areas_.begin(), areas_.end(), area) != areas_.end();
+}
+
+int CameraService::QualityAt(std::string_view area, Timestamp now) const {
+  const std::uint64_t key =
+      KeyOf(seed_, std::string(area) + "@" + id(), now);
+  return 1 + static_cast<int>(Mix64(key) % 10);  // 1..10.
+}
+
+Result<std::vector<Tuple>> CameraService::Invoke(const Prototype& prototype,
+                                                 const Tuple& input,
+                                                 Timestamp now) {
+  if (prototype.name() == check_photo_->name()) {
+    const std::string& area = input[0].string_value();
+    if (!Covers(area)) return std::vector<Tuple>{};  // No coverage: 0 tuples.
+    const int quality = QualityAt(area, now);
+    const double delay =
+        0.05 + 1.95 * Hash01(KeyOf(seed_, "delay:" + area, now));
+    return std::vector<Tuple>{
+        Tuple{Value::Int(quality), Value::Real(delay)}};
+  }
+  if (prototype.name() == take_photo_->name()) {
+    const std::string& area = input[0].string_value();
+    if (!Covers(area)) return std::vector<Tuple>{};
+    const std::int64_t quality = input[1].int_value();
+    // Synthetic JPEG-ish payload: size scales with quality, content is a
+    // deterministic byte pattern so photos compare equal within an instant.
+    const std::size_t size =
+        256 + static_cast<std::size_t>(std::max<std::int64_t>(quality, 0)) *
+                  128;
+    Blob photo(size);
+    std::uint64_t state = KeyOf(seed_, "photo:" + area, now) ^
+                          static_cast<std::uint64_t>(quality);
+    for (std::size_t i = 0; i < size; ++i) {
+      state = Mix64(state);
+      photo[i] = static_cast<std::uint8_t>(state & 0xff);
+    }
+    ++photos_taken_;
+    return std::vector<Tuple>{Tuple{Value::BlobValue(std::move(photo))}};
+  }
+  return Status::FailedPrecondition("camera '", id(),
+                                    "' cannot serve prototype '",
+                                    prototype.name(), "'");
+}
+
+// ---------------------------------------------------------------------------
+// MessengerService
+// ---------------------------------------------------------------------------
+
+MessengerService::MessengerService(std::string id, Kind kind)
+    : Service(std::move(id)),
+      prototype_(MakeSendMessagePrototype()),
+      photo_prototype_(MakeSendPhotoMessagePrototype()),
+      kind_(kind) {}
+
+std::vector<PrototypePtr> MessengerService::prototypes() const {
+  return {prototype_, photo_prototype_};
+}
+
+Result<std::vector<Tuple>> MessengerService::Invoke(
+    const Prototype& prototype, const Tuple& input, Timestamp now) {
+  const bool with_photo = prototype.name() == photo_prototype_->name();
+  if (!with_photo && prototype.name() != prototype_->name()) {
+    return Status::FailedPrecondition("messenger '", id(),
+                                      "' cannot serve prototype '",
+                                      prototype.name(), "'");
+  }
+  const std::string& address = input[0].string_value();
+  const std::string& text = input[1].string_value();
+  const bool deliverable =
+      std::find(undeliverable_.begin(), undeliverable_.end(), address) ==
+      undeliverable_.end();
+  if (deliverable) {
+    SentMessage message{address, text, now, 0};
+    if (with_photo) message.photo_bytes = input[2].blob_value().size();
+    outbox_.push_back(std::move(message));
+  }
+  return std::vector<Tuple>{Tuple{Value::Bool(deliverable)}};
+}
+
+void MessengerService::AddUndeliverableAddress(std::string address) {
+  undeliverable_.push_back(std::move(address));
+}
+
+// ---------------------------------------------------------------------------
+// RssFeedService
+// ---------------------------------------------------------------------------
+
+RssFeedService::RssFeedService(std::string id,
+                               std::vector<std::string> word_pool,
+                               std::vector<std::string> keywords,
+                               double keyword_rate, int items_per_instant,
+                               std::uint64_t seed)
+    : Service(std::move(id)),
+      prototype_(MakeFetchItemsPrototype()),
+      word_pool_(std::move(word_pool)),
+      keywords_(std::move(keywords)),
+      keyword_rate_(keyword_rate),
+      items_per_instant_(items_per_instant),
+      seed_(seed) {}
+
+std::vector<PrototypePtr> RssFeedService::prototypes() const {
+  return {prototype_};
+}
+
+std::vector<std::pair<std::int64_t, std::string>> RssFeedService::ItemsAt(
+    Timestamp now) const {
+  std::vector<std::pair<std::int64_t, std::string>> items;
+  items.reserve(static_cast<std::size_t>(items_per_instant_));
+  for (int i = 0; i < items_per_instant_; ++i) {
+    const std::uint64_t key =
+        KeyOf(seed_, id() + "#" + std::to_string(i), now);
+    Rng rng(key);
+    std::string title;
+    const int words = 4 + static_cast<int>(rng.NextBounded(4));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) title += ' ';
+      if (!keywords_.empty() && rng.NextBool(keyword_rate_)) {
+        title += keywords_[rng.NextBounded(keywords_.size())];
+      } else if (!word_pool_.empty()) {
+        title += word_pool_[rng.NextBounded(word_pool_.size())];
+      } else {
+        title += "item";
+      }
+    }
+    const std::int64_t item_id =
+        static_cast<std::int64_t>(now) * items_per_instant_ + i;
+    items.emplace_back(item_id, std::move(title));
+  }
+  return items;
+}
+
+Result<std::vector<Tuple>> RssFeedService::Invoke(const Prototype& prototype,
+                                                  const Tuple& input,
+                                                  Timestamp now) {
+  if (prototype.name() != prototype_->name()) {
+    return Status::FailedPrecondition("feed '", id(),
+                                      "' cannot serve prototype '",
+                                      prototype.name(), "'");
+  }
+  if (input[0].string_value() != id()) {
+    // The wrapper serves exactly one feed: its own.
+    return std::vector<Tuple>{};
+  }
+  std::vector<Tuple> result;
+  for (auto& [item_id, title] : ItemsAt(now)) {
+    result.push_back(Tuple{Value::Int(item_id), Value::String(title)});
+  }
+  return result;
+}
+
+}  // namespace serena

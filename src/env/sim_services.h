@@ -1,0 +1,173 @@
+#ifndef SERENA_ENV_SIM_SERVICES_H_
+#define SERENA_ENV_SIM_SERVICES_H_
+
+#include <string>
+#include <vector>
+
+#include "env/prototypes.h"
+#include "service/service.h"
+
+namespace serena {
+
+/// The paper's experimental environment (§5.2) rebuilt as deterministic
+/// in-process simulations. Each class implements the `Service` contract:
+/// results are a pure function of (input, instant) plus explicitly set
+/// state, so invocations are deterministic within an instant (§3.2) and
+/// whole-system runs are reproducible.
+
+/// Simulates a Thermochron-iButton-style temperature sensor implementing
+/// getTemperature() : (temperature REAL).
+///
+/// The reading follows a slow diurnal sine plus bounded per-instant noise,
+/// shifted by a controllable bias — tests "heat" a sensor by raising the
+/// bias, exactly like the physical sensors were heated in the paper's
+/// experiment.
+class TemperatureSensorService final : public Service {
+ public:
+  TemperatureSensorService(std::string id, double base_celsius,
+                           std::uint64_t seed);
+
+  std::vector<PrototypePtr> prototypes() const override;
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override;
+
+  /// The deterministic reading this sensor reports at `now`.
+  double TemperatureAt(Timestamp now) const;
+
+  /// Additional offset applied from the next reading on (simulated
+  /// heating). May be negative.
+  void set_bias(double bias) { bias_ = bias; }
+  double bias() const { return bias_; }
+
+  std::uint64_t readings_served() const { return readings_served_; }
+
+ private:
+  PrototypePtr prototype_;
+  double base_celsius_;
+  std::uint64_t seed_;
+  double bias_ = 0.0;
+  std::uint64_t readings_served_ = 0;
+};
+
+/// Simulates a network camera implementing
+/// checkPhoto(area) : (quality INTEGER, delay REAL) and
+/// takePhoto(area, quality) : (photo BLOB).
+///
+/// Quality/delay are a deterministic function of (camera, area, instant);
+/// photos are synthetic blobs whose size grows with the requested quality.
+/// A camera only answers for areas it covers; other areas yield an empty
+/// result relation (0 tuples — prototype invocations may return any
+/// number of tuples, Def. 1).
+class CameraService final : public Service {
+ public:
+  CameraService(std::string id, std::vector<std::string> areas,
+                std::uint64_t seed, bool take_photo_active = false);
+
+  std::vector<PrototypePtr> prototypes() const override;
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override;
+
+  const std::vector<std::string>& areas() const { return areas_; }
+  bool Covers(std::string_view area) const;
+
+  /// Quality this camera would report for `area` at `now` (1..10).
+  int QualityAt(std::string_view area, Timestamp now) const;
+
+  std::uint64_t photos_taken() const { return photos_taken_; }
+
+ private:
+  PrototypePtr check_photo_;
+  PrototypePtr take_photo_;
+  std::vector<std::string> areas_;
+  std::uint64_t seed_;
+  std::uint64_t photos_taken_ = 0;
+};
+
+/// One message delivered by a MessengerService — the observable trace of
+/// an *active* invocation, i.e. the physical counterpart of an Action.
+struct SentMessage {
+  std::string address;
+  std::string text;
+  Timestamp instant = 0;
+  /// Size of the attached photo; 0 for plain messages.
+  std::size_t photo_bytes = 0;
+
+  bool operator==(const SentMessage& other) const {
+    return address == other.address && text == other.text &&
+           instant == other.instant && photo_bytes == other.photo_bytes;
+  }
+};
+
+/// Simulates a messaging gateway (mail server / Openfire IM / Clickatell
+/// SMS) implementing sendMessage(address, text) : (sent BOOLEAN) and
+/// sendPhotoMessage(address, text, photo) : (delivered BOOLEAN).
+///
+/// Every accepted message is appended to an outbox; the outbox is what
+/// scenario tests compare against expected action sets — once "received",
+/// a message cannot be canceled (the paper's motivation for the
+/// active/passive distinction).
+class MessengerService final : public Service {
+ public:
+  enum class Kind { kEmail, kJabber, kSms };
+
+  MessengerService(std::string id, Kind kind);
+
+  std::vector<PrototypePtr> prototypes() const override;
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override;
+
+  Kind kind() const { return kind_; }
+  const std::vector<SentMessage>& outbox() const { return outbox_; }
+  void ClearOutbox() { outbox_.clear(); }
+
+  /// Addresses this gateway refuses (delivery returns sent = false).
+  void AddUndeliverableAddress(std::string address);
+
+ private:
+  PrototypePtr prototype_;
+  PrototypePtr photo_prototype_;
+  Kind kind_;
+  std::vector<SentMessage> outbox_;
+  std::vector<std::string> undeliverable_;
+  // Within one instant, repeated sends with identical input must report
+  // the same `sent` value; the registry's memoization guarantees the
+  // caller never observes otherwise.
+};
+
+/// Simulates an RSS feed wrapper service (§5.2) implementing
+/// fetchItems(feed) : (item INTEGER, title STRING).
+///
+/// Items appear at a deterministic per-instant rate; titles are drawn from
+/// a word pool that includes periodic occurrences of hot keywords (e.g.
+/// "Obama"), so keyword-window queries always have work to do.
+class RssFeedService final : public Service {
+ public:
+  RssFeedService(std::string id, std::vector<std::string> word_pool,
+                 std::vector<std::string> keywords, double keyword_rate,
+                 int items_per_instant, std::uint64_t seed);
+
+  std::vector<PrototypePtr> prototypes() const override;
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override;
+
+  /// The items this feed publishes at exactly instant `now`
+  /// (item id, title).
+  std::vector<std::pair<std::int64_t, std::string>> ItemsAt(
+      Timestamp now) const;
+
+ private:
+  PrototypePtr prototype_;
+  std::vector<std::string> word_pool_;
+  std::vector<std::string> keywords_;
+  double keyword_rate_;
+  int items_per_instant_;
+  std::uint64_t seed_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_ENV_SIM_SERVICES_H_

@@ -1,0 +1,62 @@
+#include "env/synthetic_service.h"
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace serena {
+
+SyntheticService::SyntheticService(std::string id,
+                                   std::vector<PrototypePtr> prototypes,
+                                   std::uint64_t seed)
+    : Service(std::move(id)), prototypes_(std::move(prototypes)), seed_(seed) {}
+
+Result<std::vector<Tuple>> SyntheticService::Invoke(
+    const Prototype& prototype, const Tuple& input, Timestamp now) {
+  if (!Implements(prototype.name())) {
+    return Status::FailedPrecondition("synthetic service '", id(),
+                                      "' does not implement '",
+                                      prototype.name(), "'");
+  }
+  ++invocations_;
+  // One deterministic output tuple per invocation.
+  std::uint64_t state = Mix64(seed_ ^ StableHash(id())) ^
+                        StableHash(prototype.name()) ^
+                        Mix64(static_cast<std::uint64_t>(now));
+  for (const Value& v : input.values()) state = Mix64(state ^ v.Hash());
+
+  std::vector<Value> values;
+  values.reserve(prototype.output().size());
+  for (const Attribute& attr : prototype.output().attributes()) {
+    state = Mix64(state ^ StableHash(attr.name));
+    switch (attr.type) {
+      case DataType::kBool:
+        values.push_back(Value::Bool((state & 1) == 1));
+        break;
+      case DataType::kInt:
+        values.push_back(Value::Int(static_cast<std::int64_t>(state % 100)));
+        break;
+      case DataType::kReal:
+        values.push_back(
+            Value::Real(static_cast<double>(state % 10000) / 100.0));
+        break;
+      case DataType::kString:
+      case DataType::kService:
+        values.push_back(
+            Value::String("v" + std::to_string(state % 1000)));
+        break;
+      case DataType::kBlob: {
+        Blob blob(64);
+        std::uint64_t b = state;
+        for (std::size_t i = 0; i < blob.size(); ++i) {
+          b = Mix64(b);
+          blob[i] = static_cast<std::uint8_t>(b & 0xff);
+        }
+        values.push_back(Value::BlobValue(std::move(blob)));
+        break;
+      }
+    }
+  }
+  return std::vector<Tuple>{Tuple(std::move(values))};
+}
+
+}  // namespace serena

@@ -1,0 +1,41 @@
+#ifndef SERENA_ENV_SYNTHETIC_SERVICE_H_
+#define SERENA_ENV_SYNTHETIC_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace serena {
+
+/// A generic simulated service: implements any set of prototypes by
+/// producing deterministic, schema-conformant output values derived from
+/// hash(service, prototype, input, instant).
+///
+/// Used by the DDL catalog's default service resolver, so that a pure-DDL
+/// description of an environment (Table 1) yields a fully executable
+/// simulation without writing any device code.
+class SyntheticService final : public Service {
+ public:
+  SyntheticService(std::string id, std::vector<PrototypePtr> prototypes,
+                   std::uint64_t seed = 0);
+
+  std::vector<PrototypePtr> prototypes() const override {
+    return prototypes_;
+  }
+
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override;
+
+  std::uint64_t invocations() const { return invocations_; }
+
+ private:
+  std::vector<PrototypePtr> prototypes_;
+  std::uint64_t seed_;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_ENV_SYNTHETIC_SERVICE_H_

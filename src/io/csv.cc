@@ -1,0 +1,180 @@
+#include "io/csv.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace serena {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string ValueToCsvField(const Value& value) {
+  switch (value.type()) {
+    case DataType::kBool:
+      return value.bool_value() ? "true" : "false";
+    case DataType::kInt:
+      return std::to_string(value.int_value());
+    case DataType::kReal:
+      return StringFormat("%.17g", value.real_value());
+    case DataType::kBlob: {
+      std::string hex;
+      hex.reserve(value.blob_value().size() * 2);
+      for (std::uint8_t byte : value.blob_value()) {
+        hex += StringFormat("%02x", byte);
+      }
+      return hex;
+    }
+    default:
+      return QuoteField(value.string_value());
+  }
+}
+
+/// Splits one CSV line into raw fields, honoring quotes.
+Result<std::vector<std::string>> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field in line: ",
+                              std::string(line));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> FieldToValue(const std::string& field, DataType type) {
+  if (type == DataType::kBlob) {
+    if (field.size() % 2 != 0) {
+      return Status::ParseError("odd-length hex blob: ", field);
+    }
+    Blob blob;
+    blob.reserve(field.size() / 2);
+    for (std::size_t i = 0; i < field.size(); i += 2) {
+      auto nibble = [&](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = nibble(field[i]);
+      const int lo = nibble(field[i + 1]);
+      if (hi < 0 || lo < 0) {
+        return Status::ParseError("invalid hex blob: ", field);
+      }
+      blob.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return Value::BlobValue(std::move(blob));
+  }
+  if (type == DataType::kString || type == DataType::kService) {
+    return Value::String(field);
+  }
+  return ParseValueLiteral(field, type);
+}
+
+}  // namespace
+
+Result<std::string> ToCsv(const XRelation& relation) {
+  const ExtendedSchema& schema = relation.schema();
+  std::string csv;
+  // Header: real attribute names in schema order.
+  const std::vector<std::string> names = schema.RealNames();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) csv += ',';
+    csv += QuoteField(names[i]);
+  }
+  csv += '\n';
+  for (const Tuple& t : relation.Sorted()) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) csv += ',';
+      csv += ValueToCsvField(t[i]);
+    }
+    csv += '\n';
+  }
+  return csv;
+}
+
+Result<XRelation> FromCsv(ExtendedSchemaPtr schema, std::string_view csv) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  XRelation relation(schema);
+
+  // Collect the expected types in coordinate order.
+  std::vector<DataType> types;
+  for (const Attribute& attr : schema->attributes()) {
+    if (attr.is_real()) types.push_back(attr.type);
+  }
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t end = csv.find('\n', start);
+    const std::string_view line =
+        csv.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                        : end - start);
+    start = end == std::string_view::npos ? csv.size() + 1 : end + 1;
+    if (Trim(line).empty()) continue;
+    SERENA_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                            SplitCsvLine(line));
+    ++line_no;
+    if (line_no == 1) {
+      // Header must match the real schema exactly.
+      const std::vector<std::string> expected = schema->RealNames();
+      if (fields != expected) {
+        return Status::ParseError("CSV header {", Join(fields, ","),
+                                  "} does not match real schema {",
+                                  Join(expected, ","), "}");
+      }
+      continue;
+    }
+    if (fields.size() != types.size()) {
+      return Status::ParseError("CSV row ", line_no, " has ", fields.size(),
+                                " field(s), expected ", types.size());
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      SERENA_ASSIGN_OR_RETURN(Value value, FieldToValue(fields[i], types[i]));
+      values.push_back(std::move(value));
+    }
+    SERENA_RETURN_NOT_OK(relation.Insert(Tuple(std::move(values))).status());
+  }
+  return relation;
+}
+
+}  // namespace serena

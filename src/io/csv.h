@@ -1,0 +1,27 @@
+#ifndef SERENA_IO_CSV_H_
+#define SERENA_IO_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xrel/xrelation.h"
+
+namespace serena {
+
+/// CSV export/import for X-Relations (real attributes only — virtual
+/// attributes have no value to serialize, Def. 3).
+///
+/// Format: RFC-4180-ish. Header row of real attribute names; strings are
+/// quoted when they contain separators/quotes (quotes doubled); booleans
+/// as true/false; blobs as lowercase hex. Rows are emitted in canonical
+/// (sorted) order so exports are deterministic.
+Result<std::string> ToCsv(const XRelation& relation);
+
+/// Parses CSV produced by `ToCsv` (or hand-written data) into an
+/// X-Relation over `schema`. The header row must name exactly the
+/// schema's real attributes, in order. Values are typed by the schema.
+Result<XRelation> FromCsv(ExtendedSchemaPtr schema, std::string_view csv);
+
+}  // namespace serena
+
+#endif  // SERENA_IO_CSV_H_

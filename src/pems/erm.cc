@@ -1,0 +1,245 @@
+#include "pems/erm.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace serena {
+
+namespace {
+
+constexpr const char* kAnnounceType = "announce";
+constexpr const char* kByebyeType = "byebye";
+
+}  // namespace
+
+std::string EncodeAnnouncement(const std::string& ref,
+                               const std::vector<std::string>& prototypes) {
+  return ref + "|" + Join(prototypes, ",");
+}
+
+Result<std::pair<std::string, std::vector<std::string>>> DecodeAnnouncement(
+    const std::string& payload) {
+  const std::size_t bar = payload.find('|');
+  if (bar == std::string::npos) {
+    return Status::ParseError("malformed announcement payload: ", payload);
+  }
+  const std::string ref = payload.substr(0, bar);
+  if (ref.empty()) {
+    return Status::ParseError("announcement without service reference");
+  }
+  std::vector<std::string> prototypes;
+  const std::string protos = payload.substr(bar + 1);
+  if (!protos.empty()) {
+    prototypes = Split(protos, ',');
+  }
+  return std::make_pair(ref, std::move(prototypes));
+}
+
+// ---------------------------------------------------------------------------
+// RemoteServiceProxy
+// ---------------------------------------------------------------------------
+
+RemoteServiceProxy::RemoteServiceProxy(std::string ref,
+                                       std::vector<PrototypePtr> prototypes,
+                                       std::weak_ptr<LocalErm> host,
+                                       SimulatedNetwork* network)
+    : Service(std::move(ref)),
+      prototypes_(std::move(prototypes)),
+      host_(std::move(host)),
+      network_(network) {}
+
+Result<std::vector<Tuple>> RemoteServiceProxy::Invoke(
+    const Prototype& prototype, const Tuple& input, Timestamp now) {
+  std::shared_ptr<LocalErm> host = host_.lock();
+  if (host == nullptr) {
+    return Status::Unavailable("service '", id(),
+                               "': hosting Local ERM is gone");
+  }
+  SERENA_ASSIGN_OR_RETURN(ServicePtr service, host->GetLocal(id()));
+  if (network_ != nullptr) network_->ChargeInvocationRoundTrip();
+  return service->Invoke(prototype, input, now);
+}
+
+// ---------------------------------------------------------------------------
+// LocalErm
+// ---------------------------------------------------------------------------
+
+LocalErm::LocalErm(std::string node, SimulatedNetwork* network)
+    : node_(std::move(node)), network_(network) {}
+
+Result<std::shared_ptr<LocalErm>> LocalErm::Create(
+    std::string node, SimulatedNetwork* network) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("null network");
+  }
+  std::shared_ptr<LocalErm> erm(new LocalErm(std::move(node), network));
+  // Local ERMs currently only emit discovery traffic; attach with a no-op
+  // handler so unicast pings to the node are deliverable.
+  SERENA_RETURN_NOT_OK(
+      network->Attach(erm->node_, [](const NetworkMessage&) {}));
+  return erm;
+}
+
+LocalErm::~LocalErm() {
+  if (network_ != nullptr && network_->IsAttached(node_)) {
+    (void)network_->Detach(node_);
+  }
+}
+
+void LocalErm::Announce(Timestamp now, const Service& service) {
+  std::vector<std::string> prototype_names;
+  for (const PrototypePtr& prototype : service.prototypes()) {
+    prototype_names.push_back(prototype->name());
+  }
+  NetworkMessage message;
+  message.from = node_;
+  message.to = CoreErm::kNodeName;
+  message.type = kAnnounceType;
+  message.payload = EncodeAnnouncement(service.id(), prototype_names);
+  network_->Send(now, std::move(message));
+}
+
+Status LocalErm::Host(Timestamp now, ServicePtr service) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  const std::string ref = service->id();
+  const auto [it, inserted] = hosted_.emplace(ref, std::move(service));
+  if (!inserted) {
+    return Status::AlreadyExists("service '", ref, "' already hosted on '",
+                                 node_, "'");
+  }
+  Announce(now, *it->second);
+  return Status::OK();
+}
+
+Status LocalErm::Evict(Timestamp now, const std::string& ref) {
+  if (hosted_.erase(ref) == 0) {
+    return Status::NotFound("service '", ref, "' is not hosted on '", node_,
+                            "'");
+  }
+  NetworkMessage message;
+  message.from = node_;
+  message.to = CoreErm::kNodeName;
+  message.type = kByebyeType;
+  message.payload = EncodeAnnouncement(ref, {});
+  network_->Send(now, std::move(message));
+  return Status::OK();
+}
+
+Result<ServicePtr> LocalErm::GetLocal(const std::string& ref) const {
+  const auto it = hosted_.find(ref);
+  if (it == hosted_.end()) {
+    return Status::Unavailable("service '", ref, "' is no longer hosted on '",
+                               node_, "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> LocalErm::HostedRefs() const {
+  std::vector<std::string> refs;
+  refs.reserve(hosted_.size());
+  for (const auto& [ref, service] : hosted_) refs.push_back(ref);
+  return refs;
+}
+
+void LocalErm::AnnounceAll(Timestamp now) {
+  for (const auto& [ref, service] : hosted_) Announce(now, *service);
+}
+
+// ---------------------------------------------------------------------------
+// CoreErm
+// ---------------------------------------------------------------------------
+
+CoreErm::CoreErm(SimulatedNetwork* network, Environment* env)
+    : network_(network), env_(env) {}
+
+Result<std::unique_ptr<CoreErm>> CoreErm::Create(SimulatedNetwork* network,
+                                                 Environment* env) {
+  if (network == nullptr || env == nullptr) {
+    return Status::InvalidArgument("null network or environment");
+  }
+  std::unique_ptr<CoreErm> erm(new CoreErm(network, env));
+  CoreErm* raw = erm.get();
+  SERENA_RETURN_NOT_OK(network->Attach(
+      kNodeName,
+      [raw](const NetworkMessage& message) { raw->OnMessage(message); }));
+  return erm;
+}
+
+CoreErm::~CoreErm() {
+  if (network_ != nullptr && network_->IsAttached(kNodeName)) {
+    (void)network_->Detach(kNodeName);
+  }
+}
+
+void CoreErm::TrackLocalErm(const std::shared_ptr<LocalErm>& erm) {
+  local_erms_[erm->node()] = erm;
+}
+
+void CoreErm::OnMessage(const NetworkMessage& message) {
+  if (message.type == kAnnounceType) {
+    OnAnnounce(message);
+  } else if (message.type == kByebyeType) {
+    OnByebye(message);
+  }
+}
+
+void CoreErm::OnAnnounce(const NetworkMessage& message) {
+  auto decoded = DecodeAnnouncement(message.payload);
+  if (!decoded.ok()) {
+    SERENA_LOG(Warning) << "bad announcement from " << message.from << ": "
+                        << decoded.status();
+    return;
+  }
+  const auto& [ref, prototype_names] = *decoded;
+  last_seen_[ref] = message.delivered_at;  // Refresh the lease.
+  if (env_->registry().Contains(ref)) return;  // Periodic re-announce.
+
+  const auto erm_it = local_erms_.find(message.from);
+  if (erm_it == local_erms_.end()) {
+    SERENA_LOG(Warning) << "announcement from unknown Local ERM '"
+                        << message.from << "'";
+    return;
+  }
+  // Resolve prototype declarations from the catalog; unknown prototypes
+  // are skipped (the environment does not understand them yet).
+  std::vector<PrototypePtr> prototypes;
+  for (const std::string& name : prototype_names) {
+    auto prototype = env_->GetPrototype(name);
+    if (prototype.ok()) prototypes.push_back(*prototype);
+  }
+  if (prototypes.empty()) return;
+
+  auto proxy = std::make_shared<RemoteServiceProxy>(
+      ref, std::move(prototypes), erm_it->second, network_);
+  if (env_->registry().Register(std::move(proxy)).ok()) {
+    ++discovered_;
+  }
+}
+
+void CoreErm::OnByebye(const NetworkMessage& message) {
+  auto decoded = DecodeAnnouncement(message.payload);
+  if (!decoded.ok()) return;
+  last_seen_.erase(decoded->first);
+  if (env_->registry().Unregister(decoded->first).ok()) {
+    ++lost_;
+  }
+}
+
+std::size_t CoreErm::ExpireStale(Timestamp now) {
+  if (announcement_ttl_ <= 0) return 0;
+  std::vector<std::string> stale;
+  for (const auto& [ref, seen] : last_seen_) {
+    if (seen + announcement_ttl_ < now) stale.push_back(ref);
+  }
+  for (const std::string& ref : stale) {
+    last_seen_.erase(ref);
+    if (env_->registry().Unregister(ref).ok()) {
+      ++expired_;
+    }
+  }
+  return stale.size();
+}
+
+}  // namespace serena

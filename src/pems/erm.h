@@ -1,0 +1,136 @@
+#ifndef SERENA_PEMS_ERM_H_
+#define SERENA_PEMS_ERM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pems/network.h"
+#include "service/service.h"
+#include "xrel/environment.h"
+
+namespace serena {
+
+class LocalErm;
+
+/// A proxy standing in the core ERM's registry for a service hosted by a
+/// remote Local ERM. Invocations are forwarded to the hosting node (with
+/// a round trip charged on the simulated network); if the service has
+/// disappeared, the invocation fails with Unavailable — exactly what a
+/// standing query must tolerate in a pervasive environment.
+class RemoteServiceProxy final : public Service {
+ public:
+  RemoteServiceProxy(std::string ref, std::vector<PrototypePtr> prototypes,
+                     std::weak_ptr<LocalErm> host, SimulatedNetwork* network);
+
+  std::vector<PrototypePtr> prototypes() const override {
+    return prototypes_;
+  }
+
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override;
+
+ private:
+  std::vector<PrototypePtr> prototypes_;
+  std::weak_ptr<LocalErm> host_;
+  SimulatedNetwork* network_;
+};
+
+/// A Local Environment Resource Manager (§5.1, Figure 1): runs on a
+/// device node, hosts the services physically attached there, and
+/// announces them on the network (UPnP-style alive/byebye) so the core
+/// ERM can discover them.
+class LocalErm : public std::enable_shared_from_this<LocalErm> {
+ public:
+  /// Creates and attaches a Local ERM to the network.
+  static Result<std::shared_ptr<LocalErm>> Create(std::string node,
+                                                  SimulatedNetwork* network);
+  ~LocalErm();
+
+  const std::string& node() const { return node_; }
+
+  /// Hosts a service and announces it at instant `now`.
+  Status Host(Timestamp now, ServicePtr service);
+
+  /// Stops hosting a service and broadcasts its departure.
+  Status Evict(Timestamp now, const std::string& ref);
+
+  /// Local lookup used by invocation proxies.
+  Result<ServicePtr> GetLocal(const std::string& ref) const;
+
+  std::vector<std::string> HostedRefs() const;
+
+  /// Re-announces all hosted services (periodic alive messages).
+  void AnnounceAll(Timestamp now);
+
+ private:
+  LocalErm(std::string node, SimulatedNetwork* network);
+
+  void Announce(Timestamp now, const Service& service);
+
+  std::string node_;
+  SimulatedNetwork* network_;
+  std::map<std::string, ServicePtr> hosted_;
+};
+
+/// The core Environment Resource Manager (§5.1, Figure 1): listens for
+/// service announcements, materializes remote services as proxies in the
+/// environment's ServiceRegistry, and removes them on departure. The rest
+/// of the system (Query Processor, algebra) sees one uniform registry.
+class CoreErm {
+ public:
+  /// Creates the core ERM on node "core-erm" and attaches it.
+  static Result<std::unique_ptr<CoreErm>> Create(SimulatedNetwork* network,
+                                                 Environment* env);
+  ~CoreErm();
+
+  /// Registry of Local ERMs by node name, needed to resolve the hosting
+  /// node of an announcement into a proxy target.
+  void TrackLocalErm(const std::shared_ptr<LocalErm>& erm);
+
+  /// UPnP-style lease: a discovered service not re-announced within `ttl`
+  /// instants is considered gone (covers devices that crash without a
+  /// byebye). 0 disables expiry (the default).
+  void set_announcement_ttl(Timestamp ttl) { announcement_ttl_ = ttl; }
+  Timestamp announcement_ttl() const { return announcement_ttl_; }
+
+  /// Unregisters services whose announcements have expired at `now`;
+  /// returns how many were dropped. Call once per instant (Pems::Tick
+  /// does).
+  std::size_t ExpireStale(Timestamp now);
+
+  std::uint64_t services_discovered() const { return discovered_; }
+  std::uint64_t services_lost() const { return lost_; }
+  std::uint64_t services_expired() const { return expired_; }
+
+  static constexpr const char* kNodeName = "core-erm";
+
+ private:
+  CoreErm(SimulatedNetwork* network, Environment* env);
+
+  void OnMessage(const NetworkMessage& message);
+  void OnAnnounce(const NetworkMessage& message);
+  void OnByebye(const NetworkMessage& message);
+
+  SimulatedNetwork* network_;
+  Environment* env_;
+  std::map<std::string, std::weak_ptr<LocalErm>> local_erms_;
+  /// Per discovered service: the instant of its latest announcement.
+  std::map<std::string, Timestamp> last_seen_;
+  Timestamp announcement_ttl_ = 0;
+  std::uint64_t discovered_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+/// Announcement payload helpers ("ref|proto1,proto2").
+std::string EncodeAnnouncement(const std::string& ref,
+                               const std::vector<std::string>& prototypes);
+Result<std::pair<std::string, std::vector<std::string>>> DecodeAnnouncement(
+    const std::string& payload);
+
+}  // namespace serena
+
+#endif  // SERENA_PEMS_ERM_H_

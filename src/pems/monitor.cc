@@ -1,0 +1,68 @@
+#include "pems/monitor.h"
+
+#include "common/string_util.h"
+
+namespace serena {
+
+std::string PemsMetrics::ToString() const {
+  std::string s;
+  s += StringFormat("instant %lld\n", static_cast<long long>(instant));
+  s += StringFormat(
+      "catalog: %zu prototypes, %zu relations (%zu tuples), %zu streams\n",
+      prototypes, relations, total_tuples, streams);
+  s += StringFormat(
+      "services: %zu available (discovered %llu, lost %llu, expired %llu)\n",
+      services, static_cast<unsigned long long>(services_discovered),
+      static_cast<unsigned long long>(services_lost),
+      static_cast<unsigned long long>(services_expired));
+  s += StringFormat(
+      "invocations: %llu logical, %llu physical, %llu active, %llu output "
+      "tuples\n",
+      static_cast<unsigned long long>(invocations.logical_invocations),
+      static_cast<unsigned long long>(invocations.physical_invocations),
+      static_cast<unsigned long long>(invocations.active_invocations),
+      static_cast<unsigned long long>(invocations.output_tuples));
+  s += StringFormat(
+      "network: %llu sent, %llu delivered, %llu dropped, %llu round trips\n",
+      static_cast<unsigned long long>(network.sent),
+      static_cast<unsigned long long>(network.delivered),
+      static_cast<unsigned long long>(network.dropped),
+      static_cast<unsigned long long>(network.invocation_round_trips));
+  s += StringFormat("continuous queries: %zu\n", queries.size());
+  for (const QueryInfo& query : queries) {
+    s += StringFormat("  %s: %llu steps, %zu distinct actions\n",
+                      query.name.c_str(),
+                      static_cast<unsigned long long>(query.steps),
+                      query.actions);
+  }
+  return s;
+}
+
+PemsMetrics SnapshotMetrics(Pems& pems) {
+  PemsMetrics metrics;
+  metrics.instant = pems.env().clock().now();
+  metrics.prototypes = pems.env().PrototypeNames().size();
+  const auto relation_names = pems.env().RelationNames();
+  metrics.relations = relation_names.size();
+  for (const std::string& name : relation_names) {
+    auto relation = pems.env().GetRelation(name);
+    if (relation.ok()) metrics.total_tuples += (*relation)->size();
+  }
+  metrics.streams = pems.streams().StreamNames().size();
+  metrics.services = pems.env().registry().size();
+  metrics.services_discovered = pems.erm().services_discovered();
+  metrics.services_lost = pems.erm().services_lost();
+  metrics.services_expired = pems.erm().services_expired();
+  metrics.invocations = pems.env().registry().stats();
+  metrics.network = pems.network().stats();
+  for (const std::string& name : pems.queries().executor().QueryNames()) {
+    auto query = pems.queries().GetContinuous(name);
+    if (query.ok()) {
+      metrics.queries.push_back(PemsMetrics::QueryInfo{
+          name, (*query)->steps(), (*query)->accumulated_actions().size()});
+    }
+  }
+  return metrics;
+}
+
+}  // namespace serena

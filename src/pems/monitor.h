@@ -1,0 +1,50 @@
+#ifndef SERENA_PEMS_MONITOR_H_
+#define SERENA_PEMS_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "pems/pems.h"
+
+namespace serena {
+
+/// A point-in-time snapshot of everything a PEMS operator wants on a
+/// dashboard: catalog sizes, invocation traffic, discovery counters,
+/// network statistics and the standing queries.
+struct PemsMetrics {
+  Timestamp instant = 0;
+
+  // Catalog.
+  std::size_t prototypes = 0;
+  std::size_t relations = 0;
+  std::size_t total_tuples = 0;
+  std::size_t streams = 0;
+
+  // Services / discovery.
+  std::size_t services = 0;
+  std::uint64_t services_discovered = 0;
+  std::uint64_t services_lost = 0;
+  std::uint64_t services_expired = 0;
+
+  // Traffic.
+  InvocationStats invocations;
+  NetworkStats network;
+
+  // Standing queries and their accumulated side effects.
+  struct QueryInfo {
+    std::string name;
+    std::uint64_t steps = 0;
+    std::size_t actions = 0;
+  };
+  std::vector<QueryInfo> queries;
+
+  /// Multi-line human-readable dashboard rendering.
+  std::string ToString() const;
+};
+
+/// Collects a metrics snapshot from a running PEMS.
+PemsMetrics SnapshotMetrics(Pems& pems);
+
+}  // namespace serena
+
+#endif  // SERENA_PEMS_MONITOR_H_

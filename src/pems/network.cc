@@ -1,0 +1,93 @@
+#include "pems/network.h"
+
+#include <algorithm>
+
+namespace serena {
+
+SimulatedNetwork::SimulatedNetwork() : SimulatedNetwork(Options()) {}
+
+SimulatedNetwork::SimulatedNetwork(const Options& options)
+    : options_(options), rng_(options.seed) {}
+
+Status SimulatedNetwork::Attach(const std::string& node, Handler handler) {
+  if (node.empty() || node == "*") {
+    return Status::InvalidArgument("invalid node name '", node, "'");
+  }
+  if (!nodes_.emplace(node, std::move(handler)).second) {
+    return Status::AlreadyExists("node '", node, "' already attached");
+  }
+  return Status::OK();
+}
+
+Status SimulatedNetwork::Detach(const std::string& node) {
+  if (nodes_.erase(node) == 0) {
+    return Status::NotFound("node '", node, "' is not attached");
+  }
+  return Status::OK();
+}
+
+bool SimulatedNetwork::IsAttached(const std::string& node) const {
+  return nodes_.count(node) > 0;
+}
+
+void SimulatedNetwork::Send(Timestamp now, NetworkMessage message) {
+  ++stats_.sent;
+  if (rng_.NextBool(options_.drop_rate)) {
+    ++stats_.dropped;
+    return;
+  }
+  const Timestamp latency =
+      rng_.NextInt(options_.min_latency, options_.max_latency);
+  queue_.push_back(Pending{now + latency, std::move(message)});
+}
+
+void SimulatedNetwork::Broadcast(Timestamp now, const std::string& from,
+                                 const std::string& type,
+                                 const std::string& payload) {
+  NetworkMessage message;
+  message.from = from;
+  message.to = "*";
+  message.type = type;
+  message.payload = payload;
+  Send(now, std::move(message));
+}
+
+std::size_t SimulatedNetwork::DeliverDue(Timestamp now) {
+  std::size_t delivered = 0;
+  // Stable partition keeps FIFO order among same-due messages.
+  std::deque<Pending> remaining;
+  std::deque<Pending> due;
+  for (Pending& pending : queue_) {
+    if (pending.due <= now) {
+      due.push_back(std::move(pending));
+    } else {
+      remaining.push_back(std::move(pending));
+    }
+  }
+  queue_ = std::move(remaining);
+
+  for (Pending& pending : due) {
+    NetworkMessage& message = pending.message;
+    message.delivered_at = now;
+    if (message.to == "*") {
+      for (const auto& [node, handler] : nodes_) {
+        if (node == message.from) continue;
+        handler(message);
+        ++stats_.delivered;
+        ++delivered;
+      }
+    } else {
+      const auto it = nodes_.find(message.to);
+      if (it != nodes_.end()) {
+        it->second(message);
+        ++stats_.delivered;
+        ++delivered;
+      } else {
+        ++stats_.dropped;
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace serena

@@ -1,0 +1,100 @@
+#ifndef SERENA_PEMS_NETWORK_H_
+#define SERENA_PEMS_NETWORK_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace serena {
+
+/// A control-plane message on the simulated network (the UPnP-like
+/// discovery traffic of §5.1): service announcements, departures, pings.
+struct NetworkMessage {
+  std::string from;
+  std::string to;  // Node name, or "*" for broadcast.
+  std::string type;
+  std::string payload;
+  /// Filled by the network when the message is handed to a handler: the
+  /// instant of delivery (receivers often need "now", e.g. for leases).
+  Timestamp delivered_at = 0;
+};
+
+/// Statistics for the simulated network.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  /// Data-plane round trips charged by remote invocation proxies.
+  std::uint64_t invocation_round_trips = 0;
+};
+
+/// An in-process stand-in for the paper's OSGi/UPnP network: nodes attach
+/// with a handler; messages are queued with a deterministic sampled
+/// latency (in logical instants) and optionally dropped, and delivered
+/// when the clock reaches their due time.
+///
+/// The data plane (remote invocation) does not serialize tuples through
+/// this queue — `RemoteServiceProxy` calls the hosting node directly and
+/// charges a round trip via `ChargeInvocationRoundTrip`, preserving the
+/// cost structure without a marshalling layer.
+class SimulatedNetwork {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    Timestamp min_latency = 0;  ///< Instants before a message can arrive.
+    Timestamp max_latency = 1;
+    double drop_rate = 0.0;     ///< Probability a message is lost.
+  };
+
+  using Handler = std::function<void(const NetworkMessage&)>;
+
+  /// Default options: latency 0-1 instants, no drops.
+  SimulatedNetwork();
+  explicit SimulatedNetwork(const Options& options);
+
+  SimulatedNetwork(const SimulatedNetwork&) = delete;
+  SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
+
+  /// Attaches a node. Fails on duplicate names.
+  Status Attach(const std::string& node, Handler handler);
+  Status Detach(const std::string& node);
+  bool IsAttached(const std::string& node) const;
+
+  /// Enqueues a message sent at instant `now`; it will be delivered at
+  /// `now + latency` (or dropped).
+  void Send(Timestamp now, NetworkMessage message);
+
+  /// Broadcast helper (delivered to every node except the sender).
+  void Broadcast(Timestamp now, const std::string& from,
+                 const std::string& type, const std::string& payload);
+
+  /// Delivers every queued message due at or before `now`. Returns the
+  /// number delivered.
+  std::size_t DeliverDue(Timestamp now);
+
+  void ChargeInvocationRoundTrip() { ++stats_.invocation_round_trips; }
+
+  const NetworkStats& stats() const { return stats_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    Timestamp due;
+    NetworkMessage message;
+  };
+
+  Options options_;
+  Rng rng_;
+  std::map<std::string, Handler> nodes_;
+  std::deque<Pending> queue_;
+  NetworkStats stats_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_PEMS_NETWORK_H_

@@ -1,0 +1,74 @@
+#include "pems/pems.h"
+
+namespace serena {
+
+Result<std::unique_ptr<Pems>> Pems::Create() { return Create(Options()); }
+
+Result<std::unique_ptr<Pems>> Pems::Create(const Options& options) {
+  std::unique_ptr<Pems> pems(new Pems());
+  SERENA_RETURN_NOT_OK(pems->Init(options));
+  return pems;
+}
+
+Status Pems::Init(const Options& options) {
+  options_ = options;
+  network_ = std::make_unique<SimulatedNetwork>(options.network);
+  SERENA_ASSIGN_OR_RETURN(core_erm_, CoreErm::Create(network_.get(), &env_));
+  core_erm_->set_announcement_ttl(options.announcement_ttl);
+  tables_ = std::make_unique<ExtendedTableManager>(&env_, &streams_);
+  queries_ = std::make_unique<QueryProcessor>(&env_, &streams_);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<LocalErm>> Pems::CreateLocalErm(
+    const std::string& node) {
+  SERENA_ASSIGN_OR_RETURN(std::shared_ptr<LocalErm> erm,
+                          LocalErm::Create(node, network_.get()));
+  core_erm_->TrackLocalErm(erm);
+  local_erms_.push_back(erm);
+  return erm;
+}
+
+Status Pems::Deploy(const std::string& node, ServicePtr service) {
+  std::shared_ptr<LocalErm> target;
+  for (const auto& erm : local_erms_) {
+    if (erm->node() == node) {
+      target = erm;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    SERENA_ASSIGN_OR_RETURN(target, CreateLocalErm(node));
+  }
+  return target->Host(env_.clock().now(), std::move(service));
+}
+
+Status Pems::CrashNode(const std::string& node) {
+  for (auto it = local_erms_.begin(); it != local_erms_.end(); ++it) {
+    if ((*it)->node() == node) {
+      local_erms_.erase(it);  // Last owner: destroys the ERM silently.
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no Local ERM on node '", node, "'");
+}
+
+Timestamp Pems::Tick() {
+  const Timestamp next = env_.clock().now() + 1;
+  // Periodic alive messages from every Local ERM (lease renewal).
+  if (options_.reannounce_interval > 0 &&
+      next % options_.reannounce_interval == 0) {
+    for (const auto& erm : local_erms_) erm->AnnounceAll(next);
+  }
+  network_->DeliverDue(next);
+  core_erm_->ExpireStale(next);
+  return queries_->Tick();
+}
+
+Timestamp Pems::Run(int n) {
+  Timestamp last = env_.clock().now();
+  for (int i = 0; i < n; ++i) last = Tick();
+  return last;
+}
+
+}  // namespace serena

@@ -1,0 +1,84 @@
+#ifndef SERENA_PEMS_PEMS_H_
+#define SERENA_PEMS_PEMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pems/erm.h"
+#include "pems/network.h"
+#include "pems/query_processor.h"
+#include "pems/table_manager.h"
+
+namespace serena {
+
+/// The Pervasive Environment Management System (§5, Figure 1): owns the
+/// relational pervasive environment and wires together the core modules —
+///
+///   Local ERMs ──announce/byebye──▶ core ERM ──register──▶ ServiceRegistry
+///   Serena DDL ──▶ Extended Table Manager ──▶ X-Relations / XD-Relations
+///   Serena Algebra Language ──▶ Query Processor ──▶ one-shot / continuous
+///
+/// `Tick()` advances one logical instant: pending network messages are
+/// delivered first (so freshly announced services are visible), then the
+/// continuous executor evaluates sources and standing queries.
+class Pems {
+ public:
+  struct Options {
+    SimulatedNetwork::Options network;
+    /// UPnP-style lease duration in instants; services not re-announced
+    /// within this span are dropped. 0 disables expiry.
+    Timestamp announcement_ttl = 0;
+    /// Every `reannounce_interval` instants all Local ERMs re-announce
+    /// their hosted services (alive messages). 0 disables.
+    Timestamp reannounce_interval = 0;
+  };
+
+  /// Creates a PEMS with default network options.
+  static Result<std::unique_ptr<Pems>> Create();
+  static Result<std::unique_ptr<Pems>> Create(const Options& options);
+
+  Environment& env() { return env_; }
+  StreamStore& streams() { return streams_; }
+  SimulatedNetwork& network() { return *network_; }
+  ExtendedTableManager& tables() { return *tables_; }
+  QueryProcessor& queries() { return *queries_; }
+  CoreErm& erm() { return *core_erm_; }
+
+  /// Spawns a Local ERM on node `node` and makes it discoverable.
+  Result<std::shared_ptr<LocalErm>> CreateLocalErm(const std::string& node);
+
+  /// Hosts `service` on `node`'s Local ERM (creating the ERM on demand)
+  /// at the current instant; the core ERM will discover it once the
+  /// announcement is delivered.
+  Status Deploy(const std::string& node, ServicePtr service);
+
+  /// Simulates a node crash: its Local ERM is destroyed without any
+  /// byebye message. Hosted services stop renewing their leases (they
+  /// expire after `announcement_ttl`) and their proxies start failing
+  /// with Unavailable.
+  Status CrashNode(const std::string& node);
+
+  /// One logical instant: deliver due network traffic, then run sources
+  /// and continuous queries.
+  Timestamp Tick();
+  Timestamp Run(int n);
+
+ private:
+  Pems() = default;
+
+  Status Init(const Options& options);
+
+  Options options_;
+  Environment env_;
+  StreamStore streams_;
+  std::unique_ptr<SimulatedNetwork> network_;
+  std::unique_ptr<CoreErm> core_erm_;
+  std::unique_ptr<ExtendedTableManager> tables_;
+  std::unique_ptr<QueryProcessor> queries_;
+  std::vector<std::shared_ptr<LocalErm>> local_erms_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_PEMS_PEMS_H_

@@ -1,0 +1,101 @@
+#ifndef SERENA_PEMS_QUERY_PROCESSOR_H_
+#define SERENA_PEMS_QUERY_PROCESSOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <set>
+
+#include "algebra/parameters.h"
+#include "ddl/algebra_parser.h"
+#include "rewrite/rewriter.h"
+#include "stream/executor.h"
+
+namespace serena {
+
+/// The Query Processor (§5.1, Figure 1): registers queries written in the
+/// Serena Algebra Language and executes them — one-shot or continuous —
+/// after logical optimization through the rewriter. It also maintains
+/// *service discovery queries*: X-Relations that continuously mirror the
+/// set of available services implementing a given prototype.
+class QueryProcessor {
+ public:
+  QueryProcessor(Environment* env, StreamStore* streams);
+  ~QueryProcessor();
+
+  QueryProcessor(const QueryProcessor&) = delete;
+  QueryProcessor& operator=(const QueryProcessor&) = delete;
+
+  /// Toggle logical optimization (§3.3 rewriting) before execution.
+  void set_optimize(bool optimize) { optimize_ = optimize; }
+
+  /// Parses, optimizes and executes a one-shot query at the current
+  /// instant.
+  Result<QueryResult> ExecuteOneShot(std::string_view algebra);
+
+  /// Parses and stores a parameterized query template under `name`
+  /// (prepared-statement pattern; parameters are `:name` placeholders).
+  Status Prepare(const std::string& name, std::string_view algebra);
+
+  /// Binds `parameters` into a prepared template, optimizes and executes.
+  Result<QueryResult> ExecutePrepared(
+      const std::string& name,
+      const std::map<std::string, Value>& parameters);
+
+  /// Parameter names a prepared template requires.
+  Result<std::set<std::string>> PreparedParameters(
+      const std::string& name) const;
+
+  /// Parses, optimizes and registers a continuous query.
+  Status RegisterContinuous(const std::string& name,
+                            std::string_view algebra,
+                            ContinuousQuery::Sink sink = nullptr);
+  Status UnregisterContinuous(const std::string& name);
+  Result<ContinuousQueryPtr> GetContinuous(const std::string& name) const;
+
+  /// Registers a continuous query whose per-instant results are appended
+  /// to the named stream — a *derived stream*, composing continuous
+  /// queries: the result of one standing query is an XD-Relation that
+  /// other queries window over (§4.1's closure property made concrete).
+  ///
+  /// Creates the stream on first use (schema inferred from the query);
+  /// if it exists, its attribute sequence must match the query's output
+  /// (modulo realness — stream schemas store the real projection).
+  Status RegisterContinuousInto(const std::string& name,
+                                std::string_view algebra,
+                                const std::string& stream);
+
+  /// Creates (or adopts) X-Relation `relation`(service SERVICE) and keeps
+  /// it synchronized with the registry: one tuple per available service
+  /// implementing `prototype` (§5.1's "service discovery queries").
+  Status RegisterDiscoveryQuery(const std::string& relation,
+                                const std::string& prototype);
+
+  /// The continuous executor driving registered queries; sources (stream
+  /// feeders) are added here.
+  ContinuousExecutor& executor() { return executor_; }
+
+  /// Advances one instant (delegates to the executor).
+  Timestamp Tick() { return executor_.Tick(); }
+
+ private:
+  Status SyncDiscoveryRelation(const std::string& relation,
+                               const std::string& prototype);
+
+  Environment* env_;
+  StreamStore* streams_;
+  ContinuousExecutor executor_;
+  Rewriter rewriter_;
+  bool optimize_ = true;
+  // relation name -> prototype it mirrors.
+  std::map<std::string, std::string> discovery_queries_;
+  // Prepared query templates by name.
+  std::map<std::string, PlanPtr> prepared_;
+  std::size_t registry_listener_token_ = 0;
+  bool has_listener_ = false;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_PEMS_QUERY_PROCESSOR_H_

@@ -1,0 +1,43 @@
+#include "pems/table_manager.h"
+
+namespace serena {
+
+ExtendedTableManager::ExtendedTableManager(Environment* env,
+                                           StreamStore* streams)
+    : env_(env), streams_(streams), catalog_(env, streams) {}
+
+Status ExtendedTableManager::ExecuteDdl(std::string_view ddl) {
+  return catalog_.Execute(ddl);
+}
+
+Result<bool> ExtendedTableManager::InsertTuple(const std::string& relation,
+                                               Tuple tuple) {
+  SERENA_ASSIGN_OR_RETURN(XRelation * target,
+                          env_->GetMutableRelation(relation));
+  return target->Insert(std::move(tuple));
+}
+
+Result<bool> ExtendedTableManager::DeleteTuple(const std::string& relation,
+                                               const Tuple& tuple) {
+  SERENA_ASSIGN_OR_RETURN(XRelation * target,
+                          env_->GetMutableRelation(relation));
+  return target->Erase(tuple);
+}
+
+Status ExtendedTableManager::AppendToStream(const std::string& stream,
+                                            Timestamp t, Tuple tuple) {
+  if (streams_ == nullptr) {
+    return Status::FailedPrecondition("no stream store configured");
+  }
+  SERENA_ASSIGN_OR_RETURN(XDRelation * target, streams_->GetStream(stream));
+  return target->Append(t, std::move(tuple));
+}
+
+Result<std::size_t> ExtendedTableManager::RelationSize(
+    const std::string& relation) const {
+  SERENA_ASSIGN_OR_RETURN(const XRelation* target,
+                          env_->GetRelation(relation));
+  return target->size();
+}
+
+}  // namespace serena

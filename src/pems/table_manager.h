@@ -1,0 +1,46 @@
+#ifndef SERENA_PEMS_TABLE_MANAGER_H_
+#define SERENA_PEMS_TABLE_MANAGER_H_
+
+#include <string>
+
+#include "ddl/catalog.h"
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
+
+namespace serena {
+
+/// The Extended Table Manager (§5.1, Figure 1): defines XD-Relations from
+/// Serena DDL statements and manages their data (insertion and deletion
+/// of tuples; appends for streams).
+class ExtendedTableManager {
+ public:
+  ExtendedTableManager(Environment* env, StreamStore* streams);
+
+  /// Executes Serena DDL (PROTOTYPE / SERVICE / EXTENDED RELATION /
+  /// EXTENDED STREAM statements).
+  Status ExecuteDdl(std::string_view ddl);
+
+  SerenaCatalog& catalog() { return catalog_; }
+
+  /// Inserts a tuple (over the relation's real schema) into a finite
+  /// XD-Relation. Returns whether the tuple was new (set semantics).
+  Result<bool> InsertTuple(const std::string& relation, Tuple tuple);
+
+  /// Deletes a tuple. Returns whether it was present.
+  Result<bool> DeleteTuple(const std::string& relation, const Tuple& tuple);
+
+  /// Appends a tuple to an infinite XD-Relation at instant `t`.
+  Status AppendToStream(const std::string& stream, Timestamp t, Tuple tuple);
+
+  /// Number of tuples currently in a finite relation.
+  Result<std::size_t> RelationSize(const std::string& relation) const;
+
+ private:
+  Environment* env_;
+  StreamStore* streams_;
+  SerenaCatalog catalog_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_PEMS_TABLE_MANAGER_H_

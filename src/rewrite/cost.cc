@@ -1,0 +1,144 @@
+#include "rewrite/cost.h"
+
+namespace serena {
+
+namespace {
+
+/// Crude per-formula selectivity: conjunctions multiply, disjunctions
+/// dampen, comparisons use the configured constants. We only look at the
+/// rendered form to keep the estimator independent of formula internals.
+double FormulaSelectivity(const FormulaPtr& formula,
+                          const CostModelOptions& options) {
+  const std::string repr = formula->ToString();
+  // Count comparison operators as a proxy for conjunct count.
+  double selectivity = 1.0;
+  bool any = false;
+  for (std::size_t i = 0; i < repr.size(); ++i) {
+    if (repr[i] == '=' && (i == 0 || (repr[i - 1] != '!' &&
+                                      repr[i - 1] != '<' &&
+                                      repr[i - 1] != '>'))) {
+      selectivity *= options.equality_selectivity;
+      any = true;
+    } else if (repr[i] == '<' || repr[i] == '>') {
+      selectivity *= options.default_selectivity;
+      any = true;
+    }
+  }
+  return any ? selectivity : options.default_selectivity;
+}
+
+}  // namespace
+
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Environment& env,
+                              const StreamStore* streams,
+                              const CostModelOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  PlanCost cost;
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      const auto* node = static_cast<const ScanNode*>(plan.get());
+      SERENA_ASSIGN_OR_RETURN(const XRelation* relation,
+                              env.GetRelation(node->relation()));
+      cost.cardinality = static_cast<double>(relation->size());
+      cost.tuples = cost.cardinality;
+      return cost;
+    }
+    case PlanKind::kWindow: {
+      cost.cardinality = options.window_cardinality;
+      cost.tuples = cost.cardinality;
+      return cost;
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference:
+    case PlanKind::kJoin: {
+      const auto children = plan->children();
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost left, EstimateCost(children[0], env, streams, options));
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost right, EstimateCost(children[1], env, streams, options));
+      cost.invocations = left.invocations + right.invocations;
+      cost.active_invocations =
+          left.active_invocations + right.active_invocations;
+      switch (plan->kind()) {
+        case PlanKind::kUnion:
+          cost.cardinality = left.cardinality + right.cardinality;
+          break;
+        case PlanKind::kIntersect:
+          cost.cardinality = std::min(left.cardinality, right.cardinality) *
+                             options.equality_selectivity;
+          break;
+        case PlanKind::kDifference:
+          cost.cardinality = left.cardinality;
+          break;
+        default:  // Join: assume a key-ish join on the smaller side.
+          cost.cardinality =
+              std::max(left.cardinality, right.cardinality) *
+              options.default_selectivity;
+          break;
+      }
+      cost.tuples = left.tuples + right.tuples + cost.cardinality;
+      return cost;
+    }
+    case PlanKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(plan.get());
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost child,
+          EstimateCost(node->child(), env, streams, options));
+      cost = child;
+      cost.cardinality =
+          child.cardinality * FormulaSelectivity(node->formula(), options);
+      cost.tuples = child.tuples + child.cardinality;
+      return cost;
+    }
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost child,
+          EstimateCost(node->child(), env, streams, options));
+      cost = child;
+      cost.tuples = child.tuples + child.cardinality;
+      return cost;  // Cardinality may shrink with dedup; keep upper bound.
+    }
+    case PlanKind::kAggregate: {
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost child,
+          EstimateCost(plan->children()[0], env, streams, options));
+      cost = child;
+      // Grouping compresses: assume a square-root-ish group count.
+      cost.cardinality = std::max(1.0, child.cardinality *
+                                           options.equality_selectivity);
+      cost.tuples = child.tuples + child.cardinality;
+      return cost;
+    }
+    case PlanKind::kRename:
+    case PlanKind::kAssign:
+    case PlanKind::kStreaming: {
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost child,
+          EstimateCost(plan->children()[0], env, streams, options));
+      cost = child;
+      cost.tuples = child.tuples + child.cardinality;
+      return cost;
+    }
+    case PlanKind::kInvoke: {
+      const auto* node = static_cast<const InvokeNode*>(plan.get());
+      SERENA_ASSIGN_OR_RETURN(
+          PlanCost child,
+          EstimateCost(node->child(), env, streams, options));
+      cost = child;
+      // One invocation per input tuple.
+      cost.invocations = child.invocations + child.cardinality;
+      if (node->IsActive(env, streams)) {
+        cost.active_invocations =
+            child.active_invocations + child.cardinality;
+      }
+      cost.cardinality = child.cardinality * options.invocation_fanout;
+      cost.tuples = child.tuples + cost.cardinality;
+      return cost;
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace serena

@@ -1,0 +1,49 @@
+#ifndef SERENA_REWRITE_COST_H_
+#define SERENA_REWRITE_COST_H_
+
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// Cost estimate for a Serena plan. In a pervasive environment the
+/// dominating cost is remote service invocation (network round-trip to a
+/// sensor/actuator), so invocations are priced far above local tuple
+/// processing — this is the "cost model dedicated to pervasive
+/// environments" the paper's conclusion calls for.
+struct PlanCost {
+  /// Estimated service invocations (passive + active).
+  double invocations = 0;
+  /// Estimated invocations of *active* prototypes.
+  double active_invocations = 0;
+  /// Estimated tuples flowing through local operators.
+  double tuples = 0;
+  /// Estimated output cardinality of the plan.
+  double cardinality = 0;
+
+  /// Scalar objective: invocations dominate local work.
+  double Total() const { return invocations * 100.0 + tuples; }
+};
+
+/// Knobs for the estimator.
+struct CostModelOptions {
+  /// Selectivity assumed for an equality comparison.
+  double equality_selectivity = 0.1;
+  /// Selectivity assumed for any other predicate.
+  double default_selectivity = 0.5;
+  /// Average output tuples per invocation (Def. 1 allows 0..n).
+  double invocation_fanout = 1.0;
+  /// Cardinality assumed for windows over streams (per instant).
+  double window_cardinality = 16.0;
+};
+
+/// Estimates the cost of `plan` bottom-up, using the environment's actual
+/// base-relation cardinalities and the options' selectivities.
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Environment& env,
+                              const StreamStore* streams,
+                              const CostModelOptions& options = {});
+
+}  // namespace serena
+
+#endif  // SERENA_REWRITE_COST_H_

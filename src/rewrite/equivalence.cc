@@ -1,0 +1,31 @@
+#include "rewrite/equivalence.h"
+
+namespace serena {
+
+std::string EquivalenceReport::ToString() const {
+  std::string s = "EquivalenceReport{result=";
+  s += same_result ? "same" : "different";
+  s += ", actions=";
+  s += same_actions ? "same" : "different";
+  s += " => ";
+  s += equivalent() ? "EQUIVALENT" : "NOT EQUIVALENT";
+  s += "}";
+  return s;
+}
+
+Result<EquivalenceReport> CheckEquivalence(const PlanPtr& q1,
+                                           const PlanPtr& q2,
+                                           Environment* env,
+                                           StreamStore* streams,
+                                           Timestamp instant) {
+  SERENA_ASSIGN_OR_RETURN(QueryResult r1,
+                          Execute(q1, env, streams, instant));
+  SERENA_ASSIGN_OR_RETURN(QueryResult r2,
+                          Execute(q2, env, streams, instant));
+  EquivalenceReport report;
+  report.same_result = r1.relation.SetEquals(r2.relation);
+  report.same_actions = r1.actions == r2.actions;
+  return report;
+}
+
+}  // namespace serena

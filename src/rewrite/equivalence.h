@@ -1,0 +1,35 @@
+#ifndef SERENA_REWRITE_EQUIVALENCE_H_
+#define SERENA_REWRITE_EQUIVALENCE_H_
+
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// Outcome of an empirical Def. 9 equivalence check at one instant.
+struct EquivalenceReport {
+  bool same_result = false;
+  bool same_actions = false;
+
+  /// Def. 9: q1 ≡ q2 iff results AND action sets coincide.
+  bool equivalent() const { return same_result && same_actions; }
+
+  std::string ToString() const;
+};
+
+/// Evaluates both queries against the same environment at the same instant
+/// τ and compares result relations and action sets (Def. 9).
+///
+/// Note: this *executes* both queries, so active invocations really
+/// happen (twice). Use it on test doubles / simulated services — which is
+/// exactly what the property-test suite and the benchmarks do.
+Result<EquivalenceReport> CheckEquivalence(const PlanPtr& q1,
+                                           const PlanPtr& q2,
+                                           Environment* env,
+                                           StreamStore* streams,
+                                           Timestamp instant);
+
+}  // namespace serena
+
+#endif  // SERENA_REWRITE_EQUIVALENCE_H_

@@ -1,0 +1,43 @@
+#ifndef SERENA_REWRITE_REWRITER_H_
+#define SERENA_REWRITE_REWRITER_H_
+
+#include <vector>
+
+#include "rewrite/cost.h"
+#include "rewrite/rules.h"
+
+namespace serena {
+
+/// The logical optimizer for Serena queries (§3.3).
+///
+/// Applies the rewriting rules bottom-up until fixpoint (with an iteration
+/// bound), then verifies with the cost model that the rewritten plan is no
+/// worse than the original; otherwise the original is returned. Rules
+/// already encode the paper's safety barrier: operators never move across
+/// an invocation of an *active* binding pattern.
+class Rewriter {
+ public:
+  Rewriter(const Environment* env, const StreamStore* streams,
+           std::vector<RewriteRulePtr> rules = DefaultRuleSet());
+
+  /// Rewrites `plan` to an equivalent (Def. 9) plan of lower or equal
+  /// estimated cost.
+  Result<PlanPtr> Optimize(const PlanPtr& plan) const;
+
+  /// One full bottom-up pass; `*changed` reports whether any rule fired.
+  Result<PlanPtr> RewriteOnce(const PlanPtr& plan, bool* changed) const;
+
+  const std::vector<RewriteRulePtr>& rules() const { return rules_; }
+
+ private:
+  /// Rebuilds `plan` with new children (identity when children unchanged).
+  Result<PlanPtr> WithChildren(const PlanPtr& plan,
+                               std::vector<PlanPtr> children) const;
+
+  RewriteContext ctx_;
+  std::vector<RewriteRulePtr> rules_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_REWRITE_REWRITER_H_

@@ -1,0 +1,88 @@
+#ifndef SERENA_REWRITE_RULES_H_
+#define SERENA_REWRITE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// Context the rules need: schema inference and active/passive checks are
+/// resolved against the environment's catalog.
+struct RewriteContext {
+  const Environment* env = nullptr;
+  const StreamStore* streams = nullptr;
+};
+
+/// One rewriting rule (§3.3, Table 5). `Apply` attempts the rewrite at the
+/// *root* of `plan`:
+///  - returns a new plan when the rule matches and its side conditions
+///    (including the active-binding-pattern barrier) hold;
+///  - returns nullptr when the rule does not apply;
+///  - returns an error only on malformed plans.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+
+  virtual const char* name() const = 0;
+  virtual Result<PlanPtr> Apply(const PlanPtr& plan,
+                                const RewriteContext& ctx) const = 0;
+};
+
+using RewriteRulePtr = std::shared_ptr<const RewriteRule>;
+
+/// The rule set, in application-priority order:
+///
+///  1. merge-selections:      σ_F1(σ_F2(r)) → σ_{F1 ∧ F2}(r)
+///  2. collapse-projections:  π_L1(π_L2(r)) → π_L1(r)
+///  3. push-selection-below-assign (Table 5, α row "Selection"):
+///        σ_F(α_{A:=x}(r)) → α_{A:=x}(σ_F(r))         if A ∉ F
+///  4. push-selection-below-invoke (Table 5, β row "Selection"):
+///        σ_F(β_bp(r)) → β_bp(σ_F(r))
+///        if bp is PASSIVE, F mentions no output attribute of bp, and F is
+///        valid over the child schema. Active patterns block this rule:
+///        it would shrink the action set (precisely the Q1 / Q1'
+///        inequivalence of Example 6).
+///  5. push-selection-below-join (classical):
+///        σ_F(r1 ⋈ r2) → σ_F(r1) ⋈ r2               if attrs(F) ⊆
+///        realSchema(R1) (or symmetrically into r2)
+///  6. push-projection-below-assign (Table 5, α row "Projection"):
+///        π_L(α_{A:=B}(r)) → α_{A:=B}(π_L(r))        if A, B ∈ L
+///  7. push-projection-below-invoke (Table 5, β row "Projection"):
+///        π_L(β_bp(r)) → β_bp(π_L(r))                if service_bp,
+///        Input_ψ and Output_ψ all ⊆ L. Sound for active patterns too:
+///        action sets are sets and instant determinism (§3.2) makes
+///        duplicate invocations indistinguishable.
+///  8. push-selection-below-rename (classical, lifted to X-Relations):
+///        σ_F(ρ_{A→B}(r)) → ρ_{A→B}(σ_{F[B→A]}(r))
+///  9. push-selection-below-set-op (classical):
+///        σ_F(r1 ∪ r2) → σ_F(r1) ∪ σ_F(r2); for ∩ and − the selection
+///        pushes into the left operand only.
+/// 10. push-assign-below-join (Table 5, α row "Natural Join"):
+///        α_{A:=x}(r1 ⋈ r2) → α_{A:=x}(r1) ⋈ r2
+///        if A ∈ schema(R1), A ∉ realSchema(R2), and (for attribute
+///        sources) B ∈ realSchema(R1).
+/// 11. defer-invoke-past-join (Table 5, β row "Natural Join", applied in
+///     the lazy-realization direction):
+///        β_bp(r1) ⋈ r2 → β_bp(r1 ⋈ r2)
+///        if bp is PASSIVE and none of Output_ψ appears in schema(R2) —
+///        the join then prunes tuples *before* services are invoked.
+std::vector<RewriteRulePtr> DefaultRuleSet();
+
+/// Individual constructors (used by targeted tests/benches).
+RewriteRulePtr MakeMergeSelectionsRule();
+RewriteRulePtr MakeCollapseProjectionsRule();
+RewriteRulePtr MakePushSelectionBelowAssignRule();
+RewriteRulePtr MakePushSelectionBelowInvokeRule();
+RewriteRulePtr MakePushSelectionBelowJoinRule();
+RewriteRulePtr MakePushProjectionBelowAssignRule();
+RewriteRulePtr MakePushProjectionBelowInvokeRule();
+RewriteRulePtr MakePushSelectionBelowRenameRule();
+RewriteRulePtr MakePushSelectionBelowSetOpRule();
+RewriteRulePtr MakePushAssignBelowJoinRule();
+RewriteRulePtr MakeDeferInvokePastJoinRule();
+
+}  // namespace serena
+
+#endif  // SERENA_REWRITE_RULES_H_

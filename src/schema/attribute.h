@@ -1,0 +1,48 @@
+#ifndef SERENA_SCHEMA_ATTRIBUTE_H_
+#define SERENA_SCHEMA_ATTRIBUTE_H_
+
+#include <string>
+
+#include "types/data_type.h"
+
+namespace serena {
+
+/// Whether an attribute is real or virtual (§2.2).
+///
+/// Virtual attributes exist only at the schema level: tuples carry no value
+/// for them. They become real through the realization operators (assignment
+/// α, invocation β) or implicitly through a natural join (Table 3).
+enum class AttributeKind { kReal = 0, kVirtual = 1 };
+
+/// One attribute of a (possibly extended) relation schema.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+  AttributeKind kind = AttributeKind::kReal;
+
+  Attribute() = default;
+  Attribute(std::string name_in, DataType type_in,
+            AttributeKind kind_in = AttributeKind::kReal)
+      : name(std::move(name_in)), type(type_in), kind(kind_in) {}
+
+  bool is_real() const { return kind == AttributeKind::kReal; }
+  bool is_virtual() const { return kind == AttributeKind::kVirtual; }
+
+  /// DDL form, e.g. "text STRING VIRTUAL" or "messenger SERVICE".
+  std::string ToString() const {
+    std::string s = name;
+    s += ' ';
+    s += DataTypeToString(type);
+    if (is_virtual()) s += " VIRTUAL";
+    return s;
+  }
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type && kind == other.kind;
+  }
+  bool operator!=(const Attribute& other) const { return !(*this == other); }
+};
+
+}  // namespace serena
+
+#endif  // SERENA_SCHEMA_ATTRIBUTE_H_

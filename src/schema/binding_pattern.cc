@@ -1,0 +1,19 @@
+#include "schema/binding_pattern.h"
+
+#include "common/string_util.h"
+
+namespace serena {
+
+std::string BindingPattern::ToString() const {
+  std::string s = prototype_->name();
+  s += '[';
+  s += service_attribute_;
+  s += "](";
+  s += Join(prototype_->input().Names(), ", ");
+  s += ") : (";
+  s += Join(prototype_->output().Names(), ", ");
+  s += ')';
+  return s;
+}
+
+}  // namespace serena

@@ -1,0 +1,55 @@
+#ifndef SERENA_SCHEMA_BINDING_PATTERN_H_
+#define SERENA_SCHEMA_BINDING_PATTERN_H_
+
+#include <memory>
+#include <string>
+
+#include "service/prototype.h"
+
+namespace serena {
+
+/// A binding pattern bp = (prototype_bp, service_bp) (Def. 2).
+///
+/// Associated with an extended relation schema, it names the prototype to
+/// invoke and the real attribute holding the service reference. The
+/// prototype's input attributes must appear in the relation schema and its
+/// output attributes must be virtual attributes of the relation schema —
+/// the schema class enforces those restrictions at construction.
+class BindingPattern {
+ public:
+  BindingPattern(PrototypePtr prototype, std::string service_attribute)
+      : prototype_(std::move(prototype)),
+        service_attribute_(std::move(service_attribute)) {}
+
+  const Prototype& prototype() const { return *prototype_; }
+  const PrototypePtr& prototype_ptr() const { return prototype_; }
+  const std::string& service_attribute() const { return service_attribute_; }
+
+  /// active(bp) = active(prototype_bp).
+  bool active() const { return prototype_->active(); }
+
+  /// Returns a copy with the service attribute renamed (used by ρ).
+  BindingPattern WithServiceAttribute(std::string attribute) const {
+    return BindingPattern(prototype_, std::move(attribute));
+  }
+
+  /// Table 2 rendering, e.g. "sendMessage[messenger](address, text) : (sent)".
+  std::string ToString() const;
+
+  /// Identity: same prototype name and service attribute.
+  bool operator==(const BindingPattern& other) const {
+    return prototype_->name() == other.prototype_->name() &&
+           service_attribute_ == other.service_attribute_;
+  }
+  bool operator!=(const BindingPattern& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  PrototypePtr prototype_;
+  std::string service_attribute_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_SCHEMA_BINDING_PATTERN_H_

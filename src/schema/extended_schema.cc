@@ -1,0 +1,244 @@
+#include "schema/extended_schema.h"
+
+#include <limits>
+#include <unordered_set>
+
+namespace serena {
+
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+bool IsServiceReferenceType(DataType type) {
+  return type == DataType::kService || type == DataType::kString;
+}
+
+}  // namespace
+
+ExtendedSchema::ExtendedSchema(std::string name,
+                               std::vector<Attribute> attributes,
+                               std::vector<BindingPattern> binding_patterns)
+    : name_(std::move(name)),
+      attributes_(std::move(attributes)),
+      binding_patterns_(std::move(binding_patterns)) {
+  coordinate_of_position_.resize(attributes_.size(), kNpos);
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_real()) {
+      coordinate_of_position_[i] = real_coordinates_.size();
+      real_coordinates_.push_back(i);
+    }
+  }
+}
+
+Result<ExtendedSchemaPtr> ExtendedSchema::Create(
+    std::string name, std::vector<Attribute> attributes,
+    std::vector<BindingPattern> binding_patterns) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("schema '", name,
+                                     "': attribute with empty name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("schema '", name,
+                                     "': duplicate attribute '", attr.name,
+                                     "'");
+    }
+  }
+
+  // Build a temporary schema to reuse lookup helpers during validation.
+  ExtendedSchemaPtr schema(new ExtendedSchema(
+      std::move(name), std::move(attributes), std::move(binding_patterns)));
+
+  for (std::size_t i = 0; i < schema->binding_patterns_.size(); ++i) {
+    const BindingPattern& bp = schema->binding_patterns_[i];
+    const Prototype& proto = bp.prototype();
+    // Duplicate binding patterns.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (schema->binding_patterns_[j] == bp) {
+        return Status::InvalidArgument("schema '", schema->name_,
+                                       "': duplicate binding pattern ",
+                                       bp.ToString());
+      }
+    }
+    // service_bp ∈ realSchema(R), of service-reference type.
+    const Attribute* service_attr =
+        schema->FindAttribute(bp.service_attribute());
+    if (service_attr == nullptr) {
+      return Status::InvalidArgument(
+          "schema '", schema->name_, "': binding pattern ", bp.ToString(),
+          " references missing service attribute '", bp.service_attribute(),
+          "'");
+    }
+    if (!service_attr->is_real()) {
+      return Status::InvalidArgument(
+          "schema '", schema->name_, "': service attribute '",
+          bp.service_attribute(), "' must be a real attribute");
+    }
+    if (!IsServiceReferenceType(service_attr->type)) {
+      return Status::InvalidArgument(
+          "schema '", schema->name_, "': service attribute '",
+          bp.service_attribute(), "' must be of SERVICE or STRING type");
+    }
+    // schema(Input_ψ) ⊆ schema(R), compatible types.
+    for (const Attribute& in_attr : proto.input().attributes()) {
+      const Attribute* rel_attr = schema->FindAttribute(in_attr.name);
+      if (rel_attr == nullptr) {
+        return Status::InvalidArgument(
+            "schema '", schema->name_, "': input attribute '", in_attr.name,
+            "' of prototype '", proto.name(), "' is not in the schema");
+      }
+      if (!IsAssignableTo(rel_attr->type, in_attr.type)) {
+        return Status::TypeMismatch(
+            "schema '", schema->name_, "': attribute '", in_attr.name,
+            "' has type ", DataTypeToString(rel_attr->type),
+            " incompatible with prototype input type ",
+            DataTypeToString(in_attr.type));
+      }
+    }
+    // schema(Output_ψ) ⊆ virtualSchema(R), compatible types.
+    for (const Attribute& out_attr : proto.output().attributes()) {
+      const Attribute* rel_attr = schema->FindAttribute(out_attr.name);
+      if (rel_attr == nullptr || !rel_attr->is_virtual()) {
+        return Status::InvalidArgument(
+            "schema '", schema->name_, "': output attribute '", out_attr.name,
+            "' of prototype '", proto.name(),
+            "' must be a virtual attribute of the schema");
+      }
+      if (!IsAssignableTo(out_attr.type, rel_attr->type)) {
+        return Status::TypeMismatch(
+            "schema '", schema->name_, "': virtual attribute '",
+            out_attr.name, "' has type ", DataTypeToString(rel_attr->type),
+            " incompatible with prototype output type ",
+            DataTypeToString(out_attr.type));
+      }
+    }
+  }
+  return schema;
+}
+
+std::optional<std::size_t> ExtendedSchema::IndexOf(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const Attribute* ExtendedSchema::FindAttribute(std::string_view name) const {
+  const auto index = IndexOf(name);
+  return index.has_value() ? &attributes_[*index] : nullptr;
+}
+
+bool ExtendedSchema::IsReal(std::string_view name) const {
+  const Attribute* attr = FindAttribute(name);
+  return attr != nullptr && attr->is_real();
+}
+
+bool ExtendedSchema::IsVirtual(std::string_view name) const {
+  const Attribute* attr = FindAttribute(name);
+  return attr != nullptr && attr->is_virtual();
+}
+
+std::vector<std::string> ExtendedSchema::AllNames() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) names.push_back(attr.name);
+  return names;
+}
+
+std::vector<std::string> ExtendedSchema::RealNames() const {
+  std::vector<std::string> names;
+  names.reserve(real_coordinates_.size());
+  for (std::size_t i : real_coordinates_) names.push_back(attributes_[i].name);
+  return names;
+}
+
+std::vector<std::string> ExtendedSchema::VirtualNames() const {
+  std::vector<std::string> names;
+  for (const Attribute& attr : attributes_) {
+    if (attr.is_virtual()) names.push_back(attr.name);
+  }
+  return names;
+}
+
+std::optional<std::size_t> ExtendedSchema::CoordinateOf(
+    std::string_view name) const {
+  const auto index = IndexOf(name);
+  if (!index.has_value()) return std::nullopt;
+  const std::size_t coord = coordinate_of_position_[*index];
+  if (coord == kNpos) return std::nullopt;
+  return coord;
+}
+
+Result<std::vector<std::size_t>> ExtendedSchema::CoordinatesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<std::size_t> coords;
+  coords.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto coord = CoordinateOf(name);
+    if (!coord.has_value()) {
+      return Status::InvalidArgument(
+          "schema '", name_, "': cannot project onto '", name,
+          "' (virtual or missing attribute)");
+    }
+    coords.push_back(*coord);
+  }
+  return coords;
+}
+
+const BindingPattern* ExtendedSchema::FindBindingPattern(
+    std::string_view prototype_name,
+    std::string_view service_attribute) const {
+  const BindingPattern* found = nullptr;
+  for (const BindingPattern& bp : binding_patterns_) {
+    if (bp.prototype().name() != prototype_name) continue;
+    if (!service_attribute.empty() &&
+        bp.service_attribute() != service_attribute) {
+      continue;
+    }
+    if (found != nullptr) return nullptr;  // Ambiguous.
+    found = &bp;
+  }
+  return found;
+}
+
+Status ExtendedSchema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != real_arity()) {
+    return Status::TypeMismatch("schema '", name_, "': tuple arity ",
+                                tuple.size(), " != real arity ",
+                                real_arity());
+  }
+  for (std::size_t c = 0; c < real_coordinates_.size(); ++c) {
+    const Attribute& attr = attributes_[real_coordinates_[c]];
+    if (!tuple[c].ConformsTo(attr.type)) {
+      return Status::TypeMismatch(
+          "schema '", name_, "': value ", tuple[c].ToString(),
+          " does not conform to attribute '", attr.name, "' of type ",
+          DataTypeToString(attr.type));
+    }
+  }
+  return Status::OK();
+}
+
+std::string ExtendedSchema::ToString() const {
+  std::string s = "EXTENDED RELATION " + name_ + " (\n";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    s += "  " + attributes_[i].ToString();
+    if (i + 1 < attributes_.size()) s += ',';
+    s += '\n';
+  }
+  s += ")";
+  if (!binding_patterns_.empty()) {
+    s += " USING BINDING PATTERNS (\n";
+    for (std::size_t i = 0; i < binding_patterns_.size(); ++i) {
+      s += "  " + binding_patterns_[i].ToString();
+      if (i + 1 < binding_patterns_.size()) s += ',';
+      s += '\n';
+    }
+    s += ")";
+  }
+  return s;
+}
+
+}  // namespace serena

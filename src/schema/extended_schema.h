@@ -1,0 +1,124 @@
+#ifndef SERENA_SCHEMA_EXTENDED_SCHEMA_H_
+#define SERENA_SCHEMA_EXTENDED_SCHEMA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/attribute.h"
+#include "schema/binding_pattern.h"
+#include "types/tuple.h"
+
+namespace serena {
+
+class ExtendedSchema;
+using ExtendedSchemaPtr = std::shared_ptr<const ExtendedSchema>;
+
+/// An extended relation schema (Def. 2): an ordered attribute sequence
+/// partitioned into real and virtual attributes, plus a finite set of
+/// binding patterns.
+///
+/// Tuples over the schema are elements of D^|realSchema(R)| (Def. 3): the
+/// coordinate of the i-th attribute is δ_R(i), the number of real
+/// attributes among the first i (Def. 4). `CoordinateOf` exposes exactly
+/// that mapping.
+///
+/// A standard relation schema is the special case with no virtual
+/// attributes and no binding patterns. Instances are immutable; algebra
+/// operators derive new schemas.
+class ExtendedSchema {
+ public:
+  /// Validates Def. 2:
+  ///  - attribute names unique and non-empty;
+  ///  - every binding pattern's service attribute is a *real* attribute of
+  ///    string/service type;
+  ///  - schema(Input_ψ) ⊆ schema(R) with compatible types;
+  ///  - schema(Output_ψ) ⊆ virtualSchema(R) with compatible types;
+  ///  - no duplicate binding patterns.
+  static Result<ExtendedSchemaPtr> Create(
+      std::string name, std::vector<Attribute> attributes,
+      std::vector<BindingPattern> binding_patterns = {});
+
+  /// The relation symbol R (may be synthesized for derived schemas).
+  const std::string& name() const { return name_; }
+
+  /// type(R): total number of attributes, virtual included.
+  std::size_t size() const { return attributes_.size(); }
+
+  /// attr_R(i), zero-based.
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Position of `name` in the schema, or nullopt.
+  std::optional<std::size_t> IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+  /// Attribute by name, or nullptr.
+  const Attribute* FindAttribute(std::string_view name) const;
+
+  bool IsReal(std::string_view name) const;
+  bool IsVirtual(std::string_view name) const;
+
+  /// All attribute names in schema order.
+  std::vector<std::string> AllNames() const;
+  /// realSchema(R) in schema order.
+  std::vector<std::string> RealNames() const;
+  /// virtualSchema(R) in schema order.
+  std::vector<std::string> VirtualNames() const;
+
+  /// |realSchema(R)| — the arity of tuples over this schema.
+  std::size_t real_arity() const { return real_coordinates_.size(); }
+
+  /// δ_R: the tuple coordinate of real attribute `name` (Def. 4), or
+  /// nullopt if the attribute is virtual or absent.
+  std::optional<std::size_t> CoordinateOf(std::string_view name) const;
+
+  /// Coordinates for a list of real attributes; error if any is virtual or
+  /// missing.
+  Result<std::vector<std::size_t>> CoordinatesOf(
+      const std::vector<std::string>& names) const;
+
+  const std::vector<BindingPattern>& binding_patterns() const {
+    return binding_patterns_;
+  }
+
+  /// Finds a binding pattern by prototype name; if `service_attribute` is
+  /// non-empty it must match too. Returns nullptr if absent/ambiguous.
+  const BindingPattern* FindBindingPattern(
+      std::string_view prototype_name,
+      std::string_view service_attribute = {}) const;
+
+  /// Arity/type check for a tuple over realSchema(R).
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  /// True if both schemas have identical ordered attribute sequences
+  /// (names, types, kinds). Binding patterns are not compared — set
+  /// operators require only schema equality.
+  bool SameAttributes(const ExtendedSchema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  /// Pseudo-DDL rendering matching Table 2.
+  std::string ToString() const;
+
+ private:
+  ExtendedSchema(std::string name, std::vector<Attribute> attributes,
+                 std::vector<BindingPattern> binding_patterns);
+
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<BindingPattern> binding_patterns_;
+  // Position in `attributes_` of each real attribute, in schema order;
+  // real_coordinates_[c] is the schema index of tuple coordinate c.
+  std::vector<std::size_t> real_coordinates_;
+  // For each schema position i: the tuple coordinate (δ_R(i) - 1 in the
+  // paper's 1-based terms), or npos when the attribute is virtual.
+  std::vector<std::size_t> coordinate_of_position_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_SCHEMA_EXTENDED_SCHEMA_H_

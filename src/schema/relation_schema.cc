@@ -1,0 +1,69 @@
+#include "schema/relation_schema.h"
+
+#include <unordered_set>
+
+namespace serena {
+
+Result<RelationSchema> RelationSchema::Create(
+    std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (attr.is_virtual()) {
+      return Status::InvalidArgument(
+          "plain relation schema cannot contain virtual attribute '",
+          attr.name, "'");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '", attr.name,
+                                     "'");
+    }
+  }
+  return RelationSchema(std::move(attributes));
+}
+
+std::optional<std::size_t> RelationSchema::IndexOf(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> RelationSchema::Names() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) names.push_back(attr.name);
+  return names;
+}
+
+Status RelationSchema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != attributes_.size()) {
+    return Status::TypeMismatch("tuple arity ", tuple.size(),
+                                " does not match schema arity ",
+                                attributes_.size());
+  }
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (!tuple[i].ConformsTo(attributes_[i].type)) {
+      return Status::TypeMismatch(
+          "value ", tuple[i].ToString(), " does not conform to attribute '",
+          attributes_[i].name, "' of type ",
+          DataTypeToString(attributes_[i].type));
+    }
+  }
+  return Status::OK();
+}
+
+std::string RelationSchema::ToString() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += attributes_[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace serena

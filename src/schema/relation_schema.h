@@ -1,0 +1,67 @@
+#ifndef SERENA_SCHEMA_RELATION_SCHEMA_H_
+#define SERENA_SCHEMA_RELATION_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/attribute.h"
+#include "types/tuple.h"
+
+namespace serena {
+
+/// A plain (non-extended) relation schema: an ordered sequence of uniquely
+/// named, typed attributes (§2.3.1). Used for prototype input/output
+/// schemas; all attributes are real.
+///
+/// Instances are immutable after construction through `Create`.
+class RelationSchema {
+ public:
+  /// Builds a schema, validating that attribute names are unique, non-empty
+  /// and that no attribute is marked virtual.
+  static Result<RelationSchema> Create(std::vector<Attribute> attributes);
+
+  /// The empty schema (used for no-input prototypes like getTemperature).
+  RelationSchema() = default;
+
+  /// Number of attributes, i.e. type(R).
+  std::size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+
+  /// attr_R(i), zero-based.
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Position of `name`, or nullopt.
+  std::optional<std::size_t> IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const { return IndexOf(name).has_value(); }
+
+  /// Attribute names in schema order.
+  std::vector<std::string> Names() const;
+
+  /// Checks that `tuple` has this schema's arity and that every value
+  /// conforms to the declared attribute type.
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  /// "(a TYPE, b TYPE)" DDL-ish rendering.
+  std::string ToString() const;
+
+  bool operator==(const RelationSchema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const RelationSchema& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  explicit RelationSchema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_SCHEMA_RELATION_SCHEMA_H_

@@ -1,0 +1,64 @@
+#ifndef SERENA_SERENA_H_
+#define SERENA_SERENA_H_
+
+/// \file
+/// Umbrella header for the Serena library — a C++ implementation of
+/// "A Simple (yet Powerful) Algebra for Pervasive Environments"
+/// (Gripay, Laforest, Petit; EDBT 2010).
+///
+/// The library models a *relational pervasive environment*: a database
+/// extended with data streams and distributed services. Relation schemas
+/// carry *virtual attributes* (declared, valueless) and *binding
+/// patterns* (which service prototype realizes them, through which
+/// per-tuple service reference). The Serena algebra adds two realization
+/// operators — assignment α and invocation β — to the classical ones,
+/// with action sets capturing the side effects of active services and an
+/// optimizer that never reorders across them.
+///
+/// Layers, bottom to top (each usable on its own):
+///  - `common/`, `types/`: Status/Result, values, tuples, logical time.
+///  - `schema/`, `xrel/`: extended schemas (Def. 2-4), X-Relations,
+///    the environment.
+///  - `service/`: prototypes (active/passive/streaming), services, the
+///    registry with per-instant deterministic invocation (Def. 1, §3.2).
+///  - `algebra/`: Table 3 operators, plans, action sets, aggregation,
+///    EXPLAIN, validation, parameters.
+///  - `rewrite/`: Table 5 rules, cost model, optimizer, Def. 9
+///    equivalence checking.
+///  - `stream/`: XD-Relations, windows, streaming operators, the
+///    continuous executor (§4).
+///  - `ddl/`: the Serena DDL and Algebra Language.
+///  - `pems/`: the full Pervasive Environment Management System over a
+///    simulated network (Figure 1).
+///  - `env/`: simulated devices and the paper's experiment scenarios.
+///
+/// Most applications only need:
+/// ```
+/// #include "serena.h"
+/// auto pems = serena::Pems::Create().MoveValueOrDie();
+/// pems->tables().ExecuteDdl("...");
+/// pems->queries().ExecuteOneShot("...");
+/// ```
+
+#include "algebra/aggregate.h"
+#include "algebra/explain.h"
+#include "algebra/parameters.h"
+#include "algebra/plan.h"
+#include "algebra/validate.h"
+#include "ddl/algebra_parser.h"
+#include "ddl/catalog.h"
+#include "ddl/ddl_parser.h"
+#include "ddl/dump.h"
+#include "env/prototypes.h"
+#include "env/scenario.h"
+#include "env/sim_services.h"
+#include "env/synthetic_service.h"
+#include "io/csv.h"
+#include "pems/monitor.h"
+#include "pems/pems.h"
+#include "rewrite/equivalence.h"
+#include "rewrite/rewriter.h"
+#include "service/lambda_service.h"
+#include "stream/executor.h"
+
+#endif  // SERENA_SERENA_H_

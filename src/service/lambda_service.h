@@ -1,0 +1,65 @@
+#ifndef SERENA_SERVICE_LAMBDA_SERVICE_H_
+#define SERENA_SERVICE_LAMBDA_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/service.h"
+
+namespace serena {
+
+/// A service whose method bodies are std::functions — the quickest way to
+/// wrap an arbitrary functionality as a Serena service (used pervasively
+/// in tests; the simulated devices in src/env are full classes).
+///
+/// ```
+/// auto svc = std::make_shared<LambdaService>("sensor42");
+/// svc->AddMethod(get_temperature, [](const Tuple&, Timestamp now) {
+///   return std::vector<Tuple>{Tuple{Value::Real(20.0 + now % 5)}};
+/// });
+/// ```
+class LambdaService : public Service {
+ public:
+  using Handler = std::function<Result<std::vector<Tuple>>(const Tuple& input,
+                                                           Timestamp now)>;
+
+  explicit LambdaService(std::string id) : Service(std::move(id)) {}
+
+  /// Registers `handler` as the implementation of `prototype`. Replaces
+  /// any previous handler for the same prototype name.
+  void AddMethod(PrototypePtr prototype, Handler handler) {
+    const std::string name = prototype->name();
+    methods_[name] = {std::move(prototype), std::move(handler)};
+  }
+
+  std::vector<PrototypePtr> prototypes() const override {
+    std::vector<PrototypePtr> result;
+    result.reserve(methods_.size());
+    for (const auto& [name, method] : methods_) {
+      result.push_back(method.first);
+    }
+    return result;
+  }
+
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const Tuple& input,
+                                    Timestamp now) override {
+    const auto it = methods_.find(prototype.name());
+    if (it == methods_.end()) {
+      return Status::FailedPrecondition("service '", id(),
+                                        "' has no method for prototype '",
+                                        prototype.name(), "'");
+    }
+    return it->second.second(input, now);
+  }
+
+ private:
+  std::map<std::string, std::pair<PrototypePtr, Handler>> methods_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_SERVICE_LAMBDA_SERVICE_H_

@@ -1,0 +1,39 @@
+#include "service/prototype.h"
+
+namespace serena {
+
+Result<std::shared_ptr<const Prototype>> Prototype::Create(
+    std::string name, RelationSchema input, RelationSchema output,
+    bool active, bool streaming) {
+  if (name.empty()) {
+    return Status::InvalidArgument("prototype name must be non-empty");
+  }
+  if (output.empty()) {
+    return Status::InvalidArgument("prototype '", name,
+                                   "' must have a non-empty output schema");
+  }
+  for (const Attribute& in_attr : input.attributes()) {
+    if (output.Contains(in_attr.name)) {
+      return Status::InvalidArgument(
+          "prototype '", name, "': attribute '", in_attr.name,
+          "' appears in both input and output schemas");
+    }
+  }
+  return std::shared_ptr<const Prototype>(
+      new Prototype(std::move(name), std::move(input), std::move(output),
+                    active, streaming));
+}
+
+std::string Prototype::ToString() const {
+  std::string s = "PROTOTYPE " + name_;
+  std::string in = input_.ToString();
+  // RelationSchema::ToString already parenthesizes.
+  s += in;
+  s += " : ";
+  s += output_.ToString();
+  if (active_) s += " ACTIVE";
+  if (streaming_) s += " STREAMING";
+  return s;
+}
+
+}  // namespace serena

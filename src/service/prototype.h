@@ -1,0 +1,71 @@
+#ifndef SERENA_SERVICE_PROTOTYPE_H_
+#define SERENA_SERVICE_PROTOTYPE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "schema/relation_schema.h"
+
+namespace serena {
+
+/// The declaration of a distributed functionality (§2.1, §2.3.1).
+///
+/// A prototype ψ carries an input relation schema Input_ψ, a non-empty
+/// output relation schema Output_ψ (disjoint from the input), and an
+/// active/passive tag. Invoking ψ on a service takes one tuple over
+/// Input_ψ and yields a relation (0..n tuples) over Output_ψ.
+///
+/// Active prototypes have a side effect on the physical environment that
+/// cannot be neglected (e.g. sendMessage); passive prototypes do not (e.g.
+/// getTemperature). The tag drives query-equivalence (Def. 9) and limits
+/// rewriting (§3.3).
+///
+/// A *streaming* prototype implements the paper's §7 future-work notion of
+/// streaming binding pattern: the service provides a stream, and each
+/// invocation at instant τ yields the output tuples the service emits *at
+/// τ*. Under continuous evaluation the invocation operator re-invokes a
+/// streaming pattern every instant for every standing tuple (instead of
+/// reusing previous outputs), so the service-provided stream flows
+/// homogeneously through the algebra.
+class Prototype {
+ public:
+  /// Validates the paper's restrictions: non-empty name, non-empty output
+  /// schema, input/output attribute sets disjoint.
+  static Result<std::shared_ptr<const Prototype>> Create(
+      std::string name, RelationSchema input, RelationSchema output,
+      bool active, bool streaming = false);
+
+  const std::string& name() const { return name_; }
+  const RelationSchema& input() const { return input_; }
+  const RelationSchema& output() const { return output_; }
+  /// active(ψ) predicate.
+  bool active() const { return active_; }
+  /// True if the prototype provides a stream (§7 extension).
+  bool streaming() const { return streaming_; }
+
+  /// Pseudo-DDL rendering matching Table 1, e.g.
+  /// "PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) ACTIVE".
+  std::string ToString() const;
+
+ private:
+  Prototype(std::string name, RelationSchema input, RelationSchema output,
+            bool active, bool streaming)
+      : name_(std::move(name)),
+        input_(std::move(input)),
+        output_(std::move(output)),
+        active_(active),
+        streaming_(streaming) {}
+
+  std::string name_;
+  RelationSchema input_;
+  RelationSchema output_;
+  bool active_;
+  bool streaming_;
+};
+
+using PrototypePtr = std::shared_ptr<const Prototype>;
+
+}  // namespace serena
+
+#endif  // SERENA_SERVICE_PROTOTYPE_H_

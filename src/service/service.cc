@@ -1,0 +1,12 @@
+#include "service/service.h"
+
+namespace serena {
+
+bool Service::Implements(std::string_view prototype_name) const {
+  for (const PrototypePtr& proto : prototypes()) {
+    if (proto->name() == prototype_name) return true;
+  }
+  return false;
+}
+
+}  // namespace serena

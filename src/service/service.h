@@ -1,0 +1,59 @@
+#ifndef SERENA_SERVICE_SERVICE_H_
+#define SERENA_SERVICE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "service/prototype.h"
+#include "types/tuple.h"
+
+namespace serena {
+
+/// A service ω ∈ Ω (§2.3.1): a distributed functionality implementation.
+///
+/// A service is identified by its service reference id(ω) — a plain data
+/// value (we use strings, like "sensor01" or "email") — and implements a
+/// finite set of prototypes. Method names remain implicit (§2.1): invoking
+/// a prototype on a service transparently calls the corresponding method.
+///
+/// Implementations must be *deterministic within a logical instant*: two
+/// invocations with the same (prototype, input, instant) must return the
+/// same relation (§3.2). Across instants results may differ freely (a
+/// sensor warms up, a camera sees a different scene).
+class Service {
+ public:
+  explicit Service(std::string id) : id_(std::move(id)) {}
+  virtual ~Service() = default;
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// id(ω): the service reference.
+  const std::string& id() const { return id_; }
+
+  /// prototypes(ω): the prototypes this service implements.
+  virtual std::vector<PrototypePtr> prototypes() const = 0;
+
+  /// True if the service implements a prototype with this name.
+  bool Implements(std::string_view prototype_name) const;
+
+  /// Invokes `prototype` with `input` (a tuple over Input_ψ) at instant
+  /// `now`, returning a relation over Output_ψ (0..n tuples).
+  ///
+  /// Callers must go through `ServiceRegistry::Invoke`, which validates
+  /// schemas and enforces instant determinism by memoization.
+  virtual Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                            const Tuple& input,
+                                            Timestamp now) = 0;
+
+ private:
+  std::string id_;
+};
+
+using ServicePtr = std::shared_ptr<Service>;
+
+}  // namespace serena
+
+#endif  // SERENA_SERVICE_SERVICE_H_

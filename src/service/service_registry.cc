@@ -1,0 +1,126 @@
+#include "service/service_registry.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace serena {
+
+std::size_t ServiceRegistry::MemoKeyHasher::operator()(
+    const MemoKey& key) const {
+  std::size_t h = StableHash(key.prototype);
+  h = HashCombine(h, StableHash(key.service_ref));
+  h = HashCombine(h, key.input.Hash());
+  return h;
+}
+
+Status ServiceRegistry::Register(ServicePtr service) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("cannot register null service");
+  }
+  const std::string& ref = service->id();
+  if (ref.empty()) {
+    return Status::InvalidArgument("service reference must be non-empty");
+  }
+  if (!services_.emplace(ref, std::move(service)).second) {
+    return Status::AlreadyExists("service '", ref, "' already registered");
+  }
+  NotifyListeners(ref, /*registered=*/true);
+  return Status::OK();
+}
+
+Status ServiceRegistry::Unregister(const std::string& service_ref) {
+  if (services_.erase(service_ref) == 0) {
+    return Status::NotFound("service '", service_ref, "' is not registered");
+  }
+  NotifyListeners(service_ref, /*registered=*/false);
+  return Status::OK();
+}
+
+Result<ServicePtr> ServiceRegistry::Lookup(
+    const std::string& service_ref) const {
+  const auto it = services_.find(service_ref);
+  if (it == services_.end()) {
+    return Status::NotFound("service '", service_ref, "' is not registered");
+  }
+  return it->second;
+}
+
+bool ServiceRegistry::Contains(const std::string& service_ref) const {
+  return services_.count(service_ref) > 0;
+}
+
+std::vector<std::string> ServiceRegistry::ServiceRefs() const {
+  std::vector<std::string> refs;
+  refs.reserve(services_.size());
+  for (const auto& [ref, service] : services_) refs.push_back(ref);
+  return refs;
+}
+
+std::vector<std::string> ServiceRegistry::ServicesImplementing(
+    std::string_view prototype_name) const {
+  std::vector<std::string> refs;
+  for (const auto& [ref, service] : services_) {
+    if (service->Implements(prototype_name)) refs.push_back(ref);
+  }
+  return refs;
+}
+
+Result<std::vector<Tuple>> ServiceRegistry::Invoke(
+    const Prototype& prototype, const std::string& service_ref,
+    const Tuple& input, Timestamp now) {
+  SERENA_RETURN_NOT_OK(prototype.input().ValidateTuple(input));
+
+  // A new instant invalidates all memoized results: services may answer
+  // differently now.
+  if (now != memo_instant_) {
+    memo_.clear();
+    memo_instant_ = now;
+  }
+
+  ++stats_.logical_invocations;
+  MemoKey key{prototype.name(), service_ref, input};
+  const auto memo_it = memo_.find(key);
+  if (memo_it != memo_.end()) {
+    return memo_it->second;
+  }
+
+  SERENA_ASSIGN_OR_RETURN(ServicePtr service, Lookup(service_ref));
+  if (!service->Implements(prototype.name())) {
+    return Status::FailedPrecondition("service '", service_ref,
+                                      "' does not implement prototype '",
+                                      prototype.name(), "'");
+  }
+
+  SERENA_ASSIGN_OR_RETURN(std::vector<Tuple> outputs,
+                          service->Invoke(prototype, input, now));
+  for (const Tuple& out : outputs) {
+    SERENA_RETURN_NOT_OK(prototype.output().ValidateTuple(out));
+  }
+
+  ++stats_.physical_invocations;
+  if (prototype.active()) ++stats_.active_invocations;
+  stats_.output_tuples += outputs.size();
+
+  memo_.emplace(std::move(key), outputs);
+  return outputs;
+}
+
+std::size_t ServiceRegistry::AddListener(Listener listener) {
+  const std::size_t token = next_listener_token_++;
+  listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void ServiceRegistry::RemoveListener(std::size_t token) {
+  listeners_.erase(token);
+}
+
+void ServiceRegistry::NotifyListeners(const std::string& service_ref,
+                                      bool registered) {
+  for (const auto& [token, listener] : listeners_) {
+    listener(service_ref, registered);
+  }
+}
+
+}  // namespace serena

@@ -1,0 +1,121 @@
+#ifndef SERENA_SERVICE_SERVICE_REGISTRY_H_
+#define SERENA_SERVICE_SERVICE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "service/prototype.h"
+#include "service/service.h"
+#include "types/tuple.h"
+
+namespace serena {
+
+/// Counters describing the invocation traffic a query (or a whole run)
+/// generated. Exposed for the cost model and the benchmark harness.
+struct InvocationStats {
+  /// All invocations requested through the registry.
+  std::uint64_t logical_invocations = 0;
+  /// Invocations that actually reached a service (memoization misses).
+  std::uint64_t physical_invocations = 0;
+  /// Invocations of *active* prototypes (always physical; never memoized
+  /// away across queries, but identical repeats within one instant are
+  /// still served from the memo per the paper's instant determinism).
+  std::uint64_t active_invocations = 0;
+  /// Output tuples produced by all physical invocations.
+  std::uint64_t output_tuples = 0;
+};
+
+/// The service discovery and invocation mechanism (§2.1): tracks the set Ω
+/// of currently available services and implements the invocation function
+/// invoke_ψ(s, t) of Def. 1.
+///
+/// Instant determinism (§3.2): within one logical instant, invoking the
+/// same prototype on the same service with the same input always yields
+/// the same result. The registry enforces this by memoizing results per
+/// instant; the memo is discarded whenever the instant advances.
+class ServiceRegistry {
+ public:
+  ServiceRegistry() = default;
+
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  /// Registers a service under id(ω). Fails with AlreadyExists on
+  /// duplicate references.
+  Status Register(ServicePtr service);
+
+  /// Removes a service (e.g. a sensor disappeared). Fails with NotFound.
+  Status Unregister(const std::string& service_ref);
+
+  /// Looks up a service by reference.
+  Result<ServicePtr> Lookup(const std::string& service_ref) const;
+
+  bool Contains(const std::string& service_ref) const;
+
+  /// All registered service references, sorted.
+  std::vector<std::string> ServiceRefs() const;
+
+  /// References of services implementing `prototype_name`, sorted. This is
+  /// what the Query Processor's discovery queries materialize (§5.1).
+  std::vector<std::string> ServicesImplementing(
+      std::string_view prototype_name) const;
+
+  std::size_t size() const { return services_.size(); }
+
+  /// invoke_ψ(s, t) at instant `now` (Def. 1).
+  ///
+  /// Validates that the service exists and implements the prototype, that
+  /// `input` conforms to Input_ψ, and that every returned tuple conforms
+  /// to Output_ψ. Results are memoized for the duration of the instant.
+  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
+                                    const std::string& service_ref,
+                                    const Tuple& input, Timestamp now);
+
+  const InvocationStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = InvocationStats(); }
+
+  /// Observers notified on registration / unregistration; drives the
+  /// discovery-maintained XD-Relations of §5.1.
+  using Listener = std::function<void(const std::string& service_ref,
+                                      bool registered)>;
+  /// Returns a token usable with `RemoveListener`.
+  std::size_t AddListener(Listener listener);
+  void RemoveListener(std::size_t token);
+
+ private:
+  struct MemoKey {
+    std::string prototype;
+    std::string service_ref;
+    Tuple input;
+
+    bool operator==(const MemoKey& other) const {
+      return prototype == other.prototype &&
+             service_ref == other.service_ref && input == other.input;
+    }
+  };
+  struct MemoKeyHasher {
+    std::size_t operator()(const MemoKey& key) const;
+  };
+
+  void NotifyListeners(const std::string& service_ref, bool registered);
+
+  std::map<std::string, ServicePtr> services_;
+  InvocationStats stats_;
+
+  Timestamp memo_instant_ = -1;
+  std::unordered_map<MemoKey, std::vector<Tuple>, MemoKeyHasher> memo_;
+
+  std::size_t next_listener_token_ = 0;
+  std::map<std::size_t, Listener> listeners_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_SERVICE_SERVICE_REGISTRY_H_

@@ -1,0 +1,25 @@
+#include "stream/continuous_query.h"
+
+namespace serena {
+
+Result<XRelation> ContinuousQuery::Step(Environment* env,
+                                        StreamStore* streams,
+                                        Timestamp instant) {
+  if (env == nullptr) return Status::InvalidArgument("null environment");
+  EvalContext ctx;
+  ctx.env = env;
+  ctx.streams = streams;
+  ctx.instant = instant;
+  ctx.actions = &accumulated_actions_;
+  ctx.action_sink = [this, instant](const Action& action) {
+    action_log_.push_back(LoggedAction{instant, action});
+  };
+  ctx.error_policy = InvocationErrorPolicy::kSkipTuple;
+  ctx.state = &state_;
+  SERENA_ASSIGN_OR_RETURN(XRelation result, plan_->Evaluate(ctx));
+  ++steps_;
+  if (sink_) sink_(instant, result);
+  return result;
+}
+
+}  // namespace serena

@@ -1,0 +1,78 @@
+#ifndef SERENA_STREAM_CONTINUOUS_QUERY_H_
+#define SERENA_STREAM_CONTINUOUS_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// A registered continuous query (§4): a Serena plan evaluated once per
+/// instant with delta-aware semantics — the Streaming operator emits
+/// per-instant insertions/deletions and the invocation operator only
+/// invokes services for newly inserted tuples (§4.2).
+///
+/// A query whose outermost operator is Streaming produces an infinite
+/// XD-Relation (a stream of deltas, like Q4's photo stream); otherwise it
+/// produces a finite XD-Relation whose instantaneous value is the step
+/// result (like Q3).
+class ContinuousQuery {
+ public:
+  /// Called after each step with the instant and the step's result.
+  using Sink = std::function<void(Timestamp, const XRelation&)>;
+
+  ContinuousQuery(std::string name, PlanPtr plan)
+      : name_(std::move(name)), plan_(std::move(plan)) {}
+
+  const std::string& name() const { return name_; }
+  const PlanPtr& plan() const { return plan_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Evaluates one instant. Invocation failures skip the affected tuple
+  /// (a vanished sensor must not kill a standing query). Actions of this
+  /// step are appended to `accumulated_actions`.
+  Result<XRelation> Step(Environment* env, StreamStore* streams,
+                         Timestamp instant);
+
+  /// All actions (active invocations) the query has triggered since
+  /// registration (Def. 8, accumulated over instants). Being a *set*,
+  /// identical actions at different instants collapse — see `action_log`
+  /// for the full timestamped trace.
+  const ActionSet& accumulated_actions() const {
+    return accumulated_actions_;
+  }
+
+  /// One entry in the audit trail: when which action fired.
+  struct LoggedAction {
+    Timestamp instant;
+    Action action;
+  };
+
+  /// The complete timestamped audit trail of active invocations, in
+  /// firing order (every occurrence, no deduplication).
+  const std::vector<LoggedAction>& action_log() const { return action_log_; }
+
+  /// Number of completed steps.
+  std::uint64_t steps() const { return steps_; }
+
+  /// Drops all per-node state (the query behaves as freshly registered).
+  void ResetState() { state_.Clear(); }
+
+ private:
+  std::string name_;
+  PlanPtr plan_;
+  Sink sink_;
+  NodeStateStore state_;
+  ActionSet accumulated_actions_;
+  std::vector<LoggedAction> action_log_;
+  std::uint64_t steps_ = 0;
+};
+
+using ContinuousQueryPtr = std::shared_ptr<ContinuousQuery>;
+
+}  // namespace serena
+
+#endif  // SERENA_STREAM_CONTINUOUS_QUERY_H_

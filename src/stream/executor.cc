@@ -1,0 +1,136 @@
+#include "stream/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace serena {
+
+std::size_t ContinuousExecutor::AddSource(Source source) {
+  const std::size_t token = next_source_token_++;
+  sources_.emplace(token, std::move(source));
+  return token;
+}
+
+void ContinuousExecutor::RemoveSource(std::size_t token) {
+  sources_.erase(token);
+}
+
+Status ContinuousExecutor::Register(ContinuousQueryPtr query) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  const std::string name = query->name();
+  if (name.empty()) {
+    return Status::InvalidArgument("continuous query must be named");
+  }
+  for (const ContinuousQueryPtr& existing : queries_) {
+    if (existing->name() == name) {
+      return Status::AlreadyExists("continuous query '", name,
+                                   "' already registered");
+    }
+  }
+  queries_.push_back(std::move(query));
+  return Status::OK();
+}
+
+Status ContinuousExecutor::Unregister(const std::string& name) {
+  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+    if ((*it)->name() == name) {
+      queries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("continuous query '", name, "' not registered");
+}
+
+Result<ContinuousQueryPtr> ContinuousExecutor::GetQuery(
+    const std::string& name) const {
+  for (const ContinuousQueryPtr& query : queries_) {
+    if (query->name() == name) return query;
+  }
+  return Status::NotFound("continuous query '", name, "' not registered");
+}
+
+std::vector<std::string> ContinuousExecutor::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const ContinuousQueryPtr& query : queries_) {
+    names.push_back(query->name());
+  }
+  return names;
+}
+
+void ContinuousExecutor::CollectWindows(
+    const PlanPtr& plan, std::map<std::string, WindowDemand>* demands) {
+  if (plan == nullptr) return;
+  if (plan->kind() == PlanKind::kWindow) {
+    const auto* node = static_cast<const WindowNode*>(plan.get());
+    WindowDemand& demand = (*demands)[node->stream()];
+    if (node->mode() == WindowMode::kRows) {
+      demand.max_rows = std::max(demand.max_rows,
+                                 static_cast<std::size_t>(node->period()));
+    } else {
+      demand.max_period = std::max(demand.max_period, node->period());
+    }
+  }
+  for (const PlanPtr& child : plan->children()) {
+    CollectWindows(child, demands);
+  }
+}
+
+ContinuousExecutor::WindowDemand ContinuousExecutor::MaxWindowDemand(
+    const std::string& stream) const {
+  WindowDemand demand;
+  for (const ContinuousQueryPtr& query : queries_) {
+    std::map<std::string, WindowDemand> demands;
+    CollectWindows(query->plan(), &demands);
+    const auto it = demands.find(stream);
+    if (it != demands.end()) {
+      demand.max_period = std::max(demand.max_period, it->second.max_period);
+      demand.max_rows = std::max(demand.max_rows, it->second.max_rows);
+    }
+  }
+  return demand;
+}
+
+Timestamp ContinuousExecutor::Tick() {
+  const Timestamp now = env_->clock().Tick();
+  last_errors_.clear();
+
+  for (const auto& [token, source] : sources_) {
+    const Status status = source(now);
+    if (!status.ok()) {
+      SERENA_LOG(Warning) << "stream source failed at instant " << now
+                          << ": " << status;
+    }
+  }
+
+  for (const ContinuousQueryPtr& query : queries_) {
+    const auto result = query->Step(env_, streams_, now);
+    if (!result.ok()) {
+      last_errors_.emplace(query->name(), result.status());
+      SERENA_LOG(Warning) << "continuous query '" << query->name()
+                          << "' failed at instant " << now << ": "
+                          << result.status();
+    }
+  }
+
+  if (streams_ != nullptr) {
+    for (const std::string& stream_name : streams_->StreamNames()) {
+      auto stream = streams_->GetStream(stream_name);
+      if (stream.ok()) {
+        const WindowDemand demand = MaxWindowDemand(stream_name);
+        (*stream)->PruneBeforeKeeping(
+            now - demand.max_period - prune_slack_, demand.max_rows);
+      }
+    }
+  }
+  return now;
+}
+
+Timestamp ContinuousExecutor::Run(int n) {
+  Timestamp last = env_->clock().now();
+  for (int i = 0; i < n; ++i) last = Tick();
+  return last;
+}
+
+}  // namespace serena

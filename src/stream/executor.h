@@ -1,0 +1,87 @@
+#ifndef SERENA_STREAM_EXECUTOR_H_
+#define SERENA_STREAM_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/continuous_query.h"
+
+namespace serena {
+
+/// The continuous-query executor: drives the environment's logical clock
+/// and, at every tick, first runs the registered *sources* (callbacks that
+/// feed streams — e.g. sensor pumps, RSS pollers), then steps every
+/// registered continuous query, then prunes stream history no window can
+/// reach anymore.
+///
+/// Queries can be registered and unregistered while the executor runs —
+/// this is how the PEMS executes standing queries over a changing
+/// environment (§5.1).
+class ContinuousExecutor {
+ public:
+  /// A source feeds streams for the given instant (returns an error to
+  /// surface a feeding failure; the executor keeps going).
+  using Source = std::function<Status(Timestamp)>;
+
+  ContinuousExecutor(Environment* env, StreamStore* streams)
+      : env_(env), streams_(streams) {}
+
+  ContinuousExecutor(const ContinuousExecutor&) = delete;
+  ContinuousExecutor& operator=(const ContinuousExecutor&) = delete;
+
+  /// Registers a stream-feeding source, returning its token.
+  std::size_t AddSource(Source source);
+  void RemoveSource(std::size_t token);
+
+  /// Registers a continuous query under its name. Queries are evaluated
+  /// in registration order each tick, so upstream stages of a derived-
+  /// stream pipeline should be registered before their consumers.
+  Status Register(ContinuousQueryPtr query);
+  Status Unregister(const std::string& name);
+  Result<ContinuousQueryPtr> GetQuery(const std::string& name) const;
+  std::vector<std::string> QueryNames() const;
+
+  /// Advances the clock one instant and evaluates sources + queries.
+  /// Individual query failures are recorded (see `last_errors`) but do not
+  /// stop other queries.
+  Timestamp Tick();
+
+  /// Runs `n` ticks.
+  Timestamp Run(int n);
+
+  /// Errors collected during the most recent tick (query name → status).
+  const std::map<std::string, Status>& last_errors() const {
+    return last_errors_;
+  }
+
+  /// Extra instants of stream history retained beyond what the widest
+  /// registered window needs (default 16) — keeps recent history around
+  /// for inspection and late-registered queries while still bounding
+  /// memory.
+  void set_prune_slack(Timestamp slack) { prune_slack_ = slack; }
+  Timestamp prune_slack() const { return prune_slack_; }
+
+ private:
+  struct WindowDemand {
+    Timestamp max_period = 0;    ///< Widest time window on the stream.
+    std::size_t max_rows = 0;    ///< Largest row window on the stream.
+  };
+  /// Longest window demands any registered query places on `stream`.
+  WindowDemand MaxWindowDemand(const std::string& stream) const;
+  static void CollectWindows(const PlanPtr& plan,
+                             std::map<std::string, WindowDemand>* demands);
+
+  Environment* env_;
+  StreamStore* streams_;
+  std::size_t next_source_token_ = 0;
+  std::map<std::size_t, Source> sources_;
+  // Registration order is evaluation order.
+  std::vector<ContinuousQueryPtr> queries_;
+  std::map<std::string, Status> last_errors_;
+  Timestamp prune_slack_ = 16;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_STREAM_EXECUTOR_H_

@@ -1,0 +1,55 @@
+#include "stream/stream_store.h"
+
+namespace serena {
+
+Status StreamStore::AddStream(ExtendedSchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("null stream schema");
+  }
+  if (schema->name().empty()) {
+    return Status::InvalidArgument("stream schema must be named");
+  }
+  const std::string name = schema->name();
+  if (streams_.count(name) > 0) {
+    return Status::AlreadyExists("stream '", name, "' already exists");
+  }
+  streams_.emplace(name, XDRelation(std::move(schema)));
+  return Status::OK();
+}
+
+Result<XDRelation*> StreamStore::GetStream(const std::string& name) {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<const XDRelation*> StreamStore::GetStream(
+    const std::string& name) const {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+bool StreamStore::HasStream(const std::string& name) const {
+  return streams_.count(name) > 0;
+}
+
+Status StreamStore::DropStream(const std::string& name) {
+  if (streams_.erase(name) == 0) {
+    return Status::NotFound("stream '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> StreamStore::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) names.push_back(name);
+  return names;
+}
+
+}  // namespace serena

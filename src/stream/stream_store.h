@@ -1,0 +1,44 @@
+#ifndef SERENA_STREAM_STREAM_STORE_H_
+#define SERENA_STREAM_STREAM_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/xd_relation.h"
+
+namespace serena {
+
+/// The named infinite XD-Relations of a relational pervasive environment
+/// (§4.1) — e.g. the `temperatures` stream of the motivating example.
+///
+/// Kept separate from `Environment` (which owns finite relations) so the
+/// one-shot algebra remains stream-agnostic; queries reach streams only
+/// through the Window operator.
+class StreamStore {
+ public:
+  StreamStore() = default;
+
+  StreamStore(const StreamStore&) = delete;
+  StreamStore& operator=(const StreamStore&) = delete;
+
+  /// Creates an empty stream named after its schema.
+  Status AddStream(ExtendedSchemaPtr schema);
+
+  Result<XDRelation*> GetStream(const std::string& name);
+  Result<const XDRelation*> GetStream(const std::string& name) const;
+  bool HasStream(const std::string& name) const;
+
+  Status DropStream(const std::string& name);
+
+  /// All stream names, sorted.
+  std::vector<std::string> StreamNames() const;
+
+ private:
+  std::map<std::string, XDRelation> streams_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_STREAM_STREAM_STORE_H_

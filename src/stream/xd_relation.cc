@@ -1,0 +1,68 @@
+#include "stream/xd_relation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace serena {
+
+XDRelation::XDRelation(ExtendedSchemaPtr schema)
+    : schema_(std::move(schema)) {
+  SERENA_CHECK(schema_ != nullptr);
+}
+
+Status XDRelation::Append(Timestamp t, Tuple tuple) {
+  SERENA_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
+  if (!entries_.empty() && t < entries_.back().first) {
+    return Status::FailedPrecondition(
+        "stream '", schema_->name(), "' is append-only: instant ", t,
+        " precedes last instant ", entries_.back().first);
+  }
+  entries_.emplace_back(t, std::move(tuple));
+  return Status::OK();
+}
+
+std::vector<Tuple> XDRelation::InsertedDuring(Timestamp from_exclusive,
+                                              Timestamp to_inclusive) const {
+  std::vector<Tuple> result;
+  // Binary search the first entry with instant > from_exclusive.
+  const auto begin = std::upper_bound(
+      entries_.begin(), entries_.end(), from_exclusive,
+      [](Timestamp t, const auto& entry) { return t < entry.first; });
+  for (auto it = begin; it != entries_.end() && it->first <= to_inclusive;
+       ++it) {
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+std::vector<Tuple> XDRelation::LastInserted(std::size_t count,
+                                            Timestamp to_inclusive) const {
+  // Find the end of the eligible range (instant <= to_inclusive).
+  const auto end = std::upper_bound(
+      entries_.begin(), entries_.end(), to_inclusive,
+      [](Timestamp t, const auto& entry) { return t < entry.first; });
+  const std::size_t eligible =
+      static_cast<std::size_t>(std::distance(entries_.begin(), end));
+  const std::size_t take = std::min(count, eligible);
+  std::vector<Tuple> result;
+  result.reserve(take);
+  for (auto it = end - static_cast<std::ptrdiff_t>(take); it != end; ++it) {
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+void XDRelation::PruneBefore(Timestamp t) {
+  while (!entries_.empty() && entries_.front().first < t) {
+    entries_.pop_front();
+  }
+}
+
+void XDRelation::PruneBeforeKeeping(Timestamp t, std::size_t min_entries) {
+  while (entries_.size() > min_entries && entries_.front().first < t) {
+    entries_.pop_front();
+  }
+}
+
+}  // namespace serena

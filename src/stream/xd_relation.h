@@ -1,0 +1,74 @@
+#ifndef SERENA_STREAM_XD_RELATION_H_
+#define SERENA_STREAM_XD_RELATION_H_
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "schema/extended_schema.h"
+#include "types/tuple.h"
+
+namespace serena {
+
+/// An infinite eXtended Dynamic relation (XD-Relation, §4.1): an
+/// append-only mapping from time instants to multisets of tuples over an
+/// extended relation schema — a data stream in the CQL sense, extended
+/// with virtual attributes and binding patterns.
+///
+/// Finite XD-Relations (dynamic tables) are represented by mutable
+/// `XRelation`s inside the `Environment`; this class models only the
+/// infinite/append-only case, which must pass through a Window operator
+/// (W[period]) to re-enter the finite algebra.
+///
+/// The stream keeps a bounded history of insertions so windows can be
+/// answered; `PruneBefore` discards entries no window can reach anymore.
+class XDRelation {
+ public:
+  explicit XDRelation(ExtendedSchemaPtr schema);
+
+  const ExtendedSchema& schema() const { return *schema_; }
+  const ExtendedSchemaPtr& schema_ptr() const { return schema_; }
+
+  /// Appends a tuple at instant `t`. Instants must be non-decreasing
+  /// (append-only streams cannot rewrite the past). Validates the tuple
+  /// against the schema's real attributes.
+  Status Append(Timestamp t, Tuple tuple);
+
+  /// Tuples inserted with instants in the half-open window
+  /// (from_exclusive, to_inclusive] — exactly the content W[period]
+  /// produces at τ with from = τ - period, to = τ.
+  std::vector<Tuple> InsertedDuring(Timestamp from_exclusive,
+                                    Timestamp to_inclusive) const;
+
+  /// The last `count` tuples inserted at or before `to_inclusive` — the
+  /// content of a row-based window W[rows count] at τ (CQL's ROWS n).
+  std::vector<Tuple> LastInserted(std::size_t count,
+                                  Timestamp to_inclusive) const;
+
+  /// Drops history strictly older than `t`.
+  void PruneBefore(Timestamp t);
+
+  /// Like PruneBefore, but always retains at least the newest
+  /// `min_entries` insertions (needed while row-based windows are
+  /// registered).
+  void PruneBeforeKeeping(Timestamp t, std::size_t min_entries);
+
+  /// Total retained entries.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Instant of the latest insertion, or `fallback` when empty.
+  Timestamp LastInstant(Timestamp fallback = -1) const {
+    return entries_.empty() ? fallback : entries_.back().first;
+  }
+
+ private:
+  ExtendedSchemaPtr schema_;
+  std::deque<std::pair<Timestamp, Tuple>> entries_;  // Sorted by instant.
+};
+
+}  // namespace serena
+
+#endif  // SERENA_STREAM_XD_RELATION_H_

@@ -1,0 +1,46 @@
+#include "types/data_type.h"
+
+#include "common/string_util.h"
+
+namespace serena {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kInt:
+      return "INTEGER";
+    case DataType::kReal:
+      return "REAL";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBlob:
+      return "BLOB";
+    case DataType::kService:
+      return "SERVICE";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "boolean" || lower == "bool") return DataType::kBool;
+  if (lower == "integer" || lower == "int") return DataType::kInt;
+  if (lower == "real" || lower == "double" || lower == "float") {
+    return DataType::kReal;
+  }
+  if (lower == "string" || lower == "varchar") return DataType::kString;
+  if (lower == "blob") return DataType::kBlob;
+  if (lower == "service") return DataType::kService;
+  return Status::ParseError("unknown data type: ", std::string(name));
+}
+
+bool IsAssignableTo(DataType from, DataType to) {
+  if (from == to) return true;
+  if (from == DataType::kInt && to == DataType::kReal) return true;
+  if (from == DataType::kString && to == DataType::kService) return true;
+  if (from == DataType::kService && to == DataType::kString) return true;
+  return false;
+}
+
+}  // namespace serena

@@ -1,0 +1,40 @@
+#ifndef SERENA_TYPES_DATA_TYPE_H_
+#define SERENA_TYPES_DATA_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace serena {
+
+/// The attribute data types of the Serena DDL (Table 1 / Table 2 of the
+/// paper): BOOLEAN, INTEGER, REAL, STRING, BLOB and SERVICE.
+///
+/// `kService` is the declared type of attributes holding service references;
+/// per §2.2 a service reference is a *classical data value* — we represent
+/// it as a string at the value level, so `kService` values and `kString`
+/// values share the same representation but remain distinct declared types.
+enum class DataType {
+  kBool = 0,
+  kInt,
+  kReal,
+  kString,
+  kBlob,
+  kService,
+};
+
+/// DDL spelling of a type, e.g. "INTEGER".
+const char* DataTypeToString(DataType type);
+
+/// Parses a DDL type name (case-insensitive). Accepts BOOLEAN/BOOL,
+/// INTEGER/INT, REAL/DOUBLE/FLOAT, STRING/VARCHAR, BLOB, SERVICE.
+Result<DataType> DataTypeFromString(std::string_view name);
+
+/// True if values of `from` can be stored in an attribute declared `to`
+/// without loss of meaning (identity, int→real widening, string↔service).
+bool IsAssignableTo(DataType from, DataType to);
+
+}  // namespace serena
+
+#endif  // SERENA_TYPES_DATA_TYPE_H_

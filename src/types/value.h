@@ -1,0 +1,100 @@
+#ifndef SERENA_TYPES_VALUE_H_
+#define SERENA_TYPES_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace serena {
+
+/// A binary payload (e.g. the `photo BLOB` output of takePhoto, Table 1).
+using Blob = std::vector<std::uint8_t>;
+
+/// One constant from the paper's countable domain D (§2.3.1).
+///
+/// A `Value` is a tagged union over the runtime representations of the DDL
+/// types. Service references (§2.2) are plain string values; the SERVICE
+/// tag lives at the schema level, not here.
+class Value {
+ public:
+  /// Default-constructed value is the boolean `false`; prefer the typed
+  /// factories below.
+  Value() : repr_(false) {}
+
+  static Value Bool(bool v) { return Value(Repr(std::in_place_index<0>, v)); }
+  static Value Int(std::int64_t v) {
+    return Value(Repr(std::in_place_index<1>, v));
+  }
+  static Value Real(double v) { return Value(Repr(std::in_place_index<2>, v)); }
+  static Value String(std::string v) {
+    return Value(Repr(std::in_place_index<3>, std::move(v)));
+  }
+  static Value BlobValue(Blob v) {
+    return Value(Repr(std::in_place_index<4>, std::move(v)));
+  }
+
+  /// The runtime type of the stored representation. String and Service
+  /// share the string representation, so this never returns kService.
+  DataType type() const;
+
+  bool is_bool() const { return repr_.index() == 0; }
+  bool is_int() const { return repr_.index() == 1; }
+  bool is_real() const { return repr_.index() == 2; }
+  bool is_string() const { return repr_.index() == 3; }
+  bool is_blob() const { return repr_.index() == 4; }
+  /// True for int or real.
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  bool bool_value() const { return std::get<0>(repr_); }
+  std::int64_t int_value() const { return std::get<1>(repr_); }
+  double real_value() const { return std::get<2>(repr_); }
+  const std::string& string_value() const { return std::get<3>(repr_); }
+  const Blob& blob_value() const { return std::get<4>(repr_); }
+
+  /// Numeric value widened to double (int or real only).
+  double AsDouble() const;
+
+  /// True if the value's runtime type may populate an attribute declared
+  /// with `declared` (service attributes accept strings, reals accept ints).
+  bool ConformsTo(DataType declared) const;
+
+  /// Coerces to the declared type where lossless (int→real); otherwise
+  /// returns the value unchanged.
+  Value CoerceTo(DataType declared) const;
+
+  /// Printable form; strings are quoted, blobs abbreviated as `<blob:N>`.
+  std::string ToString() const;
+
+  /// Equality: same runtime type and equal payload, except that numeric
+  /// values compare by numeric value (Int(2) == Real(2.0)), matching the
+  /// natural-join semantics over D.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for deterministic sorting of relations. Orders first by a
+  /// type rank (numerics together), then by payload.
+  bool operator<(const Value& other) const;
+
+  /// Stable (cross-run) hash consistent with operator==.
+  std::uint64_t Hash() const;
+
+ private:
+  using Repr = std::variant<bool, std::int64_t, double, std::string, Blob>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// Parses a literal: true/false, integer, real, or quoted/unquoted string.
+Result<Value> ParseValueLiteral(std::string_view text, DataType declared);
+
+}  // namespace serena
+
+#endif  // SERENA_TYPES_VALUE_H_

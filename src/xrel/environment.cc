@@ -1,0 +1,127 @@
+#include "xrel/environment.h"
+
+namespace serena {
+
+Status Environment::AddPrototype(PrototypePtr prototype) {
+  if (prototype == nullptr) {
+    return Status::InvalidArgument("null prototype");
+  }
+  const std::string name = prototype->name();
+  if (!prototypes_.emplace(name, std::move(prototype)).second) {
+    return Status::AlreadyExists("prototype '", name, "' already declared");
+  }
+  return Status::OK();
+}
+
+Result<PrototypePtr> Environment::GetPrototype(const std::string& name) const {
+  const auto it = prototypes_.find(name);
+  if (it == prototypes_.end()) {
+    return Status::NotFound("prototype '", name, "' is not declared");
+  }
+  return it->second;
+}
+
+bool Environment::HasPrototype(const std::string& name) const {
+  return prototypes_.count(name) > 0;
+}
+
+std::vector<std::string> Environment::PrototypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(prototypes_.size());
+  for (const auto& [name, proto] : prototypes_) names.push_back(name);
+  return names;
+}
+
+Status Environment::CheckUrsa(const ExtendedSchema& schema) const {
+  for (const auto& [name, relation] : relations_) {
+    if (relation.schema().name() == schema.name()) continue;
+    for (const Attribute& attr : schema.attributes()) {
+      const Attribute* existing = relation.schema().FindAttribute(attr.name);
+      if (existing != nullptr && existing->type != attr.type) {
+        return Status::FailedPrecondition(
+            "URSA violation: attribute '", attr.name, "' has type ",
+            DataTypeToString(attr.type), " in '", schema.name(),
+            "' but type ", DataTypeToString(existing->type),
+            " in existing relation '", name, "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Environment::AddRelation(ExtendedSchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("null schema");
+  }
+  if (schema->name().empty()) {
+    return Status::InvalidArgument("relation schema must be named");
+  }
+  if (relations_.count(schema->name()) > 0) {
+    return Status::AlreadyExists("relation '", schema->name(),
+                                 "' already exists");
+  }
+  SERENA_RETURN_NOT_OK(CheckUrsa(*schema));
+  // Binding-pattern prototypes must be declared in the catalog.
+  for (const BindingPattern& bp : schema->binding_patterns()) {
+    if (!HasPrototype(bp.prototype().name())) {
+      return Status::FailedPrecondition(
+          "relation '", schema->name(), "' uses undeclared prototype '",
+          bp.prototype().name(), "'");
+    }
+  }
+  const std::string name = schema->name();
+  relations_.emplace(name, XRelation(std::move(schema)));
+  return Status::OK();
+}
+
+Status Environment::PutRelation(XRelation relation) {
+  const std::string name = relation.schema().name();
+  if (name.empty()) {
+    return Status::InvalidArgument("relation schema must be named");
+  }
+  const auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    SERENA_RETURN_NOT_OK(CheckUrsa(relation.schema()));
+    relations_.emplace(name, std::move(relation));
+  } else {
+    it->second = std::move(relation);
+  }
+  return Status::OK();
+}
+
+Status Environment::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<const XRelation*> Environment::GetRelation(
+    const std::string& name) const {
+  const auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<XRelation*> Environment::GetMutableRelation(const std::string& name) {
+  const auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Environment::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+std::vector<std::string> Environment::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace serena

@@ -1,0 +1,82 @@
+#ifndef SERENA_XREL_ENVIRONMENT_H_
+#define SERENA_XREL_ENVIRONMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "service/prototype.h"
+#include "service/service_registry.h"
+#include "xrel/xrelation.h"
+
+namespace serena {
+
+/// A relational pervasive environment (Def. 5/6 region of §2.3): the
+/// extension of "database" to pervasive settings — a set of named
+/// X-Relations plus the prototype catalog and the set of currently
+/// available services.
+///
+/// The environment also owns the logical clock: all query evaluation is
+/// pinned to `clock().now()` unless an explicit instant is supplied.
+///
+/// The Universal Relation Schema Assumption (URSA, §2.3.2) is enforced
+/// opportunistically: when a relation is added, any attribute name shared
+/// with an existing relation must carry the same type.
+class Environment {
+ public:
+  Environment() = default;
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // --- Prototype catalog -------------------------------------------------
+
+  /// Registers a prototype declaration. Fails on duplicate names.
+  Status AddPrototype(PrototypePtr prototype);
+
+  Result<PrototypePtr> GetPrototype(const std::string& name) const;
+  bool HasPrototype(const std::string& name) const;
+  /// All prototype names, sorted.
+  std::vector<std::string> PrototypeNames() const;
+
+  // --- X-Relations --------------------------------------------------------
+
+  /// Creates an empty X-Relation named after its schema. Fails if a
+  /// relation with this name exists or URSA is violated.
+  Status AddRelation(ExtendedSchemaPtr schema);
+
+  /// Replaces or creates a relation's contents wholesale.
+  Status PutRelation(XRelation relation);
+
+  Status DropRelation(const std::string& name);
+
+  Result<const XRelation*> GetRelation(const std::string& name) const;
+  Result<XRelation*> GetMutableRelation(const std::string& name);
+  bool HasRelation(const std::string& name) const;
+  /// All relation names, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  // --- Services and time ---------------------------------------------------
+
+  ServiceRegistry& registry() { return registry_; }
+  const ServiceRegistry& registry() const { return registry_; }
+
+  LogicalClock& clock() { return clock_; }
+  const LogicalClock& clock() const { return clock_; }
+
+ private:
+  /// URSA: a shared attribute name must denote the same data (same type).
+  Status CheckUrsa(const ExtendedSchema& schema) const;
+
+  std::map<std::string, PrototypePtr> prototypes_;
+  std::map<std::string, XRelation> relations_;
+  ServiceRegistry registry_;
+  LogicalClock clock_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_XREL_ENVIRONMENT_H_

@@ -1,0 +1,75 @@
+#ifndef SERENA_XREL_XRELATION_H_
+#define SERENA_XREL_XRELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/extended_schema.h"
+#include "types/tuple.h"
+
+namespace serena {
+
+/// An extended relation, or X-Relation (Def. 3): a finite *set* of tuples
+/// over an extended relation schema. Tuples are elements of
+/// D^|realSchema(R)| — virtual attributes carry no coordinate.
+///
+/// Set semantics are maintained on insertion (duplicates are ignored),
+/// matching the paper's definition. Iteration order is insertion order;
+/// use `Sorted()` for canonical output.
+class XRelation {
+ public:
+  /// An empty X-Relation over `schema` (must be non-null).
+  explicit XRelation(ExtendedSchemaPtr schema);
+
+  const ExtendedSchema& schema() const { return *schema_; }
+  const ExtendedSchemaPtr& schema_ptr() const { return schema_; }
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Validates the tuple against the schema's real attributes, then
+  /// inserts it if not already present. Returns true if inserted.
+  Result<bool> Insert(Tuple tuple);
+
+  /// Insertion without validation for operator internals that construct
+  /// tuples known to be schema-conformant. Still deduplicates.
+  bool InsertUnchecked(Tuple tuple);
+
+  /// Removes a tuple. Returns true if it was present.
+  bool Erase(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const;
+
+  void Clear();
+
+  /// t[A] for a real attribute A (Def. 4) on an arbitrary tuple of this
+  /// relation's schema.
+  Result<Value> ProjectValue(const Tuple& tuple,
+                             std::string_view attribute) const;
+
+  /// Tuples in canonical (lexicographic) order.
+  std::vector<Tuple> Sorted() const;
+
+  /// Set equality with another relation over an attribute-identical schema.
+  bool SetEquals(const XRelation& other) const;
+
+  /// ASCII table rendering: header row of all attributes (virtual ones
+  /// shown with '*' values, as in the paper's examples), then tuples in
+  /// canonical order.
+  std::string ToTableString() const;
+
+ private:
+  ExtendedSchemaPtr schema_;
+  std::vector<Tuple> tuples_;
+  // Dedup index: hash of tuple -> indices into tuples_ with that hash.
+  std::unordered_multimap<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_XREL_XRELATION_H_

@@ -1,0 +1,78 @@
+#include "algebra/action.h"
+
+#include <gtest/gtest.h>
+
+namespace serena {
+namespace {
+
+Action MakeAction(const char* proto, const char* attr, const char* ref,
+                  Tuple input) {
+  return Action{proto, attr, ref, std::move(input)};
+}
+
+TEST(ActionTest, EqualityCoversAllComponents) {
+  const Tuple input{Value::String("a@x"), Value::String("hi")};
+  const Action base = MakeAction("sendMessage", "messenger", "email", input);
+  EXPECT_EQ(base, MakeAction("sendMessage", "messenger", "email", input));
+  EXPECT_FALSE(base ==
+               MakeAction("sendPhoto", "messenger", "email", input));
+  EXPECT_FALSE(base == MakeAction("sendMessage", "svc", "email", input));
+  EXPECT_FALSE(base ==
+               MakeAction("sendMessage", "messenger", "jabber", input));
+  EXPECT_FALSE(base == MakeAction("sendMessage", "messenger", "email",
+                                  Tuple{Value::String("b@x"),
+                                        Value::String("hi")}));
+}
+
+TEST(ActionTest, OrderingIsTotalAndCanonical) {
+  const Tuple t1{Value::Int(1)};
+  const Tuple t2{Value::Int(2)};
+  const Action a = MakeAction("a", "x", "s1", t1);
+  const Action b = MakeAction("b", "x", "s1", t1);
+  const Action c = MakeAction("a", "y", "s1", t1);
+  const Action d = MakeAction("a", "x", "s2", t1);
+  const Action e = MakeAction("a", "x", "s1", t2);
+  EXPECT_LT(a, b);  // By prototype first.
+  EXPECT_LT(a, c);  // Then service attribute.
+  EXPECT_LT(a, d);  // Then service reference.
+  EXPECT_LT(a, e);  // Then input tuple.
+  EXPECT_FALSE(a < a);
+}
+
+TEST(ActionTest, ToStringMatchesPaperNotation) {
+  const Action action = MakeAction(
+      "sendMessage", "messenger", "email",
+      Tuple{Value::String("nicolas@elysee.fr"), Value::String("Bonjour!")});
+  EXPECT_EQ(action.ToString(),
+            "(sendMessage[messenger], email, ('nicolas@elysee.fr', "
+            "'Bonjour!'))");
+}
+
+TEST(ActionSetTest, SetSemanticsAndEquality) {
+  ActionSet s1;
+  ActionSet s2;
+  const Tuple input{Value::String("a")};
+  s1.Add(MakeAction("p", "x", "s", input));
+  s1.Add(MakeAction("p", "x", "s", input));  // Duplicate collapses.
+  EXPECT_EQ(s1.size(), 1u);
+  EXPECT_NE(s1, s2);
+  s2.Add(MakeAction("p", "x", "s", input));
+  EXPECT_EQ(s1, s2);
+  s1.Add(MakeAction("q", "x", "s", input));
+  EXPECT_NE(s1, s2);
+}
+
+TEST(ActionSetTest, ToStringIsCanonicallyOrdered) {
+  // Insertion order must not matter (sets compare by content).
+  ActionSet forward;
+  forward.Add(MakeAction("a", "x", "s", Tuple{Value::Int(1)}));
+  forward.Add(MakeAction("b", "x", "s", Tuple{Value::Int(2)}));
+  ActionSet backward;
+  backward.Add(MakeAction("b", "x", "s", Tuple{Value::Int(2)}));
+  backward.Add(MakeAction("a", "x", "s", Tuple{Value::Int(1)}));
+  EXPECT_EQ(forward.ToString(), backward.ToString());
+  EXPECT_EQ(ActionSet().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,110 @@
+#include "ddl/algebra_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+TEST(AlgebraParserTest, ParsesScan) {
+  PlanPtr plan = ParseAlgebra("contacts").ValueOrDie();
+  EXPECT_EQ(plan->kind(), PlanKind::kScan);
+  EXPECT_EQ(plan->ToString(), "contacts");
+}
+
+TEST(AlgebraParserTest, ParsesTable4Q1) {
+  PlanPtr plan =
+      ParseAlgebra("invoke[sendMessage](assign[text := 'Bonjour!'](select["
+                   "name != 'Carla'](contacts)))")
+          .ValueOrDie();
+  EXPECT_EQ(plan->ToString(),
+            "invoke[sendMessage](assign[text := 'Bonjour!'](select[name != "
+            "'Carla'](contacts)))");
+}
+
+TEST(AlgebraParserTest, ParsesAllOperators) {
+  const char* expressions[] = {
+      "project[photo](cameras)",
+      "select[quality >= 5](cameras)",
+      "select[(a = 1 and b != 2) or not (c < 3.5)](r)",
+      "rename[location -> area](temperatures)",
+      "join(sensors, surveillance)",
+      "union(a, b)",
+      "intersect(a, b)",
+      "difference(a, b)",
+      "assign[quality := 5](cameras)",
+      "assign[text := title](news)",
+      "invoke[takePhoto[camera]](cameras)",
+      "window[60](temperatures)",
+      "stream[insertion](project[photo](cameras))",
+      "select[title contains 'Obama'](window[60](news))",
+  };
+  for (const char* expr : expressions) {
+    auto plan = ParseAlgebra(expr);
+    ASSERT_TRUE(plan.ok()) << expr << ": " << plan.status();
+  }
+}
+
+TEST(AlgebraParserTest, RoundTripsThroughToString) {
+  const char* expressions[] = {
+      "invoke[sendMessage](assign[text := 'Bonjour!'](select[name != "
+      "'Carla'](contacts)))",
+      "project[photo](invoke[takePhoto](select[quality >= "
+      "5](invoke[checkPhoto](select[area = 'office'](cameras)))))",
+      "stream[insertion](project[area, photo](invoke[takePhoto](assign["
+      "quality := 5](join(rename[location -> area](select[temperature < "
+      "12](window[1](temperatures))), cameras)))))",
+      "select[temperature > 35.5](window[1](temperatures))",
+  };
+  for (const char* expr : expressions) {
+    PlanPtr once = ParseAlgebra(expr).ValueOrDie();
+    PlanPtr twice = ParseAlgebra(once->ToString()).ValueOrDie();
+    EXPECT_EQ(once->ToString(), twice->ToString()) << expr;
+  }
+}
+
+TEST(AlgebraParserTest, ScenarioQueriesRoundTrip) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  for (const PlanPtr& plan :
+       {scenario->Q1(), scenario->Q1Prime(), scenario->Q2(),
+        scenario->Q2Prime(), scenario->Q3(), scenario->Q4()}) {
+    PlanPtr reparsed = ParseAlgebra(plan->ToString()).ValueOrDie();
+    EXPECT_EQ(reparsed->ToString(), plan->ToString());
+  }
+}
+
+TEST(AlgebraParserTest, ParsedPlanExecutesLikeBuiltPlan) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  PlanPtr parsed = ParseAlgebra(scenario->Q1()->ToString()).ValueOrDie();
+  QueryResult built = Execute(scenario->Q1(), &scenario->env(),
+                              &scenario->streams(), 3)
+                          .ValueOrDie();
+  QueryResult reparsed =
+      Execute(parsed, &scenario->env(), &scenario->streams(), 3)
+          .ValueOrDie();
+  EXPECT_TRUE(built.relation.SetEquals(reparsed.relation));
+  EXPECT_EQ(built.actions, reparsed.actions);
+}
+
+TEST(AlgebraParserTest, FormulaParsing) {
+  FormulaPtr f =
+      ParseFormula("a = 1 and (b > 2.5 or not c != 'x')").ValueOrDie();
+  EXPECT_EQ(f->ToString(), "(a = 1 and (b > 2.5 or not (c != 'x')))");
+  FormulaPtr neg = ParseFormula("t < -5").ValueOrDie();
+  EXPECT_EQ(neg->ToString(), "t < -5");
+}
+
+TEST(AlgebraParserTest, ErrorsAreParseErrors) {
+  for (const char* bad : {"select[](r)", "project[](r)", "join(a)",
+                          "invoke[p](r", "window[x](s)", "select[a =](r)",
+                          "rename[a, b](r)", "stream[sideways](r)",
+                          "union(a, b) trailing"}) {
+    auto result = ParseAlgebra(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,117 @@
+#include "rewrite/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TemperatureScenarioOptions options;
+    options.extra_sensors = 96;  // 100 sensors total.
+    scenario_ = TemperatureScenario::Build(options).MoveValueOrDie();
+  }
+
+  PlanCost Cost(const PlanPtr& plan) {
+    return EstimateCost(plan, scenario_->env(), &scenario_->streams())
+        .ValueOrDie();
+  }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+TEST_F(CostTest, ScanUsesActualCardinality) {
+  EXPECT_DOUBLE_EQ(Cost(Scan("sensors")).cardinality, 100.0);
+  EXPECT_DOUBLE_EQ(Cost(Scan("contacts")).cardinality, 3.0);
+  EXPECT_DOUBLE_EQ(Cost(Scan("sensors")).invocations, 0.0);
+}
+
+TEST_F(CostTest, SelectionShrinksCardinality) {
+  PlanPtr scan = Scan("sensors");
+  PlanPtr eq = Select(scan, Formula::Compare(
+                                Operand::Attr("location"), CompareOp::kEq,
+                                Operand::Const(Value::String("office"))));
+  PlanPtr range =
+      Select(scan, Formula::Compare(Operand::Attr("location"),
+                                    CompareOp::kLt,
+                                    Operand::Const(Value::String("z"))));
+  EXPECT_LT(Cost(eq).cardinality, Cost(scan).cardinality);
+  // Equality assumed more selective than a range predicate.
+  EXPECT_LT(Cost(eq).cardinality, Cost(range).cardinality);
+}
+
+TEST_F(CostTest, InvokeChargesPerInputTuple) {
+  PlanPtr invoke_all = Invoke(Scan("sensors"), "getTemperature");
+  const PlanCost all = Cost(invoke_all);
+  EXPECT_DOUBLE_EQ(all.invocations, 100.0);
+  EXPECT_DOUBLE_EQ(all.active_invocations, 0.0);  // Passive.
+
+  // Filtering first cuts the estimated invocations.
+  PlanPtr invoke_few = Invoke(
+      Select(Scan("sensors"),
+             Formula::Compare(Operand::Attr("location"), CompareOp::kEq,
+                              Operand::Const(Value::String("office")))),
+      "getTemperature");
+  EXPECT_LT(Cost(invoke_few).invocations, all.invocations);
+}
+
+TEST_F(CostTest, ActiveInvocationsTracked) {
+  PlanPtr q1 = scenario_->Q1();
+  const PlanCost cost = Cost(q1);
+  EXPECT_GT(cost.active_invocations, 0.0);
+  EXPECT_LE(cost.active_invocations, cost.invocations);
+}
+
+TEST_F(CostTest, TotalWeighsInvocationsOverTuples) {
+  // 100 invocations must dominate thousands of local tuples.
+  PlanPtr heavy_local = Join(Scan("sensors"), Scan("surveillance"));
+  PlanPtr few_remote = Invoke(Scan("contacts"), "sendMessage");
+  // Q1-ish shape (3 invocations) vs a local join: both estimable;
+  // invocations are priced 100x.
+  EXPECT_GT(Cost(few_remote).Total() / 3.0, 90.0);
+  (void)heavy_local;
+}
+
+TEST_F(CostTest, WindowAndStreamingEstimable) {
+  PlanPtr plan = Streaming(
+      Select(Window("temperatures", 1),
+             Formula::Compare(Operand::Attr("temperature"), CompareOp::kGt,
+                              Operand::Const(Value::Real(35.5)))),
+      StreamingType::kInsertion);
+  const PlanCost cost = Cost(plan);
+  EXPECT_GT(cost.cardinality, 0.0);
+  EXPECT_DOUBLE_EQ(cost.invocations, 0.0);
+}
+
+TEST_F(CostTest, AggregateCompressesCardinality) {
+  PlanPtr base = Scan("sensors");
+  PlanPtr agg = Aggregate(base, {"location"},
+                          {{AggregateFn::kCount, "", "n"}});
+  EXPECT_LT(Cost(agg).cardinality, Cost(base).cardinality);
+  EXPECT_GE(Cost(agg).cardinality, 1.0);
+}
+
+TEST_F(CostTest, ErrorsOnUnknownRelationOrNull) {
+  EXPECT_FALSE(
+      EstimateCost(Scan("ghost"), scenario_->env(), nullptr).ok());
+  EXPECT_FALSE(
+      EstimateCost(nullptr, scenario_->env(), nullptr).ok());
+}
+
+TEST_F(CostTest, CustomOptionsChangeEstimates) {
+  CostModelOptions pessimistic;
+  pessimistic.invocation_fanout = 4.0;
+  PlanPtr plan = Invoke(Scan("sensors"), "getTemperature");
+  auto normal =
+      EstimateCost(plan, scenario_->env(), nullptr).ValueOrDie();
+  auto fanout =
+      EstimateCost(plan, scenario_->env(), nullptr, pessimistic)
+          .ValueOrDie();
+  EXPECT_GT(fanout.cardinality, normal.cardinality);
+}
+
+}  // namespace
+}  // namespace serena

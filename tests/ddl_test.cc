@@ -1,0 +1,333 @@
+#include "ddl/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "ddl/lexer.h"
+
+namespace serena {
+namespace {
+
+/// Table 1 of the paper, verbatim (modulo ';' termination).
+constexpr const char* kTable1 = R"(
+  PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
+  PROTOTYPE checkPhoto( area STRING ) : ( quality INTEGER, delay REAL );
+  PROTOTYPE takePhoto( area STRING, quality INTEGER ) : ( photo BLOB );
+  PROTOTYPE getTemperature( ) : ( temperature REAL );
+  SERVICE email IMPLEMENTS sendMessage;
+  SERVICE jabber IMPLEMENTS sendMessage;
+  SERVICE camera01 IMPLEMENTS checkPhoto, takePhoto;
+  SERVICE camera02 IMPLEMENTS checkPhoto, takePhoto;
+  SERVICE webcam07 IMPLEMENTS checkPhoto, takePhoto;
+  SERVICE sensor01 IMPLEMENTS getTemperature;
+  SERVICE sensor06 IMPLEMENTS getTemperature;
+  SERVICE sensor07 IMPLEMENTS getTemperature;
+  SERVICE sensor22 IMPLEMENTS getTemperature;
+)";
+
+/// Table 2 of the paper, verbatim.
+constexpr const char* kTable2 = R"(
+  EXTENDED RELATION contacts (
+    name STRING,
+    address STRING,
+    text STRING VIRTUAL,
+    messenger SERVICE,
+    sent BOOLEAN VIRTUAL
+  ) USING BINDING PATTERNS (
+    sendMessage[messenger] ( address, text ) : ( sent )
+  );
+  EXTENDED RELATION cameras (
+    camera SERVICE,
+    area STRING,
+    quality INTEGER VIRTUAL,
+    delay REAL VIRTUAL,
+    photo BLOB VIRTUAL
+  ) USING BINDING PATTERNS (
+    checkPhoto[camera] ( area ) : ( quality, delay ),
+    takePhoto[camera] ( area, quality ) : ( photo )
+  );
+)";
+
+TEST(LexerTest, TokenizesSymbolsAndLiterals) {
+  auto tokens =
+      Tokenize("select[name != 'O''Brien'](r) := -> 35.5 42").ValueOrDie();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].IsIdent("select"));
+  EXPECT_TRUE(tokens[1].IsSymbol("["));
+  EXPECT_TRUE(tokens[2].IsIdent("name"));
+  EXPECT_TRUE(tokens[3].IsSymbol("!="));
+  EXPECT_EQ(tokens[4].type, TokenType::kString);
+  EXPECT_EQ(tokens[4].text, "O'Brien");  // '' escape.
+}
+
+TEST(LexerTest, CommentsAndLineTracking) {
+  auto tokens = Tokenize("a -- comment ( ignored\nb").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, end.
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2u);
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(DdlParserTest, ParsesTable1Verbatim) {
+  auto statements = ParseDdl(kTable1).ValueOrDie();
+  ASSERT_EQ(statements.size(), 13u);
+  EXPECT_EQ(statements[0].kind, DdlStatement::Kind::kPrototype);
+  EXPECT_EQ(statements[0].prototype_name, "sendMessage");
+  EXPECT_TRUE(statements[0].active);
+  EXPECT_EQ(statements[0].input_attributes.size(), 2u);
+  EXPECT_EQ(statements[0].output_attributes.size(), 1u);
+  EXPECT_FALSE(statements[1].active);
+  EXPECT_EQ(statements[3].input_attributes.size(), 0u);  // getTemperature().
+  EXPECT_EQ(statements[4].kind, DdlStatement::Kind::kService);
+  EXPECT_EQ(statements[4].service_name, "email");
+  EXPECT_EQ(statements[6].implemented_prototypes,
+            (std::vector<std::string>{"checkPhoto", "takePhoto"}));
+}
+
+TEST(DdlParserTest, ParsesTable2Verbatim) {
+  auto statements = ParseDdl(kTable2).ValueOrDie();
+  ASSERT_EQ(statements.size(), 2u);
+  const DdlStatement& contacts = statements[0];
+  EXPECT_EQ(contacts.kind, DdlStatement::Kind::kRelation);
+  EXPECT_EQ(contacts.relation_name, "contacts");
+  ASSERT_EQ(contacts.attributes.size(), 5u);
+  EXPECT_TRUE(contacts.attributes[2].is_virtual());  // text.
+  EXPECT_EQ(contacts.attributes[3].type, DataType::kService);
+  ASSERT_EQ(contacts.binding_patterns.size(), 1u);
+  EXPECT_EQ(contacts.binding_patterns[0].prototype, "sendMessage");
+  EXPECT_EQ(contacts.binding_patterns[0].service_attribute, "messenger");
+
+  const DdlStatement& cameras = statements[1];
+  ASSERT_EQ(cameras.binding_patterns.size(), 2u);
+  EXPECT_EQ(cameras.binding_patterns[1].inputs,
+            (std::vector<std::string>{"area", "quality"}));
+}
+
+TEST(DdlParserTest, SyntaxErrorsAreReported) {
+  EXPECT_FALSE(ParseDdl("PROTOTYPE ;").ok());
+  EXPECT_FALSE(ParseDdl("PROTOTYPE p(a) : (b BOOLEAN);").ok());  // No type.
+  EXPECT_FALSE(ParseDdl("EXTENDED TABLE t (a STRING);").ok());
+  EXPECT_FALSE(ParseDdl("SERVICE s;").ok());
+  EXPECT_FALSE(ParseDdl("PROTOTYPE p() : (x STRING)").ok());  // Missing ';'.
+}
+
+TEST(CatalogTest, ExecutesTables1And2EndToEnd) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_EQ(catalog.Execute(kTable1), Status::OK());
+  ASSERT_EQ(catalog.Execute(kTable2), Status::OK());
+
+  // Prototypes are in the catalog.
+  EXPECT_EQ(env.PrototypeNames(),
+            (std::vector<std::string>{"checkPhoto", "getTemperature",
+                                      "sendMessage", "takePhoto"}));
+  EXPECT_TRUE(env.GetPrototype("sendMessage").ValueOrDie()->active());
+
+  // Services registered (synthetic implementations by default).
+  EXPECT_EQ(env.registry().size(), 9u);
+  EXPECT_EQ(env.registry().ServicesImplementing("getTemperature").size(),
+            4u);
+
+  // Relations exist with the right partitions.
+  const XRelation* contacts = env.GetRelation("contacts").ValueOrDie();
+  EXPECT_EQ(contacts->schema().VirtualNames(),
+            (std::vector<std::string>{"text", "sent"}));
+  EXPECT_EQ(contacts->schema().binding_patterns().size(), 1u);
+  const XRelation* cameras = env.GetRelation("cameras").ValueOrDie();
+  EXPECT_EQ(cameras->schema().binding_patterns().size(), 2u);
+}
+
+TEST(CatalogTest, SyntheticServicesAnswerQueries) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute(kTable1).ok());
+  ASSERT_TRUE(catalog.Execute(kTable2).ok());
+  XRelation* cameras = env.GetMutableRelation("cameras").ValueOrDie();
+  ASSERT_TRUE(cameras
+                  ->Insert(Tuple{Value::String("camera01"),
+                                 Value::String("office")})
+                  .ok());
+
+  // invoke[checkPhoto](cameras) works against the synthetic camera01.
+  const BindingPattern* bp =
+      cameras->schema().FindBindingPattern("checkPhoto");
+  ASSERT_NE(bp, nullptr);
+  InvokeOptions options;
+  options.instant = 3;
+  XRelation checked =
+      Invoke(*cameras, *bp, &env.registry(), options).ValueOrDie();
+  ASSERT_EQ(checked.size(), 1u);
+  EXPECT_TRUE(checked.schema().IsReal("quality"));
+  // Deterministic at an instant.
+  XRelation again =
+      Invoke(*cameras, *bp, &env.registry(), options).ValueOrDie();
+  EXPECT_TRUE(checked.SetEquals(again));
+}
+
+TEST(CatalogTest, StreamDeclarationCreatesXDRelation) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog
+                  .Execute("EXTENDED STREAM temperatures (location STRING, "
+                           "temperature REAL);")
+                  .ok());
+  EXPECT_TRUE(streams.HasStream("temperatures"));
+}
+
+TEST(CatalogTest, ServiceWithUnknownPrototypeFails) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  EXPECT_EQ(catalog.Execute("SERVICE x IMPLEMENTS nope;").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, EmptyOutputPrototypeIsSemanticError) {
+  // Parses fine, but violates the Def. 2 requirement Output_ψ ≠ ∅.
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  EXPECT_EQ(catalog.Execute("PROTOTYPE p(a STRING) : ();").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, BindingPatternListMismatchFails) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog
+                  .Execute("PROTOTYPE p(a STRING) : (b BOOLEAN);")
+                  .ok());
+  // Declared inputs don't match the prototype.
+  const Status status = catalog.Execute(
+      "EXTENDED RELATION r (a STRING, svc SERVICE, b BOOLEAN VIRTUAL) "
+      "USING BINDING PATTERNS ( p[svc](wrong) : (b) );");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, InsertIntoPopulatesRelation) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute(kTable1).ok());
+  ASSERT_TRUE(catalog.Execute(kTable2).ok());
+  ASSERT_TRUE(catalog
+                  .Execute("INSERT INTO contacts VALUES "
+                           "('Nicolas', 'nicolas@elysee.fr', 'email'), "
+                           "('Carla', 'carla@elysee.fr', 'email');")
+                  .ok());
+  const XRelation* contacts = env.GetRelation("contacts").ValueOrDie();
+  EXPECT_EQ(contacts->size(), 2u);
+  // Values land on the real schema in order.
+  EXPECT_EQ(contacts->ProjectValue(contacts->Sorted()[0], "name")
+                .ValueOrDie(),
+            Value::String("Carla"));
+}
+
+TEST(CatalogTest, InsertTypedLiterals) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog
+                  .Execute("EXTENDED RELATION t (i INTEGER, r REAL, "
+                           "b BOOLEAN, s STRING);")
+                  .ok());
+  ASSERT_TRUE(
+      catalog.Execute("INSERT INTO t VALUES (-3, 35.5, true, 'x');").ok());
+  const XRelation* t = env.GetRelation("t").ValueOrDie();
+  const Tuple& row = t->tuples()[0];
+  EXPECT_EQ(row[0], Value::Int(-3));
+  EXPECT_EQ(row[1], Value::Real(35.5));
+  EXPECT_EQ(row[2], Value::Bool(true));
+  EXPECT_EQ(row[3], Value::String("x"));
+}
+
+TEST(CatalogTest, InsertErrors) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute("EXTENDED RELATION t (i INTEGER);").ok());
+  // Wrong arity.
+  EXPECT_FALSE(catalog.Execute("INSERT INTO t VALUES (1, 2);").ok());
+  // Type mismatch.
+  EXPECT_FALSE(catalog.Execute("INSERT INTO t VALUES ('abc');").ok());
+  // Unknown relation.
+  EXPECT_EQ(catalog.Execute("INSERT INTO ghost VALUES (1);").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DeleteFromWithCondition) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute(kTable1).ok());
+  ASSERT_TRUE(catalog.Execute(kTable2).ok());
+  ASSERT_TRUE(catalog
+                  .Execute("INSERT INTO contacts VALUES "
+                           "('Nicolas', 'n@x', 'email'), "
+                           "('Carla', 'c@x', 'email'), "
+                           "('Francois', 'f@x', 'jabber');")
+                  .ok());
+  ASSERT_TRUE(
+      catalog.Execute("DELETE FROM contacts WHERE messenger = 'email';")
+          .ok());
+  const XRelation* contacts = env.GetRelation("contacts").ValueOrDie();
+  ASSERT_EQ(contacts->size(), 1u);
+  EXPECT_EQ(contacts->ProjectValue(contacts->tuples()[0], "name")
+                .ValueOrDie(),
+            Value::String("Francois"));
+  // WHERE over a virtual attribute is rejected.
+  EXPECT_FALSE(
+      catalog.Execute("DELETE FROM contacts WHERE text = 'x';").ok());
+  // Unconditional DELETE clears the relation.
+  ASSERT_TRUE(catalog.Execute("DELETE FROM contacts;").ok());
+  EXPECT_TRUE(env.GetRelation("contacts").ValueOrDie()->empty());
+}
+
+TEST(CatalogTest, DropRelationAndStream) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog
+                  .Execute("EXTENDED RELATION r (a INTEGER); "
+                           "EXTENDED STREAM s (b REAL);")
+                  .ok());
+  ASSERT_TRUE(catalog.Execute("DROP RELATION r;").ok());
+  EXPECT_FALSE(env.HasRelation("r"));
+  ASSERT_TRUE(catalog.Execute("DROP STREAM s;").ok());
+  EXPECT_FALSE(streams.HasStream("s"));
+  EXPECT_EQ(catalog.Execute("DROP RELATION r;").code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(catalog.Execute("DROP SOMETHING x;").ok());
+}
+
+TEST(CatalogTest, DeleteWhereStringRoundTripsQuotes) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute("EXTENDED RELATION t (s STRING);").ok());
+  ASSERT_TRUE(
+      catalog.Execute("INSERT INTO t VALUES ('O''Brien'), ('x');").ok());
+  ASSERT_TRUE(
+      catalog.Execute("DELETE FROM t WHERE s = 'O''Brien';").ok());
+  EXPECT_EQ(env.GetRelation("t").ValueOrDie()->size(), 1u);
+}
+
+TEST(CatalogTest, DuplicateDeclarationsFail) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute("PROTOTYPE p() : (x INTEGER);").ok());
+  EXPECT_EQ(catalog.Execute("PROTOTYPE p() : (x INTEGER);").code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace serena

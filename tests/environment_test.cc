@@ -1,0 +1,134 @@
+#include "xrel/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/explain.h"
+#include "env/prototypes.h"
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+TEST(EnvironmentTest, PrototypeCatalog) {
+  Environment env;
+  ASSERT_TRUE(env.AddPrototype(MakeSendMessagePrototype()).ok());
+  EXPECT_EQ(env.AddPrototype(MakeSendMessagePrototype()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(env.AddPrototype(nullptr).ok());
+  EXPECT_TRUE(env.HasPrototype("sendMessage"));
+  EXPECT_FALSE(env.HasPrototype("nope"));
+  EXPECT_EQ(env.PrototypeNames(),
+            (std::vector<std::string>{"sendMessage"}));
+}
+
+TEST(EnvironmentTest, RelationLifecycle) {
+  Environment env;
+  auto schema =
+      ExtendedSchema::Create("r", {{"a", DataType::kInt}}).ValueOrDie();
+  ASSERT_TRUE(env.AddRelation(schema).ok());
+  EXPECT_EQ(env.AddRelation(schema).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(env.HasRelation("r"));
+  XRelation* r = env.GetMutableRelation("r").ValueOrDie();
+  ASSERT_TRUE(r->Insert(Tuple{Value::Int(1)}).ok());
+  EXPECT_EQ(env.GetRelation("r").ValueOrDie()->size(), 1u);
+  ASSERT_TRUE(env.DropRelation("r").ok());
+  EXPECT_FALSE(env.HasRelation("r"));
+  EXPECT_EQ(env.DropRelation("r").code(), StatusCode::kNotFound);
+}
+
+TEST(EnvironmentTest, UrsaRejectsConflictingAttributeTypes) {
+  Environment env;
+  ASSERT_TRUE(env.AddRelation(ExtendedSchema::Create(
+                                  "a", {{"temperature", DataType::kReal}})
+                                  .ValueOrDie())
+                  .ok());
+  // Same attribute name with a different type violates URSA (§2.3.2).
+  const Status status = env.AddRelation(
+      ExtendedSchema::Create("b", {{"temperature", DataType::kString}})
+          .ValueOrDie());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // Same type is fine.
+  EXPECT_TRUE(env.AddRelation(ExtendedSchema::Create(
+                                  "c", {{"temperature", DataType::kReal}})
+                                  .ValueOrDie())
+                  .ok());
+}
+
+TEST(EnvironmentTest, RelationWithUndeclaredPrototypeRejected) {
+  Environment env;
+  auto schema =
+      ExtendedSchema::Create(
+          "contacts",
+          {{"address", DataType::kString},
+           {"text", DataType::kString, AttributeKind::kVirtual},
+           {"messenger", DataType::kService},
+           {"sent", DataType::kBool, AttributeKind::kVirtual}},
+          {BindingPattern(MakeSendMessagePrototype(), "messenger")})
+          .ValueOrDie();
+  // sendMessage was never declared in this environment's catalog.
+  EXPECT_EQ(env.AddRelation(schema).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EnvironmentTest, PutRelationReplacesContents) {
+  Environment env;
+  auto schema =
+      ExtendedSchema::Create("r", {{"a", DataType::kInt}}).ValueOrDie();
+  XRelation v1(schema);
+  (void)v1.Insert(Tuple{Value::Int(1)});
+  ASSERT_TRUE(env.PutRelation(v1).ok());
+  XRelation v2(schema);
+  (void)v2.Insert(Tuple{Value::Int(2)});
+  (void)v2.Insert(Tuple{Value::Int(3)});
+  ASSERT_TRUE(env.PutRelation(v2).ok());
+  EXPECT_EQ(env.GetRelation("r").ValueOrDie()->size(), 2u);
+}
+
+TEST(ExplainTest, RendersTreeWithSchemas) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  const std::string explained = ExplainPlan(
+      scenario->Q1(), scenario->env(), &scenario->streams());
+  // Operator tree, indented.
+  EXPECT_NE(explained.find("invoke[sendMessage]"), std::string::npos);
+  EXPECT_NE(explained.find("  assign[text := 'Bonjour!']"),
+            std::string::npos);
+  EXPECT_NE(explained.find("      contacts"), std::string::npos);
+  // Annotations: activity and schema partition.
+  EXPECT_NE(explained.find("ACTIVE"), std::string::npos);
+  EXPECT_NE(explained.find("virtual: {"), std::string::npos);
+}
+
+TEST(ExplainTest, DegradesGracefullyWithoutSchemas) {
+  Environment env;
+  // Unknown relation: inference fails, rendering still works.
+  const std::string explained =
+      ExplainPlan(Select(Scan("ghost"),
+                         Formula::Compare(Operand::Attr("a"), CompareOp::kEq,
+                                          Operand::Const(Value::Int(1)))),
+                  env, nullptr);
+  EXPECT_NE(explained.find("select[a = 1]"), std::string::npos);
+  EXPECT_NE(explained.find("ghost"), std::string::npos);
+  EXPECT_EQ(ExplainPlan(nullptr, env, nullptr), "(null plan)\n");
+}
+
+TEST(ExplainTest, CoversAllOperatorKinds) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  PlanPtr everything = Streaming(
+      Aggregate(
+          Project(
+              Rename(UnionOf(Scan("sensors"), Scan("sensors")), "sensor",
+                     "device"),
+              {"device", "location"}),
+          {"location"}, {{AggregateFn::kCount, "", "n"}}),
+      StreamingType::kHeartbeat);
+  const std::string explained =
+      ExplainPlan(everything, scenario->env(), &scenario->streams());
+  for (const char* bit : {"stream[heartbeat]", "aggregate[location;",
+                          "project[device, location]",
+                          "rename[sensor -> device]", "union"}) {
+    EXPECT_NE(explained.find(bit), std::string::npos) << bit;
+  }
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,151 @@
+#include "pems/erm.h"
+
+#include <gtest/gtest.h>
+
+#include "env/prototypes.h"
+#include "env/sim_services.h"
+
+namespace serena {
+namespace {
+
+SimulatedNetwork::Options ZeroLatency() {
+  SimulatedNetwork::Options options;
+  options.min_latency = 0;
+  options.max_latency = 0;
+  return options;
+}
+
+TEST(AnnouncementCodecTest, RoundTrip) {
+  const std::string payload =
+      EncodeAnnouncement("camera01", {"checkPhoto", "takePhoto"});
+  EXPECT_EQ(payload, "camera01|checkPhoto,takePhoto");
+  auto decoded = DecodeAnnouncement(payload).ValueOrDie();
+  EXPECT_EQ(decoded.first, "camera01");
+  EXPECT_EQ(decoded.second,
+            (std::vector<std::string>{"checkPhoto", "takePhoto"}));
+  // No prototypes.
+  auto empty = DecodeAnnouncement("ref|").ValueOrDie();
+  EXPECT_TRUE(empty.second.empty());
+  // Malformed.
+  EXPECT_FALSE(DecodeAnnouncement("no-bar").ok());
+  EXPECT_FALSE(DecodeAnnouncement("|protos").ok());
+}
+
+class ErmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<SimulatedNetwork>(ZeroLatency());
+    ASSERT_TRUE(env_.AddPrototype(MakeGetTemperaturePrototype()).ok());
+    core_ = CoreErm::Create(network_.get(), &env_).MoveValueOrDie();
+    local_ = LocalErm::Create("node-a", network_.get()).MoveValueOrDie();
+    core_->TrackLocalErm(local_);
+  }
+
+  Environment env_;
+  std::unique_ptr<SimulatedNetwork> network_;
+  std::unique_ptr<CoreErm> core_;
+  std::shared_ptr<LocalErm> local_;
+};
+
+TEST_F(ErmTest, HostAnnounceDiscover) {
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "s1", 20.0, 1))
+                  .ok());
+  EXPECT_EQ(local_->HostedRefs(), std::vector<std::string>{"s1"});
+  EXPECT_FALSE(env_.registry().Contains("s1"));
+  network_->DeliverDue(0);
+  EXPECT_TRUE(env_.registry().Contains("s1"));
+  EXPECT_EQ(core_->services_discovered(), 1u);
+}
+
+TEST_F(ErmTest, ReannouncementsAreIdempotent) {
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "s1", 20.0, 1))
+                  .ok());
+  network_->DeliverDue(0);
+  local_->AnnounceAll(1);  // Periodic alive message.
+  local_->AnnounceAll(2);
+  network_->DeliverDue(2);
+  EXPECT_EQ(core_->services_discovered(), 1u);
+  EXPECT_EQ(env_.registry().size(), 1u);
+}
+
+TEST_F(ErmTest, ByebyeUnregisters) {
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "s1", 20.0, 1))
+                  .ok());
+  network_->DeliverDue(0);
+  ASSERT_TRUE(local_->Evict(1, "s1").ok());
+  network_->DeliverDue(1);
+  EXPECT_FALSE(env_.registry().Contains("s1"));
+  EXPECT_EQ(core_->services_lost(), 1u);
+  EXPECT_FALSE(local_->Evict(2, "s1").ok());
+}
+
+TEST_F(ErmTest, ProxyForwardsInvocationAndChargesRoundTrip) {
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "s1", 20.0, 1))
+                  .ok());
+  network_->DeliverDue(0);
+  auto proto = env_.GetPrototype("getTemperature").ValueOrDie();
+  auto result = env_.registry().Invoke(*proto, "s1", Tuple(), 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_EQ(network_->stats().invocation_round_trips, 1u);
+}
+
+TEST_F(ErmTest, ProxyFailsUnavailableAfterLocalEviction) {
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "s1", 20.0, 1))
+                  .ok());
+  network_->DeliverDue(0);
+  // Device crashes: evicted locally; the byebye is NOT yet delivered, so
+  // the core registry still has the proxy.
+  ASSERT_TRUE(local_->Evict(1, "s1").ok());
+  auto proto = env_.GetPrototype("getTemperature").ValueOrDie();
+  EXPECT_EQ(env_.registry().Invoke(*proto, "s1", Tuple(), 4).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ErmTest, AnnouncementWithUnknownPrototypesIsIgnored) {
+  // A service whose prototypes the environment does not declare cannot be
+  // integrated (no way to type its invocations).
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<MessengerService>(
+                                "email", MessengerService::Kind::kEmail))
+                  .ok());
+  network_->DeliverDue(0);
+  EXPECT_FALSE(env_.registry().Contains("email"));
+  EXPECT_EQ(core_->services_discovered(), 0u);
+}
+
+TEST_F(ErmTest, AnnouncementFromUntrackedErmIsIgnored) {
+  auto rogue = LocalErm::Create("rogue", network_.get()).MoveValueOrDie();
+  // Not tracked by the core ERM.
+  ASSERT_TRUE(rogue
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "sX", 20.0, 1))
+                  .ok());
+  network_->DeliverDue(0);
+  EXPECT_FALSE(env_.registry().Contains("sX"));
+}
+
+TEST_F(ErmTest, DuplicateHostRejected) {
+  ASSERT_TRUE(local_
+                  ->Host(0, std::make_shared<TemperatureSensorService>(
+                                "s1", 20.0, 1))
+                  .ok());
+  EXPECT_EQ(local_
+                ->Host(0, std::make_shared<TemperatureSensorService>(
+                              "s1", 21.0, 2))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace serena

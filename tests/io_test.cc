@@ -1,0 +1,160 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ddl/catalog.h"
+#include "ddl/dump.h"
+#include "env/prototypes.h"
+
+namespace serena {
+namespace {
+
+ExtendedSchemaPtr MixedSchema() {
+  return ExtendedSchema::Create(
+             "mixed", {{"id", DataType::kInt},
+                       {"name", DataType::kString},
+                       {"score", DataType::kReal},
+                       {"ok", DataType::kBool},
+                       {"payload", DataType::kBlob},
+                       {"note", DataType::kString, AttributeKind::kVirtual}})
+      .ValueOrDie();
+}
+
+XRelation MakeMixed() {
+  XRelation r(MixedSchema());
+  (void)r.Insert(Tuple{Value::Int(1), Value::String("plain"),
+                       Value::Real(3.5), Value::Bool(true),
+                       Value::BlobValue(Blob{0xde, 0xad})});
+  (void)r.Insert(Tuple{Value::Int(2), Value::String("has,comma \"q\""),
+                       Value::Real(-0.25), Value::Bool(false),
+                       Value::BlobValue(Blob{})});
+  return r;
+}
+
+TEST(CsvTest, ExportSkipsVirtualAttributes) {
+  const std::string csv = ToCsv(MakeMixed()).ValueOrDie();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "id,name,score,ok,payload");
+  EXPECT_EQ(csv.find("note"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  XRelation original = MakeMixed();
+  const std::string csv = ToCsv(original).ValueOrDie();
+  XRelation parsed = FromCsv(original.schema_ptr(), csv).ValueOrDie();
+  EXPECT_TRUE(original.SetEquals(parsed));
+}
+
+TEST(CsvTest, QuotingAndEscapes) {
+  const std::string csv = ToCsv(MakeMixed()).ValueOrDie();
+  EXPECT_NE(csv.find("\"has,comma \"\"q\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("dead"), std::string::npos);  // Hex blob.
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  EXPECT_FALSE(FromCsv(MixedSchema(), "wrong,header\n1,2\n").ok());
+}
+
+TEST(CsvTest, ArityAndTypeErrors) {
+  auto schema = ExtendedSchema::Create("t", {{"i", DataType::kInt}})
+                    .ValueOrDie();
+  EXPECT_FALSE(FromCsv(schema, "i\n1,2\n").ok());        // Arity.
+  EXPECT_FALSE(FromCsv(schema, "i\nnotanint\n").ok());   // Type.
+  EXPECT_FALSE(FromCsv(schema, "i\n\"open\n").ok());     // Unterminated.
+  // Empty body is fine.
+  EXPECT_TRUE(FromCsv(schema, "i\n").ValueOrDie().empty());
+}
+
+TEST(CsvTest, BlobParsing) {
+  auto schema = ExtendedSchema::Create("b", {{"p", DataType::kBlob}})
+                    .ValueOrDie();
+  XRelation parsed = FromCsv(schema, "p\ncafe\n").ValueOrDie();
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.tuples()[0][0].blob_value(), (Blob{0xca, 0xfe}));
+  EXPECT_FALSE(FromCsv(schema, "p\nabc\n").ok());   // Odd length.
+  EXPECT_FALSE(FromCsv(schema, "p\nzz\n").ok());    // Bad hex.
+}
+
+TEST(DumpTest, DumpReloadsThroughCatalog) {
+  // Build an environment via DDL, dump it, reload the dump into a fresh
+  // environment, and compare.
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(catalog.Execute(R"(
+    PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) ACTIVE;
+    SERVICE email IMPLEMENTS sendMessage;
+    EXTENDED RELATION contacts (
+      name STRING, address STRING, text STRING VIRTUAL,
+      messenger SERVICE, sent BOOLEAN VIRTUAL
+    ) USING BINDING PATTERNS ( sendMessage[messenger](address, text) : (sent) );
+    INSERT INTO contacts VALUES ('Carla', 'carla@elysee.fr', 'email'),
+                                ('O''Brien', 'ob@x', 'email');
+    EXTENDED STREAM temperatures (location STRING, temperature REAL);
+  )")
+                  .ok());
+
+  const std::string dumped = DumpEnvironment(env, &streams);
+  Environment env2;
+  StreamStore streams2;
+  SerenaCatalog catalog2(&env2, &streams2);
+  ASSERT_EQ(catalog2.Execute(dumped), Status::OK()) << dumped;
+
+  EXPECT_EQ(env2.PrototypeNames(), env.PrototypeNames());
+  EXPECT_EQ(env2.registry().ServiceRefs(), env.registry().ServiceRefs());
+  EXPECT_EQ(env2.RelationNames(), env.RelationNames());
+  EXPECT_TRUE(streams2.HasStream("temperatures"));
+  const XRelation* original = env.GetRelation("contacts").ValueOrDie();
+  const XRelation* reloaded = env2.GetRelation("contacts").ValueOrDie();
+  EXPECT_TRUE(original->SetEquals(*reloaded));
+  EXPECT_EQ(reloaded->schema().binding_patterns().size(), 1u);
+}
+
+/// Property sweep: random relations survive CSV round trips.
+class CsvPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvPropertyTest, RandomRelationsRoundTrip) {
+  Rng rng(GetParam() * 31 + 7);
+  auto schema =
+      ExtendedSchema::Create("rand", {{"i", DataType::kInt},
+                                      {"r", DataType::kReal},
+                                      {"s", DataType::kString},
+                                      {"b", DataType::kBool},
+                                      {"p", DataType::kBlob}})
+          .ValueOrDie();
+  XRelation relation(schema);
+  const int n = 1 + static_cast<int>(rng.NextBounded(40));
+  for (int row = 0; row < n; ++row) {
+    // Strings exercising quoting: commas, quotes, newlines-in-quotes.
+    static const char* kNasty[] = {"plain", "with,comma", "with\"quote",
+                                   "mix,\"both\"", "", "  spaces  "};
+    Blob blob(rng.NextBounded(8));
+    for (auto& byte : blob) {
+      byte = static_cast<std::uint8_t>(rng.NextBounded(256));
+    }
+    (void)relation.InsertUnchecked(
+        Tuple{Value::Int(rng.NextInt(-1000, 1000)),
+              Value::Real(rng.NextDouble() * 1e6 - 5e5),
+              Value::String(kNasty[rng.NextBounded(6)]),
+              Value::Bool(rng.NextBool(0.5)),
+              Value::BlobValue(std::move(blob))});
+  }
+  const std::string csv = ToCsv(relation).ValueOrDie();
+  XRelation parsed = FromCsv(schema, csv).ValueOrDie();
+  EXPECT_TRUE(relation.SetEquals(parsed)) << csv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(DumpTest, EmptyEnvironment) {
+  Environment env;
+  const std::string dumped = DumpEnvironment(env, nullptr);
+  Environment env2;
+  StreamStore streams2;
+  SerenaCatalog catalog(&env2, &streams2);
+  EXPECT_TRUE(catalog.Execute(dumped).ok());
+}
+
+}  // namespace
+}  // namespace serena

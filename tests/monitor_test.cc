@@ -1,0 +1,66 @@
+#include "pems/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "env/sim_services.h"
+
+namespace serena {
+namespace {
+
+TEST(MonitorTest, SnapshotReflectsSystemState) {
+  auto pems = Pems::Create().MoveValueOrDie();
+  ASSERT_TRUE(pems->tables()
+                  .ExecuteDdl(R"(
+    PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) ACTIVE;
+    PROTOTYPE getTemperature() : (temperature REAL);
+    EXTENDED RELATION contacts (
+      name STRING, address STRING, text STRING VIRTUAL,
+      messenger SERVICE, sent BOOLEAN VIRTUAL
+    ) USING BINDING PATTERNS ( sendMessage[messenger](address, text) : (sent) );
+    INSERT INTO contacts VALUES ('Carla', 'c@x', 'email');
+    EXTENDED STREAM temperatures (temperature REAL);
+  )")
+                  .ok());
+  ASSERT_TRUE(pems->Deploy("gw", std::make_shared<MessengerService>(
+                                     "email",
+                                     MessengerService::Kind::kEmail))
+                  .ok());
+  pems->Run(2);
+  ASSERT_TRUE(pems->queries()
+                  .RegisterContinuous(
+                      "blast",
+                      "invoke[sendMessage](assign[text := 'x'](contacts))")
+                  .ok());
+  pems->Run(1);
+
+  const PemsMetrics metrics = SnapshotMetrics(*pems);
+  EXPECT_EQ(metrics.instant, 3);
+  EXPECT_EQ(metrics.prototypes, 2u);
+  EXPECT_EQ(metrics.relations, 1u);
+  EXPECT_EQ(metrics.total_tuples, 1u);
+  EXPECT_EQ(metrics.streams, 1u);
+  EXPECT_EQ(metrics.services, 1u);
+  EXPECT_EQ(metrics.services_discovered, 1u);
+  EXPECT_GT(metrics.invocations.active_invocations, 0u);
+  EXPECT_GT(metrics.network.sent, 0u);
+  ASSERT_EQ(metrics.queries.size(), 1u);
+  EXPECT_EQ(metrics.queries[0].name, "blast");
+  EXPECT_EQ(metrics.queries[0].steps, 1u);
+  EXPECT_EQ(metrics.queries[0].actions, 1u);
+
+  const std::string rendered = metrics.ToString();
+  EXPECT_NE(rendered.find("blast"), std::string::npos);
+  EXPECT_NE(rendered.find("1 relations (1 tuples)"), std::string::npos);
+}
+
+TEST(MonitorTest, EmptySystemRenders) {
+  auto pems = Pems::Create().MoveValueOrDie();
+  const PemsMetrics metrics = SnapshotMetrics(*pems);
+  EXPECT_EQ(metrics.relations, 0u);
+  EXPECT_EQ(metrics.services, 0u);
+  EXPECT_NE(metrics.ToString().find("continuous queries: 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,112 @@
+#include "pems/network.h"
+
+#include <gtest/gtest.h>
+
+namespace serena {
+namespace {
+
+SimulatedNetwork::Options ZeroLatency() {
+  SimulatedNetwork::Options options;
+  options.min_latency = 0;
+  options.max_latency = 0;
+  return options;
+}
+
+TEST(NetworkTest, AttachDetach) {
+  SimulatedNetwork network;
+  ASSERT_TRUE(network.Attach("a", [](const NetworkMessage&) {}).ok());
+  EXPECT_TRUE(network.IsAttached("a"));
+  EXPECT_EQ(network.Attach("a", [](const NetworkMessage&) {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(network.Attach("*", [](const NetworkMessage&) {}).ok());
+  ASSERT_TRUE(network.Detach("a").ok());
+  EXPECT_EQ(network.Detach("a").code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, UnicastDelivery) {
+  SimulatedNetwork network(ZeroLatency());
+  std::vector<std::string> received;
+  ASSERT_TRUE(network
+                  .Attach("b",
+                          [&](const NetworkMessage& m) {
+                            received.push_back(m.type + ":" + m.payload);
+                          })
+                  .ok());
+  network.Send(0, NetworkMessage{"a", "b", "ping", "1"});
+  EXPECT_EQ(network.DeliverDue(0), 1u);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "ping:1");
+}
+
+TEST(NetworkTest, LatencyDelaysDelivery) {
+  SimulatedNetwork::Options options;
+  options.min_latency = 3;
+  options.max_latency = 3;
+  SimulatedNetwork network(options);
+  int received = 0;
+  ASSERT_TRUE(
+      network.Attach("b", [&](const NetworkMessage&) { ++received; }).ok());
+  network.Send(0, NetworkMessage{"a", "b", "ping", ""});
+  EXPECT_EQ(network.DeliverDue(2), 0u);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.DeliverDue(3), 1u);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, BroadcastSkipsSender) {
+  SimulatedNetwork network(ZeroLatency());
+  int a_received = 0;
+  int b_received = 0;
+  ASSERT_TRUE(
+      network.Attach("a", [&](const NetworkMessage&) { ++a_received; }).ok());
+  ASSERT_TRUE(
+      network.Attach("b", [&](const NetworkMessage&) { ++b_received; }).ok());
+  network.Broadcast(0, "a", "alive", "x");
+  network.DeliverDue(0);
+  EXPECT_EQ(a_received, 0);
+  EXPECT_EQ(b_received, 1);
+}
+
+TEST(NetworkTest, DropRateLosesMessages) {
+  SimulatedNetwork::Options options = ZeroLatency();
+  options.drop_rate = 1.0;
+  SimulatedNetwork network(options);
+  int received = 0;
+  ASSERT_TRUE(
+      network.Attach("b", [&](const NetworkMessage&) { ++received; }).ok());
+  network.Send(0, NetworkMessage{"a", "b", "ping", ""});
+  EXPECT_EQ(network.DeliverDue(10), 0u);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.stats().dropped, 1u);
+}
+
+TEST(NetworkTest, MessageToDetachedNodeIsDropped) {
+  SimulatedNetwork network(ZeroLatency());
+  network.Send(0, NetworkMessage{"a", "ghost", "ping", ""});
+  EXPECT_EQ(network.DeliverDue(0), 0u);
+  EXPECT_EQ(network.stats().dropped, 1u);
+}
+
+TEST(NetworkTest, DeterministicWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimulatedNetwork::Options options;
+    options.seed = seed;
+    options.min_latency = 0;
+    options.max_latency = 5;
+    SimulatedNetwork network(options);
+    std::vector<int> deliveries;
+    (void)network.Attach("b", [](const NetworkMessage&) {});
+    for (int i = 0; i < 20; ++i) {
+      network.Send(i, NetworkMessage{"a", "b", "t", ""});
+    }
+    for (Timestamp t = 0; t < 30; ++t) {
+      deliveries.push_back(static_cast<int>(network.DeliverDue(t)));
+    }
+    return deliveries;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace serena

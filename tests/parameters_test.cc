@@ -1,0 +1,128 @@
+#include "algebra/parameters.h"
+
+#include <gtest/gtest.h>
+
+#include "ddl/algebra_parser.h"
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+class ParametersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+  }
+
+  Environment& env() { return scenario_->env(); }
+  StreamStore& streams() { return scenario_->streams(); }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+TEST_F(ParametersTest, ParseCollectBindExecute) {
+  // The prepared-statement version of Table 4's Q1.
+  PlanPtr prepared =
+      ParseAlgebra(
+          "invoke[sendMessage](assign[text := :msg](select[name != "
+          ":who](contacts)))")
+          .ValueOrDie();
+  EXPECT_EQ(CollectParameters(prepared),
+            (std::set<std::string>{"msg", "who"}));
+
+  PlanPtr bound =
+      BindParameters(prepared, {{"msg", Value::String("Bonjour!")},
+                                {"who", Value::String("Carla")}})
+          .ValueOrDie();
+  EXPECT_TRUE(CollectParameters(bound).empty());
+  EXPECT_EQ(bound->ToString(), scenario_->Q1()->ToString());
+
+  QueryResult result = Execute(bound, &env(), &streams(), 1).ValueOrDie();
+  EXPECT_EQ(result.actions.size(), 2u);
+
+  // Rebind the same template for a different recipient set.
+  PlanPtr rebound =
+      BindParameters(prepared, {{"msg", Value::String("Ciao")},
+                                {"who", Value::String("Nicolas")}})
+          .ValueOrDie();
+  scenario_->ClearOutboxes();
+  ASSERT_TRUE(Execute(rebound, &env(), &streams(), 2).ok());
+  for (const SentMessage& m : scenario_->AllSentMessages()) {
+    EXPECT_EQ(m.text, "Ciao");
+    EXPECT_NE(m.address, "nicolas@elysee.fr");
+  }
+}
+
+TEST_F(ParametersTest, RenderingRoundTrips) {
+  const char* text =
+      "assign[text := :msg](select[name = :who and temperature > "
+      ":limit](contacts))";
+  PlanPtr plan = ParseAlgebra(text).ValueOrDie();
+  // Conjunctions render parenthesized; what matters is a stable fixpoint.
+  PlanPtr reparsed = ParseAlgebra(plan->ToString()).ValueOrDie();
+  EXPECT_EQ(reparsed->ToString(), plan->ToString());
+  EXPECT_EQ(CollectParameters(reparsed),
+            (std::set<std::string>{"msg", "who", "limit"}));
+}
+
+TEST_F(ParametersTest, UnboundExecutionFailsCleanly) {
+  PlanPtr prepared =
+      ParseAlgebra("select[name = :who](contacts)").ValueOrDie();
+  EXPECT_EQ(Execute(prepared, &env(), &streams()).status().code(),
+            StatusCode::kFailedPrecondition);
+  PlanPtr assign =
+      ParseAlgebra("assign[text := :msg](contacts)").ValueOrDie();
+  EXPECT_EQ(Execute(assign, &env(), &streams()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ParametersTest, BindingValidation) {
+  PlanPtr prepared =
+      ParseAlgebra("select[name = :who](contacts)").ValueOrDie();
+  // Missing binding.
+  EXPECT_EQ(BindParameters(prepared, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown binding.
+  EXPECT_EQ(BindParameters(prepared, {{"who", Value::String("x")},
+                                      {"ghost", Value::Int(1)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Type errors surface at execution, as with any constant.
+  PlanPtr bound =
+      BindParameters(prepared, {{"who", Value::String("Carla")}})
+          .ValueOrDie();
+  EXPECT_TRUE(Execute(bound, &env(), &streams()).ok());
+}
+
+TEST_F(ParametersTest, SharedSubtreesRebindConsistently) {
+  // The same parameterized subtree under a union binds everywhere.
+  PlanPtr leaf = ParseAlgebra("select[name = :who](contacts)").ValueOrDie();
+  PlanPtr plan = UnionOf(leaf, leaf);
+  PlanPtr bound =
+      BindParameters(plan, {{"who", Value::String("Carla")}}).ValueOrDie();
+  QueryResult result = Execute(bound, &env(), &streams()).ValueOrDie();
+  EXPECT_EQ(result.relation.size(), 1u);
+}
+
+TEST_F(ParametersTest, BindingLeavesTemplateUntouched) {
+  PlanPtr prepared =
+      ParseAlgebra("select[name = :who](contacts)").ValueOrDie();
+  (void)BindParameters(prepared, {{"who", Value::String("Carla")}});
+  // The immutable template still carries its parameter.
+  EXPECT_EQ(CollectParameters(prepared),
+            (std::set<std::string>{"who"}));
+}
+
+TEST_F(ParametersTest, ParameterAssignTypeCheckedAtExecution) {
+  PlanPtr prepared =
+      ParseAlgebra("assign[text := :msg](contacts)").ValueOrDie();
+  PlanPtr bound =
+      BindParameters(prepared, {{"msg", Value::Int(42)}}).ValueOrDie();
+  // text is STRING; the bound Int fails like any constant mismatch.
+  EXPECT_EQ(Execute(bound, &env(), &streams()).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,237 @@
+#include "pems/pems.h"
+
+#include <gtest/gtest.h>
+
+#include "env/sim_services.h"
+
+namespace serena {
+namespace {
+
+constexpr const char* kPrototypesDdl = R"(
+  PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) ACTIVE;
+  PROTOTYPE getTemperature() : (temperature REAL);
+  EXTENDED RELATION contacts (
+    name STRING, address STRING, text STRING VIRTUAL,
+    messenger SERVICE, sent BOOLEAN VIRTUAL
+  ) USING BINDING PATTERNS ( sendMessage[messenger](address, text) : (sent) );
+)";
+
+/// Full Figure 1 stack: DDL through the Extended Table Manager, devices
+/// deployed on Local ERMs, UPnP-style discovery into the core ERM,
+/// discovery queries, and Serena Algebra Language execution through the
+/// Query Processor.
+class PemsIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pems_ = Pems::Create().MoveValueOrDie();
+    ASSERT_TRUE(pems_->tables().ExecuteDdl(kPrototypesDdl).ok());
+  }
+
+  std::unique_ptr<Pems> pems_;
+};
+
+TEST_F(PemsIntegrationTest, DiscoveryMakesDeployedServicesVisible) {
+  auto sensor =
+      std::make_shared<TemperatureSensorService>("sensor01", 20.0, 1);
+  ASSERT_TRUE(pems_->Deploy("node-corridor", std::move(sensor)).ok());
+  // Before any tick, the announcement is still in flight.
+  EXPECT_FALSE(pems_->env().registry().Contains("sensor01"));
+  pems_->Run(2);  // Latency is at most 1 instant.
+  EXPECT_TRUE(pems_->env().registry().Contains("sensor01"));
+  EXPECT_EQ(pems_->erm().services_discovered(), 1u);
+}
+
+TEST_F(PemsIntegrationTest, RemoteInvocationThroughProxy) {
+  ASSERT_TRUE(
+      pems_->Deploy("node-a", std::make_shared<TemperatureSensorService>(
+                                  "sensor01", 20.0, 1))
+          .ok());
+  pems_->Run(2);
+  // Discovery query materializes a queryable relation.
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterDiscoveryQuery("thermometers", "getTemperature")
+                  .ok());
+  QueryResult result =
+      pems_->queries()
+          .ExecuteOneShot("invoke[getTemperature](thermometers)")
+          .ValueOrDie();
+  ASSERT_EQ(result.relation.size(), 1u);
+  EXPECT_TRUE(result.relation.schema().IsReal("temperature"));
+  EXPECT_GT(pems_->network().stats().invocation_round_trips, 0u);
+}
+
+TEST_F(PemsIntegrationTest, DiscoveryQueryTracksDeparture) {
+  auto erm = pems_->CreateLocalErm("node-a").MoveValueOrDie();
+  ASSERT_TRUE(erm->Host(0, std::make_shared<TemperatureSensorService>(
+                               "sensor01", 20.0, 1))
+                  .ok());
+  ASSERT_TRUE(erm->Host(0, std::make_shared<TemperatureSensorService>(
+                               "sensor02", 21.0, 2))
+                  .ok());
+  pems_->Run(2);
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterDiscoveryQuery("thermometers", "getTemperature")
+                  .ok());
+  EXPECT_EQ(pems_->tables().RelationSize("thermometers").ValueOrDie(), 2u);
+
+  // sensor02 disappears (byebye message).
+  ASSERT_TRUE(erm->Evict(pems_->env().clock().now(), "sensor02").ok());
+  pems_->Run(2);
+  EXPECT_EQ(pems_->tables().RelationSize("thermometers").ValueOrDie(), 1u);
+  EXPECT_EQ(pems_->erm().services_lost(), 1u);
+}
+
+TEST_F(PemsIntegrationTest, InvocationOnDepartedServiceSkipsGracefully) {
+  auto erm = pems_->CreateLocalErm("node-a").MoveValueOrDie();
+  ASSERT_TRUE(erm->Host(0, std::make_shared<TemperatureSensorService>(
+                               "sensor01", 20.0, 1))
+                  .ok());
+  pems_->Run(2);
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterDiscoveryQuery("thermometers", "getTemperature")
+                  .ok());
+  // The device vanishes without a byebye (crash): the registry still has
+  // the proxy, but invocation fails; continuous queries must survive.
+  ASSERT_TRUE(erm->Evict(pems_->env().clock().now(), "sensor01").ok());
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterContinuous("watch",
+                                      "invoke[getTemperature](thermometers)")
+                  .ok());
+  pems_->Tick();  // Byebye may still be in flight: proxy lookup fails.
+  EXPECT_TRUE(pems_->queries().executor().last_errors().empty());
+}
+
+TEST_F(PemsIntegrationTest, EndToEndAlertScenarioThroughLanguages) {
+  // Messengers and a hot sensor, all discovered over the network.
+  auto messenger = std::make_shared<MessengerService>(
+      "email", MessengerService::Kind::kEmail);
+  ASSERT_TRUE(pems_->Deploy("node-gateway", messenger).ok());
+  ASSERT_TRUE(
+      pems_->Deploy("node-office", std::make_shared<TemperatureSensorService>(
+                                       "sensor06", 60.0, 3))
+          .ok());
+  pems_->Run(2);
+
+  // Populate contacts through the Extended Table Manager.
+  ASSERT_TRUE(pems_->tables()
+                  .InsertTuple("contacts",
+                               Tuple{Value::String("Carla"),
+                                     Value::String("carla@elysee.fr"),
+                                     Value::String("email")})
+                  .ValueOrDie());
+
+  // Discovery + temperature stream via a source, all in Serena languages.
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterDiscoveryQuery("thermometers", "getTemperature")
+                  .ok());
+  ASSERT_TRUE(pems_->tables().ExecuteDdl(
+                  "EXTENDED STREAM temperatures (temperature REAL);")
+                  .ok());
+  pems_->queries().executor().AddSource([this](Timestamp t) -> Status {
+    auto readings = pems_->queries().ExecuteOneShot(
+        "project[temperature](invoke[getTemperature](thermometers))");
+    SERENA_RETURN_NOT_OK(readings.status());
+    for (const Tuple& tuple : readings->relation.tuples()) {
+      SERENA_RETURN_NOT_OK(
+          pems_->tables().AppendToStream("temperatures", t, tuple));
+    }
+    return Status::OK();
+  });
+
+  // The standing alert query, written in the Serena Algebra Language.
+  ASSERT_TRUE(
+      pems_->queries()
+          .RegisterContinuous(
+              "alerts",
+              "invoke[sendMessage](assign[text := 'Hot!'](join(select["
+              "temperature > 35.5](window[1](temperatures)), contacts)))")
+          .ok());
+
+  pems_->Run(3);
+  EXPECT_TRUE(pems_->queries().executor().last_errors().empty());
+  ASSERT_FALSE(messenger->outbox().empty());
+  EXPECT_EQ(messenger->outbox()[0].address, "carla@elysee.fr");
+  EXPECT_EQ(messenger->outbox()[0].text, "Hot!");
+  // The standing query accumulated actions (Def. 8).
+  EXPECT_FALSE(pems_->queries()
+                   .GetContinuous("alerts")
+                   .ValueOrDie()
+                   ->accumulated_actions()
+                   .empty());
+}
+
+TEST(PemsLeaseTest, SilentCrashExpiresAfterTtl) {
+  // A device that crashes without a byebye must eventually disappear from
+  // the registry: UPnP-style leases with periodic re-announcement.
+  Pems::Options options;
+  options.network.min_latency = 0;
+  options.network.max_latency = 0;
+  options.announcement_ttl = 3;
+  options.reannounce_interval = 1;
+  auto pems = Pems::Create(options).MoveValueOrDie();
+  ASSERT_TRUE(pems->tables()
+                  .ExecuteDdl("PROTOTYPE getTemperature() : "
+                              "(temperature REAL);")
+                  .ok());
+  auto erm = pems->CreateLocalErm("node").MoveValueOrDie();
+  ASSERT_TRUE(erm->Host(0, std::make_shared<TemperatureSensorService>(
+                               "sensor01", 20.0, 1))
+                  .ok());
+  pems->Run(4);
+  EXPECT_TRUE(pems->env().registry().Contains("sensor01"));
+
+  // Silent crash: the node dies without a byebye; alive messages stop.
+  erm.reset();
+  ASSERT_TRUE(pems->CrashNode("node").ok());
+  pems->Run(2);
+  EXPECT_TRUE(pems->env().registry().Contains("sensor01"));  // Lease holds.
+  pems->Run(3);  // TTL (3) exceeded without renewal.
+  EXPECT_FALSE(pems->env().registry().Contains("sensor01"));
+  EXPECT_EQ(pems->erm().services_expired(), 1u);
+}
+
+TEST(PemsLeaseTest, ReannouncementKeepsServiceAlive) {
+  Pems::Options options;
+  options.network.min_latency = 0;
+  options.network.max_latency = 0;
+  options.announcement_ttl = 2;
+  options.reannounce_interval = 1;
+  auto pems = Pems::Create(options).MoveValueOrDie();
+  ASSERT_TRUE(pems->tables()
+                  .ExecuteDdl("PROTOTYPE getTemperature() : "
+                              "(temperature REAL);")
+                  .ok());
+  ASSERT_TRUE(
+      pems->Deploy("node", std::make_shared<TemperatureSensorService>(
+                               "sensor01", 20.0, 1))
+          .ok());
+  pems->Run(10);  // Far beyond the TTL.
+  EXPECT_TRUE(pems->env().registry().Contains("sensor01"));
+  EXPECT_EQ(pems->erm().services_expired(), 0u);
+}
+
+TEST_F(PemsIntegrationTest, LateSensorJoinsRunningQuery) {
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterDiscoveryQuery("thermometers", "getTemperature")
+                  .ok());
+  std::size_t last_count = 0;
+  ASSERT_TRUE(pems_->queries()
+                  .RegisterContinuous(
+                      "readings", "invoke[getTemperature](thermometers)",
+                      [&](Timestamp, const XRelation& r) {
+                        last_count = r.size();
+                      })
+                  .ok());
+  pems_->Run(2);
+  EXPECT_EQ(last_count, 0u);  // No thermometers yet.
+
+  ASSERT_TRUE(
+      pems_->Deploy("node-roof", std::make_shared<TemperatureSensorService>(
+                                     "sensor22", 14.0, 4))
+          .ok());
+  pems_->Run(2);
+  EXPECT_EQ(last_count, 1u);  // Integrated without restarting the query.
+}
+
+}  // namespace
+}  // namespace serena

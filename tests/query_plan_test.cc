@@ -1,0 +1,202 @@
+#include "algebra/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+/// Tests over the paper's motivating environment (Tables 1-2, Example 4):
+/// queries Q1/Q1'/Q2/Q2' of Table 4, action sets of Example 6, and the
+/// (in)equivalences of Example 7.
+class QueryPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+  }
+
+  Environment& env() { return scenario_->env(); }
+  StreamStore& streams() { return scenario_->streams(); }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+TEST_F(QueryPlanTest, ScanReadsEnvironmentRelation) {
+  QueryResult r =
+      Execute(Scan("contacts"), &env(), &streams()).ValueOrDie();
+  EXPECT_EQ(r.relation.size(), 3u);
+  EXPECT_TRUE(r.actions.empty());
+}
+
+TEST_F(QueryPlanTest, SchemaInferenceMatchesEvaluation) {
+  const PlanPtr queries[] = {scenario_->Q1(), scenario_->Q1Prime(),
+                             scenario_->Q2(), scenario_->Q2Prime()};
+  for (const PlanPtr& q : queries) {
+    auto inferred = q->InferSchema(env(), &streams());
+    ASSERT_TRUE(inferred.ok()) << q->ToString();
+    QueryResult result = Execute(q, &env(), &streams()).ValueOrDie();
+    EXPECT_TRUE(result.relation.schema().SameAttributes(**inferred))
+        << q->ToString();
+  }
+}
+
+TEST_F(QueryPlanTest, Q1SendsToAllButCarla) {
+  QueryResult r = Execute(scenario_->Q1(), &env(), &streams()).ValueOrDie();
+  EXPECT_EQ(r.relation.size(), 2u);
+  // Example 6: exactly two actions.
+  ASSERT_EQ(r.actions.size(), 2u);
+  const Action nicolas{"sendMessage", "messenger", "email",
+                       Tuple{Value::String("nicolas@elysee.fr"),
+                             Value::String("Bonjour!")}};
+  const Action francois{"sendMessage", "messenger", "jabber",
+                        Tuple{Value::String("francois@im.gouv.fr"),
+                              Value::String("Bonjour!")}};
+  EXPECT_EQ(r.actions.actions().count(nicolas), 1u);
+  EXPECT_EQ(r.actions.actions().count(francois), 1u);
+  // Physically: Carla received nothing.
+  for (const SentMessage& m : scenario_->AllSentMessages()) {
+    EXPECT_NE(m.address, "carla@elysee.fr");
+  }
+}
+
+TEST_F(QueryPlanTest, Q1PrimeAlsoMessagesCarla) {
+  QueryResult r =
+      Execute(scenario_->Q1Prime(), &env(), &streams()).ValueOrDie();
+  // Result relation: Carla filtered out after the fact...
+  EXPECT_EQ(r.relation.size(), 2u);
+  // ...but the action set includes her (Example 6): 3 actions.
+  EXPECT_EQ(r.actions.size(), 3u);
+  const Action carla{"sendMessage", "messenger", "email",
+                     Tuple{Value::String("carla@elysee.fr"),
+                           Value::String("Bonjour!")}};
+  EXPECT_EQ(r.actions.actions().count(carla), 1u);
+}
+
+TEST_F(QueryPlanTest, Q1AndQ1PrimeAreNotEquivalent) {
+  // Example 7: same result relation, different action sets.
+  QueryResult r1 = Execute(scenario_->Q1(), &env(), &streams()).ValueOrDie();
+  scenario_->ClearOutboxes();
+  QueryResult r1p =
+      Execute(scenario_->Q1Prime(), &env(), &streams()).ValueOrDie();
+  EXPECT_TRUE(r1.relation.SetEquals(r1p.relation));
+  EXPECT_NE(r1.actions, r1p.actions);
+}
+
+TEST_F(QueryPlanTest, Q2AndQ2PrimeAreEquivalentWhenPassive) {
+  // Example 7: takePhoto and checkPhoto passive => both action sets empty
+  // and the photo relations coincide (evaluated at the same instant).
+  const Timestamp tau = 3;
+  QueryResult r2 =
+      Execute(scenario_->Q2(), &env(), &streams(), tau).ValueOrDie();
+  QueryResult r2p =
+      Execute(scenario_->Q2Prime(), &env(), &streams(), tau).ValueOrDie();
+  EXPECT_TRUE(r2.actions.empty());
+  EXPECT_TRUE(r2p.actions.empty());
+  EXPECT_TRUE(r2.relation.SetEquals(r2p.relation));
+}
+
+TEST_F(QueryPlanTest, Q2PrimeInvokesCheckPhotoOnMoreCameras) {
+  // The rewriting payoff: Q2 checks only office cameras; Q2' checks all.
+  const Timestamp tau = 3;
+  env().registry().ResetStats();
+  ASSERT_TRUE(Execute(scenario_->Q2(), &env(), &streams(), tau).ok());
+  const std::uint64_t q2_physical =
+      env().registry().stats().physical_invocations;
+  ASSERT_TRUE(Execute(scenario_->Q2Prime(), &env(), &streams(), tau + 1).ok());
+  const std::uint64_t q2p_physical =
+      env().registry().stats().physical_invocations - q2_physical;
+  EXPECT_LT(q2_physical, q2p_physical);
+}
+
+TEST_F(QueryPlanTest, ActiveTakePhotoBreaksQ2Equivalence) {
+  // §3.3: tagging takePhoto active makes Q2 vs Q2' an equivalence question
+  // about action sets. With only office cameras answering, both take the
+  // same photos here - but the *potential* differs; what we verify is that
+  // actions are now recorded.
+  TemperatureScenarioOptions options;
+  options.take_photo_active = true;
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  QueryResult r = Execute(scenario->Q2(), &scenario->env(),
+                          &scenario->streams())
+                      .ValueOrDie();
+  EXPECT_FALSE(r.actions.empty());
+  for (const Action& a : r.actions.actions()) {
+    EXPECT_EQ(a.prototype, "takePhoto");
+  }
+}
+
+TEST_F(QueryPlanTest, ContainsActiveInvokeDetectsBarrier) {
+  EXPECT_TRUE(ContainsActiveInvoke(scenario_->Q1(), env(), &streams()));
+  EXPECT_FALSE(ContainsActiveInvoke(scenario_->Q2(), env(), &streams()));
+  EXPECT_FALSE(
+      ContainsActiveInvoke(Scan("contacts"), env(), &streams()));
+}
+
+TEST_F(QueryPlanTest, PlanToStringRoundTripRendering) {
+  EXPECT_EQ(scenario_->Q1()->ToString(),
+            "invoke[sendMessage](assign[text := 'Bonjour!'](select[name != "
+            "'Carla'](contacts)))");
+  EXPECT_EQ(Scan("cameras")->ToString(), "cameras");
+  EXPECT_EQ(Window("temperatures", 1)->ToString(),
+            "window[1](temperatures)");
+}
+
+TEST_F(QueryPlanTest, SetOpPlansEvaluate) {
+  PlanPtr office = Select(
+      Scan("sensors"),
+      Formula::Compare(Operand::Attr("location"), CompareOp::kEq,
+                       Operand::Const(Value::String("office"))));
+  PlanPtr roof = Select(
+      Scan("sensors"),
+      Formula::Compare(Operand::Attr("location"), CompareOp::kEq,
+                       Operand::Const(Value::String("roof"))));
+  QueryResult u =
+      Execute(UnionOf(office, roof), &env(), &streams()).ValueOrDie();
+  EXPECT_EQ(u.relation.size(), 3u);  // sensor06, sensor07, sensor22.
+  QueryResult i =
+      Execute(IntersectOf(office, roof), &env(), &streams()).ValueOrDie();
+  EXPECT_TRUE(i.relation.empty());
+  QueryResult d =
+      Execute(DifferenceOf(Scan("sensors"), office), &env(), &streams())
+          .ValueOrDie();
+  EXPECT_EQ(d.relation.size(), 2u);  // corridor + roof.
+}
+
+TEST_F(QueryPlanTest, GetTemperatureRealizesFromSensors) {
+  // One-shot §1.2 query: temperatures for a given location.
+  PlanPtr q = Project(
+      Invoke(Select(Scan("sensors"),
+                    Formula::Compare(Operand::Attr("location"),
+                                     CompareOp::kEq,
+                                     Operand::Const(Value::String("office")))),
+             "getTemperature"),
+      {"sensor", "temperature"});
+  QueryResult r = Execute(q, &env(), &streams(), 7).ValueOrDie();
+  EXPECT_EQ(r.relation.size(), 2u);  // sensor06, sensor07.
+  EXPECT_TRUE(r.relation.schema().IsReal("temperature"));
+  EXPECT_TRUE(r.actions.empty());  // getTemperature is passive.
+}
+
+TEST_F(QueryPlanTest, EvaluationIsDeterministicWithinInstant) {
+  PlanPtr q = Invoke(Scan("sensors"), "getTemperature");
+  QueryResult a = Execute(q, &env(), &streams(), 11).ValueOrDie();
+  QueryResult b = Execute(q, &env(), &streams(), 11).ValueOrDie();
+  EXPECT_TRUE(a.relation.SetEquals(b.relation));
+  QueryResult c = Execute(q, &env(), &streams(), 12).ValueOrDie();
+  EXPECT_FALSE(a.relation.SetEquals(c.relation));  // Readings moved.
+}
+
+TEST_F(QueryPlanTest, MissingRelationFailsCleanly) {
+  EXPECT_EQ(Execute(Scan("nope"), &env(), &streams()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryPlanTest, StreamingRequiresContinuousContext) {
+  PlanPtr q = Streaming(Scan("contacts"), StreamingType::kInsertion);
+  EXPECT_EQ(Execute(q, &env(), &streams()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace serena

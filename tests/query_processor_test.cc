@@ -1,0 +1,222 @@
+#include "pems/query_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+/// Query Processor behaviour over the standard scenario environment
+/// (one-shot/continuous registration, optimization toggle, discovery
+/// relations, derived streams, row windows).
+class QueryProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+    processor_ = std::make_unique<QueryProcessor>(&scenario_->env(),
+                                                  &scenario_->streams());
+    processor_->executor().AddSource(
+        [this](Timestamp t) { return scenario_->PumpTemperatureStream(t); });
+  }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+  std::unique_ptr<QueryProcessor> processor_;
+};
+
+TEST_F(QueryProcessorTest, OneShotParsesOptimizesExecutes) {
+  scenario_->env().registry().ResetStats();
+  auto result = processor_->ExecuteOneShot(
+      "select[area = 'office'](invoke[checkPhoto](cameras))");
+  ASSERT_TRUE(result.ok());
+  // The optimizer pushed the selection: only the office camera was asked.
+  EXPECT_EQ(scenario_->env().registry().stats().physical_invocations, 1u);
+  EXPECT_EQ(result->relation.size(), 1u);
+}
+
+TEST_F(QueryProcessorTest, OptimizationCanBeDisabled) {
+  processor_->set_optimize(false);
+  scenario_->env().registry().ResetStats();
+  ASSERT_TRUE(processor_
+                  ->ExecuteOneShot(
+                      "select[area = 'office'](invoke[checkPhoto](cameras))")
+                  .ok());
+  // Naive: all three cameras probed.
+  EXPECT_EQ(scenario_->env().registry().stats().physical_invocations, 3u);
+}
+
+TEST_F(QueryProcessorTest, ParseErrorsSurface) {
+  EXPECT_EQ(processor_->ExecuteOneShot("select[](cameras)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(processor_->RegisterContinuous("bad", "project[](x)").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(QueryProcessorTest, ContinuousRegistrationLifecycle) {
+  std::size_t steps = 0;
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuous(
+                      "watch", "window[1](temperatures)",
+                      [&](Timestamp, const XRelation&) { ++steps; })
+                  .ok());
+  EXPECT_EQ(processor_
+                ->RegisterContinuous("watch", "window[1](temperatures)")
+                .code(),
+            StatusCode::kAlreadyExists);
+  processor_->Tick();
+  processor_->Tick();
+  EXPECT_EQ(steps, 2u);
+  ASSERT_TRUE(processor_->UnregisterContinuous("watch").ok());
+  processor_->Tick();
+  EXPECT_EQ(steps, 2u);
+  EXPECT_FALSE(processor_->GetContinuous("watch").ok());
+}
+
+TEST_F(QueryProcessorTest, DiscoveryRelationIsQueryable) {
+  ASSERT_TRUE(
+      processor_->RegisterDiscoveryQuery("thermometers", "getTemperature")
+          .ok());
+  // Shaped with the prototype's parameters as virtual attributes and a
+  // usable binding pattern.
+  const XRelation* rel =
+      scenario_->env().GetRelation("thermometers").ValueOrDie();
+  EXPECT_EQ(rel->size(), 4u);
+  EXPECT_TRUE(rel->schema().IsVirtual("temperature"));
+  ASSERT_NE(rel->schema().FindBindingPattern("getTemperature"), nullptr);
+  auto result =
+      processor_->ExecuteOneShot("invoke[getTemperature](thermometers)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation.size(), 4u);
+  // Unknown prototype rejected.
+  EXPECT_EQ(processor_->RegisterDiscoveryQuery("x", "nope").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryProcessorTest, DiscoveryRelationTracksRegistryChanges) {
+  ASSERT_TRUE(
+      processor_->RegisterDiscoveryQuery("thermometers", "getTemperature")
+          .ok());
+  ASSERT_TRUE(scenario_->AddSensor("sensor77", "office", 20.0).ok());
+  EXPECT_EQ(
+      scenario_->env().GetRelation("thermometers").ValueOrDie()->size(),
+      5u);
+  ASSERT_TRUE(scenario_->env().registry().Unregister("sensor77").ok());
+  EXPECT_EQ(
+      scenario_->env().GetRelation("thermometers").ValueOrDie()->size(),
+      4u);
+}
+
+TEST_F(QueryProcessorTest, DerivedStreamComposesQueries) {
+  // Stage 1: hot readings flow into the derived stream `hot`.
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuousInto(
+                      "hot-feed",
+                      "select[temperature > 30](window[1](temperatures))",
+                      "hot")
+                  .ok());
+  // Stage 2: another query windows over the derived stream.
+  std::size_t alerts = 0;
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuous(
+                      "hot-count", "aggregate[; count() -> n](window[3](hot))",
+                      [&](Timestamp, const XRelation& r) {
+                        if (!r.empty()) {
+                          alerts = static_cast<std::size_t>(
+                              r.tuples()[0][0].int_value());
+                        }
+                      })
+                  .ok());
+  scenario_->sensors()[1]->set_bias(15.0);  // Office runs hot (> 30).
+  processor_->Tick();
+  processor_->Tick();
+  processor_->Tick();
+  EXPECT_TRUE(processor_->executor().last_errors().empty());
+  EXPECT_GE(alerts, 3u);  // >= one hot reading per instant in the window.
+  EXPECT_TRUE(scenario_->streams().HasStream("hot"));
+}
+
+TEST_F(QueryProcessorTest, DerivedStreamSchemaMismatchRejected) {
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuousInto("a", "window[1](temperatures)",
+                                           "derived")
+                  .ok());
+  // Different shape into the same stream: refused.
+  EXPECT_EQ(processor_
+                ->RegisterContinuousInto(
+                    "b", "project[location](window[1](temperatures))",
+                    "derived")
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryProcessorTest, PreparedQueries) {
+  ASSERT_TRUE(processor_
+                  ->Prepare("greet",
+                            "invoke[sendMessage](assign[text := "
+                            ":msg](select[name = :who](contacts)))")
+                  .ok());
+  EXPECT_EQ(processor_->Prepare("greet", "contacts").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(processor_->PreparedParameters("greet").ValueOrDie(),
+            (std::set<std::string>{"msg", "who"}));
+
+  auto result = processor_->ExecutePrepared(
+      "greet", {{"msg", Value::String("Hello")},
+                {"who", Value::String("Nicolas")}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->actions.size(), 1u);
+  const auto messages = scenario_->AllSentMessages();
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].address, "nicolas@elysee.fr");
+  EXPECT_EQ(messages[0].text, "Hello");
+
+  // Missing binding and unknown template fail cleanly.
+  EXPECT_EQ(processor_
+                ->ExecutePrepared("greet", {{"msg", Value::String("x")}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(processor_->ExecutePrepared("ghost", {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryProcessorTest, RowWindowsThroughTheLanguage) {
+  std::size_t last = 0;
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuous(
+                      "latest", "window[rows 5](temperatures)",
+                      [&](Timestamp, const XRelation& r) { last = r.size(); })
+                  .ok());
+  processor_->Tick();  // 4 readings exist.
+  EXPECT_EQ(last, 4u);
+  processor_->Tick();  // 8 exist; row window caps at 5.
+  EXPECT_EQ(last, 5u);
+  processor_->Tick();
+  EXPECT_EQ(last, 5u);
+  // Round-trips through ToString.
+  auto query = processor_->GetContinuous("latest").ValueOrDie();
+  EXPECT_EQ(query->plan()->ToString(), "window[rows 5](temperatures)");
+}
+
+TEST_F(QueryProcessorTest, RowWindowSurvivesPruning) {
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuous("latest",
+                                       "window[rows 6](temperatures)")
+                  .ok());
+  processor_->executor().set_prune_slack(0);
+  for (int i = 0; i < 10; ++i) processor_->Tick();
+  const XDRelation* stream =
+      scenario_->streams().GetStream("temperatures").ValueOrDie();
+  // Pruned aggressively, but never below the row-window demand.
+  EXPECT_GE(stream->size(), 6u);
+  auto query = processor_->GetContinuous("latest").ValueOrDie();
+  EXPECT_EQ(query
+                ->Step(&scenario_->env(), &scenario_->streams(),
+                       scenario_->env().clock().now())
+                .ValueOrDie()
+                .size(),
+            6u);
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "env/prototypes.h"
+#include "env/sim_services.h"
+#include "service/lambda_service.h"
+#include "service/service_registry.h"
+
+namespace serena {
+namespace {
+
+/// Fixture providing the contacts X-Relation plus live messenger services.
+class RealizationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    send_message_ = MakeSendMessagePrototype();
+    auto schema =
+        ExtendedSchema::Create(
+            "contacts",
+            {{"name", DataType::kString},
+             {"address", DataType::kString},
+             {"text", DataType::kString, AttributeKind::kVirtual},
+             {"messenger", DataType::kService},
+             {"sent", DataType::kBool, AttributeKind::kVirtual}},
+            {BindingPattern(send_message_, "messenger")})
+            .ValueOrDie();
+    contacts_ = std::make_unique<XRelation>(schema);
+    contacts_
+        ->Insert(Tuple{Value::String("Nicolas"),
+                       Value::String("nicolas@elysee.fr"),
+                       Value::String("email")})
+        .ValueOrDie();
+    contacts_
+        ->Insert(Tuple{Value::String("Carla"),
+                       Value::String("carla@elysee.fr"),
+                       Value::String("email")})
+        .ValueOrDie();
+    contacts_
+        ->Insert(Tuple{Value::String("Francois"),
+                       Value::String("francois@im.gouv.fr"),
+                       Value::String("jabber")})
+        .ValueOrDie();
+
+    email_ = std::make_shared<MessengerService>(
+        "email", MessengerService::Kind::kEmail);
+    jabber_ = std::make_shared<MessengerService>(
+        "jabber", MessengerService::Kind::kJabber);
+    ASSERT_TRUE(registry_.Register(email_).ok());
+    ASSERT_TRUE(registry_.Register(jabber_).ok());
+  }
+
+  const BindingPattern& SendBp() const {
+    return contacts_->schema().binding_patterns()[0];
+  }
+
+  PrototypePtr send_message_;
+  std::unique_ptr<XRelation> contacts_;
+  std::shared_ptr<MessengerService> email_;
+  std::shared_ptr<MessengerService> jabber_;
+  ServiceRegistry registry_;
+};
+
+// ---------------------------------------------------------------------------
+// Assignment (Table 3 (e))
+// ---------------------------------------------------------------------------
+
+TEST_F(RealizationTest, AssignConstantRealizesAttribute) {
+  XRelation r =
+      AssignConstant(*contacts_, "text", Value::String("Bonjour!"))
+          .ValueOrDie();
+  EXPECT_TRUE(r.schema().IsReal("text"));
+  EXPECT_TRUE(r.schema().IsVirtual("sent"));
+  EXPECT_EQ(r.size(), 3u);
+  for (const Tuple& t : r.tuples()) {
+    EXPECT_EQ(r.ProjectValue(t, "text").ValueOrDie(),
+              Value::String("Bonjour!"));
+  }
+  // sendMessage survives: text is an input, inputs may be real.
+  EXPECT_EQ(r.schema().binding_patterns().size(), 1u);
+}
+
+TEST_F(RealizationTest, AssignFromAttributeCopiesPerTuple) {
+  // text := address (silly but legal: both strings).
+  XRelation r = AssignFromAttribute(*contacts_, "text", "address")
+                    .ValueOrDie();
+  for (const Tuple& t : r.tuples()) {
+    EXPECT_EQ(r.ProjectValue(t, "text").ValueOrDie(),
+              r.ProjectValue(t, "address").ValueOrDie());
+  }
+}
+
+TEST_F(RealizationTest, AssignRejectsRealTarget) {
+  EXPECT_FALSE(
+      AssignConstant(*contacts_, "name", Value::String("x")).ok());
+}
+
+TEST_F(RealizationTest, AssignRejectsVirtualSource) {
+  EXPECT_FALSE(AssignFromAttribute(*contacts_, "text", "sent").ok());
+}
+
+TEST_F(RealizationTest, AssignRejectsTypeMismatch) {
+  EXPECT_FALSE(AssignConstant(*contacts_, "text", Value::Int(3)).ok());
+  EXPECT_FALSE(
+      AssignConstant(*contacts_, "sent", Value::String("yes")).ok());
+}
+
+TEST_F(RealizationTest, AssignOutputAttributeDropsBindingPattern) {
+  // Realizing `sent` (an output of sendMessage) eliminates the pattern.
+  XRelation r =
+      AssignConstant(*contacts_, "sent", Value::Bool(true)).ValueOrDie();
+  EXPECT_TRUE(r.schema().binding_patterns().empty());
+}
+
+TEST_F(RealizationTest, AssignedCoordinatePlacedInSchemaOrder) {
+  XRelation r =
+      AssignConstant(*contacts_, "text", Value::String("hi")).ValueOrDie();
+  // Real attrs now: name, address, text, messenger -> text coordinate 2.
+  EXPECT_EQ(r.schema().CoordinateOf("text"), std::size_t{2});
+  EXPECT_EQ(r.schema().CoordinateOf("messenger"), std::size_t{3});
+  const Tuple& t = r.tuples()[0];
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[2], Value::String("hi"));
+}
+
+// ---------------------------------------------------------------------------
+// Invocation (Table 3 (f))
+// ---------------------------------------------------------------------------
+
+TEST_F(RealizationTest, InvokeRequiresRealInputs) {
+  // `text` is still virtual: invocation must be refused.
+  InvokeOptions options;
+  EXPECT_EQ(Invoke(*contacts_, SendBp(), &registry_, options)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RealizationTest, InvokeRealizesOutputsAndRoutesPerTuple) {
+  XRelation ready =
+      AssignConstant(*contacts_, "text", Value::String("Bonjour!"))
+          .ValueOrDie();
+  const BindingPattern& bp = ready.schema().binding_patterns()[0];
+  InvokeOptions options;
+  options.instant = 5;
+  XRelation sent = Invoke(ready, bp, &registry_, options).ValueOrDie();
+
+  EXPECT_TRUE(sent.schema().IsReal("sent"));
+  EXPECT_TRUE(sent.schema().binding_patterns().empty());
+  EXPECT_EQ(sent.size(), 3u);
+  for (const Tuple& t : sent.tuples()) {
+    EXPECT_EQ(sent.ProjectValue(t, "sent").ValueOrDie(), Value::Bool(true));
+  }
+  // Per-tuple routing: email got 2 messages, jabber 1 (the key capability
+  // the paper claims over UDF-style integration).
+  EXPECT_EQ(email_->outbox().size(), 2u);
+  EXPECT_EQ(jabber_->outbox().size(), 1u);
+  EXPECT_EQ(jabber_->outbox()[0].address, "francois@im.gouv.fr");
+  EXPECT_EQ(jabber_->outbox()[0].text, "Bonjour!");
+  EXPECT_EQ(jabber_->outbox()[0].instant, 5);
+}
+
+TEST_F(RealizationTest, InvokeRecordsActionsForActivePatterns) {
+  XRelation ready =
+      AssignConstant(*contacts_, "text", Value::String("Bonjour!"))
+          .ValueOrDie();
+  ActionSet actions;
+  InvokeOptions options;
+  options.actions = &actions;
+  ASSERT_TRUE(Invoke(ready, ready.schema().binding_patterns()[0], &registry_,
+                     options)
+                  .ok());
+  EXPECT_EQ(actions.size(), 3u);
+  const Action expected{
+      "sendMessage", "messenger", "jabber",
+      Tuple{Value::String("francois@im.gouv.fr"), Value::String("Bonjour!")}};
+  EXPECT_EQ(actions.actions().count(expected), 1u);
+}
+
+TEST_F(RealizationTest, InvokeFailsOnMissingServiceByDefault) {
+  XRelation ready =
+      AssignConstant(*contacts_, "text", Value::String("x")).ValueOrDie();
+  ASSERT_TRUE(registry_.Unregister("jabber").ok());
+  InvokeOptions options;
+  EXPECT_FALSE(Invoke(ready, ready.schema().binding_patterns()[0], &registry_,
+                      options)
+                   .ok());
+}
+
+TEST_F(RealizationTest, InvokeSkipPolicyDropsFailingTuples) {
+  XRelation ready =
+      AssignConstant(*contacts_, "text", Value::String("x")).ValueOrDie();
+  ASSERT_TRUE(registry_.Unregister("jabber").ok());
+  InvokeOptions options;
+  options.error_policy = InvocationErrorPolicy::kSkipTuple;
+  XRelation sent = Invoke(ready, ready.schema().binding_patterns()[0],
+                          &registry_, options)
+                       .ValueOrDie();
+  EXPECT_EQ(sent.size(), 2u);  // Francois (jabber) skipped.
+}
+
+TEST_F(RealizationTest, InvokeWithMultiTupleOutputDuplicatesInput) {
+  // A prototype returning several tuples per invocation (Def. 1 allows 0..n).
+  auto list_names =
+      Prototype::Create(
+          "listNames",
+          RelationSchema::Create({{"address", DataType::kString}})
+              .ValueOrDie(),
+          RelationSchema::Create({{"alias", DataType::kString}})
+              .ValueOrDie(),
+          /*active=*/false)
+          .ValueOrDie();
+  auto svc = std::make_shared<LambdaService>("dir");
+  svc->AddMethod(list_names,
+                 [](const Tuple& input, Timestamp) {
+                   const std::string& addr = input[0].string_value();
+                   return Result<std::vector<Tuple>>(std::vector<Tuple>{
+                       Tuple{Value::String(addr + "/a")},
+                       Tuple{Value::String(addr + "/b")}});
+                 });
+  ASSERT_TRUE(registry_.Register(svc).ok());
+
+  auto schema =
+      ExtendedSchema::Create(
+          "dirs",
+          {{"address", DataType::kString},
+           {"directory", DataType::kService},
+           {"alias", DataType::kString, AttributeKind::kVirtual}},
+          {BindingPattern(list_names, "directory")})
+          .ValueOrDie();
+  XRelation dirs(schema);
+  dirs.Insert(Tuple{Value::String("x"), Value::String("dir")}).ValueOrDie();
+
+  InvokeOptions options;
+  XRelation expanded = Invoke(dirs, dirs.schema().binding_patterns()[0],
+                              &registry_, options)
+                           .ValueOrDie();
+  EXPECT_EQ(expanded.size(), 2u);  // One input tuple -> two output tuples.
+}
+
+TEST_F(RealizationTest, InvokeWithEmptyOutputDropsTuple) {
+  // A service returning an empty relation removes the input tuple.
+  auto probe =
+      Prototype::Create(
+          "probe",
+          RelationSchema::Create({{"address", DataType::kString}})
+              .ValueOrDie(),
+          RelationSchema::Create({{"alive", DataType::kBool}}).ValueOrDie(),
+          /*active=*/false)
+          .ValueOrDie();
+  auto svc = std::make_shared<LambdaService>("prober");
+  svc->AddMethod(probe, [](const Tuple&, Timestamp) {
+    return Result<std::vector<Tuple>>(std::vector<Tuple>{});
+  });
+  ASSERT_TRUE(registry_.Register(svc).ok());
+
+  auto schema = ExtendedSchema::Create(
+                    "probes",
+                    {{"address", DataType::kString},
+                     {"svc", DataType::kService},
+                     {"alive", DataType::kBool, AttributeKind::kVirtual}},
+                    {BindingPattern(probe, "svc")})
+                    .ValueOrDie();
+  XRelation probes(schema);
+  probes.Insert(Tuple{Value::String("x"), Value::String("prober")})
+      .ValueOrDie();
+  InvokeOptions options;
+  XRelation result = Invoke(probes, probes.schema().binding_patterns()[0],
+                            &registry_, options)
+                         .ValueOrDie();
+  EXPECT_TRUE(result.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Instant determinism (§3.2) through the registry
+// ---------------------------------------------------------------------------
+
+TEST_F(RealizationTest, RegistryMemoizesWithinInstant) {
+  XRelation ready =
+      AssignConstant(*contacts_, "text", Value::String("hi")).ValueOrDie();
+  const BindingPattern bp = ready.schema().binding_patterns()[0];
+  InvokeOptions options;
+  options.instant = 9;
+  ASSERT_TRUE(Invoke(ready, bp, &registry_, options).ok());
+  ASSERT_TRUE(Invoke(ready, bp, &registry_, options).ok());
+  // Second run is served from the per-instant memo: no extra deliveries.
+  EXPECT_EQ(email_->outbox().size(), 2u);
+  EXPECT_EQ(registry_.stats().logical_invocations, 6u);
+  EXPECT_EQ(registry_.stats().physical_invocations, 3u);
+
+  // A new instant invalidates the memo: messages go out again.
+  options.instant = 10;
+  ASSERT_TRUE(Invoke(ready, bp, &registry_, options).ok());
+  EXPECT_EQ(email_->outbox().size(), 4u);
+}
+
+}  // namespace
+}  // namespace serena

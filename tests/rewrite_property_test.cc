@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "rewrite/equivalence.h"
+#include "rewrite/rewriter.h"
+#include "service/lambda_service.h"
+
+namespace serena {
+namespace {
+
+/// Property-based validation of the Table 5 rewriting rules: for randomized
+/// environments (random relation contents, random formulas, random
+/// constants), every rewrite the rule engine performs must preserve
+/// Def. 9 equivalence — same result X-Relation AND same action set.
+///
+/// The environment has one extended relation `items` with a passive
+/// binding pattern (compute) and one with an active pattern (notify), plus
+/// a plain relation `tags` for join cases. Service outputs are a pure
+/// deterministic function of (input, instant).
+class RewritePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+
+    compute_ = Prototype::Create(
+                   "compute",
+                   RelationSchema::Create({{"a", DataType::kInt}})
+                       .ValueOrDie(),
+                   RelationSchema::Create({{"x", DataType::kInt},
+                                           {"y", DataType::kReal}})
+                       .ValueOrDie(),
+                   /*active=*/false)
+                   .ValueOrDie();
+    notify_ = Prototype::Create(
+                  "notify",
+                  RelationSchema::Create({{"b", DataType::kString}})
+                      .ValueOrDie(),
+                  RelationSchema::Create({{"ack", DataType::kBool}})
+                      .ValueOrDie(),
+                  /*active=*/true)
+                  .ValueOrDie();
+    ASSERT_TRUE(env_.AddPrototype(compute_).ok());
+    ASSERT_TRUE(env_.AddPrototype(notify_).ok());
+
+    // Two worker services; tuples reference either.
+    for (const char* id : {"worker0", "worker1"}) {
+      auto svc = std::make_shared<LambdaService>(id);
+      const std::uint64_t salt = StableHashOf(id);
+      svc->AddMethod(compute_, [salt](const Tuple& input, Timestamp now) {
+        const std::int64_t a = input[0].int_value();
+        const std::uint64_t h =
+            Mix64(salt ^ static_cast<std::uint64_t>(a * 131 + now));
+        return Result<std::vector<Tuple>>(std::vector<Tuple>{
+            Tuple{Value::Int(static_cast<std::int64_t>(h % 100)),
+                  Value::Real(static_cast<double>(h % 1000) / 10.0)}});
+      });
+      svc->AddMethod(notify_, [](const Tuple&, Timestamp) {
+        return Result<std::vector<Tuple>>(
+            std::vector<Tuple>{Tuple{Value::Bool(true)}});
+      });
+      ASSERT_TRUE(env_.registry().Register(svc).ok());
+    }
+
+    auto items_schema =
+        ExtendedSchema::Create(
+            "items",
+            {{"id", DataType::kInt},
+             {"a", DataType::kInt},
+             {"b", DataType::kString},
+             {"svc", DataType::kService},
+             {"x", DataType::kInt, AttributeKind::kVirtual},
+             {"y", DataType::kReal, AttributeKind::kVirtual},
+             {"ack", DataType::kBool, AttributeKind::kVirtual}},
+            {BindingPattern(compute_, "svc"),
+             BindingPattern(notify_, "svc")})
+            .ValueOrDie();
+    ASSERT_TRUE(env_.AddRelation(items_schema).ok());
+    XRelation* items = env_.GetMutableRelation("items").ValueOrDie();
+    const int n = 5 + static_cast<int>(rng.NextBounded(25));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          items
+              ->Insert(Tuple{
+                  Value::Int(i), Value::Int(rng.NextInt(0, 9)),
+                  Value::String(std::string("tag") +
+                                std::to_string(rng.NextBounded(4))),
+                  Value::String(rng.NextBool(0.5) ? "worker0" : "worker1")})
+              .ok());
+    }
+
+    auto tags_schema =
+        ExtendedSchema::Create("tags", {{"b", DataType::kString},
+                                        {"weight", DataType::kInt}})
+            .ValueOrDie();
+    ASSERT_TRUE(env_.AddRelation(tags_schema).ok());
+    XRelation* tags = env_.GetMutableRelation("tags").ValueOrDie();
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_TRUE(tags
+                      ->Insert(Tuple{
+                          Value::String("tag" + std::to_string(t)),
+                          Value::Int(rng.NextInt(1, 5))})
+                      .ok());
+    }
+
+    rng_ = std::make_unique<Rng>(GetParam() ^ 0xabcdef);
+  }
+
+  static std::uint64_t StableHashOf(std::string_view s) {
+    return StableHash(s);
+  }
+
+  /// A random conjunct over the real attributes {id, a, b}.
+  FormulaPtr RandomConjunct() {
+    switch (rng_->NextBounded(3)) {
+      case 0:
+        return Formula::Compare(
+            Operand::Attr("id"),
+            rng_->NextBool(0.5) ? CompareOp::kLt : CompareOp::kGe,
+            Operand::Const(Value::Int(rng_->NextInt(0, 20))));
+      case 1:
+        return Formula::Compare(
+            Operand::Attr("a"),
+            rng_->NextBool(0.5) ? CompareOp::kLe : CompareOp::kGt,
+            Operand::Const(Value::Int(rng_->NextInt(0, 9))));
+      default:
+        return Formula::Compare(
+            Operand::Attr("b"),
+            rng_->NextBool(0.5) ? CompareOp::kEq : CompareOp::kNe,
+            Operand::Const(Value::String(
+                "tag" + std::to_string(rng_->NextBounded(4)))));
+    }
+  }
+
+  FormulaPtr RandomFormula() {
+    FormulaPtr f = RandomConjunct();
+    const std::uint64_t extra = rng_->NextBounded(3);
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      f = Formula::And(f, RandomConjunct());
+    }
+    return f;
+  }
+
+  /// Asserts that rewriting `plan` preserves Def. 9 equivalence.
+  void ExpectRewriteEquivalent(const PlanPtr& plan, Timestamp instant) {
+    Rewriter rewriter(&env_, nullptr);
+    auto optimized = rewriter.Optimize(plan);
+    ASSERT_TRUE(optimized.ok()) << optimized.status();
+    auto report =
+        CheckEquivalence(plan, *optimized, &env_, nullptr, instant);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->equivalent())
+        << "plan:      " << plan->ToString() << "\nrewritten: "
+        << (*optimized)->ToString() << "\n" << report->ToString();
+  }
+
+  Environment env_;
+  PrototypePtr compute_;
+  PrototypePtr notify_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(RewritePropertyTest, SelectionOverPassiveInvoke) {
+  for (int round = 0; round < 4; ++round) {
+    PlanPtr plan =
+        Select(Invoke(Scan("items"), "compute"), RandomFormula());
+    ExpectRewriteEquivalent(plan, static_cast<Timestamp>(round));
+  }
+}
+
+TEST_P(RewritePropertyTest, SelectionOverAssign) {
+  for (int round = 0; round < 4; ++round) {
+    PlanPtr plan = Select(
+        Assign(Scan("items"), "x", Value::Int(rng_->NextInt(0, 50))),
+        RandomFormula());
+    ExpectRewriteEquivalent(plan, static_cast<Timestamp>(round));
+  }
+}
+
+TEST_P(RewritePropertyTest, ProjectionOverInvoke) {
+  PlanPtr keep_all = Project(Invoke(Scan("items"), "compute"),
+                             {"a", "svc", "x", "y"});
+  ExpectRewriteEquivalent(keep_all, 1);
+  // Dropping an output attribute: the rule must not fire, but optimizing
+  // must still be equivalence-preserving (identity).
+  PlanPtr drop_output =
+      Project(Invoke(Scan("items"), "compute"), {"a", "svc", "x"});
+  ExpectRewriteEquivalent(drop_output, 2);
+}
+
+TEST_P(RewritePropertyTest, SelectionOverJoin) {
+  for (int round = 0; round < 4; ++round) {
+    PlanPtr plan =
+        Select(Join(Scan("items"), Scan("tags")), RandomFormula());
+    ExpectRewriteEquivalent(plan, static_cast<Timestamp>(round));
+  }
+}
+
+TEST_P(RewritePropertyTest, SelectionOverActiveInvokePreservesActions) {
+  // Any rewrite of a plan with an active invocation must keep the action
+  // set identical — in particular σ must not cross the active β.
+  PlanPtr plan = Select(Invoke(Scan("items"), "notify"), RandomFormula());
+  ExpectRewriteEquivalent(plan, 5);
+}
+
+TEST_P(RewritePropertyTest, ComposedPipelineEquivalence) {
+  // A deeper pipeline mixing all rules.
+  PlanPtr plan = Select(
+      Project(Select(Invoke(Scan("items"), "compute"), RandomFormula()),
+              {"id", "a", "b", "svc", "x", "y"}),
+      RandomFormula());
+  ExpectRewriteEquivalent(plan, 6);
+}
+
+TEST_P(RewritePropertyTest, OptimizedPlanNeverCostsMore) {
+  PlanPtr plan =
+      Select(Invoke(Scan("items"), "compute"), RandomFormula());
+  Rewriter rewriter(&env_, nullptr);
+  PlanPtr optimized = rewriter.Optimize(plan).ValueOrDie();
+  auto before = EstimateCost(plan, env_, nullptr).ValueOrDie();
+  auto after = EstimateCost(optimized, env_, nullptr).ValueOrDie();
+  EXPECT_LE(after.Total(), before.Total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewritePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,407 @@
+#include "rewrite/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "env/scenario.h"
+#include "rewrite/equivalence.h"
+
+namespace serena {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+  }
+
+  Environment& env() { return scenario_->env(); }
+  StreamStore& streams() { return scenario_->streams(); }
+  Rewriter MakeRewriter() { return Rewriter(&env(), &streams()); }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+FormulaPtr NameIsNot(const std::string& name) {
+  return Formula::Compare(Operand::Attr("name"), CompareOp::kNe,
+                          Operand::Const(Value::String(name)));
+}
+
+FormulaPtr AttrEq(const std::string& attr, Value v) {
+  return Formula::Compare(Operand::Attr(attr), CompareOp::kEq,
+                          Operand::Const(std::move(v)));
+}
+
+// ---------------------------------------------------------------------------
+// Individual Table 5 rules
+// ---------------------------------------------------------------------------
+
+TEST_F(RewriteTest, SelectionPushedBelowAssign) {
+  // σ_name≠Carla(α_text:='x'(contacts)) → α(σ(contacts)); name ∉ {text}.
+  PlanPtr plan = Select(
+      Assign(Scan("contacts"), "text", Value::String("x")),
+      NameIsNot("Carla"));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "assign[text := 'x'](select[name != 'Carla'](contacts))");
+  // Def. 9 equivalence holds empirically.
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 1).ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, SelectionNotPushedWhenFormulaUsesAssignedAttribute) {
+  // σ_text='x'(α_text:='x'(contacts)): A ∈ F blocks the rule (Table 5).
+  PlanPtr plan = Select(
+      Assign(Scan("contacts"), "text", Value::String("x")),
+      AttrEq("text", Value::String("x")));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(rewritten->Equals(*plan));
+}
+
+TEST_F(RewriteTest, SelectionPushedBelowPassiveInvoke) {
+  // σ_area='office'(β_checkPhoto(cameras)) → β(σ(cameras)): passive, and
+  // `area` is not an output of checkPhoto.
+  PlanPtr plan = Select(Invoke(Scan("cameras"), "checkPhoto"),
+                        AttrEq("area", Value::String("office")));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "invoke[checkPhoto](select[area = 'office'](cameras))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 2).ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, SelectionNotPushedBelowActiveInvoke) {
+  // §3.3 barrier: sendMessage is active; pushing σ below β would turn Q1'
+  // into Q1 and change the action set (Example 6).
+  PlanPtr q1_prime = scenario_->Q1Prime();
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(q1_prime, &changed).ValueOrDie();
+  // The selection must remain above the invoke.
+  EXPECT_EQ(rewritten->ToString(), q1_prime->ToString());
+}
+
+TEST_F(RewriteTest, SelectionNotPushedWhenFormulaUsesInvokeOutput) {
+  // σ_quality>=5(β_checkPhoto(cameras)): quality is checkPhoto's output.
+  PlanPtr plan = Select(Invoke(Scan("cameras"), "checkPhoto"),
+                        Formula::Compare(Operand::Attr("quality"),
+                                         CompareOp::kGe,
+                                         Operand::Const(Value::Int(5))));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(rewritten->Equals(*plan));
+}
+
+TEST_F(RewriteTest, ProjectionPushedBelowAssign) {
+  PlanPtr plan = Project(
+      Assign(Scan("contacts"), "text", Value::String("x")),
+      {"name", "text"});
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "assign[text := 'x'](project[name, text](contacts))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 3).ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, ProjectionNotPushedWhenTargetDropped) {
+  // π drops `text` (the realized attribute): rule must not fire.
+  PlanPtr plan = Project(
+      Assign(Scan("contacts"), "text", Value::String("x")), {"name"});
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(rewritten->Equals(*plan));
+}
+
+TEST_F(RewriteTest, ProjectionPushedBelowInvokeKeepingPatternAttributes) {
+  // π keeps camera (service attr), area (input), quality+delay (outputs).
+  PlanPtr plan = Project(Invoke(Scan("cameras"), "checkPhoto"),
+                         {"camera", "area", "quality", "delay"});
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(
+      rewritten->ToString(),
+      "invoke[checkPhoto](project[camera, area, quality, delay](cameras))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 4).ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, ProjectionNotPushedWhenPatternAttributeDropped) {
+  // `delay` (an output of checkPhoto) is dropped: the pattern would not
+  // survive below, so the rule must not fire.
+  PlanPtr plan = Project(Invoke(Scan("cameras"), "checkPhoto"),
+                         {"camera", "area", "quality"});
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(rewritten->Equals(*plan));
+}
+
+TEST_F(RewriteTest, SelectionPushedIntoJoinSide) {
+  PlanPtr plan = Select(Join(Scan("sensors"), Scan("surveillance")),
+                        AttrEq("name", Value::String("Carla")));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "join(sensors, select[name = 'Carla'](surveillance))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 5).ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, MergeAndCollapseRules) {
+  PlanPtr plan = Select(
+      Select(Scan("contacts"), NameIsNot("Carla")), NameIsNot("Nicolas"));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->kind(), PlanKind::kSelect);
+  EXPECT_EQ(rewritten->children()[0]->kind(), PlanKind::kScan);
+
+  PlanPtr proj = Project(
+      Project(Scan("contacts"), {"name", "address", "messenger"}),
+      {"name"});
+  changed = false;
+  PlanPtr collapsed =
+      MakeRewriter().RewriteOnce(proj, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(collapsed->ToString(), "project[name](contacts)");
+}
+
+TEST_F(RewriteTest, SelectionPushedBelowRenameWithTranslation) {
+  // σ_area='office'(ρ_location→area(sensors)) → ρ(σ_location='office').
+  PlanPtr plan = Select(Rename(Scan("sensors"), "location", "area"),
+                        AttrEq("area", Value::String("office")));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "rename[location -> area](select[location = "
+            "'office'](sensors))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 21)
+          .ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, SelectionDistributesOverUnion) {
+  PlanPtr plan = Select(UnionOf(Scan("sensors"), Scan("sensors")),
+                        AttrEq("location", Value::String("office")));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "union(select[location = 'office'](sensors), select[location = "
+            "'office'](sensors))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 22)
+          .ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, SelectionPushesIntoIntersectAndDifferenceLeft) {
+  PlanPtr office = Select(Scan("sensors"),
+                          AttrEq("location", Value::String("office")));
+  for (auto make : {IntersectOf, DifferenceOf}) {
+    PlanPtr plan = Select(make(Scan("sensors"), office),
+                          AttrEq("sensor", Value::String("sensor06")));
+    bool changed = false;
+    PlanPtr rewritten =
+        MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+    EXPECT_TRUE(changed) << plan->ToString();
+    EquivalenceReport report =
+        CheckEquivalence(plan, rewritten, &env(), &streams(), 23)
+            .ValueOrDie();
+    EXPECT_TRUE(report.equivalent())
+        << plan->ToString() << " -> " << rewritten->ToString();
+  }
+}
+
+TEST_F(RewriteTest, AssignPushedIntoJoinSide) {
+  // α_text:='x'(contacts ⋈ surveillance) → α(contacts) ⋈ surveillance:
+  // `text` lives only in contacts.
+  PlanPtr plan = Assign(Join(Scan("contacts"), Scan("surveillance")),
+                        "text", Value::String("x"));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "join(assign[text := 'x'](contacts), surveillance)");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 31)
+          .ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, AssignNotPushedWhenOtherSideRealizesTarget) {
+  // `text` exists (real) on the right side: join would realize it there,
+  // so pushing α into the left is not equivalent. Table 5's condition
+  // A ∉ realSchema(R2).
+  auto texts_schema =
+      ExtendedSchema::Create("texts", {{"name", DataType::kString},
+                                       {"text", DataType::kString}})
+          .ValueOrDie();
+  ASSERT_TRUE(env().AddRelation(texts_schema).ok());
+  PlanPtr plan = Assign(Join(Scan("contacts"), Scan("texts")), "text",
+                        Value::String("x"));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  // The assign must stay above the join... in fact the plan is invalid
+  // (text is real after the join); the rule must simply not fire.
+  EXPECT_EQ(rewritten->ToString(), plan->ToString());
+}
+
+TEST_F(RewriteTest, PassiveInvokeDeferredPastJoin) {
+  // join(β_getTemperature(sensors), surveillance): deferring β lets the
+  // join prune sensors with no surveillance entry before any invocation.
+  PlanPtr plan = Join(Invoke(Scan("sensors"), "getTemperature"),
+                      Scan("surveillance"));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(rewritten->ToString(),
+            "invoke[getTemperature](join(sensors, surveillance))");
+  EquivalenceReport report =
+      CheckEquivalence(plan, rewritten, &env(), &streams(), 32)
+          .ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, ActiveInvokeNeverDeferred) {
+  PlanPtr plan = Join(
+      Invoke(Assign(Scan("contacts"), "text", Value::String("x")),
+             "sendMessage"),
+      Scan("surveillance"));
+  bool changed = false;
+  PlanPtr rewritten =
+      MakeRewriter().RewriteOnce(plan, &changed).ValueOrDie();
+  // The assign may move, but the active β must stay inside the join (the
+  // join's rendering opens before the invoke's).
+  const std::string repr = rewritten->ToString();
+  EXPECT_LT(repr.find("join"), repr.find("invoke[sendMessage]"));
+}
+
+TEST_F(RewriteTest, DeferredInvokeReducesPhysicalInvocations) {
+  TemperatureScenarioOptions options;
+  options.extra_sensors = 60;
+  options.extra_areas = 13;  // Most sensors sit in unmanaged areas.
+  auto big = TemperatureScenario::Build(options).MoveValueOrDie();
+  PlanPtr eager = Join(Invoke(Scan("sensors"), "getTemperature"),
+                       Scan("surveillance"));
+  Rewriter rewriter(&big->env(), &big->streams());
+  PlanPtr lazy = rewriter.Optimize(eager).ValueOrDie();
+
+  big->env().registry().ResetStats();
+  ASSERT_TRUE(Execute(eager, &big->env(), &big->streams(), 1).ok());
+  const auto eager_inv =
+      big->env().registry().stats().physical_invocations;
+  big->env().registry().ResetStats();
+  ASSERT_TRUE(Execute(lazy, &big->env(), &big->streams(), 2).ok());
+  const auto lazy_inv = big->env().registry().stats().physical_invocations;
+  EXPECT_LT(lazy_inv, eager_inv);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end optimization
+// ---------------------------------------------------------------------------
+
+TEST_F(RewriteTest, OptimizerTurnsQ2PrimeShapeIntoQ2Shape) {
+  // Q2' does checkPhoto on all cameras; after optimization the area
+  // selection reaches the scan and only office cameras are checked.
+  PlanPtr optimized = MakeRewriter().Optimize(scenario_->Q2Prime())
+                          .ValueOrDie();
+  // The area selection must now sit below checkPhoto.
+  const std::string repr = optimized->ToString();
+  const auto check_pos = repr.find("invoke[checkPhoto]");
+  const auto area_pos = repr.find("area = 'office'");
+  ASSERT_NE(check_pos, std::string::npos);
+  ASSERT_NE(area_pos, std::string::npos);
+  EXPECT_GT(area_pos, check_pos);
+
+  // Fewer physical invocations than the original.
+  env().registry().ResetStats();
+  ASSERT_TRUE(
+      Execute(scenario_->Q2Prime(), &env(), &streams(), 7).ok());
+  const auto original = env().registry().stats().physical_invocations;
+  env().registry().ResetStats();
+  ASSERT_TRUE(Execute(optimized, &env(), &streams(), 8).ok());
+  const auto rewritten = env().registry().stats().physical_invocations;
+  EXPECT_LT(rewritten, original);
+
+  // And of course: still equivalent (Def. 9).
+  EquivalenceReport report =
+      CheckEquivalence(scenario_->Q2Prime(), optimized, &env(), &streams(),
+                       9)
+          .ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+}
+
+TEST_F(RewriteTest, OptimizerKeepsQ1PrimeActionSetIntact) {
+  // Optimizing Q1' must NOT yield Q1: actions differ (Example 6). The
+  // only admissible change is none (selection blocked by active β).
+  PlanPtr optimized =
+      MakeRewriter().Optimize(scenario_->Q1Prime()).ValueOrDie();
+  EquivalenceReport report =
+      CheckEquivalence(scenario_->Q1Prime(), optimized, &env(), &streams(),
+                       10)
+          .ValueOrDie();
+  EXPECT_TRUE(report.equivalent()) << report.ToString();
+  QueryResult r = Execute(optimized, &env(), &streams(), 11).ValueOrDie();
+  EXPECT_EQ(r.actions.size(), 3u);  // Carla still messaged.
+}
+
+TEST_F(RewriteTest, OptimizerIsIdempotent) {
+  Rewriter rewriter = MakeRewriter();
+  PlanPtr once = rewriter.Optimize(scenario_->Q2Prime()).ValueOrDie();
+  PlanPtr twice = rewriter.Optimize(once).ValueOrDie();
+  EXPECT_EQ(once->ToString(), twice->ToString());
+}
+
+TEST_F(RewriteTest, CostModelPrefersPusheddownPlan) {
+  auto original =
+      EstimateCost(scenario_->Q2Prime(), env(), &streams()).ValueOrDie();
+  PlanPtr optimized =
+      MakeRewriter().Optimize(scenario_->Q2Prime()).ValueOrDie();
+  auto better = EstimateCost(optimized, env(), &streams()).ValueOrDie();
+  EXPECT_LE(better.Total(), original.Total());
+  EXPECT_LT(better.invocations, original.invocations);
+}
+
+TEST_F(RewriteTest, CostEstimatesScaleWithCardinality) {
+  TemperatureScenarioOptions options;
+  options.extra_cameras = 50;
+  auto big = TemperatureScenario::Build(options).MoveValueOrDie();
+  auto small_cost =
+      EstimateCost(scenario_->Q2Prime(), env(), &streams()).ValueOrDie();
+  auto big_cost = EstimateCost(big->Q2Prime(), big->env(), &big->streams())
+                      .ValueOrDie();
+  EXPECT_GT(big_cost.invocations, small_cost.invocations);
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,120 @@
+#include "env/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace serena {
+namespace {
+
+TEST(TemperatureScenarioTest, PaperDefaultsMatchMotivatingExample) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  Environment& env = scenario->env();
+  // Tables 1-2: 4 prototypes, 4 sensors + 3 cameras + 3 messengers.
+  EXPECT_EQ(env.PrototypeNames().size(), 4u);
+  EXPECT_EQ(env.registry().ServicesImplementing("getTemperature").size(),
+            4u);
+  EXPECT_EQ(env.registry().ServicesImplementing("sendMessage").size(), 3u);
+  EXPECT_EQ(env.registry().ServicesImplementing("takePhoto").size(), 3u);
+  // Relations populated per the paper's examples.
+  EXPECT_EQ(env.GetRelation("sensors").ValueOrDie()->size(), 4u);
+  EXPECT_EQ(env.GetRelation("contacts").ValueOrDie()->size(), 3u);
+  EXPECT_EQ(env.GetRelation("cameras").ValueOrDie()->size(), 3u);
+  EXPECT_EQ(env.GetRelation("surveillance").ValueOrDie()->size(), 3u);
+  EXPECT_TRUE(scenario->streams().HasStream("temperatures"));
+}
+
+TEST(TemperatureScenarioTest, ScalingOptionsGrowEverything) {
+  TemperatureScenarioOptions options;
+  options.extra_sensors = 10;
+  options.extra_cameras = 5;
+  options.extra_contacts = 7;
+  options.extra_areas = 2;
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  Environment& env = scenario->env();
+  EXPECT_EQ(env.GetRelation("sensors").ValueOrDie()->size(), 14u);
+  EXPECT_EQ(env.GetRelation("cameras").ValueOrDie()->size(), 8u);
+  EXPECT_EQ(env.GetRelation("contacts").ValueOrDie()->size(), 10u);
+  EXPECT_EQ(scenario->sensors().size(), 14u);
+}
+
+TEST(TemperatureScenarioTest, TakePhotoActiveOptionPropagates) {
+  TemperatureScenarioOptions options;
+  options.take_photo_active = true;
+  auto scenario = TemperatureScenario::Build(options).MoveValueOrDie();
+  auto proto =
+      scenario->env().GetPrototype("takePhoto").ValueOrDie();
+  EXPECT_TRUE(proto->active());
+  // And the relation's binding pattern reflects it.
+  const XRelation* cameras =
+      scenario->env().GetRelation("cameras").ValueOrDie();
+  EXPECT_TRUE(cameras->schema().FindBindingPattern("takePhoto")->active());
+}
+
+TEST(TemperatureScenarioTest, PumpValidatesAgainstStreamSchema) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  ASSERT_TRUE(scenario->PumpTemperatureStream(1).ok());
+  const XDRelation* stream =
+      scenario->streams().GetStream("temperatures").ValueOrDie();
+  const auto tuples = stream->InsertedDuring(0, 1);
+  ASSERT_EQ(tuples.size(), 4u);
+  for (const Tuple& t : tuples) {
+    EXPECT_TRUE(t[0].is_string());  // location
+    EXPECT_TRUE(t[1].is_real());    // temperature
+  }
+}
+
+TEST(TemperatureScenarioTest, AddRemoveSensorKeepsRelationInSync) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  ASSERT_TRUE(scenario->AddSensor("sensor50", "lobby", 18.0).ok());
+  EXPECT_EQ(scenario->env().GetRelation("sensors").ValueOrDie()->size(),
+            5u);
+  EXPECT_TRUE(scenario->env().registry().Contains("sensor50"));
+  ASSERT_TRUE(scenario->RemoveSensor("sensor50").ok());
+  EXPECT_EQ(scenario->env().GetRelation("sensors").ValueOrDie()->size(),
+            4u);
+  EXPECT_FALSE(scenario->env().registry().Contains("sensor50"));
+  EXPECT_FALSE(scenario->RemoveSensor("sensor50").ok());
+}
+
+TEST(TemperatureScenarioTest, CanonicalQueriesInferSchemas) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  for (const PlanPtr& q :
+       {scenario->Q1(), scenario->Q1Prime(), scenario->Q2(),
+        scenario->Q2Prime(), scenario->Q3(), scenario->Q4()}) {
+    EXPECT_TRUE(q->InferSchema(scenario->env(), &scenario->streams()).ok())
+        << q->ToString();
+  }
+}
+
+TEST(TemperatureScenarioTest, OutboxHelpers) {
+  auto scenario = TemperatureScenario::Build().MoveValueOrDie();
+  QueryResult r = Execute(scenario->Q1(), &scenario->env(),
+                          &scenario->streams(), 1)
+                      .ValueOrDie();
+  EXPECT_EQ(scenario->AllSentMessages().size(), 2u);
+  scenario->ClearOutboxes();
+  EXPECT_TRUE(scenario->AllSentMessages().empty());
+}
+
+TEST(RssScenarioTest, DefaultsAndPump) {
+  auto scenario = RssScenario::Build().MoveValueOrDie();
+  EXPECT_EQ(scenario->feeds().size(), 3u);  // lemonde, lefigaro, cnn.
+  EXPECT_EQ(scenario->env().GetRelation("feeds").ValueOrDie()->size(), 3u);
+  ASSERT_TRUE(scenario->PumpNews(1).ok());
+  const XDRelation* news =
+      scenario->streams().GetStream("news").ValueOrDie();
+  // 3 feeds x items_per_instant (default 2).
+  EXPECT_EQ(news->InsertedDuring(0, 1).size(), 6u);
+}
+
+TEST(RssScenarioTest, KeywordQueryShapes) {
+  auto scenario = RssScenario::Build().MoveValueOrDie();
+  PlanPtr q = scenario->KeywordQuery("Obama", 5);
+  EXPECT_EQ(q->ToString(),
+            "select[title contains 'Obama'](window[5](news))");
+  PlanPtr f = scenario->ForwardQuery("Obama", 5, "Carla");
+  EXPECT_TRUE(
+      f->InferSchema(scenario->env(), &scenario->streams()).ok());
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,218 @@
+#include "service/service_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "env/prototypes.h"
+#include "env/sim_services.h"
+#include "env/synthetic_service.h"
+#include "service/lambda_service.h"
+
+namespace serena {
+namespace {
+
+TEST(PrototypeTest, CreateValidates) {
+  auto in = RelationSchema::Create({{"a", DataType::kString}}).ValueOrDie();
+  auto out = RelationSchema::Create({{"b", DataType::kBool}}).ValueOrDie();
+  EXPECT_TRUE(Prototype::Create("p", in, out, false).ok());
+  // Empty name.
+  EXPECT_FALSE(Prototype::Create("", in, out, false).ok());
+  // Empty output (Def. 2: Output_ψ non-empty).
+  EXPECT_FALSE(Prototype::Create("p", in, RelationSchema(), false).ok());
+  // Overlapping input/output attribute.
+  auto out2 = RelationSchema::Create({{"a", DataType::kBool}}).ValueOrDie();
+  EXPECT_FALSE(Prototype::Create("p", in, out2, false).ok());
+}
+
+TEST(PrototypeTest, Table1Rendering) {
+  EXPECT_EQ(MakeSendMessagePrototype()->ToString(),
+            "PROTOTYPE sendMessage(address STRING, text STRING) : "
+            "(sent BOOLEAN) ACTIVE");
+  EXPECT_EQ(MakeGetTemperaturePrototype()->ToString(),
+            "PROTOTYPE getTemperature() : (temperature REAL)");
+  EXPECT_TRUE(MakeSendMessagePrototype()->active());
+  EXPECT_FALSE(MakeCheckPhotoPrototype()->active());
+}
+
+TEST(RegistryTest, RegisterLookupUnregister) {
+  ServiceRegistry registry;
+  auto sensor = std::make_shared<TemperatureSensorService>("s1", 20.0, 1);
+  ASSERT_TRUE(registry.Register(sensor).ok());
+  EXPECT_EQ(registry.Register(
+                    std::make_shared<TemperatureSensorService>("s1", 1, 1))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(registry.Contains("s1"));
+  EXPECT_EQ(registry.Lookup("s1").ValueOrDie()->id(), "s1");
+  EXPECT_FALSE(registry.Lookup("nope").ok());
+  ASSERT_TRUE(registry.Unregister("s1").ok());
+  EXPECT_EQ(registry.Unregister("s1").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(registry.Register(nullptr).ok());
+}
+
+TEST(RegistryTest, ServicesImplementing) {
+  ServiceRegistry registry;
+  (void)registry.Register(
+      std::make_shared<TemperatureSensorService>("s1", 20.0, 1));
+  (void)registry.Register(
+      std::make_shared<TemperatureSensorService>("s2", 21.0, 2));
+  (void)registry.Register(std::make_shared<MessengerService>(
+      "email", MessengerService::Kind::kEmail));
+  EXPECT_EQ(registry.ServicesImplementing("getTemperature"),
+            (std::vector<std::string>{"s1", "s2"}));
+  EXPECT_EQ(registry.ServicesImplementing("sendMessage"),
+            (std::vector<std::string>{"email"}));
+  EXPECT_TRUE(registry.ServicesImplementing("takePhoto").empty());
+}
+
+TEST(RegistryTest, InvokeValidatesInputAndImplements) {
+  ServiceRegistry registry;
+  (void)registry.Register(
+      std::make_shared<TemperatureSensorService>("s1", 20.0, 1));
+  auto get_temp = MakeGetTemperaturePrototype();
+  auto send = MakeSendMessagePrototype();
+  // Wrong input arity for getTemperature (expects 0).
+  EXPECT_FALSE(
+      registry.Invoke(*get_temp, "s1", Tuple{Value::Int(1)}, 0).ok());
+  // Service doesn't implement sendMessage.
+  EXPECT_EQ(registry
+                .Invoke(*send, "s1",
+                        Tuple{Value::String("a"), Value::String("t")}, 0)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Unknown service.
+  EXPECT_EQ(registry.Invoke(*get_temp, "ghost", Tuple(), 0).status().code(),
+            StatusCode::kNotFound);
+  // Happy path.
+  auto result = registry.Invoke(*get_temp, "s1", Tuple(), 0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE((*result)[0][0].is_real());
+}
+
+TEST(RegistryTest, OutputValidationCatchesBadServices) {
+  ServiceRegistry registry;
+  auto proto = MakeGetTemperaturePrototype();
+  auto bad = std::make_shared<LambdaService>("bad");
+  bad->AddMethod(proto, [](const Tuple&, Timestamp) {
+    // Returns a string where a REAL is declared.
+    return Result<std::vector<Tuple>>(
+        std::vector<Tuple>{Tuple{Value::String("oops")}});
+  });
+  (void)registry.Register(bad);
+  EXPECT_EQ(registry.Invoke(*proto, "bad", Tuple(), 0).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(RegistryTest, ListenersFireOnBothEvents) {
+  ServiceRegistry registry;
+  std::vector<std::string> events;
+  const std::size_t token = registry.AddListener(
+      [&](const std::string& ref, bool registered) {
+        events.push_back((registered ? "+" : "-") + ref);
+      });
+  (void)registry.Register(
+      std::make_shared<TemperatureSensorService>("s1", 20.0, 1));
+  (void)registry.Unregister("s1");
+  EXPECT_EQ(events, (std::vector<std::string>{"+s1", "-s1"}));
+  registry.RemoveListener(token);
+  (void)registry.Register(
+      std::make_shared<TemperatureSensorService>("s2", 20.0, 1));
+  EXPECT_EQ(events.size(), 2u);  // Listener removed.
+}
+
+TEST(RegistryTest, StatsTrackActiveAndPhysical) {
+  ServiceRegistry registry;
+  auto messenger = std::make_shared<MessengerService>(
+      "email", MessengerService::Kind::kEmail);
+  (void)registry.Register(messenger);
+  auto send = MakeSendMessagePrototype();
+  const Tuple input{Value::String("a@b"), Value::String("hi")};
+  (void)registry.Invoke(*send, "email", input, 1);
+  (void)registry.Invoke(*send, "email", input, 1);  // Memo hit.
+  EXPECT_EQ(registry.stats().logical_invocations, 2u);
+  EXPECT_EQ(registry.stats().physical_invocations, 1u);
+  EXPECT_EQ(registry.stats().active_invocations, 1u);
+  EXPECT_EQ(registry.stats().output_tuples, 1u);
+  registry.ResetStats();
+  EXPECT_EQ(registry.stats().logical_invocations, 0u);
+}
+
+TEST(SimServicesTest, SensorDeterministicWithinInstantVariesAcross) {
+  TemperatureSensorService sensor("s", 20.0, 42);
+  EXPECT_DOUBLE_EQ(sensor.TemperatureAt(5), sensor.TemperatureAt(5));
+  EXPECT_NE(sensor.TemperatureAt(5), sensor.TemperatureAt(6));
+  sensor.set_bias(10.0);
+  EXPECT_NEAR(sensor.TemperatureAt(5), 30.0, 4.0);
+}
+
+TEST(SimServicesTest, CameraCoverageAndPhotoSize) {
+  CameraService camera("cam", {"office"}, 1);
+  auto check = MakeCheckPhotoPrototype();
+  auto take = MakeTakePhotoPrototype();
+  // Covered area answers.
+  auto q = camera.Invoke(*check, Tuple{Value::String("office")}, 1);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), 1u);
+  const int quality = static_cast<int>((*q)[0][0].int_value());
+  EXPECT_GE(quality, 1);
+  EXPECT_LE(quality, 10);
+  // Uncovered area: empty relation, not an error.
+  auto none = camera.Invoke(*check, Tuple{Value::String("roof")}, 1);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // Photo size scales with quality.
+  auto small = camera.Invoke(
+      *take, Tuple{Value::String("office"), Value::Int(1)}, 1);
+  auto large = camera.Invoke(
+      *take, Tuple{Value::String("office"), Value::Int(10)}, 1);
+  EXPECT_LT((*small)[0][0].blob_value().size(),
+            (*large)[0][0].blob_value().size());
+  EXPECT_EQ(camera.photos_taken(), 2u);
+}
+
+TEST(SimServicesTest, MessengerUndeliverableAddress) {
+  MessengerService messenger("email", MessengerService::Kind::kEmail);
+  messenger.AddUndeliverableAddress("void@nowhere");
+  auto send = MakeSendMessagePrototype();
+  auto ok = messenger.Invoke(
+      *send, Tuple{Value::String("a@b"), Value::String("hi")}, 1);
+  EXPECT_EQ((*ok)[0][0], Value::Bool(true));
+  auto bounced = messenger.Invoke(
+      *send, Tuple{Value::String("void@nowhere"), Value::String("hi")}, 1);
+  EXPECT_EQ((*bounced)[0][0], Value::Bool(false));
+  ASSERT_EQ(messenger.outbox().size(), 1u);  // Bounced not delivered.
+}
+
+TEST(SimServicesTest, RssFeedKeywordRate) {
+  RssFeedService feed("f", {"w1", "w2"}, {"Obama"}, 1.0, 2, 3);
+  // keyword_rate 1.0: every word is a keyword.
+  auto items = feed.ItemsAt(4);
+  ASSERT_EQ(items.size(), 2u);
+  for (const auto& [id, title] : items) {
+    EXPECT_NE(title.find("Obama"), std::string::npos);
+  }
+  // Feed only answers for its own id.
+  auto proto = MakeFetchItemsPrototype();
+  auto other = feed.Invoke(*proto, Tuple{Value::String("other")}, 4);
+  EXPECT_TRUE(other->empty());
+}
+
+TEST(SyntheticServiceTest, DeterministicSchemaConformantOutputs) {
+  auto proto = MakeCheckPhotoPrototype();
+  SyntheticService svc("synth", {proto});
+  auto a = svc.Invoke(*proto, Tuple{Value::String("office")}, 9);
+  auto b = svc.Invoke(*proto, Tuple{Value::String("office")}, 9);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0], (*b)[0]);  // Deterministic.
+  EXPECT_TRUE((*a)[0][0].is_int());
+  EXPECT_TRUE((*a)[0][1].is_real());
+  auto later = svc.Invoke(*proto, Tuple{Value::String("office")}, 10);
+  EXPECT_NE((*a)[0], (*later)[0]);  // Time-varying.
+  EXPECT_FALSE(svc.Invoke(*MakeSendMessagePrototype(),
+                          Tuple{Value::String("a"), Value::String("b")}, 1)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,121 @@
+#include "stream/xd_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/stream_store.h"
+
+namespace serena {
+namespace {
+
+ExtendedSchemaPtr TemperaturesSchema() {
+  return ExtendedSchema::Create("temperatures",
+                                {{"location", DataType::kString},
+                                 {"temperature", DataType::kReal}})
+      .ValueOrDie();
+}
+
+Tuple Reading(const char* location, double temp) {
+  return Tuple{Value::String(location), Value::Real(temp)};
+}
+
+TEST(XDRelationTest, AppendAndWindowedRead) {
+  XDRelation stream(TemperaturesSchema());
+  ASSERT_TRUE(stream.Append(1, Reading("office", 20.0)).ok());
+  ASSERT_TRUE(stream.Append(2, Reading("office", 21.0)).ok());
+  ASSERT_TRUE(stream.Append(2, Reading("roof", 14.0)).ok());
+  ASSERT_TRUE(stream.Append(4, Reading("office", 22.0)).ok());
+
+  // W[1] at τ=2: only instant-2 insertions.
+  EXPECT_EQ(stream.InsertedDuring(1, 2).size(), 2u);
+  // W[2] at τ=2: instants 1..2.
+  EXPECT_EQ(stream.InsertedDuring(0, 2).size(), 3u);
+  // W[1] at τ=3: nothing was inserted at 3.
+  EXPECT_TRUE(stream.InsertedDuring(2, 3).empty());
+  // Everything.
+  EXPECT_EQ(stream.InsertedDuring(-1, 100).size(), 4u);
+}
+
+TEST(XDRelationTest, AppendOnlyOrderingEnforced) {
+  XDRelation stream(TemperaturesSchema());
+  ASSERT_TRUE(stream.Append(5, Reading("office", 20.0)).ok());
+  EXPECT_EQ(stream.Append(4, Reading("office", 19.0)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(stream.Append(5, Reading("roof", 13.0)).ok());  // Same instant.
+}
+
+TEST(XDRelationTest, ValidatesTuples) {
+  XDRelation stream(TemperaturesSchema());
+  EXPECT_FALSE(stream.Append(1, Tuple{Value::String("office")}).ok());
+  EXPECT_FALSE(
+      stream.Append(1, Tuple{Value::Real(3.0), Value::Real(4.0)}).ok());
+}
+
+TEST(XDRelationTest, PruneDiscardsOldHistory) {
+  XDRelation stream(TemperaturesSchema());
+  for (Timestamp t = 0; t < 10; ++t) {
+    ASSERT_TRUE(stream.Append(t, Reading("office", 20.0 + t)).ok());
+  }
+  stream.PruneBefore(7);
+  EXPECT_EQ(stream.size(), 3u);
+  EXPECT_TRUE(stream.InsertedDuring(-1, 6).empty());
+  EXPECT_EQ(stream.InsertedDuring(6, 9).size(), 3u);
+}
+
+TEST(XDRelationTest, MultisetWithinInstantIsDeduplicatedAtWindow) {
+  // Two identical readings at the same instant are retained in the stream
+  // history (multiset, §4.1)...
+  XDRelation stream(TemperaturesSchema());
+  ASSERT_TRUE(stream.Append(1, Reading("office", 20.0)).ok());
+  ASSERT_TRUE(stream.Append(1, Reading("office", 20.0)).ok());
+  EXPECT_EQ(stream.InsertedDuring(0, 1).size(), 2u);
+  // ...set semantics are restored at the window boundary, where tuples
+  // re-enter the (set-based) X-Relation algebra of Def. 3.
+}
+
+TEST(XDRelationTest, LastInsertedRowWindow) {
+  XDRelation stream(TemperaturesSchema());
+  for (Timestamp t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(stream.Append(t, Reading("office", 20.0 + t)).ok());
+  }
+  // Last 3 at τ=6: readings from t=4,5,6.
+  auto last3 = stream.LastInserted(3, 6);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0][1], Value::Real(24.0));
+  EXPECT_EQ(last3[2][1], Value::Real(26.0));
+  // At τ=4 only entries up to t=4 are eligible.
+  auto at4 = stream.LastInserted(3, 4);
+  ASSERT_EQ(at4.size(), 3u);
+  EXPECT_EQ(at4[2][1], Value::Real(24.0));
+  // Asking for more than exists returns all eligible.
+  EXPECT_EQ(stream.LastInserted(100, 6).size(), 6u);
+  EXPECT_TRUE(stream.LastInserted(3, 0).empty());
+  EXPECT_TRUE(stream.LastInserted(0, 6).empty());
+}
+
+TEST(XDRelationTest, PruneBeforeKeepingRetainsRowDemand) {
+  XDRelation stream(TemperaturesSchema());
+  for (Timestamp t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(stream.Append(t, Reading("office", 20.0 + t)).ok());
+  }
+  stream.PruneBeforeKeeping(9, 5);  // Time cut would leave 2; rows demand 5.
+  EXPECT_EQ(stream.size(), 5u);
+  stream.PruneBeforeKeeping(3, 2);  // Time cut keeps all 5 remaining.
+  EXPECT_EQ(stream.size(), 5u);
+}
+
+TEST(StreamStoreTest, AddGetDrop) {
+  StreamStore store;
+  ASSERT_TRUE(store.AddStream(TemperaturesSchema()).ok());
+  EXPECT_TRUE(store.HasStream("temperatures"));
+  EXPECT_EQ(store.AddStream(TemperaturesSchema()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(store.GetStream("temperatures").ok());
+  EXPECT_FALSE(store.GetStream("nope").ok());
+  EXPECT_EQ(store.StreamNames(), std::vector<std::string>{"temperatures"});
+  ASSERT_TRUE(store.DropStream("temperatures").ok());
+  EXPECT_FALSE(store.HasStream("temperatures"));
+  EXPECT_EQ(store.DropStream("temperatures").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "ddl/catalog.h"
+#include "service/lambda_service.h"
+#include "stream/executor.h"
+
+namespace serena {
+namespace {
+
+/// Tests for streaming binding patterns — the §7 future-work extension:
+/// a prototype tagged STREAMING whose invocations at instant τ return the
+/// output tuples the service's stream carries at τ. Under continuous
+/// evaluation the invocation operator re-invokes such patterns every
+/// instant for every standing tuple (unlike the §4.2 delta behaviour for
+/// plain patterns).
+class StreamingBpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // pollItems(feed) : (item INTEGER) STREAMING - one fresh item per
+    // instant per feed.
+    poll_ = Prototype::Create(
+                "pollItems",
+                RelationSchema::Create({{"feed", DataType::kString}})
+                    .ValueOrDie(),
+                RelationSchema::Create({{"item", DataType::kInt}})
+                    .ValueOrDie(),
+                /*active=*/false, /*streaming=*/true)
+                .ValueOrDie();
+    plain_ = Prototype::Create(
+                 "readOnce",
+                 RelationSchema::Create({{"feed", DataType::kString}})
+                     .ValueOrDie(),
+                 RelationSchema::Create({{"snapshot", DataType::kInt}})
+                     .ValueOrDie(),
+                 /*active=*/false)
+                 .ValueOrDie();
+    ASSERT_TRUE(env_.AddPrototype(poll_).ok());
+    ASSERT_TRUE(env_.AddPrototype(plain_).ok());
+
+    auto svc = std::make_shared<LambdaService>("wire");
+    svc->AddMethod(poll_, [this](const Tuple&, Timestamp now) {
+      ++physical_polls_;
+      return Result<std::vector<Tuple>>(std::vector<Tuple>{
+          Tuple{Value::Int(static_cast<std::int64_t>(now))}});
+    });
+    svc->AddMethod(plain_, [this](const Tuple&, Timestamp now) {
+      ++physical_reads_;
+      return Result<std::vector<Tuple>>(std::vector<Tuple>{
+          Tuple{Value::Int(static_cast<std::int64_t>(now))}});
+    });
+    ASSERT_TRUE(env_.registry().Register(std::move(svc)).ok());
+
+    auto schema =
+        ExtendedSchema::Create(
+            "feeds",
+            {{"feed", DataType::kService},
+             {"item", DataType::kInt, AttributeKind::kVirtual},
+             {"snapshot", DataType::kInt, AttributeKind::kVirtual}},
+            {BindingPattern(poll_, "feed"), BindingPattern(plain_, "feed")})
+            .ValueOrDie();
+    ASSERT_TRUE(env_.AddRelation(schema).ok());
+    ASSERT_TRUE(env_.GetMutableRelation("feeds")
+                    .ValueOrDie()
+                    ->Insert(Tuple{Value::String("wire")})
+                    .ok());
+  }
+
+  Environment env_;
+  StreamStore streams_;
+  PrototypePtr poll_;
+  PrototypePtr plain_;
+  int physical_polls_ = 0;
+  int physical_reads_ = 0;
+};
+
+TEST_F(StreamingBpTest, DdlParsesStreamingFlag) {
+  Environment env;
+  StreamStore streams;
+  SerenaCatalog catalog(&env, &streams);
+  ASSERT_TRUE(
+      catalog
+          .Execute(
+              "PROTOTYPE pollItems(feed STRING) : (item INTEGER) STREAMING;")
+          .ok());
+  auto proto = env.GetPrototype("pollItems").ValueOrDie();
+  EXPECT_TRUE(proto->streaming());
+  EXPECT_FALSE(proto->active());
+  EXPECT_NE(proto->ToString().find("STREAMING"), std::string::npos);
+  // Flags combine.
+  ASSERT_TRUE(catalog
+                  .Execute("PROTOTYPE push(feed STRING) : (ok BOOLEAN) "
+                           "ACTIVE STREAMING;")
+                  .ok());
+  EXPECT_TRUE(env.GetPrototype("push").ValueOrDie()->active());
+  EXPECT_TRUE(env.GetPrototype("push").ValueOrDie()->streaming());
+}
+
+TEST_F(StreamingBpTest, ContinuousInvokeReinvokesEveryInstant) {
+  ContinuousExecutor executor(&env_, &streams_);
+  auto streaming_query = std::make_shared<ContinuousQuery>(
+      "poll", Invoke(Scan("feeds"), "pollItems"));
+  auto plain_query = std::make_shared<ContinuousQuery>(
+      "snap", Invoke(Scan("feeds"), "readOnce"));
+  std::vector<std::int64_t> polled_items;
+  streaming_query->set_sink([&](Timestamp, const XRelation& r) {
+    for (const Tuple& t : r.tuples()) {
+      polled_items.push_back(
+          r.ProjectValue(t, "item").ValueOrDie().int_value());
+    }
+  });
+  ASSERT_TRUE(executor.Register(streaming_query).ok());
+  ASSERT_TRUE(executor.Register(plain_query).ok());
+  executor.Run(4);
+
+  // Streaming pattern: one physical poll per instant, values track τ.
+  EXPECT_EQ(physical_polls_, 4);
+  EXPECT_EQ(polled_items, (std::vector<std::int64_t>{1, 2, 3, 4}));
+  // Plain pattern (§4.2 delta behaviour): only the first instant's fresh
+  // tuple is invoked; standing tuples reuse the previous output.
+  EXPECT_EQ(physical_reads_, 1);
+}
+
+TEST_F(StreamingBpTest, OneShotBehaviourUnchanged) {
+  QueryResult a =
+      Execute(Invoke(Scan("feeds"), "pollItems"), &env_, &streams_, 7)
+          .ValueOrDie();
+  ASSERT_EQ(a.relation.size(), 1u);
+  EXPECT_EQ(a.relation.ProjectValue(a.relation.tuples()[0], "item")
+                .ValueOrDie(),
+            Value::Int(7));
+  // Still deterministic within an instant (registry memo).
+  QueryResult b =
+      Execute(Invoke(Scan("feeds"), "pollItems"), &env_, &streams_, 7)
+          .ValueOrDie();
+  EXPECT_TRUE(a.relation.SetEquals(b.relation));
+}
+
+TEST_F(StreamingBpTest, FeedsAlgebraStreamHomogeneously) {
+  // The point of the extension: the polled slice composes with the rest
+  // of the algebra like any X-Relation - e.g. feed a stream via the
+  // Streaming operator.
+  ContinuousExecutor executor(&env_, &streams_);
+  auto query = std::make_shared<ContinuousQuery>(
+      "delta",
+      Streaming(Project(Invoke(Scan("feeds"), "pollItems"), {"feed", "item"}),
+                StreamingType::kInsertion));
+  std::size_t total = 0;
+  query->set_sink(
+      [&](Timestamp, const XRelation& r) { total += r.size(); });
+  ASSERT_TRUE(executor.Register(query).ok());
+  executor.Run(5);
+  EXPECT_EQ(total, 5u);  // One fresh delta tuple per instant.
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,89 @@
+#include "pems/table_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+
+namespace serena {
+namespace {
+
+class TableManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manager_ = std::make_unique<ExtendedTableManager>(&env_, &streams_);
+    ASSERT_TRUE(manager_
+                    ->ExecuteDdl(
+                        "EXTENDED RELATION t (a STRING, b INTEGER); "
+                        "EXTENDED STREAM s (x REAL);")
+                    .ok());
+  }
+
+  Environment env_;
+  StreamStore streams_;
+  std::unique_ptr<ExtendedTableManager> manager_;
+};
+
+TEST_F(TableManagerTest, InsertDeleteLifecycle) {
+  const Tuple row{Value::String("k"), Value::Int(1)};
+  EXPECT_TRUE(manager_->InsertTuple("t", row).ValueOrDie());
+  EXPECT_FALSE(manager_->InsertTuple("t", row).ValueOrDie());  // Dup.
+  EXPECT_EQ(manager_->RelationSize("t").ValueOrDie(), 1u);
+  EXPECT_TRUE(manager_->DeleteTuple("t", row).ValueOrDie());
+  EXPECT_FALSE(manager_->DeleteTuple("t", row).ValueOrDie());
+  EXPECT_EQ(manager_->RelationSize("t").ValueOrDie(), 0u);
+}
+
+TEST_F(TableManagerTest, TypeValidationOnInsert) {
+  EXPECT_FALSE(
+      manager_->InsertTuple("t", Tuple{Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(manager_->InsertTuple("t", Tuple{Value::String("x")}).ok());
+}
+
+TEST_F(TableManagerTest, UnknownTargetsFail) {
+  EXPECT_EQ(manager_->InsertTuple("ghost", Tuple{}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager_->RelationSize("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager_->AppendToStream("ghost", 1, Tuple{}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TableManagerTest, StreamAppendsAreOrdered) {
+  EXPECT_TRUE(
+      manager_->AppendToStream("s", 1, Tuple{Value::Real(1.0)}).ok());
+  EXPECT_TRUE(
+      manager_->AppendToStream("s", 2, Tuple{Value::Real(2.0)}).ok());
+  // Appending into the past violates append-only streams.
+  EXPECT_EQ(manager_->AppendToStream("s", 1, Tuple{Value::Real(3.0)}).code(),
+            StatusCode::kFailedPrecondition);
+  const XDRelation* stream = streams_.GetStream("s").ValueOrDie();
+  EXPECT_EQ(stream->InsertedDuring(0, 10).size(), 2u);
+}
+
+TEST_F(TableManagerTest, DdlErrorsPropagate) {
+  EXPECT_EQ(manager_->ExecuteDdl("EXTENDED RELATION t (a STRING);").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(manager_->ExecuteDdl("garbage;").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(TableManagerTest, WindowBoundarySemantics) {
+  // W[p] at τ covers the half-open interval (τ-p, τ]: W[1] is the CQL
+  // "NOW" window (exactly instant τ) and W[0] is empty.
+  ASSERT_TRUE(
+      manager_->AppendToStream("s", 1, Tuple{Value::Real(1.0)}).ok());
+  ASSERT_TRUE(
+      manager_->AppendToStream("s", 2, Tuple{Value::Real(2.0)}).ok());
+  EvalContext ctx;
+  ctx.env = &env_;
+  ctx.streams = &streams_;
+  ctx.instant = 2;
+  XRelation now_window = Window("s", 1)->Evaluate(ctx).ValueOrDie();
+  ASSERT_EQ(now_window.size(), 1u);
+  EXPECT_EQ(now_window.tuples()[0][0], Value::Real(2.0));
+  EXPECT_TRUE(Window("s", 0)->Evaluate(ctx).ValueOrDie().empty());
+  EXPECT_EQ(Window("s", 2)->Evaluate(ctx).ValueOrDie().size(), 2u);
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,0 +1,135 @@
+#include "algebra/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "env/scenario.h"
+
+namespace serena {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+  }
+
+  std::vector<Diagnostic> Validate(const PlanPtr& plan) {
+    return ValidatePlan(plan, scenario_->env(), &scenario_->streams())
+        .ValueOrDie();
+  }
+
+  static std::size_t CountErrors(const std::vector<Diagnostic>& ds) {
+    std::size_t n = 0;
+    for (const auto& d : ds) {
+      if (d.severity == Diagnostic::Severity::kError) ++n;
+    }
+    return n;
+  }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+TEST_F(ValidateTest, CleanPlansHaveNoErrors) {
+  for (const PlanPtr& q :
+       {scenario_->Q1(), scenario_->Q2(), scenario_->Q3()}) {
+    const auto diagnostics = Validate(q);
+    EXPECT_TRUE(IsValid(diagnostics)) << q->ToString();
+  }
+}
+
+TEST_F(ValidateTest, MissingRelationReported) {
+  const auto diagnostics = Validate(Select(
+      Scan("ghost"), Formula::Compare(Operand::Attr("x"), CompareOp::kEq,
+                                      Operand::Const(Value::Int(1)))));
+  ASSERT_FALSE(IsValid(diagnostics));
+  EXPECT_NE(diagnostics[0].ToString().find("ghost"), std::string::npos);
+}
+
+TEST_F(ValidateTest, VirtualAttributeInFormulaReported) {
+  const auto diagnostics = Validate(Select(
+      Scan("contacts"),
+      Formula::Compare(Operand::Attr("text"), CompareOp::kEq,
+                       Operand::Const(Value::String("x")))));
+  ASSERT_EQ(CountErrors(diagnostics), 1u);
+  EXPECT_NE(diagnostics[0].message.find("virtual"), std::string::npos);
+}
+
+TEST_F(ValidateTest, MultipleIndependentErrorsAllCollected) {
+  // Two broken branches under one union: both reported (InferSchema alone
+  // would stop at the first).
+  PlanPtr bad1 = Scan("ghost1");
+  PlanPtr bad2 = Scan("ghost2");
+  const auto diagnostics = Validate(UnionOf(bad1, bad2));
+  EXPECT_EQ(CountErrors(diagnostics), 2u);
+}
+
+TEST_F(ValidateTest, InvokeBeforeRealizationReported) {
+  // sendMessage needs `text` real; invoking directly is an error the
+  // validator attributes to the invoke node.
+  const auto diagnostics = Validate(Invoke(Scan("contacts"), "sendMessage"));
+  ASSERT_EQ(CountErrors(diagnostics), 1u);
+  EXPECT_NE(diagnostics[0].node.find("invoke"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("text"), std::string::npos);
+}
+
+TEST_F(ValidateTest, CartesianJoinWarned) {
+  // temperatures-window and contacts share nothing.
+  const auto diagnostics =
+      Validate(Join(Window("temperatures", 1), Scan("contacts")));
+  EXPECT_TRUE(IsValid(diagnostics));  // Legal...
+  ASSERT_FALSE(diagnostics.empty());  // ...but suspicious.
+  EXPECT_EQ(diagnostics[0].severity, Diagnostic::Severity::kWarning);
+  EXPECT_NE(diagnostics[0].message.find("Cartesian"), std::string::npos);
+}
+
+TEST_F(ValidateTest, SelectionAboveActiveInvokeWarned) {
+  const auto diagnostics = Validate(scenario_->Q1Prime());
+  EXPECT_TRUE(IsValid(diagnostics));
+  bool warned = false;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.message.find("ACTIVE invocation") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+  // Q1 (filter first) produces no such warning.
+  for (const Diagnostic& d : Validate(scenario_->Q1())) {
+    EXPECT_EQ(d.message.find("ACTIVE invocation"), std::string::npos);
+  }
+}
+
+TEST_F(ValidateTest, PatternEliminatingProjectionWarned) {
+  const auto diagnostics =
+      Validate(Project(Scan("contacts"), {"name", "messenger"}));
+  EXPECT_TRUE(IsValid(diagnostics));
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_NE(diagnostics[0].message.find("binding pattern"),
+            std::string::npos);
+}
+
+TEST_F(ValidateTest, StreamingWarnsAboutOneShot) {
+  const auto diagnostics = Validate(scenario_->Q4());
+  EXPECT_TRUE(IsValid(diagnostics));
+  bool warned = false;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.message.find("continuous evaluation") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST_F(ValidateTest, AssignToRealAttributeReported) {
+  const auto diagnostics =
+      Validate(Assign(Scan("contacts"), "name", Value::String("x")));
+  ASSERT_EQ(CountErrors(diagnostics), 1u);
+  EXPECT_NE(diagnostics[0].message.find("already real"), std::string::npos);
+}
+
+TEST_F(ValidateTest, NullPlanIsArgumentError) {
+  EXPECT_FALSE(
+      ValidatePlan(nullptr, scenario_->env(), &scenario_->streams()).ok());
+}
+
+}  // namespace
+}  // namespace serena

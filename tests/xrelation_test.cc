@@ -1,0 +1,168 @@
+#include "xrel/xrelation.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/extended_schema.h"
+#include "service/prototype.h"
+
+namespace serena {
+namespace {
+
+RelationSchema MakeSchema(std::vector<Attribute> attrs) {
+  return RelationSchema::Create(std::move(attrs)).ValueOrDie();
+}
+
+PrototypePtr SendMessageProto() {
+  return Prototype::Create(
+             "sendMessage",
+             MakeSchema({{"address", DataType::kString},
+                         {"text", DataType::kString}}),
+             MakeSchema({{"sent", DataType::kBool}}),
+             /*active=*/true)
+      .ValueOrDie();
+}
+
+/// The `contacts` X-Relation of Example 4.
+ExtendedSchemaPtr ContactSchema() {
+  return ExtendedSchema::Create(
+             "contacts",
+             {{"name", DataType::kString},
+              {"address", DataType::kString},
+              {"text", DataType::kString, AttributeKind::kVirtual},
+              {"messenger", DataType::kService},
+              {"sent", DataType::kBool, AttributeKind::kVirtual}},
+             {BindingPattern(SendMessageProto(), "messenger")})
+      .ValueOrDie();
+}
+
+TEST(ExtendedSchemaTest, PartitionAndCoordinates) {
+  auto schema = ContactSchema();
+  EXPECT_EQ(schema->size(), 5u);
+  EXPECT_EQ(schema->real_arity(), 3u);
+  EXPECT_EQ(schema->RealNames(),
+            (std::vector<std::string>{"name", "address", "messenger"}));
+  EXPECT_EQ(schema->VirtualNames(),
+            (std::vector<std::string>{"text", "sent"}));
+  // Example 4: messenger = attr_Contact(4) maps to coordinate 3 (1-based)
+  // i.e. index 2 (0-based).
+  EXPECT_EQ(schema->CoordinateOf("messenger"), std::size_t{2});
+  EXPECT_EQ(schema->CoordinateOf("name"), std::size_t{0});
+  EXPECT_EQ(schema->CoordinateOf("address"), std::size_t{1});
+  EXPECT_FALSE(schema->CoordinateOf("text").has_value());
+  EXPECT_FALSE(schema->CoordinateOf("nonexistent").has_value());
+}
+
+TEST(ExtendedSchemaTest, RejectsBindingPatternOnVirtualServiceAttribute) {
+  auto result = ExtendedSchema::Create(
+      "bad",
+      {{"address", DataType::kString},
+       {"text", DataType::kString, AttributeKind::kVirtual},
+       {"messenger", DataType::kService, AttributeKind::kVirtual},
+       {"sent", DataType::kBool, AttributeKind::kVirtual}},
+      {BindingPattern(SendMessageProto(), "messenger")});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExtendedSchemaTest, RejectsRealOutputAttribute) {
+  // `sent` must be virtual because it is an output of sendMessage.
+  auto result = ExtendedSchema::Create(
+      "bad",
+      {{"address", DataType::kString},
+       {"text", DataType::kString, AttributeKind::kVirtual},
+       {"messenger", DataType::kService},
+       {"sent", DataType::kBool}},
+      {BindingPattern(SendMessageProto(), "messenger")});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExtendedSchemaTest, RejectsMissingInputAttribute) {
+  auto result = ExtendedSchema::Create(
+      "bad",
+      {{"text", DataType::kString, AttributeKind::kVirtual},
+       {"messenger", DataType::kService},
+       {"sent", DataType::kBool, AttributeKind::kVirtual}},
+      {BindingPattern(SendMessageProto(), "messenger")});
+  EXPECT_FALSE(result.ok());  // `address` missing.
+}
+
+TEST(ExtendedSchemaTest, RejectsDuplicateAttributes) {
+  auto result = ExtendedSchema::Create(
+      "bad", {{"a", DataType::kInt}, {"a", DataType::kString}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(XRelationTest, InsertProjectAndDedup) {
+  XRelation contacts(ContactSchema());
+  // Example 4's first tuple.
+  Tuple nicolas{Value::String("Nicolas"), Value::String("nicolas@elysee.fr"),
+                Value::String("email")};
+  ASSERT_TRUE(contacts.Insert(nicolas).ValueOrDie());
+  EXPECT_FALSE(contacts.Insert(nicolas).ValueOrDie());  // Set semantics.
+  EXPECT_EQ(contacts.size(), 1u);
+
+  // t[messenger] = 'email' (Example 4).
+  EXPECT_EQ(contacts.ProjectValue(nicolas, "messenger").ValueOrDie(),
+            Value::String("email"));
+  EXPECT_EQ(contacts.ProjectValue(nicolas, "address").ValueOrDie(),
+            Value::String("nicolas@elysee.fr"));
+  // Projection onto a virtual attribute is an error.
+  EXPECT_FALSE(contacts.ProjectValue(nicolas, "text").ok());
+}
+
+TEST(XRelationTest, ValidatesArityAndTypes) {
+  XRelation contacts(ContactSchema());
+  // Wrong arity: 5 values (virtual attributes carry no coordinate).
+  EXPECT_FALSE(contacts
+                   .Insert(Tuple{Value::String("a"), Value::String("b"),
+                                 Value::String("c"), Value::String("d"),
+                                 Value::Bool(true)})
+                   .ok());
+  // Wrong type for messenger.
+  EXPECT_FALSE(
+      contacts.Insert(Tuple{Value::String("a"), Value::String("b"),
+                            Value::Int(3)})
+          .ok());
+}
+
+TEST(XRelationTest, EraseAndContains) {
+  XRelation contacts(ContactSchema());
+  Tuple a{Value::String("A"), Value::String("a@x"), Value::String("email")};
+  Tuple b{Value::String("B"), Value::String("b@x"), Value::String("jabber")};
+  ASSERT_TRUE(contacts.Insert(a).ValueOrDie());
+  ASSERT_TRUE(contacts.Insert(b).ValueOrDie());
+  EXPECT_TRUE(contacts.Contains(a));
+  EXPECT_TRUE(contacts.Erase(a));
+  EXPECT_FALSE(contacts.Contains(a));
+  EXPECT_TRUE(contacts.Contains(b));
+  EXPECT_FALSE(contacts.Erase(a));
+  EXPECT_EQ(contacts.size(), 1u);
+}
+
+TEST(XRelationTest, SetEquals) {
+  XRelation r1(ContactSchema());
+  XRelation r2(ContactSchema());
+  Tuple a{Value::String("A"), Value::String("a@x"), Value::String("email")};
+  Tuple b{Value::String("B"), Value::String("b@x"), Value::String("jabber")};
+  ASSERT_TRUE(r1.Insert(a).ok());
+  ASSERT_TRUE(r1.Insert(b).ok());
+  ASSERT_TRUE(r2.Insert(b).ok());
+  EXPECT_FALSE(r1.SetEquals(r2));
+  ASSERT_TRUE(r2.Insert(a).ok());
+  EXPECT_TRUE(r1.SetEquals(r2));  // Order-insensitive.
+}
+
+TEST(XRelationTest, TableStringShowsVirtualStar) {
+  XRelation contacts(ContactSchema());
+  ASSERT_TRUE(contacts
+                  .Insert(Tuple{Value::String("Nicolas"),
+                                Value::String("nicolas@elysee.fr"),
+                                Value::String("email")})
+                  .ok());
+  const std::string table = contacts.ToTableString();
+  EXPECT_NE(table.find("text"), std::string::npos);
+  EXPECT_NE(table.find("*"), std::string::npos);
+  EXPECT_NE(table.find("'Nicolas'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serena
