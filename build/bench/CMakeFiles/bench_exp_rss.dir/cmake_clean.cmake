@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_rss.dir/bench_exp_rss.cc.o"
+  "CMakeFiles/bench_exp_rss.dir/bench_exp_rss.cc.o.d"
+  "bench_exp_rss"
+  "bench_exp_rss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_rss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

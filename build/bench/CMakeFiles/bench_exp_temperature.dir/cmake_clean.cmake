@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_temperature.dir/bench_exp_temperature.cc.o"
+  "CMakeFiles/bench_exp_temperature.dir/bench_exp_temperature.cc.o.d"
+  "bench_exp_temperature"
+  "bench_exp_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pems.dir/bench_fig1_pems.cc.o"
+  "CMakeFiles/bench_fig1_pems.dir/bench_fig1_pems.cc.o.d"
+  "bench_fig1_pems"
+  "bench_fig1_pems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

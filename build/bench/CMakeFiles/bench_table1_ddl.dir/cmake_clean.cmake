@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ddl.dir/bench_table1_ddl.cc.o"
+  "CMakeFiles/bench_table1_ddl.dir/bench_table1_ddl.cc.o.d"
+  "bench_table1_ddl"
+  "bench_table1_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

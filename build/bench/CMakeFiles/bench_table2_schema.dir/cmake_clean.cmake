@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_schema.dir/bench_table2_schema.cc.o"
+  "CMakeFiles/bench_table2_schema.dir/bench_table2_schema.cc.o.d"
+  "bench_table2_schema"
+  "bench_table2_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_operators.dir/bench_table3_operators.cc.o"
+  "CMakeFiles/bench_table3_operators.dir/bench_table3_operators.cc.o.d"
+  "bench_table3_operators"
+  "bench_table3_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rewriting.dir/bench_table5_rewriting.cc.o"
+  "CMakeFiles/bench_table5_rewriting.dir/bench_table5_rewriting.cc.o.d"
+  "bench_table5_rewriting"
+  "bench_table5_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/night_surveillance.dir/night_surveillance.cc.o"
+  "CMakeFiles/night_surveillance.dir/night_surveillance.cc.o.d"
+  "night_surveillance"
+  "night_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/night_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

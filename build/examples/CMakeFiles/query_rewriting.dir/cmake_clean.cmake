@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_rewriting.dir/query_rewriting.cc.o"
+  "CMakeFiles/query_rewriting.dir/query_rewriting.cc.o.d"
+  "query_rewriting"
+  "query_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

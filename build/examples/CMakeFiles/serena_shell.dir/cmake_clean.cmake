@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serena_shell.dir/serena_shell.cc.o"
+  "CMakeFiles/serena_shell.dir/serena_shell.cc.o.d"
+  "serena_shell"
+  "serena_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serena_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

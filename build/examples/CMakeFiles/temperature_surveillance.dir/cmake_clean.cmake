@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_surveillance.dir/temperature_surveillance.cc.o"
+  "CMakeFiles/temperature_surveillance.dir/temperature_surveillance.cc.o.d"
+  "temperature_surveillance"
+  "temperature_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

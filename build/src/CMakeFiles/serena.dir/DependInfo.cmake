@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/action.cc" "src/CMakeFiles/serena.dir/algebra/action.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/action.cc.o.d"
+  "/root/repo/src/algebra/aggregate.cc" "src/CMakeFiles/serena.dir/algebra/aggregate.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/aggregate.cc.o.d"
+  "/root/repo/src/algebra/explain.cc" "src/CMakeFiles/serena.dir/algebra/explain.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/explain.cc.o.d"
+  "/root/repo/src/algebra/formula.cc" "src/CMakeFiles/serena.dir/algebra/formula.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/formula.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/serena.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/algebra/parameters.cc" "src/CMakeFiles/serena.dir/algebra/parameters.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/parameters.cc.o.d"
+  "/root/repo/src/algebra/plan.cc" "src/CMakeFiles/serena.dir/algebra/plan.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/plan.cc.o.d"
+  "/root/repo/src/algebra/validate.cc" "src/CMakeFiles/serena.dir/algebra/validate.cc.o" "gcc" "src/CMakeFiles/serena.dir/algebra/validate.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/serena.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/serena.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/serena.dir/common/random.cc.o" "gcc" "src/CMakeFiles/serena.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/serena.dir/common/status.cc.o" "gcc" "src/CMakeFiles/serena.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/serena.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/serena.dir/common/string_util.cc.o.d"
+  "/root/repo/src/ddl/algebra_parser.cc" "src/CMakeFiles/serena.dir/ddl/algebra_parser.cc.o" "gcc" "src/CMakeFiles/serena.dir/ddl/algebra_parser.cc.o.d"
+  "/root/repo/src/ddl/catalog.cc" "src/CMakeFiles/serena.dir/ddl/catalog.cc.o" "gcc" "src/CMakeFiles/serena.dir/ddl/catalog.cc.o.d"
+  "/root/repo/src/ddl/ddl_parser.cc" "src/CMakeFiles/serena.dir/ddl/ddl_parser.cc.o" "gcc" "src/CMakeFiles/serena.dir/ddl/ddl_parser.cc.o.d"
+  "/root/repo/src/ddl/dump.cc" "src/CMakeFiles/serena.dir/ddl/dump.cc.o" "gcc" "src/CMakeFiles/serena.dir/ddl/dump.cc.o.d"
+  "/root/repo/src/ddl/lexer.cc" "src/CMakeFiles/serena.dir/ddl/lexer.cc.o" "gcc" "src/CMakeFiles/serena.dir/ddl/lexer.cc.o.d"
+  "/root/repo/src/env/prototypes.cc" "src/CMakeFiles/serena.dir/env/prototypes.cc.o" "gcc" "src/CMakeFiles/serena.dir/env/prototypes.cc.o.d"
+  "/root/repo/src/env/scenario.cc" "src/CMakeFiles/serena.dir/env/scenario.cc.o" "gcc" "src/CMakeFiles/serena.dir/env/scenario.cc.o.d"
+  "/root/repo/src/env/sim_services.cc" "src/CMakeFiles/serena.dir/env/sim_services.cc.o" "gcc" "src/CMakeFiles/serena.dir/env/sim_services.cc.o.d"
+  "/root/repo/src/env/synthetic_service.cc" "src/CMakeFiles/serena.dir/env/synthetic_service.cc.o" "gcc" "src/CMakeFiles/serena.dir/env/synthetic_service.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/serena.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/serena.dir/io/csv.cc.o.d"
+  "/root/repo/src/pems/erm.cc" "src/CMakeFiles/serena.dir/pems/erm.cc.o" "gcc" "src/CMakeFiles/serena.dir/pems/erm.cc.o.d"
+  "/root/repo/src/pems/monitor.cc" "src/CMakeFiles/serena.dir/pems/monitor.cc.o" "gcc" "src/CMakeFiles/serena.dir/pems/monitor.cc.o.d"
+  "/root/repo/src/pems/network.cc" "src/CMakeFiles/serena.dir/pems/network.cc.o" "gcc" "src/CMakeFiles/serena.dir/pems/network.cc.o.d"
+  "/root/repo/src/pems/pems.cc" "src/CMakeFiles/serena.dir/pems/pems.cc.o" "gcc" "src/CMakeFiles/serena.dir/pems/pems.cc.o.d"
+  "/root/repo/src/pems/query_processor.cc" "src/CMakeFiles/serena.dir/pems/query_processor.cc.o" "gcc" "src/CMakeFiles/serena.dir/pems/query_processor.cc.o.d"
+  "/root/repo/src/pems/table_manager.cc" "src/CMakeFiles/serena.dir/pems/table_manager.cc.o" "gcc" "src/CMakeFiles/serena.dir/pems/table_manager.cc.o.d"
+  "/root/repo/src/rewrite/cost.cc" "src/CMakeFiles/serena.dir/rewrite/cost.cc.o" "gcc" "src/CMakeFiles/serena.dir/rewrite/cost.cc.o.d"
+  "/root/repo/src/rewrite/equivalence.cc" "src/CMakeFiles/serena.dir/rewrite/equivalence.cc.o" "gcc" "src/CMakeFiles/serena.dir/rewrite/equivalence.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/serena.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/serena.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/rules.cc" "src/CMakeFiles/serena.dir/rewrite/rules.cc.o" "gcc" "src/CMakeFiles/serena.dir/rewrite/rules.cc.o.d"
+  "/root/repo/src/schema/binding_pattern.cc" "src/CMakeFiles/serena.dir/schema/binding_pattern.cc.o" "gcc" "src/CMakeFiles/serena.dir/schema/binding_pattern.cc.o.d"
+  "/root/repo/src/schema/extended_schema.cc" "src/CMakeFiles/serena.dir/schema/extended_schema.cc.o" "gcc" "src/CMakeFiles/serena.dir/schema/extended_schema.cc.o.d"
+  "/root/repo/src/schema/relation_schema.cc" "src/CMakeFiles/serena.dir/schema/relation_schema.cc.o" "gcc" "src/CMakeFiles/serena.dir/schema/relation_schema.cc.o.d"
+  "/root/repo/src/service/prototype.cc" "src/CMakeFiles/serena.dir/service/prototype.cc.o" "gcc" "src/CMakeFiles/serena.dir/service/prototype.cc.o.d"
+  "/root/repo/src/service/service.cc" "src/CMakeFiles/serena.dir/service/service.cc.o" "gcc" "src/CMakeFiles/serena.dir/service/service.cc.o.d"
+  "/root/repo/src/service/service_registry.cc" "src/CMakeFiles/serena.dir/service/service_registry.cc.o" "gcc" "src/CMakeFiles/serena.dir/service/service_registry.cc.o.d"
+  "/root/repo/src/stream/continuous_query.cc" "src/CMakeFiles/serena.dir/stream/continuous_query.cc.o" "gcc" "src/CMakeFiles/serena.dir/stream/continuous_query.cc.o.d"
+  "/root/repo/src/stream/executor.cc" "src/CMakeFiles/serena.dir/stream/executor.cc.o" "gcc" "src/CMakeFiles/serena.dir/stream/executor.cc.o.d"
+  "/root/repo/src/stream/stream_store.cc" "src/CMakeFiles/serena.dir/stream/stream_store.cc.o" "gcc" "src/CMakeFiles/serena.dir/stream/stream_store.cc.o.d"
+  "/root/repo/src/stream/xd_relation.cc" "src/CMakeFiles/serena.dir/stream/xd_relation.cc.o" "gcc" "src/CMakeFiles/serena.dir/stream/xd_relation.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/serena.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/serena.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/serena.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/serena.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/serena.dir/types/value.cc.o" "gcc" "src/CMakeFiles/serena.dir/types/value.cc.o.d"
+  "/root/repo/src/xrel/environment.cc" "src/CMakeFiles/serena.dir/xrel/environment.cc.o" "gcc" "src/CMakeFiles/serena.dir/xrel/environment.cc.o.d"
+  "/root/repo/src/xrel/xrelation.cc" "src/CMakeFiles/serena.dir/xrel/xrelation.cc.o" "gcc" "src/CMakeFiles/serena.dir/xrel/xrelation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

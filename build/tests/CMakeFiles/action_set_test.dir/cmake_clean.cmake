@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_set_test.dir/action_set_test.cc.o"
+  "CMakeFiles/action_set_test.dir/action_set_test.cc.o.d"
+  "action_set_test"
+  "action_set_test.pdb"
+  "action_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_test.dir/environment_test.cc.o"
+  "CMakeFiles/environment_test.dir/environment_test.cc.o.d"
+  "environment_test"
+  "environment_test.pdb"
+  "environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erm_test.dir/erm_test.cc.o"
+  "CMakeFiles/erm_test.dir/erm_test.cc.o.d"
+  "erm_test"
+  "erm_test.pdb"
+  "erm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameters_test.dir/parameters_test.cc.o"
+  "CMakeFiles/parameters_test.dir/parameters_test.cc.o.d"
+  "parameters_test"
+  "parameters_test.pdb"
+  "parameters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

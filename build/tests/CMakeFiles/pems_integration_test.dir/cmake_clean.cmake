@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pems_integration_test.dir/pems_integration_test.cc.o"
+  "CMakeFiles/pems_integration_test.dir/pems_integration_test.cc.o.d"
+  "pems_integration_test"
+  "pems_integration_test.pdb"
+  "pems_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pems_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realization_test.dir/realization_test.cc.o"
+  "CMakeFiles/realization_test.dir/realization_test.cc.o.d"
+  "realization_test"
+  "realization_test.pdb"
+  "realization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

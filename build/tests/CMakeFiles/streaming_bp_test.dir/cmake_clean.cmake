@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_bp_test.dir/streaming_bp_test.cc.o"
+  "CMakeFiles/streaming_bp_test.dir/streaming_bp_test.cc.o.d"
+  "streaming_bp_test"
+  "streaming_bp_test.pdb"
+  "streaming_bp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_bp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

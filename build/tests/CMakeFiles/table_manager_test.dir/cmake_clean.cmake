@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_manager_test.dir/table_manager_test.cc.o"
+  "CMakeFiles/table_manager_test.dir/table_manager_test.cc.o.d"
+  "table_manager_test"
+  "table_manager_test.pdb"
+  "table_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

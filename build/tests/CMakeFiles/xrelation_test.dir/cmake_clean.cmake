@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrelation_test.dir/xrelation_test.cc.o"
+  "CMakeFiles/xrelation_test.dir/xrelation_test.cc.o.d"
+  "xrelation_test"
+  "xrelation_test.pdb"
+  "xrelation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
