@@ -48,6 +48,13 @@ void ReproduceFigure1() {
               static_cast<unsigned long long>(
                   pems->erm().services_discovered()),
               static_cast<unsigned long long>(pems->network().stats().sent));
+  bench::RecordRepro("discovery_to_visibility", ticks, "ticks");
+  bench::RecordRepro("services_discovered",
+                     static_cast<double>(pems->erm().services_discovered()),
+                     "services");
+  bench::RecordRepro("control_messages",
+                     static_cast<double>(pems->network().stats().sent),
+                     "messages");
 
   bench::PrintSection("query processor over discovered services");
   (void)pems->queries().RegisterDiscoveryQuery("thermometers",
@@ -59,6 +66,12 @@ void ReproduceFigure1() {
               result->relation.size(),
               static_cast<unsigned long long>(
                   pems->network().stats().invocation_round_trips));
+  bench::RecordRepro("oneshot_readings",
+                     static_cast<double>(result->relation.size()), "rows");
+  bench::RecordRepro(
+      "invocation_round_trips",
+      static_cast<double>(pems->network().stats().invocation_round_trips),
+      "round_trips");
 }
 
 // ---------------------------------------------------------------------------

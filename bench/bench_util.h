@@ -4,7 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace serena {
 namespace bench {
@@ -24,15 +30,117 @@ inline void PrintSection(const char* title) {
   std::printf("\n--- %s ---\n", title);
 }
 
+/// One measurement from the reproduction section, destined for the
+/// machine-readable BENCH_*.json record.
+struct ReproRecord {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+inline std::vector<ReproRecord>& ReproRecords() {
+  static std::vector<ReproRecord> records;
+  return records;
+}
+
+/// Registers one reproduction measurement (e.g. "discovery_ticks", 2,
+/// "ticks"). Shows up under "records" in the JSON emitted by
+/// `RunReproAndBenchmarks` when SERENA_BENCH_JSON_DIR is set.
+inline void RecordRepro(std::string name, double value, std::string unit) {
+  ReproRecords().push_back(
+      ReproRecord{std::move(name), value, std::move(unit)});
+}
+
+/// "bench/bench_fig1_pems" -> "fig1_pems".
+inline std::string BenchBaseName(const char* argv0) {
+  std::string_view base = argv0 != nullptr ? argv0 : "bench";
+  if (const auto slash = base.rfind('/'); slash != std::string_view::npos) {
+    base.remove_prefix(slash + 1);
+  }
+  if (base.rfind("bench_", 0) == 0) base.remove_prefix(6);
+  if (base.empty()) base = "bench";
+  return std::string(base);
+}
+
+/// Writes `{"bench":..., "records":[...], "metrics":{...}}` — the repro
+/// measurements plus a full `MetricsRegistry` dump — to `path`.
+inline void WriteBenchJson(const std::string& path, const std::string& name) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value(name);
+  json.Key("records").BeginArray();
+  for (const ReproRecord& record : ReproRecords()) {
+    json.BeginObject();
+    json.Key("name").Value(record.name);
+    json.Key("value").Value(record.value);
+    json.Key("unit").Value(record.unit);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::string doc = json.TakeString();
+  // Splice the registry dump (already a JSON object) in as "metrics".
+  doc.pop_back();
+  doc += ",\"metrics\":";
+  doc += obs::MetricsRegistry::Global().ToJson();
+  doc += "}";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(doc.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 /// Runs the reproduction `body` then hands over to google-benchmark.
 /// Usage inside main(): return RunReproAndBenchmarks(argc, argv, [] {...});
+///
+/// When the SERENA_BENCH_JSON_DIR environment variable names a directory,
+/// two machine-readable records land there:
+///  - `BENCH_<name>.json` — the reproduction measurements registered via
+///    `RecordRepro` plus a full metrics-registry dump, and
+///  - `BENCH_<name>.gbench.json` — google-benchmark's own JSON report
+///    (unless the caller already passed --benchmark_out).
 template <typename Body>
 int RunReproAndBenchmarks(int argc, char** argv, Body body) {
   body();
   std::printf("\n================ microbenchmarks ================\n");
-  ::benchmark::Initialize(&argc, argv);
+
+  const char* json_dir = std::getenv("SERENA_BENCH_JSON_DIR");
+  const bool emit_json = json_dir != nullptr && *json_dir != '\0';
+  const std::string base = BenchBaseName(argc > 0 ? argv[0] : nullptr);
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  if (emit_json) {
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+        has_out = true;
+      }
+    }
+    if (!has_out) {
+      out_flag = std::string("--benchmark_out=") + json_dir + "/BENCH_" +
+                 base + ".gbench.json";
+      format_flag = "--benchmark_out_format=json";
+      args.push_back(out_flag.data());
+      args.push_back(format_flag.data());
+    }
+  }
+
+  int adjusted_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&adjusted_argc, args.data());
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+
+  if (emit_json) {
+    WriteBenchJson(std::string(json_dir) + "/BENCH_" + base + ".json", base);
+  }
   return 0;
 }
 

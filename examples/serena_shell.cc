@@ -30,6 +30,7 @@
 #include "common/string_util.h"
 #include "ddl/dump.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
 #include "pems/monitor.h"
 #include "pems/pems.h"
 
@@ -53,6 +54,8 @@ void PrintHelp() {
       "  \\services          list registered services\n"
       "  \\show NAME         print a relation\n"
       "  \\explain EXPR      show the operator tree with schemas\n"
+      "  \\analyze EXPR      EXPLAIN ANALYZE: run EXPR, show actual "
+      "rows/timings\n"
       "  \\optimize EXPR     show the rewritten plan\n"
       "  \\validate EXPR     static diagnostics (errors + warnings)\n"
       "  \\register NAME EXPR   register a continuous query\n"
@@ -60,7 +63,8 @@ void PrintHelp() {
       "  \\prepare NAME EXPR    store a :param query template\n"
       "  \\exec NAME k=v ...    bind parameters and run a template\n"
       "  \\tick [N]          advance N logical instants (default 1)\n"
-      "  \\stats             invocation / network statistics\n"
+      "  \\stats [json]      invocation / network statistics\n"
+      "  \\metrics           raw telemetry registry as JSON\n"
       "  \\dump              environment as a reloadable DDL script\n"
       "  \\save FILE         write the DDL dump to a file\n"
       "  \\load FILE         execute a DDL script from a file\n"
@@ -149,6 +153,15 @@ void RunCommand(Pems& pems, const std::string& line) {
       shown = *optimized;
     }
     std::cout << ExplainPlan(shown, pems.env(), &pems.streams());
+  } else if (command == "\\analyze") {
+    auto plan = ParseAlgebra(arg);
+    if (!plan.ok()) {
+      std::cout << plan.status() << "\n";
+      return;
+    }
+    // Runs the query (active side effects included) and annotates each
+    // node with its actual rows, timings and invocation counts.
+    std::cout << ExplainAnalyzePlan(*plan, &pems.env(), &pems.streams());
   } else if (command == "\\validate") {
     auto plan = ParseAlgebra(arg);
     if (!plan.ok()) {
@@ -237,7 +250,14 @@ void RunCommand(Pems& pems, const std::string& line) {
     const Timestamp now = pems.Run(n);
     std::cout << "t=" << now << "\n";
   } else if (command == "\\stats") {
-    std::cout << SnapshotMetrics(pems).ToString();
+    if (arg == "json") {
+      std::cout << SnapshotMetrics(pems).ToJson() << "\n";
+    } else {
+      std::cout << SnapshotMetrics(pems).ToString();
+    }
+  } else if (command == "\\metrics") {
+    // The raw process-wide registry (see docs/OBSERVABILITY.md).
+    std::cout << obs::MetricsRegistry::Global().ToJson() << "\n";
   } else if (command == "\\dump") {
     std::cout << DumpEnvironment(pems.env(), &pems.streams());
   } else if (command == "\\save") {

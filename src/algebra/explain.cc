@@ -63,9 +63,33 @@ std::string NodeLabel(const PlanNode& node) {
   return "?";
 }
 
+/// The `(actual ...)` clause of one analyzed node, or "(never executed)"
+/// for nodes evaluation did not reach (e.g. below a failing sibling).
+std::string AnalyzeAnnotation(const NodeRuntimeStats* stats) {
+  if (stats == nullptr || stats->evals == 0) return "(never executed)";
+  std::string s = StringFormat(
+      "(actual rows=%llu time=%.3fms",
+      static_cast<unsigned long long>(stats->rows_out),
+      static_cast<double>(stats->wall_ns) / 1e6);
+  if (stats->evals > 1) {
+    s += StringFormat(" evals=%llu",
+                      static_cast<unsigned long long>(stats->evals));
+  }
+  if (stats->invocations > 0) {
+    s += StringFormat(" invocations=%llu",
+                      static_cast<unsigned long long>(stats->invocations));
+  }
+  if (stats->errors > 0) {
+    s += StringFormat(" errors=%llu",
+                      static_cast<unsigned long long>(stats->errors));
+  }
+  return s + ")";
+}
+
 void ExplainNode(const PlanPtr& plan, const Environment& env,
                  const StreamStore* streams, const ExplainOptions& options,
-                 int depth, std::string* out) {
+                 const PlanStatsCollector* analyze, int depth,
+                 std::string* out) {
   out->append(static_cast<std::size_t>(depth) * 2, ' ');
   out->append(NodeLabel(*plan));
 
@@ -87,13 +111,17 @@ void ExplainNode(const PlanPtr& plan, const Environment& env,
       }
     }
   }
+  if (analyze != nullptr) {
+    if (!annotation.empty()) annotation += " ";
+    annotation += AnalyzeAnnotation(analyze->Find(plan.get()));
+  }
   if (!annotation.empty()) {
     out->append("   -- ");
     out->append(annotation);
   }
   out->push_back('\n');
   for (const PlanPtr& child : plan->children()) {
-    ExplainNode(child, env, streams, options, depth + 1, out);
+    ExplainNode(child, env, streams, options, analyze, depth + 1, out);
   }
 }
 
@@ -104,7 +132,44 @@ std::string ExplainPlan(const PlanPtr& plan, const Environment& env,
                         const ExplainOptions& options) {
   if (plan == nullptr) return "(null plan)\n";
   std::string out;
-  ExplainNode(plan, env, streams, options, 0, &out);
+  ExplainNode(plan, env, streams, options, /*analyze=*/nullptr, 0, &out);
+  return out;
+}
+
+std::string RenderPlanWithStats(const PlanPtr& plan, const Environment& env,
+                                const StreamStore* streams,
+                                const PlanStatsCollector& stats,
+                                const ExplainOptions& options) {
+  if (plan == nullptr) return "(null plan)\n";
+  std::string out;
+  ExplainNode(plan, env, streams, options, &stats, 0, &out);
+  return out;
+}
+
+std::string ExplainAnalyzePlan(const PlanPtr& plan, Environment* env,
+                               StreamStore* streams,
+                               const ExplainAnalyzeOptions& options) {
+  if (plan == nullptr) return "(null plan)\n";
+  if (env == nullptr) return "(no environment)\n";
+
+  PlanStatsCollector collector;
+  ActionSet actions;
+  EvalContext ctx;
+  ctx.env = env;
+  ctx.streams = streams;
+  ctx.instant = options.instant.value_or(env->clock().now());
+  ctx.actions = &actions;
+  ctx.error_policy = options.error_policy;
+  ctx.stats = &collector;
+  const Result<XRelation> result = plan->Evaluate(ctx);
+
+  std::string out =
+      RenderPlanWithStats(plan, *env, streams, collector, options.explain);
+  out += StringFormat("instant: %lld; actions: %zu\n",
+                      static_cast<long long>(ctx.instant), actions.size());
+  if (!result.ok()) {
+    out += "evaluation failed: " + result.status().ToString() + "\n";
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SERENA_ALGEBRA_EXPLAIN_H_
 #define SERENA_ALGEBRA_EXPLAIN_H_
 
+#include <optional>
 #include <string>
 
 #include "algebra/plan.h"
@@ -30,6 +31,42 @@ struct ExplainOptions {
 std::string ExplainPlan(const PlanPtr& plan, const Environment& env,
                         const StreamStore* streams,
                         const ExplainOptions& options = {});
+
+/// Options for `ExplainAnalyzePlan`.
+struct ExplainAnalyzeOptions {
+  ExplainOptions explain;
+  /// Evaluation instant; defaults to the environment's current instant.
+  std::optional<Timestamp> instant;
+  /// How per-tuple invocation failures are treated during the run.
+  InvocationErrorPolicy error_policy = InvocationErrorPolicy::kFail;
+};
+
+/// EXPLAIN ANALYZE: *runs* the plan once (side effects of active
+/// invocations included — exactly like executing the query) and renders
+/// the operator tree with each node annotated with its actual output
+/// rows, inclusive wall time, and the number of service invocations its
+/// subtree issued, e.g.
+///
+/// ```
+/// invoke[sendMessage]   -- ACTIVE β (actual rows=2 time=0.514ms invocations=2)
+///   select[name != 'Carla']   -- (actual rows=2 time=0.004ms)
+///     contacts   -- (actual rows=3 time=0.002ms)
+/// ```
+///
+/// Like EXPLAIN, this never fails: if evaluation errors out, the tree is
+/// rendered with whatever statistics were collected before the failure
+/// and the error is appended on a trailing line.
+std::string ExplainAnalyzePlan(const PlanPtr& plan, Environment* env,
+                               StreamStore* streams,
+                               const ExplainAnalyzeOptions& options = {});
+
+/// Renders an already-collected stats set against a plan — the building
+/// block `ExplainAnalyzePlan` uses, exposed so continuous queries can be
+/// annotated with statistics accumulated over many steps.
+std::string RenderPlanWithStats(const PlanPtr& plan, const Environment& env,
+                                const StreamStore* streams,
+                                const PlanStatsCollector& stats,
+                                const ExplainOptions& options = {});
 
 }  // namespace serena
 

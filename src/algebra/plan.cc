@@ -1,10 +1,80 @@
 #include "algebra/plan.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace serena {
+
+namespace {
+
+/// Cached per-operator-kind instruments so the evaluator never takes the
+/// registry lock on the hot path. `wall_ns` is inclusive of children
+/// (nested evaluations double-count by design; use EXPLAIN ANALYZE for a
+/// per-node breakdown of one query).
+struct OperatorInstruments {
+  obs::Counter* evals;
+  obs::Counter* rows_out;
+  obs::Counter* wall_ns;
+};
+
+const OperatorInstruments& InstrumentsFor(PlanKind kind) {
+  static constexpr int kKinds =
+      static_cast<int>(PlanKind::kStreaming) + 1;
+  static const std::array<OperatorInstruments, kKinds>* instruments = [] {
+    auto* all = new std::array<OperatorInstruments, kKinds>();
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    for (int k = 0; k < kKinds; ++k) {
+      const std::string prefix =
+          std::string("serena.op.") +
+          PlanKindToString(static_cast<PlanKind>(k));
+      (*all)[static_cast<std::size_t>(k)] = OperatorInstruments{
+          &metrics.GetCounter(prefix + ".evals"),
+          &metrics.GetCounter(prefix + ".rows_out"),
+          &metrics.GetCounter(prefix + ".wall_ns")};
+    }
+    return all;
+  }();
+  return (*instruments)[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+Result<XRelation> PlanNode::Evaluate(EvalContext& ctx) const {
+  const bool collect = ctx.stats != nullptr;
+  const bool meter = obs::MetricsRegistry::Global().enabled();
+  if (!collect && !meter) return EvaluateImpl(ctx);
+
+  const std::uint64_t invocations_before =
+      ctx.env != nullptr ? ctx.env->registry().stats().logical_invocations
+                         : 0;
+  const std::uint64_t start_ns = obs::MonotonicNowNs();
+  Result<XRelation> result = EvaluateImpl(ctx);
+  const std::uint64_t elapsed_ns = obs::MonotonicNowNs() - start_ns;
+  const std::uint64_t rows =
+      result.ok() ? static_cast<std::uint64_t>(result->size()) : 0;
+
+  if (meter) {
+    const OperatorInstruments& instruments = InstrumentsFor(kind());
+    instruments.evals->Increment();
+    instruments.rows_out->Increment(rows);
+    instruments.wall_ns->Increment(elapsed_ns);
+  }
+  if (collect) {
+    NodeRuntimeStats& stats = ctx.stats->StatsFor(this);
+    ++stats.evals;
+    stats.rows_out += rows;
+    stats.wall_ns += elapsed_ns;
+    if (ctx.env != nullptr) {
+      stats.invocations += ctx.env->registry().stats().logical_invocations -
+                           invocations_before;
+    }
+    if (!result.ok()) ++stats.errors;
+  }
+  return result;
+}
 
 const char* PlanKindToString(PlanKind kind) {
   switch (kind) {
@@ -69,7 +139,7 @@ Result<ExtendedSchemaPtr> ScanNode::InferSchema(
   return relation->schema_ptr();
 }
 
-Result<XRelation> ScanNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> ScanNode::EvaluateImpl(EvalContext& ctx) const {
   if (ctx.env == nullptr) {
     return Status::InvalidArgument("evaluation context has no environment");
   }
@@ -91,7 +161,7 @@ Result<ExtendedSchemaPtr> SetOpNode::InferSchema(
   return SetOpSchema(left, right, PlanKindToString(kind()));
 }
 
-Result<XRelation> SetOpNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> SetOpNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation left, left_->Evaluate(ctx));
   SERENA_ASSIGN_OR_RETURN(XRelation right, right_->Evaluate(ctx));
   switch (kind()) {
@@ -122,7 +192,7 @@ Result<ExtendedSchemaPtr> ProjectNode::InferSchema(
   return ProjectSchema(child, attributes_);
 }
 
-Result<XRelation> ProjectNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> ProjectNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
   return Project(child, attributes_);
 }
@@ -143,7 +213,7 @@ Result<ExtendedSchemaPtr> SelectNode::InferSchema(
   return SelectSchema(child, formula_);
 }
 
-Result<XRelation> SelectNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> SelectNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
   return Select(child, formula_);
 }
@@ -163,7 +233,7 @@ Result<ExtendedSchemaPtr> RenameNode::InferSchema(
   return RenameSchema(child, from_, to_);
 }
 
-Result<XRelation> RenameNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> RenameNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
   return Rename(child, from_, to_);
 }
@@ -185,7 +255,7 @@ Result<ExtendedSchemaPtr> JoinNode::InferSchema(
   return JoinSchema(left, right);
 }
 
-Result<XRelation> JoinNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> JoinNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation left, left_->Evaluate(ctx));
   SERENA_ASSIGN_OR_RETURN(XRelation right, right_->Evaluate(ctx));
   return NaturalJoin(left, right);
@@ -212,7 +282,7 @@ Result<ExtendedSchemaPtr> AssignNode::InferSchema(
   return AssignSchema(child, target_);
 }
 
-Result<XRelation> AssignNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> AssignNode::EvaluateImpl(EvalContext& ctx) const {
   if (from_parameter()) {
     return Status::FailedPrecondition(
         "unbound parameter :", parameter_,
@@ -274,7 +344,7 @@ Result<ExtendedSchemaPtr> InvokeNode::InferSchema(
   return InvokeSchema(child, bp);
 }
 
-Result<XRelation> InvokeNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> InvokeNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
   SERENA_ASSIGN_OR_RETURN(BindingPattern bp,
                           ResolveBindingPattern(child.schema()));
@@ -355,7 +425,7 @@ Result<ExtendedSchemaPtr> AggregateNode::InferSchema(
   return AggregateSchema(child, group_by_, aggregates_);
 }
 
-Result<XRelation> AggregateNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> AggregateNode::EvaluateImpl(EvalContext& ctx) const {
   SERENA_ASSIGN_OR_RETURN(XRelation child, child_->Evaluate(ctx));
   return serena::Aggregate(child, group_by_, aggregates_);
 }
@@ -385,7 +455,7 @@ Result<ExtendedSchemaPtr> WindowNode::InferSchema(
   return stream->schema_ptr();
 }
 
-Result<XRelation> WindowNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> WindowNode::EvaluateImpl(EvalContext& ctx) const {
   if (ctx.streams == nullptr) {
     return Status::FailedPrecondition(
         "window: no stream store available for stream '", stream_, "'");
@@ -420,7 +490,7 @@ Result<ExtendedSchemaPtr> StreamingNode::InferSchema(
   return child_->InferSchema(env, streams);
 }
 
-Result<XRelation> StreamingNode::Evaluate(EvalContext& ctx) const {
+Result<XRelation> StreamingNode::EvaluateImpl(EvalContext& ctx) const {
   if (ctx.state == nullptr) {
     return Status::FailedPrecondition(
         "streaming operator requires continuous evaluation (register the "

@@ -69,6 +69,35 @@ class NodeStateStore {
   std::unordered_map<const PlanNode*, NodeState> states_;
 };
 
+/// Actual execution statistics of one plan node, accumulated across
+/// evaluations (one-shot: one evaluation; continuous: one per step).
+/// Wall time is inclusive of children, like EXPLAIN ANALYZE in classical
+/// engines.
+struct NodeRuntimeStats {
+  std::uint64_t evals = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t wall_ns = 0;
+  /// Logical service invocations issued while evaluating this subtree.
+  std::uint64_t invocations = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Collects per-node runtime statistics during evaluation — the substrate
+/// of EXPLAIN ANALYZE. Keyed by node identity, so a collector must only
+/// ever be used with one plan instance (same contract as NodeStateStore).
+class PlanStatsCollector {
+ public:
+  NodeRuntimeStats& StatsFor(const PlanNode* node) { return stats_[node]; }
+  const NodeRuntimeStats* Find(const PlanNode* node) const {
+    const auto it = stats_.find(node);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+  void Clear() { stats_.clear(); }
+
+ private:
+  std::unordered_map<const PlanNode*, NodeRuntimeStats> stats_;
+};
+
 /// Everything a plan needs to evaluate at one instant τ.
 struct EvalContext {
   Environment* env = nullptr;
@@ -84,6 +113,10 @@ struct EvalContext {
   InvocationErrorPolicy error_policy = InvocationErrorPolicy::kFail;
   /// Optional: enables continuous (delta-aware) semantics.
   NodeStateStore* state = nullptr;
+  /// Optional: per-node actual rows/time/invocations land here (EXPLAIN
+  /// ANALYZE). Timing is only paid when set or when the global metrics
+  /// registry is enabled.
+  PlanStatsCollector* stats = nullptr;
 };
 
 /// A query over a relational pervasive environment (Def. 7): an immutable
@@ -106,8 +139,12 @@ class PlanNode {
   virtual Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const = 0;
 
-  /// Evaluates the subtree at ctx.instant.
-  virtual Result<XRelation> Evaluate(EvalContext& ctx) const = 0;
+  /// Evaluates the subtree at ctx.instant. Non-virtual: wraps the
+  /// per-kind `EvaluateImpl` with instrumentation — per-operator global
+  /// metrics (rows out, wall time) and, when `ctx.stats` is set, per-node
+  /// actuals for EXPLAIN ANALYZE. With metrics disabled and no collector
+  /// the wrapper is a single relaxed atomic load plus the virtual call.
+  Result<XRelation> Evaluate(EvalContext& ctx) const;
 
   /// The Serena Algebra Language rendering of this subtree; parseable by
   /// the algebra parser (round-trip).
@@ -120,6 +157,9 @@ class PlanNode {
 
  protected:
   explicit PlanNode(PlanKind kind) : kind_(kind) {}
+
+  /// The operator's evaluation logic; called only through `Evaluate`.
+  virtual Result<XRelation> EvaluateImpl(EvalContext& ctx) const = 0;
 
  private:
   PlanKind kind_;
@@ -141,7 +181,7 @@ class ScanNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override { return relation_; }
 
  private:
@@ -160,7 +200,7 @@ class SetOpNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {left_, right_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -181,7 +221,7 @@ class ProjectNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -202,7 +242,7 @@ class SelectNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -225,7 +265,7 @@ class RenameNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -247,7 +287,7 @@ class JoinNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {left_, right_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -295,7 +335,7 @@ class AssignNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -333,7 +373,7 @@ class InvokeNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -360,7 +400,7 @@ class AggregateNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -393,7 +433,7 @@ class WindowNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:
@@ -417,7 +457,7 @@ class StreamingNode final : public PlanNode {
   std::vector<PlanPtr> children() const override { return {child_}; }
   Result<ExtendedSchemaPtr> InferSchema(
       const Environment& env, const StreamStore* streams) const override;
-  Result<XRelation> Evaluate(EvalContext& ctx) const override;
+  Result<XRelation> EvaluateImpl(EvalContext& ctx) const override;
   std::string ToString() const override;
 
  private:

@@ -1,8 +1,30 @@
 #include "common/logging.h"
 
+#include "common/string_util.h"
+
 namespace serena {
 
-LogLevel LogConfig::threshold_ = LogLevel::kWarning;
+std::optional<LogLevel> LogLevelFromName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "debug")) return LogLevel::kDebug;
+  if (EqualsIgnoreCase(name, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCase(name, "warning") || EqualsIgnoreCase(name, "warn")) {
+    return LogLevel::kWarning;
+  }
+  if (EqualsIgnoreCase(name, "error")) return LogLevel::kError;
+  return std::nullopt;
+}
+
+namespace {
+
+LogLevel ThresholdFromEnv() {
+  const char* level = std::getenv("SERENA_LOG");
+  if (level == nullptr) return LogLevel::kWarning;
+  return LogLevelFromName(level).value_or(LogLevel::kWarning);
+}
+
+}  // namespace
+
+LogLevel LogConfig::threshold_ = ThresholdFromEnv();
 
 namespace {
 

@@ -3,15 +3,25 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace serena {
 
 /// Log severities, in increasing order.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// Parses a level name ("debug", "info", "warning"/"warn", "error";
+/// case-insensitive). nullopt for anything else.
+std::optional<LogLevel> LogLevelFromName(std::string_view name);
+
 /// Global log configuration. Messages below `threshold` are dropped.
+///
+/// The initial threshold honors the `SERENA_LOG` environment variable
+/// (debug/info/warning/error, read once at startup); unset or
+/// unrecognized values fall back to warning.
 class LogConfig {
  public:
   static LogLevel threshold() { return threshold_; }

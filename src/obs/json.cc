@@ -1,0 +1,127 @@
+#include "obs/json.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace serena {
+namespace obs {
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StringFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_.push_back(',');
+    has_sibling_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  has_sibling_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  has_sibling_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  has_sibling_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  has_sibling_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_.push_back(',');
+    has_sibling_.back() = true;
+  }
+  AppendJsonString(&out_, key);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  AppendJsonString(&out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* value) {
+  return Value(std::string_view(value));
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  BeforeValue();
+  if (std::isfinite(value)) {
+    out_.append(StringFormat("%.6g", value));
+  } else {
+    out_.append("null");  // JSON has no NaN/Inf.
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace serena

@@ -1,0 +1,75 @@
+#ifndef SERENA_OBS_JSON_H_
+#define SERENA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace serena {
+namespace obs {
+
+/// Appends `value` to `out` as a JSON string literal (quotes included),
+/// escaping control characters, quotes and backslashes.
+void AppendJsonString(std::string* out, std::string_view value);
+
+/// A minimal streaming JSON writer — just enough for the telemetry
+/// exports (`MetricsRegistry::ToJson`, `TraceBuffer::ToJson`,
+/// `PemsMetrics::ToJson`, the bench records). Emits compact JSON; commas
+/// are inserted automatically between siblings.
+///
+/// The writer trusts its caller to produce a well-formed document
+/// (matching Begin/End calls, keys only inside objects).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(std::uint64_t value);
+  /// Any other integer type widens to the 64-bit overload of matching
+  /// signedness (a template so `long` et al. don't collide with the
+  /// fixed-width overloads on LP64).
+  template <typename T,
+            typename = std::enable_if_t<
+                std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+                !std::is_same_v<T, std::int64_t> &&
+                !std::is_same_v<T, std::uint64_t>>>
+  JsonWriter& Value(T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return Value(static_cast<std::int64_t>(value));
+    } else {
+      return Value(static_cast<std::uint64_t>(value));
+    }
+  }
+
+  /// The document built so far.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  /// Emits a separating comma when the current container already holds a
+  /// sibling, and marks the container non-empty.
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once it has at least one element.
+  std::vector<bool> has_sibling_;
+  /// A key was just written; the next value attaches to it.
+  bool after_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace serena
+
+#endif  // SERENA_OBS_JSON_H_

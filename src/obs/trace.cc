@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace serena {
+namespace obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity = std::max<std::size_t>(capacity, 1);
+  // Re-linearize oldest→newest, keep the newest `capacity` spans.
+  std::vector<SpanRecord> ordered;
+  ordered.reserve(ring_.size());
+  if (ring_.size() == capacity_) {
+    ordered.insert(ordered.end(), ring_.begin() + next_, ring_.end());
+    ordered.insert(ordered.end(), ring_.begin(), ring_.begin() + next_);
+  } else {
+    ordered = ring_;
+  }
+  if (ordered.size() > capacity) {
+    ordered.erase(ordered.begin(),
+                  ordered.end() - static_cast<std::ptrdiff_t>(capacity));
+  }
+  capacity_ = capacity;
+  ring_ = std::move(ordered);
+  next_ = ring_.size() == capacity_ ? 0 : ring_.size();
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceBuffer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    next_ = ring_.size() == capacity_ ? 0 : ring_.size();
+  } else {
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> ordered;
+  ordered.reserve(ring_.size());
+  if (ring_.size() == capacity_) {
+    ordered.insert(ordered.end(), ring_.begin() + next_, ring_.end());
+    ordered.insert(ordered.end(), ring_.begin(), ring_.begin() + next_);
+  } else {
+    ordered = ring_;
+  }
+  return ordered;
+}
+
+std::uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceBuffer::ToJson() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("total_recorded").Value(total_recorded());
+  json.Key("spans").BeginArray();
+  for (const SpanRecord& span : spans) {
+    json.BeginObject();
+    json.Key("name").Value(span.name);
+    if (!span.detail.empty()) json.Key("detail").Value(span.detail);
+    json.Key("instant").Value(static_cast<std::int64_t>(span.instant));
+    json.Key("start_ns").Value(span.start_ns);
+    json.Key("duration_ns").Value(span.duration_ns);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+Span::Span(std::string_view name, Timestamp instant, std::string_view detail,
+           TraceBuffer* buffer)
+    : buffer_(buffer != nullptr && buffer->enabled() ? buffer : nullptr) {
+  if (buffer_ == nullptr) return;
+  record_.name.assign(name);
+  record_.detail.assign(detail);
+  record_.instant = instant;
+  record_.start_ns = MonotonicNowNs();
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  record_.duration_ns = MonotonicNowNs() - record_.start_ns;
+  buffer_->Record(std::move(record_));
+}
+
+}  // namespace obs
+}  // namespace serena

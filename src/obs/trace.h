@@ -1,0 +1,103 @@
+#ifndef SERENA_OBS_TRACE_H_
+#define SERENA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace serena {
+namespace obs {
+
+/// One completed span: a named stretch of work stamped with both physical
+/// time (monotonic nanoseconds) and the logical clock instant it executed
+/// at — the dual-time view that makes tick traces line up with the
+/// algebra's discrete-time semantics.
+struct SpanRecord {
+  std::string name;
+  /// Free-form qualifier (query name, prototype, ...). May be empty.
+  std::string detail;
+  /// The logical instant τ the work belonged to.
+  Timestamp instant = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// A bounded ring buffer of the most recent spans. When full, the oldest
+/// span is overwritten — tracing a long-running PEMS never grows memory.
+///
+/// Disabled by default (spans carry strings); enable for debugging or
+/// tick-latency investigations. Thread-safe.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// The process-wide buffer used by all built-in spans.
+  static TraceBuffer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Resizes the ring; existing spans are kept (newest first, up to the
+  /// new capacity).
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  void Record(SpanRecord record);
+
+  /// Retained spans, oldest to newest.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans ever recorded (monotonic; `total_recorded() - size()` of them
+  /// have been overwritten).
+  std::uint64_t total_recorded() const;
+  std::size_t size() const;
+
+  void Clear();
+
+  /// `{"total_recorded": N, "spans": [{"name", "detail", "instant",
+  /// "start_ns", "duration_ns"}, ...]}` — oldest to newest.
+  std::string ToJson() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< Slot the next span lands in (once full).
+  std::uint64_t total_ = 0;
+};
+
+/// RAII span: times its scope and records into the buffer on destruction.
+/// When the buffer is disabled at construction the span is inert — no
+/// clock read, no string copies.
+class Span {
+ public:
+  Span(std::string_view name, Timestamp instant,
+       std::string_view detail = {},
+       TraceBuffer* buffer = &TraceBuffer::Global());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceBuffer* buffer_;  ///< nullptr when inert.
+  SpanRecord record_;
+};
+
+}  // namespace obs
+}  // namespace serena
+
+#endif  // SERENA_OBS_TRACE_H_

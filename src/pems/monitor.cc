@@ -1,6 +1,8 @@
 #include "pems/monitor.h"
 
 #include "common/string_util.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace serena {
 
@@ -17,17 +19,34 @@ std::string PemsMetrics::ToString() const {
       static_cast<unsigned long long>(services_expired));
   s += StringFormat(
       "invocations: %llu logical, %llu physical, %llu active, %llu output "
-      "tuples\n",
+      "tuples, %llu memo hits, %llu failed\n",
       static_cast<unsigned long long>(invocations.logical_invocations),
       static_cast<unsigned long long>(invocations.physical_invocations),
       static_cast<unsigned long long>(invocations.active_invocations),
-      static_cast<unsigned long long>(invocations.output_tuples));
+      static_cast<unsigned long long>(invocations.output_tuples),
+      static_cast<unsigned long long>(invocations.memo_hits),
+      static_cast<unsigned long long>(invocations.failed_invocations));
   s += StringFormat(
       "network: %llu sent, %llu delivered, %llu dropped, %llu round trips\n",
       static_cast<unsigned long long>(network.sent),
       static_cast<unsigned long long>(network.delivered),
       static_cast<unsigned long long>(network.dropped),
       static_cast<unsigned long long>(network.invocation_round_trips));
+  s += StringFormat(
+      "executor: %llu ticks, %llu query errors, %llu pruned tuples\n",
+      static_cast<unsigned long long>(total_ticks),
+      static_cast<unsigned long long>(total_query_errors),
+      static_cast<unsigned long long>(total_pruned_tuples));
+  if (tick_latency.count > 0) {
+    s += StringFormat(
+        "tick latency: mean %.1fus, p50 %.1fus, p99 %.1fus, max %.1fus "
+        "(%llu samples, process-wide)\n",
+        tick_latency.mean_ns / 1e3,
+        static_cast<double>(tick_latency.p50_ns) / 1e3,
+        static_cast<double>(tick_latency.p99_ns) / 1e3,
+        static_cast<double>(tick_latency.max_ns) / 1e3,
+        static_cast<unsigned long long>(tick_latency.count));
+  }
   s += StringFormat("continuous queries: %zu\n", queries.size());
   for (const QueryInfo& query : queries) {
     s += StringFormat("  %s: %llu steps, %zu distinct actions\n",
@@ -36,6 +55,68 @@ std::string PemsMetrics::ToString() const {
                       query.actions);
   }
   return s;
+}
+
+std::string PemsMetrics::ToJson() const {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("instant").Value(static_cast<std::int64_t>(instant));
+
+  json.Key("catalog").BeginObject();
+  json.Key("prototypes").Value(static_cast<std::uint64_t>(prototypes));
+  json.Key("relations").Value(static_cast<std::uint64_t>(relations));
+  json.Key("total_tuples").Value(static_cast<std::uint64_t>(total_tuples));
+  json.Key("streams").Value(static_cast<std::uint64_t>(streams));
+  json.EndObject();
+
+  json.Key("services").BeginObject();
+  json.Key("available").Value(static_cast<std::uint64_t>(services));
+  json.Key("discovered").Value(services_discovered);
+  json.Key("lost").Value(services_lost);
+  json.Key("expired").Value(services_expired);
+  json.EndObject();
+
+  json.Key("invocations").BeginObject();
+  json.Key("logical").Value(invocations.logical_invocations);
+  json.Key("physical").Value(invocations.physical_invocations);
+  json.Key("active").Value(invocations.active_invocations);
+  json.Key("output_tuples").Value(invocations.output_tuples);
+  json.Key("memo_hits").Value(invocations.memo_hits);
+  json.Key("failed").Value(invocations.failed_invocations);
+  json.EndObject();
+
+  json.Key("network").BeginObject();
+  json.Key("sent").Value(network.sent);
+  json.Key("delivered").Value(network.delivered);
+  json.Key("dropped").Value(network.dropped);
+  json.Key("round_trips").Value(network.invocation_round_trips);
+  json.EndObject();
+
+  json.Key("executor").BeginObject();
+  json.Key("ticks").Value(total_ticks);
+  json.Key("query_errors").Value(total_query_errors);
+  json.Key("pruned_tuples").Value(total_pruned_tuples);
+  json.Key("tick_latency_ns").BeginObject();
+  json.Key("count").Value(tick_latency.count);
+  json.Key("mean").Value(tick_latency.mean_ns);
+  json.Key("p50").Value(tick_latency.p50_ns);
+  json.Key("p99").Value(tick_latency.p99_ns);
+  json.Key("max").Value(tick_latency.max_ns);
+  json.EndObject();
+  json.EndObject();
+
+  json.Key("queries").BeginArray();
+  for (const QueryInfo& query : queries) {
+    json.BeginObject();
+    json.Key("name").Value(query.name);
+    json.Key("steps").Value(query.steps);
+    json.Key("actions").Value(static_cast<std::uint64_t>(query.actions));
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  return json.TakeString();
 }
 
 PemsMetrics SnapshotMetrics(Pems& pems) {
@@ -55,6 +136,22 @@ PemsMetrics SnapshotMetrics(Pems& pems) {
   metrics.services_expired = pems.erm().services_expired();
   metrics.invocations = pems.env().registry().stats();
   metrics.network = pems.network().stats();
+
+  const ContinuousExecutor& executor = pems.queries().executor();
+  metrics.total_ticks = executor.total_ticks();
+  metrics.total_query_errors = executor.total_query_errors();
+  metrics.total_pruned_tuples = executor.total_pruned_tuples();
+
+  const obs::Histogram* tick_ns =
+      obs::MetricsRegistry::Global().FindHistogram("serena.executor.tick_ns");
+  if (tick_ns != nullptr) {
+    metrics.tick_latency.count = tick_ns->count();
+    metrics.tick_latency.mean_ns = tick_ns->mean();
+    metrics.tick_latency.p50_ns = tick_ns->ValueAtPercentile(50);
+    metrics.tick_latency.p99_ns = tick_ns->ValueAtPercentile(99);
+    metrics.tick_latency.max_ns = tick_ns->max();
+  }
+
   for (const std::string& name : pems.queries().executor().QueryNames()) {
     auto query = pems.queries().GetContinuous(name);
     if (query.ok()) {

@@ -10,7 +10,12 @@ namespace serena {
 
 /// A point-in-time snapshot of everything a PEMS operator wants on a
 /// dashboard: catalog sizes, invocation traffic, discovery counters,
-/// network statistics and the standing queries.
+/// network statistics, executor health and the standing queries.
+///
+/// Scalar fields are scoped to the snapshotted PEMS instance; the
+/// `tick_latency` summary is read back from the process-wide
+/// `MetricsRegistry` (metric `serena.executor.tick_ns` — see
+/// docs/OBSERVABILITY.md).
 struct PemsMetrics {
   Timestamp instant = 0;
 
@@ -30,6 +35,26 @@ struct PemsMetrics {
   InvocationStats invocations;
   NetworkStats network;
 
+  // Executor health.
+  std::uint64_t total_ticks = 0;
+  /// Monotonic count of query-step failures — unlike the executor's
+  /// `last_errors()` (most recent tick only), failures between two
+  /// snapshots are never lost.
+  std::uint64_t total_query_errors = 0;
+  std::uint64_t total_pruned_tuples = 0;
+
+  /// Condensed view of a latency histogram (nanoseconds).
+  struct LatencySummary {
+    std::uint64_t count = 0;
+    double mean_ns = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  /// Per-tick wall time, from the global metrics registry (process-wide;
+  /// zero when metrics are disabled).
+  LatencySummary tick_latency;
+
   // Standing queries and their accumulated side effects.
   struct QueryInfo {
     std::string name;
@@ -40,6 +65,12 @@ struct PemsMetrics {
 
   /// Multi-line human-readable dashboard rendering.
   std::string ToString() const;
+
+  /// The dashboard as one JSON object (machine-readable twin of
+  /// `ToString`): `{"instant", "catalog": {...}, "services": {...},
+  /// "invocations": {...}, "network": {...}, "executor": {...},
+  /// "queries": [...]}`.
+  std::string ToJson() const;
 };
 
 /// Collects a metrics snapshot from a running PEMS.

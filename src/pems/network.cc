@@ -7,7 +7,13 @@ namespace serena {
 SimulatedNetwork::SimulatedNetwork() : SimulatedNetwork(Options()) {}
 
 SimulatedNetwork::SimulatedNetwork(const Options& options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options), rng_(options.seed) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  counters_ = Counters{&metrics.GetCounter("serena.network.sent"),
+                       &metrics.GetCounter("serena.network.delivered"),
+                       &metrics.GetCounter("serena.network.dropped"),
+                       &metrics.GetCounter("serena.network.round_trips")};
+}
 
 Status SimulatedNetwork::Attach(const std::string& node, Handler handler) {
   if (node.empty() || node == "*") {
@@ -32,8 +38,10 @@ bool SimulatedNetwork::IsAttached(const std::string& node) const {
 
 void SimulatedNetwork::Send(Timestamp now, NetworkMessage message) {
   ++stats_.sent;
+  Count(counters_.sent);
   if (rng_.NextBool(options_.drop_rate)) {
     ++stats_.dropped;
+    Count(counters_.dropped);
     return;
   }
   const Timestamp latency =
@@ -74,6 +82,7 @@ std::size_t SimulatedNetwork::DeliverDue(Timestamp now) {
         if (node == message.from) continue;
         handler(message);
         ++stats_.delivered;
+        Count(counters_.delivered);
         ++delivered;
       }
     } else {
@@ -81,9 +90,11 @@ std::size_t SimulatedNetwork::DeliverDue(Timestamp now) {
       if (it != nodes_.end()) {
         it->second(message);
         ++stats_.delivered;
+        Count(counters_.delivered);
         ++delivered;
       } else {
         ++stats_.dropped;
+        Count(counters_.dropped);
       }
     }
   }

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 
 namespace serena {
 
@@ -77,7 +78,10 @@ class SimulatedNetwork {
   /// number delivered.
   std::size_t DeliverDue(Timestamp now);
 
-  void ChargeInvocationRoundTrip() { ++stats_.invocation_round_trips; }
+  void ChargeInvocationRoundTrip() {
+    ++stats_.invocation_round_trips;
+    Count(counters_.round_trips);
+  }
 
   const NetworkStats& stats() const { return stats_; }
   std::size_t pending() const { return queue_.size(); }
@@ -88,11 +92,25 @@ class SimulatedNetwork {
     NetworkMessage message;
   };
 
+  /// Registry counters mirroring `stats_` (resolved once; shared names,
+  /// so several networks in one process aggregate).
+  struct Counters {
+    obs::Counter* sent;
+    obs::Counter* delivered;
+    obs::Counter* dropped;
+    obs::Counter* round_trips;
+  };
+
+  static void Count(obs::Counter* counter) {
+    if (obs::MetricsRegistry::Global().enabled()) counter->Increment();
+  }
+
   Options options_;
   Rng rng_;
   std::map<std::string, Handler> nodes_;
   std::deque<Pending> queue_;
   NetworkStats stats_;
+  Counters counters_;
 };
 
 }  // namespace serena

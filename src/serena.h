@@ -28,6 +28,9 @@
 ///  - `stream/`: XD-Relations, windows, streaming operators, the
 ///    continuous executor (§4).
 ///  - `ddl/`: the Serena DDL and Algebra Language.
+///  - `obs/`: observability — metrics registry, latency histograms,
+///    tick/step tracing, and the plumbing behind EXPLAIN ANALYZE
+///    (see docs/OBSERVABILITY.md).
 ///  - `pems/`: the full Pervasive Environment Management System over a
 ///    simulated network (Figure 1).
 ///  - `env/`: simulated devices and the paper's experiment scenarios.
@@ -54,6 +57,8 @@
 #include "env/sim_services.h"
 #include "env/synthetic_service.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pems/monitor.h"
 #include "pems/pems.h"
 #include "rewrite/equivalence.h"

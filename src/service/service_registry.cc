@@ -66,10 +66,37 @@ std::vector<std::string> ServiceRegistry::ServicesImplementing(
   return refs;
 }
 
+ServiceRegistry::PrototypeInstruments& ServiceRegistry::InstrumentsFor(
+    const std::string& prototype) {
+  const auto it = instruments_.find(prototype);
+  if (it != instruments_.end()) return it->second;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const std::string prefix = "serena.service." + prototype;
+  return instruments_
+      .emplace(prototype,
+               PrototypeInstruments{
+                   &metrics.GetHistogram(prefix + ".invoke_ns"),
+                   &metrics.GetCounter(prefix + ".memo_hits"),
+                   &metrics.GetCounter(prefix + ".memo_misses"),
+                   &metrics.GetCounter(prefix + ".errors")})
+      .first->second;
+}
+
 Result<std::vector<Tuple>> ServiceRegistry::Invoke(
     const Prototype& prototype, const std::string& service_ref,
     const Tuple& input, Timestamp now) {
-  SERENA_RETURN_NOT_OK(prototype.input().ValidateTuple(input));
+  PrototypeInstruments* instruments =
+      obs::MetricsRegistry::Global().enabled()
+          ? &InstrumentsFor(prototype.name())
+          : nullptr;
+  const auto fail = [&](Status status) -> Result<std::vector<Tuple>> {
+    ++stats_.failed_invocations;
+    if (instruments != nullptr) instruments->errors->Increment();
+    return status;
+  };
+
+  Status input_valid = prototype.input().ValidateTuple(input);
+  if (!input_valid.ok()) return fail(std::move(input_valid));
 
   // A new instant invalidates all memoized results: services may answer
   // differently now.
@@ -82,20 +109,33 @@ Result<std::vector<Tuple>> ServiceRegistry::Invoke(
   MemoKey key{prototype.name(), service_ref, input};
   const auto memo_it = memo_.find(key);
   if (memo_it != memo_.end()) {
+    ++stats_.memo_hits;
+    if (instruments != nullptr) instruments->memo_hits->Increment();
     return memo_it->second;
   }
+  if (instruments != nullptr) instruments->memo_misses->Increment();
 
-  SERENA_ASSIGN_OR_RETURN(ServicePtr service, Lookup(service_ref));
+  auto service_or = Lookup(service_ref);
+  if (!service_or.ok()) return fail(service_or.status());
+  const ServicePtr& service = service_or.ValueOrDie();
   if (!service->Implements(prototype.name())) {
-    return Status::FailedPrecondition("service '", service_ref,
-                                      "' does not implement prototype '",
-                                      prototype.name(), "'");
+    return fail(Status::FailedPrecondition(
+        "service '", service_ref, "' does not implement prototype '",
+        prototype.name(), "'"));
   }
 
-  SERENA_ASSIGN_OR_RETURN(std::vector<Tuple> outputs,
-                          service->Invoke(prototype, input, now));
+  Result<std::vector<Tuple>> outputs_or = [&] {
+    // Latency covers only the physical service call, not validation or
+    // memo bookkeeping — it is the per-prototype service cost.
+    obs::ScopedLatencyTimer timer(
+        instruments != nullptr ? instruments->invoke_ns : nullptr);
+    return service->Invoke(prototype, input, now);
+  }();
+  if (!outputs_or.ok()) return fail(outputs_or.status());
+  std::vector<Tuple> outputs = std::move(outputs_or).ValueOrDie();
   for (const Tuple& out : outputs) {
-    SERENA_RETURN_NOT_OK(prototype.output().ValidateTuple(out));
+    Status output_valid = prototype.output().ValidateTuple(out);
+    if (!output_valid.ok()) return fail(std::move(output_valid));
   }
 
   ++stats_.physical_invocations;

@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "service/prototype.h"
 #include "service/service.h"
 #include "types/tuple.h"
@@ -30,6 +31,11 @@ struct InvocationStats {
   std::uint64_t active_invocations = 0;
   /// Output tuples produced by all physical invocations.
   std::uint64_t output_tuples = 0;
+  /// Invocations answered from the per-instant memo (§3.2 determinism).
+  std::uint64_t memo_hits = 0;
+  /// Invocations that failed (unknown service, prototype mismatch,
+  /// service fault, schema violation).
+  std::uint64_t failed_invocations = 0;
 };
 
 /// The service discovery and invocation mechanism (§2.1): tracks the set Ω
@@ -104,10 +110,22 @@ class ServiceRegistry {
     std::size_t operator()(const MemoKey& key) const;
   };
 
+  /// Telemetry instruments for one prototype, resolved once per
+  /// prototype name and cached (the global registry lookup takes a lock;
+  /// the invocation hot path must not).
+  struct PrototypeInstruments {
+    obs::Histogram* invoke_ns;
+    obs::Counter* memo_hits;
+    obs::Counter* memo_misses;
+    obs::Counter* errors;
+  };
+  PrototypeInstruments& InstrumentsFor(const std::string& prototype);
+
   void NotifyListeners(const std::string& service_ref, bool registered);
 
   std::map<std::string, ServicePtr> services_;
   InvocationStats stats_;
+  std::unordered_map<std::string, PrototypeInstruments> instruments_;
 
   Timestamp memo_instant_ = -1;
   std::unordered_map<MemoKey, std::vector<Tuple>, MemoKeyHasher> memo_;

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace serena {
+
+namespace {
+
+/// The executor's registry-wide instruments, resolved once per process.
+struct ExecutorInstruments {
+  obs::Histogram* tick_ns;
+  obs::Counter* ticks;
+  obs::Counter* query_errors;
+  obs::Counter* pruned_tuples;
+};
+
+const ExecutorInstruments& Instruments() {
+  static const ExecutorInstruments instruments = [] {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    return ExecutorInstruments{
+        &metrics.GetHistogram("serena.executor.tick_ns"),
+        &metrics.GetCounter("serena.executor.ticks"),
+        &metrics.GetCounter("serena.executor.query_errors"),
+        &metrics.GetCounter("serena.executor.pruned_tuples")};
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 std::size_t ContinuousExecutor::AddSource(Source source) {
   const std::size_t token = next_source_token_++;
@@ -94,7 +119,11 @@ ContinuousExecutor::WindowDemand ContinuousExecutor::MaxWindowDemand(
 
 Timestamp ContinuousExecutor::Tick() {
   const Timestamp now = env_->clock().Tick();
+  const bool meter = obs::MetricsRegistry::Global().enabled();
+  const std::uint64_t tick_start_ns = meter ? obs::MonotonicNowNs() : 0;
+  obs::Span tick_span("executor.tick", now);
   last_errors_.clear();
+  ++total_ticks_;
 
   for (const auto& [token, source] : sources_) {
     const Status status = source(now);
@@ -105,9 +134,22 @@ Timestamp ContinuousExecutor::Tick() {
   }
 
   for (const ContinuousQueryPtr& query : queries_) {
+    obs::Histogram* step_histogram = nullptr;
+    if (meter) {
+      auto& slot = step_histograms_[query->name()];
+      if (slot == nullptr) {
+        slot = &obs::MetricsRegistry::Global().GetHistogram(
+            "serena.executor.query." + query->name() + ".step_ns");
+      }
+      step_histogram = slot;
+    }
+    obs::Span step_span("executor.step", now, query->name());
+    obs::ScopedLatencyTimer step_timer(step_histogram);
     const auto result = query->Step(env_, streams_, now);
     if (!result.ok()) {
       last_errors_.emplace(query->name(), result.status());
+      ++total_query_errors_;
+      if (meter) Instruments().query_errors->Increment();
       SERENA_LOG(Warning) << "continuous query '" << query->name()
                           << "' failed at instant " << now << ": "
                           << result.status();
@@ -115,14 +157,22 @@ Timestamp ContinuousExecutor::Tick() {
   }
 
   if (streams_ != nullptr) {
+    std::uint64_t pruned = 0;
     for (const std::string& stream_name : streams_->StreamNames()) {
       auto stream = streams_->GetStream(stream_name);
       if (stream.ok()) {
         const WindowDemand demand = MaxWindowDemand(stream_name);
-        (*stream)->PruneBeforeKeeping(
+        pruned += (*stream)->PruneBeforeKeeping(
             now - demand.max_period - prune_slack_, demand.max_rows);
       }
     }
+    total_pruned_tuples_ += pruned;
+    if (meter && pruned > 0) Instruments().pruned_tuples->Increment(pruned);
+  }
+
+  if (meter) {
+    Instruments().ticks->Increment();
+    Instruments().tick_ns->Record(obs::MonotonicNowNs() - tick_start_ns);
   }
   return now;
 }

@@ -1,10 +1,12 @@
 #ifndef SERENA_STREAM_EXECUTOR_H_
 #define SERENA_STREAM_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stream/continuous_query.h"
 
 namespace serena {
@@ -55,6 +57,17 @@ class ContinuousExecutor {
     return last_errors_;
   }
 
+  /// Total query-step failures since construction. Unlike `last_errors`
+  /// (which is wiped every tick), this counter is monotonic, so failures
+  /// between two dashboard snapshots are never silently lost.
+  std::uint64_t total_query_errors() const { return total_query_errors_; }
+
+  /// Total ticks driven through this executor.
+  std::uint64_t total_ticks() const { return total_ticks_; }
+
+  /// Total stream entries pruned from history across all ticks.
+  std::uint64_t total_pruned_tuples() const { return total_pruned_tuples_; }
+
   /// Extra instants of stream history retained beyond what the widest
   /// registered window needs (default 16) — keeps recent history around
   /// for inspection and late-registered queries while still bounding
@@ -79,7 +92,12 @@ class ContinuousExecutor {
   // Registration order is evaluation order.
   std::vector<ContinuousQueryPtr> queries_;
   std::map<std::string, Status> last_errors_;
+  std::uint64_t total_query_errors_ = 0;
+  std::uint64_t total_ticks_ = 0;
+  std::uint64_t total_pruned_tuples_ = 0;
   Timestamp prune_slack_ = 16;
+  // Cached per-query step-latency histograms (name → instrument).
+  std::map<std::string, obs::Histogram*> step_histograms_;
 };
 
 }  // namespace serena

@@ -53,16 +53,23 @@ std::vector<Tuple> XDRelation::LastInserted(std::size_t count,
   return result;
 }
 
-void XDRelation::PruneBefore(Timestamp t) {
+std::size_t XDRelation::PruneBefore(Timestamp t) {
+  std::size_t pruned = 0;
   while (!entries_.empty() && entries_.front().first < t) {
     entries_.pop_front();
+    ++pruned;
   }
+  return pruned;
 }
 
-void XDRelation::PruneBeforeKeeping(Timestamp t, std::size_t min_entries) {
+std::size_t XDRelation::PruneBeforeKeeping(Timestamp t,
+                                           std::size_t min_entries) {
+  std::size_t pruned = 0;
   while (entries_.size() > min_entries && entries_.front().first < t) {
     entries_.pop_front();
+    ++pruned;
   }
+  return pruned;
 }
 
 }  // namespace serena

@@ -48,13 +48,14 @@ class XDRelation {
   std::vector<Tuple> LastInserted(std::size_t count,
                                   Timestamp to_inclusive) const;
 
-  /// Drops history strictly older than `t`.
-  void PruneBefore(Timestamp t);
+  /// Drops history strictly older than `t`. Returns the number of
+  /// entries dropped.
+  std::size_t PruneBefore(Timestamp t);
 
   /// Like PruneBefore, but always retains at least the newest
   /// `min_entries` insertions (needed while row-based windows are
-  /// registered).
-  void PruneBeforeKeeping(Timestamp t, std::size_t min_entries);
+  /// registered). Returns the number of entries dropped.
+  std::size_t PruneBeforeKeeping(Timestamp t, std::size_t min_entries);
 
   /// Total retained entries.
   std::size_t size() const { return entries_.size(); }

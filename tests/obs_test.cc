@@ -1,0 +1,277 @@
+// Unit tests for the observability layer: the JSON writer, counters,
+// gauges, the exponential latency histogram, the metrics registry, and
+// the span/trace ring buffer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace serena {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::string out;
+  AppendJsonString(&out, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").Value("tick");
+  json.Key("count").Value(std::uint64_t{3});
+  json.Key("mean").Value(1.5);
+  json.Key("empty").BeginArray().EndArray();
+  json.Key("items").BeginArray();
+  json.Value(std::int64_t{-1}).Value(true);
+  json.BeginObject().Key("k").Value("v").EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"tick\",\"count\":3,\"mean\":1.5,\"empty\":[],"
+            "\"items\":[-1,true,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(std::numeric_limits<double>::quiet_NaN());
+  json.Value(std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsAreExponentialBase2) {
+  EXPECT_EQ(Histogram::BucketBound(0), 256u);
+  EXPECT_EQ(Histogram::BucketBound(1), 512u);
+  EXPECT_EQ(Histogram::BucketBound(2), 1024u);
+  EXPECT_EQ(Histogram::BucketBound(Histogram::kBucketCount - 1),
+            std::uint64_t{1} << 35);
+  // The overflow bucket is unbounded.
+  EXPECT_EQ(Histogram::BucketBound(Histogram::kBucketCount), UINT64_MAX);
+}
+
+TEST(HistogramTest, BucketIndexMatchesBounds) {
+  // Every value must land in the first bucket whose (exclusive) upper
+  // bound is above it.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(255), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(256), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(511), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(512), 2u);
+  EXPECT_EQ(Histogram::BucketIndex((std::uint64_t{1} << 35) - 1),
+            Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 35),
+            Histogram::kBucketCount);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBucketCount);
+
+  // The invariant, exhaustively at every boundary: value < bound(index),
+  // and value >= bound(index - 1) when there is a previous bucket.
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t bound = Histogram::BucketBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound - 1), i) << "below bound " << bound;
+    EXPECT_EQ(Histogram::BucketIndex(bound), i + 1) << "at bound " << bound;
+  }
+}
+
+TEST(HistogramTest, RecordsSummaryStatistics) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.min(), 0u);  // Empty.
+  EXPECT_EQ(histogram.ValueAtPercentile(50), 0u);
+
+  histogram.Record(100);
+  histogram.Record(300);
+  histogram.Record(1000);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.sum(), 1400u);
+  EXPECT_EQ(histogram.min(), 100u);
+  EXPECT_EQ(histogram.max(), 1000u);
+  EXPECT_NEAR(histogram.mean(), 1400.0 / 3.0, 1e-9);
+  EXPECT_EQ(histogram.BucketCount(0), 1u);  // 100 < 256
+  EXPECT_EQ(histogram.BucketCount(1), 1u);  // 300 in [256, 512)
+  EXPECT_EQ(histogram.BucketCount(2), 1u);  // 1000 in [512, 1024)
+
+  // Percentiles resolve to bucket upper bounds, clamped to the max.
+  EXPECT_EQ(histogram.ValueAtPercentile(0), 100u);
+  EXPECT_EQ(histogram.ValueAtPercentile(10), 256u);
+  EXPECT_EQ(histogram.ValueAtPercentile(50), 512u);
+  EXPECT_EQ(histogram.ValueAtPercentile(99), 1000u);  // bound 1024 > max
+  EXPECT_EQ(histogram.ValueAtPercentile(100), 1000u);
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
+}
+
+TEST(HistogramTest, OverflowValuesLandInOverflowBucket) {
+  Histogram histogram;
+  histogram.Record(UINT64_MAX);
+  EXPECT_EQ(histogram.BucketCount(Histogram::kBucketCount), 1u);
+  EXPECT_EQ(histogram.ValueAtPercentile(50), UINT64_MAX);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetReturnsStableIdentity) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.counter");
+  counter.Increment(5);
+  EXPECT_EQ(&registry.GetCounter("test.counter"), &counter);
+  EXPECT_EQ(registry.GetCounter("test.counter").value(), 5u);
+  EXPECT_EQ(registry.FindCounter("test.counter"), &counter);
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("test.counter"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsIdentities) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Histogram& histogram = registry.GetHistogram("h");
+  counter.Increment(3);
+  histogram.Record(100);
+  registry.ResetValues();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(&registry.GetCounter("c"), &counter);  // Still the same object.
+}
+
+TEST(MetricsRegistryTest, ToJsonListsAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("serena.test.events").Increment(7);
+  registry.GetGauge("serena.test.depth").Set(-2);
+  Histogram& histogram = registry.GetHistogram("serena.test.latency_ns");
+  histogram.Record(300);
+  histogram.Record(300);
+
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json, R"({"counters":{"serena.test.events":7},)"
+                  R"("gauges":{"serena.test.depth":-2},)"
+                  R"("histograms":{"serena.test.latency_ns":{)"
+                  R"("count":2,"sum":600,"min":300,"max":300,"mean":300,)"
+                  R"("p50":300,"p90":300,"p99":300,)"
+                  R"("buckets":[{"le":512,"count":2}]}}})");
+}
+
+TEST(MetricsRegistryTest, EnabledToggles) {
+  MetricsRegistry registry;
+  // Fresh registries honor SERENA_METRICS; the tests run without it set,
+  // so instrumentation starts enabled.
+  EXPECT_TRUE(registry.enabled());
+  registry.set_enabled(false);
+  EXPECT_FALSE(registry.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer / Span
+// ---------------------------------------------------------------------------
+
+TEST(TraceBufferTest, RingOverwritesOldest) {
+  TraceBuffer buffer(/*capacity=*/3);
+  buffer.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    SpanRecord record;
+    record.name = "span" + std::to_string(i);
+    record.instant = i;
+    buffer.Record(std::move(record));
+  }
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.total_recorded(), 5u);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "span2");  // Oldest retained...
+  EXPECT_EQ(spans[2].name, "span4");  // ...to newest.
+
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceBufferTest, SpanRecordsDualTimestamps) {
+  TraceBuffer buffer(/*capacity=*/8);
+  buffer.set_enabled(true);
+  {
+    Span span("executor.step", /*instant=*/42, "weather", &buffer);
+  }
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "executor.step");
+  EXPECT_EQ(spans[0].detail, "weather");
+  EXPECT_EQ(spans[0].instant, 42);
+  EXPECT_GT(spans[0].start_ns, 0u);
+
+  const std::string json = buffer.ToJson();
+  EXPECT_NE(json.find("\"total_recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"executor.step\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"weather\""), std::string::npos);
+  EXPECT_NE(json.find("\"instant\":42"), std::string::npos);
+}
+
+TEST(TraceBufferTest, DisabledBufferRecordsNothing) {
+  TraceBuffer buffer(/*capacity=*/8);
+  ASSERT_FALSE(buffer.enabled());  // Disabled by default.
+  {
+    Span span("ignored", 1, {}, &buffer);
+  }
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+}
+
+TEST(TraceBufferTest, ShrinkingCapacityKeepsNewest) {
+  TraceBuffer buffer(/*capacity=*/4);
+  buffer.set_enabled(true);
+  for (int i = 0; i < 4; ++i) {
+    SpanRecord record;
+    record.name = "span" + std::to_string(i);
+    buffer.Record(std::move(record));
+  }
+  buffer.set_capacity(2);
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "span2");
+  EXPECT_EQ(spans[1].name, "span3");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace serena
