@@ -332,18 +332,40 @@ Result<XRelation> NaturalJoin(const XRelation& r1, const XRelation& r2) {
     return result;
   }
 
-  // Hash join on the common real attributes. Probe with the smaller side
-  // conceptually; for clarity we always build on r2.
-  std::unordered_multimap<std::uint64_t, const Tuple*> built;
-  built.reserve(r2.size());
-  for (const Tuple& t2 : r2.tuples()) {
-    built.emplace(t2.Project(key2).Hash(), &t2);
+  // Hash join on the common real attributes, building on the smaller
+  // side. Each build entry keeps its projected key so hash-bucket
+  // collisions compare against a materialized tuple instead of
+  // re-projecting the build row per probe match.
+  const bool build_r1 = r1.size() < r2.size();
+  const XRelation& build = build_r1 ? r1 : r2;
+  const XRelation& probe = build_r1 ? r2 : r1;
+  const std::vector<std::size_t>& build_key = build_r1 ? key1 : key2;
+  const std::vector<std::size_t>& probe_key = build_r1 ? key2 : key1;
+
+  struct BuildEntry {
+    Tuple key;
+    const Tuple* tuple;
+  };
+  std::unordered_multimap<std::uint64_t, BuildEntry> built;
+  built.reserve(build.size());
+  for (const Tuple& t : build.tuples()) {
+    Tuple key = t.Project(build_key);
+    const std::uint64_t hash = key.Hash();
+    built.emplace(hash, BuildEntry{std::move(key), &t});
   }
-  for (const Tuple& t1 : r1.tuples()) {
-    const Tuple k1 = t1.Project(key1);
-    const auto [begin, end] = built.equal_range(k1.Hash());
+  for (const Tuple& t : probe.tuples()) {
+    const Tuple k = t.Project(probe_key);
+    const auto [begin, end] = built.equal_range(k.Hash());
     for (auto it = begin; it != end; ++it) {
-      if (k1 == it->second->Project(key2)) emit(t1, *it->second);
+      if (k == it->second.key) {
+        // emit() takes (t1, t2) in operand order regardless of which side
+        // we built on.
+        if (build_r1) {
+          emit(*it->second.tuple, t);
+        } else {
+          emit(t, *it->second.tuple);
+        }
+      }
     }
   }
   return result;
@@ -512,26 +534,43 @@ Result<XRelation> Invoke(const XRelation& r, const BindingPattern& bp,
     }
   }
 
-  XRelation result(std::move(schema));
+  // Phase 1 (serial): build one invocation request per input tuple.
+  // Malformed service references are schema-level errors, reported before
+  // any service is called (and regardless of the error policy).
+  std::vector<InvocationRequest> requests;
+  requests.reserve(r.size());
   for (const Tuple& u : r.tuples()) {
-    // Build the invocation input, coercing ints feeding REAL parameters.
-    std::vector<Value> input_values;
-    input_values.reserve(input_coords.size());
-    for (std::size_t i = 0; i < input_coords.size(); ++i) {
-      input_values.push_back(u[input_coords[i]].CoerceTo(input_types[i]));
-    }
-    Tuple input(std::move(input_values));
-
     const Value& service_value = u[service_coord];
     if (!service_value.is_string()) {
       return Status::TypeMismatch("invoke: service reference ",
                                   service_value.ToString(),
                                   " is not a string value");
     }
-    const std::string& service_ref = service_value.string_value();
+    // Build the invocation input, coercing ints feeding REAL parameters.
+    std::vector<Value> input_values;
+    input_values.reserve(input_coords.size());
+    for (std::size_t i = 0; i < input_coords.size(); ++i) {
+      input_values.push_back(u[input_coords[i]].CoerceTo(input_types[i]));
+    }
+    requests.push_back(InvocationRequest{service_value.string_value(),
+                                         Tuple(std::move(input_values))});
+  }
 
-    auto outputs = registry->Invoke(proto, service_ref, input,
-                                    options.instant);
+  // Phase 2 (parallel): deduplicated, concurrent physical calls. Under
+  // kFail the first failure cancels not-yet-started calls — their results
+  // are discarded below anyway.
+  std::vector<Result<TupleRows>> invocations = registry->InvokeMany(
+      proto, requests, options.instant, options.pool,
+      /*cancel_on_error=*/options.error_policy ==
+          InvocationErrorPolicy::kFail);
+
+  // Phase 3 (serial): splice results in input-tuple order so the output
+  // relation, `failed_tuples`, and action emission are deterministic and
+  // identical to the serial loop.
+  XRelation result(std::move(schema));
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    const Tuple& u = r.tuples()[idx];
+    const Result<TupleRows>& outputs = invocations[idx];
     if (!outputs.ok()) {
       if (options.error_policy == InvocationErrorPolicy::kSkipTuple) {
         if (options.failed_tuples != nullptr) {
@@ -539,20 +578,30 @@ Result<XRelation> Invoke(const XRelation& r, const BindingPattern& bp,
         }
         continue;
       }
+      // Prefer a genuine failure over a "cancelled" marker: the marker
+      // only says some *other* request failed first.
+      if (ServiceRegistry::IsCancelled(outputs.status())) {
+        for (std::size_t j = idx + 1; j < invocations.size(); ++j) {
+          if (!invocations[j].ok() &&
+              !ServiceRegistry::IsCancelled(invocations[j].status())) {
+            return invocations[j].status();
+          }
+        }
+      }
       return outputs.status();
     }
 
     if (proto.active() &&
         (options.actions != nullptr || options.action_sink)) {
-      Action action{proto.name(), bp.service_attribute(), service_ref,
-                    input};
+      Action action{proto.name(), bp.service_attribute(),
+                    requests[idx].service_ref, requests[idx].input};
       if (options.action_sink) options.action_sink(action);
       if (options.actions != nullptr) {
         options.actions->Add(std::move(action));
       }
     }
 
-    for (const Tuple& out : *outputs) {
+    for (const Tuple& out : **outputs) {
       std::vector<Value> values;
       values.reserve(plan.size());
       for (const Slot& slot : plan) {

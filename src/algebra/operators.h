@@ -15,6 +15,8 @@
 
 namespace serena {
 
+class ThreadPool;
+
 /// The Serena algebra operators of Table 3, as standalone evaluation
 /// functions over X-Relations. Each operator also has a schema-only
 /// counterpart (`*Schema`) used for static schema inference on query
@@ -127,6 +129,11 @@ struct InvokeOptions {
   /// invocation failed (so continuous evaluation can retry it next
   /// instant instead of treating it as realized).
   std::vector<Tuple>* failed_tuples = nullptr;
+  /// Pool for the batched physical service calls (nullptr =
+  /// `ThreadPool::Shared()`). Output order, `failed_tuples`, and action
+  /// emission stay deterministic regardless of the pool: results are
+  /// spliced serially in input-tuple order.
+  ThreadPool* pool = nullptr;
 };
 
 Result<ExtendedSchemaPtr> InvokeSchema(const ExtendedSchemaPtr& schema,

@@ -353,6 +353,7 @@ Result<XRelation> InvokeNode::EvaluateImpl(EvalContext& ctx) const {
   options.error_policy = ctx.error_policy;
   options.actions = ctx.actions;
   options.action_sink = ctx.action_sink;
+  options.pool = ctx.pool;
 
   // Streaming binding patterns (§7 extension): the service provides a
   // stream, so under continuous evaluation every standing tuple is

@@ -117,6 +117,10 @@ struct EvalContext {
   /// ANALYZE). Timing is only paid when set or when the global metrics
   /// registry is enabled.
   PlanStatsCollector* stats = nullptr;
+  /// Pool used by Invoke nodes for concurrent physical service calls
+  /// (nullptr = `ThreadPool::Shared()`). Evaluation results are
+  /// deterministic regardless of the pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// A query over a relational pervasive environment (Def. 7): an immutable

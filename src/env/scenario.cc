@@ -222,8 +222,8 @@ Status TemperatureScenario::Init(const TemperatureScenarioOptions& options) {
 std::vector<SentMessage> TemperatureScenario::AllSentMessages() const {
   std::vector<SentMessage> all;
   for (const auto& messenger : {email_, jabber_, sms_}) {
-    all.insert(all.end(), messenger->outbox().begin(),
-               messenger->outbox().end());
+    const std::vector<SentMessage> outbox = messenger->outbox();
+    all.insert(all.end(), outbox.begin(), outbox.end());
   }
   return all;
 }

@@ -150,6 +150,7 @@ Result<std::vector<Tuple>> MessengerService::Invoke(
   if (deliverable) {
     SentMessage message{address, text, now, 0};
     if (with_photo) message.photo_bytes = input[2].blob_value().size();
+    std::lock_guard<std::mutex> lock(outbox_mu_);
     outbox_.push_back(std::move(message));
   }
   return std::vector<Tuple>{Tuple{Value::Bool(deliverable)}};

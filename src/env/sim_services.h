@@ -1,6 +1,8 @@
 #ifndef SERENA_ENV_SIM_SERVICES_H_
 #define SERENA_ENV_SIM_SERVICES_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,14 +42,17 @@ class TemperatureSensorService final : public Service {
   void set_bias(double bias) { bias_ = bias; }
   double bias() const { return bias_; }
 
-  std::uint64_t readings_served() const { return readings_served_; }
+  std::uint64_t readings_served() const {
+    return readings_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   PrototypePtr prototype_;
   double base_celsius_;
   std::uint64_t seed_;
   double bias_ = 0.0;
-  std::uint64_t readings_served_ = 0;
+  // Atomic: batched invocation calls services concurrently.
+  std::atomic<std::uint64_t> readings_served_{0};
 };
 
 /// Simulates a network camera implementing
@@ -75,14 +80,17 @@ class CameraService final : public Service {
   /// Quality this camera would report for `area` at `now` (1..10).
   int QualityAt(std::string_view area, Timestamp now) const;
 
-  std::uint64_t photos_taken() const { return photos_taken_; }
+  std::uint64_t photos_taken() const {
+    return photos_taken_.load(std::memory_order_relaxed);
+  }
 
  private:
   PrototypePtr check_photo_;
   PrototypePtr take_photo_;
   std::vector<std::string> areas_;
   std::uint64_t seed_;
-  std::uint64_t photos_taken_ = 0;
+  // Atomic: batched invocation calls services concurrently.
+  std::atomic<std::uint64_t> photos_taken_{0};
 };
 
 /// One message delivered by a MessengerService — the observable trace of
@@ -120,8 +128,18 @@ class MessengerService final : public Service {
                                     Timestamp now) override;
 
   Kind kind() const { return kind_; }
-  const std::vector<SentMessage>& outbox() const { return outbox_; }
-  void ClearOutbox() { outbox_.clear(); }
+  /// Snapshot of the outbox. By value: concurrent batch invocations may
+  /// append while the caller iterates. Arrival *order* of distinct
+  /// messages within one instant is unspecified under a parallel batch
+  /// (the action set is a set, Def. 8); tests compare contents.
+  std::vector<SentMessage> outbox() const {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    return outbox_;
+  }
+  void ClearOutbox() {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    outbox_.clear();
+  }
 
   /// Addresses this gateway refuses (delivery returns sent = false).
   void AddUndeliverableAddress(std::string address);
@@ -130,6 +148,7 @@ class MessengerService final : public Service {
   PrototypePtr prototype_;
   PrototypePtr photo_prototype_;
   Kind kind_;
+  mutable std::mutex outbox_mu_;
   std::vector<SentMessage> outbox_;
   std::vector<std::string> undeliverable_;
   // Within one instant, repeated sends with identical input must report

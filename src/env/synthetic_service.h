@@ -1,6 +1,7 @@
 #ifndef SERENA_ENV_SYNTHETIC_SERVICE_H_
 #define SERENA_ENV_SYNTHETIC_SERVICE_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -28,12 +29,15 @@ class SyntheticService final : public Service {
                                     const Tuple& input,
                                     Timestamp now) override;
 
-  std::uint64_t invocations() const { return invocations_; }
+  std::uint64_t invocations() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<PrototypePtr> prototypes_;
   std::uint64_t seed_;
-  std::uint64_t invocations_ = 0;
+  // Atomic: batched invocation calls services concurrently.
+  std::atomic<std::uint64_t> invocations_{0};
 };
 
 }  // namespace serena

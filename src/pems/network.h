@@ -1,6 +1,7 @@
 #ifndef SERENA_PEMS_NETWORK_H_
 #define SERENA_PEMS_NETWORK_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -78,12 +79,20 @@ class SimulatedNetwork {
   /// number delivered.
   std::size_t DeliverDue(Timestamp now);
 
+  /// Charged from the data plane, which runs concurrently under a
+  /// parallel invocation batch — hence the atomic counter.
   void ChargeInvocationRoundTrip() {
-    ++stats_.invocation_round_trips;
+    invocation_round_trips_.fetch_add(1, std::memory_order_relaxed);
     Count(counters_.round_trips);
   }
 
-  const NetworkStats& stats() const { return stats_; }
+  /// A snapshot (by value: the round-trip counter advances concurrently).
+  NetworkStats stats() const {
+    NetworkStats snapshot = stats_;
+    snapshot.invocation_round_trips =
+        invocation_round_trips_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
   std::size_t pending() const { return queue_.size(); }
 
  private:
@@ -109,7 +118,11 @@ class SimulatedNetwork {
   Rng rng_;
   std::map<std::string, Handler> nodes_;
   std::deque<Pending> queue_;
+  // Control-plane counters (sent/delivered/dropped) mutate only between
+  // query steps; the data-plane round-trip counter is kept separately,
+  // atomic, because proxies charge it mid-step from pool threads.
   NetworkStats stats_;
+  std::atomic<std::uint64_t> invocation_round_trips_{0};
   Counters counters_;
 };
 

@@ -117,6 +117,9 @@ Status QueryProcessor::RegisterContinuousInto(const std::string& name,
   }
 
   auto query = std::make_shared<ContinuousQuery>(name, std::move(plan));
+  // Declare the sink's target stream so the executor schedules consumers
+  // of `stream` after this producer within each tick.
+  query->set_feeds({stream});
   StreamStore* streams = streams_;
   query->set_sink([streams, stream](Timestamp t, const XRelation& result) {
     auto target = streams->GetStream(stream);

@@ -1,10 +1,20 @@
 #include "service/service_registry.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace serena {
+
+namespace {
+
+constexpr char kCancelledMessage[] =
+    "invocation cancelled: an earlier invocation in the batch failed";
+
+}  // namespace
 
 std::size_t ServiceRegistry::MemoKeyHasher::operator()(
     const MemoKey& key) const {
@@ -12,6 +22,11 @@ std::size_t ServiceRegistry::MemoKeyHasher::operator()(
   h = HashCombine(h, StableHash(key.service_ref));
   h = HashCombine(h, key.input.Hash());
   return h;
+}
+
+bool ServiceRegistry::IsCancelled(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message() == kCancelledMessage;
 }
 
 Status ServiceRegistry::Register(ServicePtr service) {
@@ -22,16 +37,23 @@ Status ServiceRegistry::Register(ServicePtr service) {
   if (ref.empty()) {
     return Status::InvalidArgument("service reference must be non-empty");
   }
-  if (!services_.emplace(ref, std::move(service)).second) {
-    return Status::AlreadyExists("service '", ref, "' already registered");
+  {
+    std::lock_guard<std::mutex> lock(services_mu_);
+    if (!services_.emplace(ref, std::move(service)).second) {
+      return Status::AlreadyExists("service '", ref, "' already registered");
+    }
   }
   NotifyListeners(ref, /*registered=*/true);
   return Status::OK();
 }
 
 Status ServiceRegistry::Unregister(const std::string& service_ref) {
-  if (services_.erase(service_ref) == 0) {
-    return Status::NotFound("service '", service_ref, "' is not registered");
+  {
+    std::lock_guard<std::mutex> lock(services_mu_);
+    if (services_.erase(service_ref) == 0) {
+      return Status::NotFound("service '", service_ref,
+                              "' is not registered");
+    }
   }
   NotifyListeners(service_ref, /*registered=*/false);
   return Status::OK();
@@ -39,6 +61,7 @@ Status ServiceRegistry::Unregister(const std::string& service_ref) {
 
 Result<ServicePtr> ServiceRegistry::Lookup(
     const std::string& service_ref) const {
+  std::lock_guard<std::mutex> lock(services_mu_);
   const auto it = services_.find(service_ref);
   if (it == services_.end()) {
     return Status::NotFound("service '", service_ref, "' is not registered");
@@ -47,10 +70,12 @@ Result<ServicePtr> ServiceRegistry::Lookup(
 }
 
 bool ServiceRegistry::Contains(const std::string& service_ref) const {
+  std::lock_guard<std::mutex> lock(services_mu_);
   return services_.count(service_ref) > 0;
 }
 
 std::vector<std::string> ServiceRegistry::ServiceRefs() const {
+  std::lock_guard<std::mutex> lock(services_mu_);
   std::vector<std::string> refs;
   refs.reserve(services_.size());
   for (const auto& [ref, service] : services_) refs.push_back(ref);
@@ -59,6 +84,7 @@ std::vector<std::string> ServiceRegistry::ServiceRefs() const {
 
 std::vector<std::string> ServiceRegistry::ServicesImplementing(
     std::string_view prototype_name) const {
+  std::lock_guard<std::mutex> lock(services_mu_);
   std::vector<std::string> refs;
   for (const auto& [ref, service] : services_) {
     if (service->Implements(prototype_name)) refs.push_back(ref);
@@ -66,11 +92,18 @@ std::vector<std::string> ServiceRegistry::ServicesImplementing(
   return refs;
 }
 
-ServiceRegistry::PrototypeInstruments& ServiceRegistry::InstrumentsFor(
+std::size_t ServiceRegistry::size() const {
+  std::lock_guard<std::mutex> lock(services_mu_);
+  return services_.size();
+}
+
+ServiceRegistry::PrototypeInstruments ServiceRegistry::InstrumentsFor(
     const std::string& prototype) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (!metrics.enabled()) return {};
+  std::lock_guard<std::mutex> lock(instruments_mu_);
   const auto it = instruments_.find(prototype);
   if (it != instruments_.end()) return it->second;
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   const std::string prefix = "serena.service." + prototype;
   return instruments_
       .emplace(prototype,
@@ -82,83 +115,314 @@ ServiceRegistry::PrototypeInstruments& ServiceRegistry::InstrumentsFor(
       .first->second;
 }
 
-Result<std::vector<Tuple>> ServiceRegistry::Invoke(
+Result<TupleRows> ServiceRegistry::Fail(
+    Status status, const PrototypeInstruments& instruments) {
+  stats_.failed_invocations.fetch_add(1, std::memory_order_relaxed);
+  if (instruments.errors != nullptr) instruments.errors->Increment();
+  return status;
+}
+
+Result<TupleRows> ServiceRegistry::InvokePhysical(
     const Prototype& prototype, const std::string& service_ref,
-    const Tuple& input, Timestamp now) {
-  PrototypeInstruments* instruments =
-      obs::MetricsRegistry::Global().enabled()
-          ? &InstrumentsFor(prototype.name())
-          : nullptr;
-  const auto fail = [&](Status status) -> Result<std::vector<Tuple>> {
-    ++stats_.failed_invocations;
-    if (instruments != nullptr) instruments->errors->Increment();
-    return status;
-  };
+    const Tuple& input, Timestamp now,
+    const PrototypeInstruments& instruments) {
+  auto service_or = Lookup(service_ref);
+  if (!service_or.ok()) return Fail(service_or.status(), instruments);
+  const ServicePtr& service = service_or.ValueOrDie();
+  if (!service->Implements(prototype.name())) {
+    return Fail(Status::FailedPrecondition(
+                    "service '", service_ref,
+                    "' does not implement prototype '", prototype.name(),
+                    "'"),
+                instruments);
+  }
 
-  Status input_valid = prototype.input().ValidateTuple(input);
-  if (!input_valid.ok()) return fail(std::move(input_valid));
+  Result<std::vector<Tuple>> outputs_or = [&] {
+    // Latency covers only the physical service call, not validation or
+    // memo bookkeeping — it is the per-prototype service cost.
+    obs::ScopedLatencyTimer timer(instruments.invoke_ns);
+    return service->Invoke(prototype, input, now);
+  }();
+  if (!outputs_or.ok()) return Fail(outputs_or.status(), instruments);
+  std::vector<Tuple> outputs = std::move(outputs_or).ValueOrDie();
+  for (const Tuple& out : outputs) {
+    Status output_valid = prototype.output().ValidateTuple(out);
+    if (!output_valid.ok()) return Fail(std::move(output_valid), instruments);
+  }
 
+  stats_.physical_invocations.fetch_add(1, std::memory_order_relaxed);
+  if (prototype.active()) {
+    stats_.active_invocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.output_tuples.fetch_add(outputs.size(), std::memory_order_relaxed);
+  return std::make_shared<const std::vector<Tuple>>(std::move(outputs));
+}
+
+void ServiceRegistry::RefreshInstantLocked(Timestamp now) {
   // A new instant invalidates all memoized results: services may answer
   // differently now.
   if (now != memo_instant_) {
     memo_.clear();
     memo_instant_ = now;
   }
+}
 
-  ++stats_.logical_invocations;
+Result<TupleRows> ServiceRegistry::InvokeMemoized(
+    const Prototype& prototype, const std::string& service_ref,
+    const Tuple& input, Timestamp now,
+    const PrototypeInstruments& instruments) {
   MemoKey key{prototype.name(), service_ref, input};
-  const auto memo_it = memo_.find(key);
-  if (memo_it != memo_.end()) {
-    ++stats_.memo_hits;
-    if (instruments != nullptr) instruments->memo_hits->Increment();
-    return memo_it->second;
+  for (;;) {
+    std::promise<Result<TupleRows>> promise;
+    MemoFuture future;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      RefreshInstantLocked(now);
+      const auto it = memo_.find(key);
+      if (it == memo_.end()) {
+        owner = true;
+        future = promise.get_future().share();
+        memo_.emplace(key, future);
+      } else {
+        future = it->second;
+      }
+    }
+
+    if (owner) {
+      if (instruments.memo_misses != nullptr) {
+        instruments.memo_misses->Increment();
+      }
+      Result<TupleRows> result = InvokePhysical(prototype, service_ref,
+                                                input, now, instruments);
+      if (!result.ok()) {
+        // Failures are not memoized: drop the slot (before waking
+        // waiters, so a retrying waiter never re-reads it).
+        std::lock_guard<std::mutex> lock(memo_mu_);
+        if (memo_instant_ == now) memo_.erase(key);
+      }
+      promise.set_value(result);
+      return result;
+    }
+
+    // Another call owns this key; await its result. The owner runs the
+    // physical call on its own thread, so this wait cannot deadlock on
+    // pool capacity.
+    Result<TupleRows> result = future.get();
+    if (result.ok()) {
+      stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+      if (instruments.memo_hits != nullptr) {
+        instruments.memo_hits->Increment();
+      }
+      return result;
+    }
+    // The owner failed; retry physically, exactly like a serial caller
+    // that never saw a memo entry.
   }
-  if (instruments != nullptr) instruments->memo_misses->Increment();
+}
 
-  auto service_or = Lookup(service_ref);
-  if (!service_or.ok()) return fail(service_or.status());
-  const ServicePtr& service = service_or.ValueOrDie();
-  if (!service->Implements(prototype.name())) {
-    return fail(Status::FailedPrecondition(
-        "service '", service_ref, "' does not implement prototype '",
-        prototype.name(), "'"));
+Result<TupleRows> ServiceRegistry::Invoke(const Prototype& prototype,
+                                          const std::string& service_ref,
+                                          const Tuple& input, Timestamp now) {
+  const PrototypeInstruments instruments = InstrumentsFor(prototype.name());
+
+  Status input_valid = prototype.input().ValidateTuple(input);
+  if (!input_valid.ok()) return Fail(std::move(input_valid), instruments);
+
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    RefreshInstantLocked(now);
+    stats_.logical_invocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return InvokeMemoized(prototype, service_ref, input, now, instruments);
+}
+
+std::vector<Result<TupleRows>> ServiceRegistry::InvokeMany(
+    const Prototype& prototype, std::span<const InvocationRequest> requests,
+    Timestamp now, ThreadPool* pool, bool cancel_on_error) {
+  const PrototypeInstruments instruments = InstrumentsFor(prototype.name());
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    static obs::Histogram* batch_size =
+        &obs::MetricsRegistry::Global().GetHistogram(
+            "serena.invoke.batch_size");
+    batch_size->Record(requests.size());
   }
 
-  Result<std::vector<Tuple>> outputs_or = [&] {
-    // Latency covers only the physical service call, not validation or
-    // memo bookkeeping — it is the per-prototype service cost.
-    obs::ScopedLatencyTimer timer(
-        instruments != nullptr ? instruments->invoke_ns : nullptr);
-    return service->Invoke(prototype, input, now);
-  }();
-  if (!outputs_or.ok()) return fail(outputs_or.status());
-  std::vector<Tuple> outputs = std::move(outputs_or).ValueOrDie();
-  for (const Tuple& out : outputs) {
-    Status output_valid = prototype.output().ValidateTuple(out);
-    if (!output_valid.ok()) return fail(std::move(output_valid));
+  std::vector<Result<TupleRows>> results(
+      requests.size(), Result<TupleRows>(Status::Internal("unresolved")));
+
+  // One group per unique (service_ref, input) pair this batch will invoke
+  // physically; `indices` fan its eventual result back out to every
+  // duplicate. The group's future is published in the memo *before*
+  // dispatch (single-flight), so a concurrently-stepped query never
+  // re-invokes a pair this batch already owns.
+  struct Group {
+    std::size_t first_index;
+    std::vector<std::size_t> indices;
+    std::promise<Result<TupleRows>> promise;
+  };
+  std::vector<Group> groups;
+  // Requests whose key is owned by an earlier call (possibly still in
+  // flight): resolved from the owner's future after dispatch.
+  struct Await {
+    std::size_t index;
+    MemoFuture future;
+  };
+  std::vector<Await> awaits;
+  {
+    std::unordered_map<MemoKey, std::size_t, MemoKeyHasher> pending;
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    RefreshInstantLocked(now);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const InvocationRequest& request = requests[i];
+      Status input_valid = prototype.input().ValidateTuple(request.input);
+      if (!input_valid.ok()) {
+        results[i] = Fail(std::move(input_valid), instruments);
+        continue;
+      }
+      stats_.logical_invocations.fetch_add(1, std::memory_order_relaxed);
+      MemoKey key{prototype.name(), request.service_ref, request.input};
+      // Batch-internal duplicates group before consulting the memo so a
+      // duplicate of a failing request shares the failure (see header).
+      const auto pending_it = pending.find(key);
+      if (pending_it != pending.end()) {
+        stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+        if (instruments.memo_hits != nullptr) {
+          instruments.memo_hits->Increment();
+        }
+        groups[pending_it->second].indices.push_back(i);
+        continue;
+      }
+      const auto memo_it = memo_.find(key);
+      if (memo_it != memo_.end()) {
+        awaits.push_back(Await{i, memo_it->second});
+        continue;
+      }
+      if (instruments.memo_misses != nullptr) {
+        instruments.memo_misses->Increment();
+      }
+      Group group;
+      group.first_index = i;
+      group.indices.push_back(i);
+      memo_.emplace(key, group.promise.get_future().share());
+      pending.emplace(std::move(key), groups.size());
+      groups.push_back(std::move(group));
+    }
   }
 
-  ++stats_.physical_invocations;
-  if (prototype.active()) ++stats_.active_invocations;
-  stats_.output_tuples += outputs.size();
+  if (!groups.empty()) {
+    std::vector<Result<TupleRows>> group_results(
+        groups.size(), Result<TupleRows>(Status::Internal("unresolved")));
+    std::atomic<bool> cancelled{false};
+    if (pool == nullptr) pool = &ThreadPool::Shared();
+    pool->ParallelFor(groups.size(), [&](std::size_t g) {
+      Group& group = groups[g];
+      Result<TupleRows> result = Status::Unavailable(kCancelledMessage);
+      if (cancel_on_error && cancelled.load(std::memory_order_relaxed)) {
+        // Never dispatched: not counted as failed, only reported
+        // cancelled.
+      } else {
+        const InvocationRequest& request = requests[group.first_index];
+        result = InvokePhysical(prototype, request.service_ref,
+                                request.input, now, instruments);
+        if (!result.ok() && cancel_on_error) {
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (!result.ok()) {
+        // Failures (and cancellations) are not memoized: drop the slot
+        // before waking waiters so external callers retry physically
+        // rather than inheriting this batch's policy.
+        const InvocationRequest& request = requests[group.first_index];
+        std::lock_guard<std::mutex> lock(memo_mu_);
+        if (memo_instant_ == now) {
+          memo_.erase(MemoKey{prototype.name(), request.service_ref,
+                              request.input});
+        }
+      }
+      group.promise.set_value(result);
+      group_results[g] = std::move(result);
+    });
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const std::size_t i : groups[g].indices) {
+        results[i] = group_results[g];
+      }
+    }
+  }
 
-  memo_.emplace(std::move(key), outputs);
-  return outputs;
+  // Resolve requests owned by other calls. The owners run on their own
+  // threads (never queued behind this ParallelFor), so waiting here is
+  // deadlock-free.
+  for (Await& await : awaits) {
+    Result<TupleRows> result = await.future.get();
+    if (result.ok()) {
+      stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+      if (instruments.memo_hits != nullptr) {
+        instruments.memo_hits->Increment();
+      }
+      results[await.index] = std::move(result);
+    } else {
+      // The owner failed; retry physically (logical invocation already
+      // counted above).
+      const InvocationRequest& request = requests[await.index];
+      results[await.index] = InvokeMemoized(
+          prototype, request.service_ref, request.input, now, instruments);
+    }
+  }
+  return results;
+}
+
+InvocationStats ServiceRegistry::stats() const {
+  InvocationStats snapshot;
+  snapshot.logical_invocations =
+      stats_.logical_invocations.load(std::memory_order_relaxed);
+  snapshot.physical_invocations =
+      stats_.physical_invocations.load(std::memory_order_relaxed);
+  snapshot.active_invocations =
+      stats_.active_invocations.load(std::memory_order_relaxed);
+  snapshot.output_tuples =
+      stats_.output_tuples.load(std::memory_order_relaxed);
+  snapshot.memo_hits = stats_.memo_hits.load(std::memory_order_relaxed);
+  snapshot.failed_invocations =
+      stats_.failed_invocations.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void ServiceRegistry::ResetStats() {
+  stats_.logical_invocations.store(0, std::memory_order_relaxed);
+  stats_.physical_invocations.store(0, std::memory_order_relaxed);
+  stats_.active_invocations.store(0, std::memory_order_relaxed);
+  stats_.output_tuples.store(0, std::memory_order_relaxed);
+  stats_.memo_hits.store(0, std::memory_order_relaxed);
+  stats_.failed_invocations.store(0, std::memory_order_relaxed);
 }
 
 std::size_t ServiceRegistry::AddListener(Listener listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   const std::size_t token = next_listener_token_++;
   listeners_.emplace(token, std::move(listener));
   return token;
 }
 
 void ServiceRegistry::RemoveListener(std::size_t token) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(token);
 }
 
 void ServiceRegistry::NotifyListeners(const std::string& service_ref,
                                       bool registered) {
-  for (const auto& [token, listener] : listeners_) {
+  // Copy under the lock, call outside it: listeners may re-enter the
+  // registry (discovery queries do).
+  std::vector<Listener> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    to_notify.reserve(listeners_.size());
+    for (const auto& [token, listener] : listeners_) {
+      to_notify.push_back(listener);
+    }
+  }
+  for (const Listener& listener : to_notify) {
     listener(service_ref, registered);
   }
 }

@@ -1,10 +1,14 @@
 #ifndef SERENA_SERVICE_SERVICE_REGISTRY_H_
 #define SERENA_SERVICE_SERVICE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +22,8 @@
 
 namespace serena {
 
+class ThreadPool;
+
 /// Counters describing the invocation traffic a query (or a whole run)
 /// generated. Exposed for the cost model and the benchmark harness.
 struct InvocationStats {
@@ -29,13 +35,29 @@ struct InvocationStats {
   /// away across queries, but identical repeats within one instant are
   /// still served from the memo per the paper's instant determinism).
   std::uint64_t active_invocations = 0;
-  /// Output tuples produced by all physical invocations.
+  /// Output tuples produced by *physical* invocations only. Memo-served
+  /// repeats do not re-count their tuples: the counter measures service
+  /// traffic, not result cardinality (which the caller can always sum
+  /// itself).
   std::uint64_t output_tuples = 0;
   /// Invocations answered from the per-instant memo (§3.2 determinism).
+  /// In a batch, duplicates of an identical in-flight request also count
+  /// here (the serial loop would have served them from the memo).
   std::uint64_t memo_hits = 0;
   /// Invocations that failed (unknown service, prototype mismatch,
   /// service fault, schema violation).
   std::uint64_t failed_invocations = 0;
+};
+
+/// Reference-counted invocation result rows. §3.2 instant determinism
+/// makes a memoized result immutable for the rest of the instant, so memo
+/// hits hand out the same underlying vector instead of copying it.
+using TupleRows = std::shared_ptr<const std::vector<Tuple>>;
+
+/// One (service, input) pair of a batched invocation (`InvokeMany`).
+struct InvocationRequest {
+  std::string service_ref;
+  Tuple input;
 };
 
 /// The service discovery and invocation mechanism (§2.1): tracks the set Ω
@@ -46,6 +68,23 @@ struct InvocationStats {
 /// same prototype on the same service with the same input always yields
 /// the same result. The registry enforces this by memoizing results per
 /// instant; the memo is discarded whenever the instant advances.
+///
+/// Thread safety: all members are safe to call concurrently. The memo,
+/// service map, instrument cache, and listener list are mutex-guarded;
+/// statistics are atomic. Physical service calls run *outside* any
+/// registry lock, so independent invocations overlap freely; `Service`
+/// implementations invoked through the registry must therefore tolerate
+/// concurrent `Invoke` calls (all bundled simulations do).
+///
+/// Single-flight memoization: the memo stores a future per key, inserted
+/// *before* the physical call. Concurrent identical invocations within
+/// one instant therefore never both reach the service — the first caller
+/// owns the call, the rest await its result. This keeps active
+/// invocations (Def. 8 side effects) at exactly one physical occurrence
+/// per (service, input, instant) even across concurrently-stepped
+/// queries, exactly as under serial evaluation. A failed call is removed
+/// from the memo and awaiting callers retry physically (failures are
+/// never memoized, matching the serial retry behavior).
 class ServiceRegistry {
  public:
   ServiceRegistry() = default;
@@ -73,19 +112,44 @@ class ServiceRegistry {
   std::vector<std::string> ServicesImplementing(
       std::string_view prototype_name) const;
 
-  std::size_t size() const { return services_.size(); }
+  std::size_t size() const;
 
   /// invoke_ψ(s, t) at instant `now` (Def. 1).
   ///
   /// Validates that the service exists and implements the prototype, that
   /// `input` conforms to Input_ψ, and that every returned tuple conforms
-  /// to Output_ψ. Results are memoized for the duration of the instant.
-  Result<std::vector<Tuple>> Invoke(const Prototype& prototype,
-                                    const std::string& service_ref,
-                                    const Tuple& input, Timestamp now);
+  /// to Output_ψ. Results are memoized for the duration of the instant;
+  /// memo hits return the memoized rows without copying them.
+  Result<TupleRows> Invoke(const Prototype& prototype,
+                           const std::string& service_ref,
+                           const Tuple& input, Timestamp now);
 
-  const InvocationStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = InvocationStats(); }
+  /// Batched invoke_ψ: one result per request, in request order.
+  ///
+  /// Identical (service_ref, input) pairs are deduplicated before
+  /// dispatch — the first occurrence pays the physical call; later ones
+  /// share its rows and count as memo hits, exactly what the serial loop
+  /// would have recorded. (Duplicates of a *failing* request share its
+  /// failure; the serial loop would have retried them physically, so
+  /// failure-path stats can differ from N sequential `Invoke` calls.)
+  ///
+  /// Residual physical calls are dispatched concurrently on `pool`
+  /// (nullptr = `ThreadPool::Shared()`; a serial pool dispatches in
+  /// request order). With `cancel_on_error`, the first physical failure
+  /// stops not-yet-started physical calls; those return a status for
+  /// which `IsCancelled()` is true.
+  std::vector<Result<TupleRows>> InvokeMany(
+      const Prototype& prototype,
+      std::span<const InvocationRequest> requests, Timestamp now,
+      ThreadPool* pool = nullptr, bool cancel_on_error = false);
+
+  /// True for the status of a batch entry that was skipped because an
+  /// earlier failure cancelled the rest of its batch.
+  static bool IsCancelled(const Status& status);
+
+  /// A consistent snapshot of the invocation counters.
+  InvocationStats stats() const;
+  void ResetStats();
 
   /// Observers notified on registration / unregistration; drives the
   /// discovery-maintained XD-Relations of §5.1.
@@ -112,24 +176,65 @@ class ServiceRegistry {
 
   /// Telemetry instruments for one prototype, resolved once per
   /// prototype name and cached (the global registry lookup takes a lock;
-  /// the invocation hot path must not).
+  /// the invocation hot path must not). All pointers are null when
+  /// metrics are disabled.
   struct PrototypeInstruments {
-    obs::Histogram* invoke_ns;
-    obs::Counter* memo_hits;
-    obs::Counter* memo_misses;
-    obs::Counter* errors;
+    obs::Histogram* invoke_ns = nullptr;
+    obs::Counter* memo_hits = nullptr;
+    obs::Counter* memo_misses = nullptr;
+    obs::Counter* errors = nullptr;
   };
-  PrototypeInstruments& InstrumentsFor(const std::string& prototype);
+  PrototypeInstruments InstrumentsFor(const std::string& prototype);
+
+  /// Counts a failed invocation and returns its status.
+  Result<TupleRows> Fail(Status status,
+                         const PrototypeInstruments& instruments);
+
+  /// The physical call path: lookup, prototype check, service call,
+  /// output validation. No memo interaction; safe to run concurrently.
+  Result<TupleRows> InvokePhysical(const Prototype& prototype,
+                                   const std::string& service_ref,
+                                   const Tuple& input, Timestamp now,
+                                   const PrototypeInstruments& instruments);
+
+  /// One memoized invocation with single-flight semantics (see class
+  /// comment). Does NOT count the logical invocation — callers do.
+  Result<TupleRows> InvokeMemoized(const Prototype& prototype,
+                                   const std::string& service_ref,
+                                   const Tuple& input, Timestamp now,
+                                   const PrototypeInstruments& instruments);
+
+  /// Drops the memo when the instant advanced. Caller holds `memo_mu_`.
+  void RefreshInstantLocked(Timestamp now);
 
   void NotifyListeners(const std::string& service_ref, bool registered);
 
+  struct AtomicInvocationStats {
+    std::atomic<std::uint64_t> logical_invocations{0};
+    std::atomic<std::uint64_t> physical_invocations{0};
+    std::atomic<std::uint64_t> active_invocations{0};
+    std::atomic<std::uint64_t> output_tuples{0};
+    std::atomic<std::uint64_t> memo_hits{0};
+    std::atomic<std::uint64_t> failed_invocations{0};
+  };
+
+  mutable std::mutex services_mu_;
   std::map<std::string, ServicePtr> services_;
-  InvocationStats stats_;
+
+  AtomicInvocationStats stats_;
+
+  std::mutex instruments_mu_;
   std::unordered_map<std::string, PrototypeInstruments> instruments_;
 
-  Timestamp memo_instant_ = -1;
-  std::unordered_map<MemoKey, std::vector<Tuple>, MemoKeyHasher> memo_;
+  /// A memo slot: ready once the owning call completed. Only successful
+  /// results stay in the map.
+  using MemoFuture = std::shared_future<Result<TupleRows>>;
 
+  std::mutex memo_mu_;
+  Timestamp memo_instant_ = -1;
+  std::unordered_map<MemoKey, MemoFuture, MemoKeyHasher> memo_;
+
+  mutable std::mutex listeners_mu_;
   std::size_t next_listener_token_ = 0;
   std::map<std::size_t, Listener> listeners_;
 };

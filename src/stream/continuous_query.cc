@@ -4,12 +4,14 @@ namespace serena {
 
 Result<XRelation> ContinuousQuery::Step(Environment* env,
                                         StreamStore* streams,
-                                        Timestamp instant) {
+                                        Timestamp instant,
+                                        ThreadPool* pool) {
   if (env == nullptr) return Status::InvalidArgument("null environment");
   EvalContext ctx;
   ctx.env = env;
   ctx.streams = streams;
   ctx.instant = instant;
+  ctx.pool = pool;
   ctx.actions = &accumulated_actions_;
   ctx.action_sink = [this, instant](const Action& action) {
     action_log_.push_back(LoggedAction{instant, action});

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "algebra/plan.h"
 
@@ -31,11 +32,23 @@ class ContinuousQuery {
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  /// Streams this query's sink writes into (derived-stream pipelines,
+  /// §5.1). The executor uses these declarations to schedule dependent
+  /// queries after their producers within one tick; a query whose sink
+  /// feeds a stream without declaring it here may race with concurrent
+  /// readers of that stream under a parallel executor.
+  void set_feeds(std::vector<std::string> feeds) {
+    feeds_ = std::move(feeds);
+  }
+  const std::vector<std::string>& feeds() const { return feeds_; }
+
   /// Evaluates one instant. Invocation failures skip the affected tuple
   /// (a vanished sensor must not kill a standing query). Actions of this
-  /// step are appended to `accumulated_actions`.
+  /// step are appended to `accumulated_actions`. `pool` is used for
+  /// concurrent physical service calls (nullptr = the shared pool); the
+  /// step result is deterministic regardless.
   Result<XRelation> Step(Environment* env, StreamStore* streams,
-                         Timestamp instant);
+                         Timestamp instant, ThreadPool* pool = nullptr);
 
   /// All actions (active invocations) the query has triggered since
   /// registration (Def. 8, accumulated over instants). Being a *set*,
@@ -64,6 +77,7 @@ class ContinuousQuery {
  private:
   std::string name_;
   PlanPtr plan_;
+  std::vector<std::string> feeds_;
   Sink sink_;
   NodeStateStore state_;
   ActionSet accumulated_actions_;

@@ -29,6 +29,14 @@ const ExecutorInstruments& Instruments() {
   return instruments;
 }
 
+bool Intersects(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  for (const std::string& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::size_t ContinuousExecutor::AddSource(Source source) {
@@ -47,20 +55,29 @@ Status ContinuousExecutor::Register(ContinuousQueryPtr query) {
   if (name.empty()) {
     return Status::InvalidArgument("continuous query must be named");
   }
-  for (const ContinuousQueryPtr& existing : queries_) {
-    if (existing->name() == name) {
+  for (const Entry& existing : entries_) {
+    if (existing.query->name() == name) {
       return Status::AlreadyExists("continuous query '", name,
                                    "' already registered");
     }
   }
-  queries_.push_back(std::move(query));
+  Entry entry;
+  std::map<std::string, WindowDemand> demands;
+  CollectWindows(query->plan(), &demands);
+  for (const auto& [stream, demand] : demands) {
+    entry.reads.push_back(stream);
+  }
+  entry.query = std::move(query);
+  entries_.push_back(std::move(entry));
+  RebuildSchedule();
   return Status::OK();
 }
 
 Status ContinuousExecutor::Unregister(const std::string& name) {
-  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
-    if ((*it)->name() == name) {
-      queries_.erase(it);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->query->name() == name) {
+      entries_.erase(it);
+      RebuildSchedule();
       return Status::OK();
     }
   }
@@ -69,17 +86,17 @@ Status ContinuousExecutor::Unregister(const std::string& name) {
 
 Result<ContinuousQueryPtr> ContinuousExecutor::GetQuery(
     const std::string& name) const {
-  for (const ContinuousQueryPtr& query : queries_) {
-    if (query->name() == name) return query;
+  for (const Entry& entry : entries_) {
+    if (entry.query->name() == name) return entry.query;
   }
   return Status::NotFound("continuous query '", name, "' not registered");
 }
 
 std::vector<std::string> ContinuousExecutor::QueryNames() const {
   std::vector<std::string> names;
-  names.reserve(queries_.size());
-  for (const ContinuousQueryPtr& query : queries_) {
-    names.push_back(query->name());
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    names.push_back(entry.query->name());
   }
   return names;
 }
@@ -102,19 +119,34 @@ void ContinuousExecutor::CollectWindows(
   }
 }
 
-ContinuousExecutor::WindowDemand ContinuousExecutor::MaxWindowDemand(
-    const std::string& stream) const {
-  WindowDemand demand;
-  for (const ContinuousQueryPtr& query : queries_) {
-    std::map<std::string, WindowDemand> demands;
-    CollectWindows(query->plan(), &demands);
-    const auto it = demands.find(stream);
-    if (it != demands.end()) {
-      demand.max_period = std::max(demand.max_period, it->second.max_period);
-      demand.max_rows = std::max(demand.max_rows, it->second.max_rows);
-    }
+void ContinuousExecutor::RebuildSchedule() {
+  window_demand_.clear();
+  for (const Entry& entry : entries_) {
+    CollectWindows(entry.query->plan(), &window_demand_);
   }
-  return demand;
+
+  // Dependency levels: query j (registered earlier) must finish before
+  // query i when j's sink feeds a stream that i reads or feeds, or when
+  // both feed the same stream (append order), or when j reads a stream i
+  // feeds (j must see the pre-append state, as it did serially). Levels
+  // are barriers; within a level queries touch disjoint feed/read state
+  // and may step concurrently.
+  std::vector<std::size_t> level(entries_.size(), 0);
+  schedule_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const std::vector<std::string>& reads_i = entries_[i].reads;
+    const std::vector<std::string>& feeds_i = entries_[i].query->feeds();
+    for (std::size_t j = 0; j < i; ++j) {
+      const std::vector<std::string>& feeds_j = entries_[j].query->feeds();
+      const bool dependent = Intersects(feeds_j, reads_i) ||
+                             Intersects(feeds_j, feeds_i) ||
+                             (!feeds_i.empty() &&
+                              Intersects(entries_[j].reads, feeds_i));
+      if (dependent) level[i] = std::max(level[i], level[j] + 1);
+    }
+    if (level[i] >= schedule_.size()) schedule_.resize(level[i] + 1);
+    schedule_[level[i]].push_back(i);
+  }
 }
 
 Timestamp ContinuousExecutor::Tick() {
@@ -133,27 +165,41 @@ Timestamp ContinuousExecutor::Tick() {
     }
   }
 
-  for (const ContinuousQueryPtr& query : queries_) {
-    obs::Histogram* step_histogram = nullptr;
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Shared();
+  std::vector<Status> step_status(entries_.size(), Status::OK());
+  for (const std::vector<std::size_t>& level : schedule_) {
+    // Resolve instruments serially: the metrics registry lookup and the
+    // histogram cache are not on the step's concurrent path.
     if (meter) {
-      auto& slot = step_histograms_[query->name()];
-      if (slot == nullptr) {
-        slot = &obs::MetricsRegistry::Global().GetHistogram(
-            "serena.executor.query." + query->name() + ".step_ns");
+      for (const std::size_t i : level) {
+        if (entries_[i].step_histogram == nullptr) {
+          entries_[i].step_histogram =
+              &obs::MetricsRegistry::Global().GetHistogram(
+                  "serena.executor.query." + entries_[i].query->name() +
+                  ".step_ns");
+        }
       }
-      step_histogram = slot;
     }
-    obs::Span step_span("executor.step", now, query->name());
-    obs::ScopedLatencyTimer step_timer(step_histogram);
-    const auto result = query->Step(env_, streams_, now);
-    if (!result.ok()) {
-      last_errors_.emplace(query->name(), result.status());
-      ++total_query_errors_;
-      if (meter) Instruments().query_errors->Increment();
-      SERENA_LOG(Warning) << "continuous query '" << query->name()
-                          << "' failed at instant " << now << ": "
-                          << result.status();
-    }
+    pool.ParallelFor(level.size(), [&](std::size_t k) {
+      Entry& entry = entries_[level[k]];
+      obs::Span step_span("executor.step", now, entry.query->name());
+      obs::ScopedLatencyTimer step_timer(meter ? entry.step_histogram
+                                               : nullptr);
+      const auto result = entry.query->Step(env_, streams_, now, &pool);
+      if (!result.ok()) step_status[level[k]] = result.status();
+    });
+  }
+
+  // Merge failures serially, in registration order.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (step_status[i].ok()) continue;
+    const std::string& name = entries_[i].query->name();
+    last_errors_.emplace(name, step_status[i]);
+    ++total_query_errors_;
+    if (meter) Instruments().query_errors->Increment();
+    SERENA_LOG(Warning) << "continuous query '" << name
+                        << "' failed at instant " << now << ": "
+                        << step_status[i];
   }
 
   if (streams_ != nullptr) {
@@ -161,7 +207,9 @@ Timestamp ContinuousExecutor::Tick() {
     for (const std::string& stream_name : streams_->StreamNames()) {
       auto stream = streams_->GetStream(stream_name);
       if (stream.ok()) {
-        const WindowDemand demand = MaxWindowDemand(stream_name);
+        WindowDemand demand;
+        const auto it = window_demand_.find(stream_name);
+        if (it != window_demand_.end()) demand = it->second;
         pruned += (*stream)->PruneBeforeKeeping(
             now - demand.max_period - prune_slack_, demand.max_rows);
       }

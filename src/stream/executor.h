@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "stream/continuous_query.h"
 
@@ -20,6 +21,15 @@ namespace serena {
 /// Queries can be registered and unregistered while the executor runs —
 /// this is how the PEMS executes standing queries over a changing
 /// environment (§5.1).
+///
+/// Parallel ticking: independent queries of one tick are stepped
+/// concurrently on the configured pool. Queries are *dependent* when one
+/// feeds (see `ContinuousQuery::set_feeds`) a stream another reads or
+/// feeds; the executor schedules dependents into later barrier levels, in
+/// registration order, so a derived-stream pipeline observes exactly the
+/// serial executor's per-tick order. With a serial pool
+/// (`SERENA_THREADS=0`) every query steps inline in registration order —
+/// the pre-parallel behavior.
 class ContinuousExecutor {
  public:
   /// A source feeds streams for the given instant (returns an error to
@@ -32,17 +42,22 @@ class ContinuousExecutor {
   ContinuousExecutor(const ContinuousExecutor&) = delete;
   ContinuousExecutor& operator=(const ContinuousExecutor&) = delete;
 
-  /// Registers a stream-feeding source, returning its token.
+  /// Registers a stream-feeding source, returning its token. Sources
+  /// always run serially, in token order, before any query steps.
   std::size_t AddSource(Source source);
   void RemoveSource(std::size_t token);
 
-  /// Registers a continuous query under its name. Queries are evaluated
-  /// in registration order each tick, so upstream stages of a derived-
-  /// stream pipeline should be registered before their consumers.
+  /// Registers a continuous query under its name. Dependent queries are
+  /// evaluated in registration order each tick, so upstream stages of a
+  /// derived-stream pipeline should be registered before their consumers.
   Status Register(ContinuousQueryPtr query);
   Status Unregister(const std::string& name);
   Result<ContinuousQueryPtr> GetQuery(const std::string& name) const;
   std::vector<std::string> QueryNames() const;
+
+  /// Pool for stepping independent queries concurrently (nullptr = the
+  /// shared pool). Not to be changed while a Tick is in flight.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Advances the clock one instant and evaluates sources + queries.
   /// Individual query failures are recorded (see `last_errors`) but do not
@@ -80,24 +95,44 @@ class ContinuousExecutor {
     Timestamp max_period = 0;    ///< Widest time window on the stream.
     std::size_t max_rows = 0;    ///< Largest row window on the stream.
   };
-  /// Longest window demands any registered query places on `stream`.
-  WindowDemand MaxWindowDemand(const std::string& stream) const;
+
+  /// One registered query plus its scheduling inputs, derived once at
+  /// registration time.
+  struct Entry {
+    ContinuousQueryPtr query;
+    /// Streams the query's plan reads through Window nodes.
+    std::vector<std::string> reads;
+    /// Cached per-query step-latency histogram (resolved lazily).
+    obs::Histogram* step_histogram = nullptr;
+  };
+
   static void CollectWindows(const PlanPtr& plan,
                              std::map<std::string, WindowDemand>* demands);
 
+  /// Recomputes `schedule_` (dependency levels over `entries_`) and
+  /// `window_demand_` (per-stream prune horizon). Called whenever the
+  /// query set changes.
+  void RebuildSchedule();
+
   Environment* env_;
   StreamStore* streams_;
+  ThreadPool* pool_ = nullptr;
   std::size_t next_source_token_ = 0;
   std::map<std::size_t, Source> sources_;
-  // Registration order is evaluation order.
-  std::vector<ContinuousQueryPtr> queries_;
+  // Registration order; within a schedule level this is evaluation order
+  // under a serial pool.
+  std::vector<Entry> entries_;
+  // Barrier levels of entry indices: level k only starts once level k-1
+  // finished; entries within one level are mutually independent.
+  std::vector<std::vector<std::size_t>> schedule_;
+  // Widest window any registered query places on each stream, maintained
+  // at (un)registration instead of re-walking every plan per tick.
+  std::map<std::string, WindowDemand> window_demand_;
   std::map<std::string, Status> last_errors_;
   std::uint64_t total_query_errors_ = 0;
   std::uint64_t total_ticks_ = 0;
   std::uint64_t total_pruned_tuples_ = 0;
   Timestamp prune_slack_ = 16;
-  // Cached per-query step-latency histograms (name → instrument).
-  std::map<std::string, obs::Histogram*> step_histograms_;
 };
 
 }  // namespace serena

@@ -10,14 +10,17 @@ Status StreamStore::AddStream(ExtendedSchemaPtr schema) {
     return Status::InvalidArgument("stream schema must be named");
   }
   const std::string name = schema->name();
-  if (streams_.count(name) > 0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace: XDRelation is non-movable (it owns a mutex), so it must
+  // be constructed in place.
+  if (!streams_.try_emplace(name, std::move(schema)).second) {
     return Status::AlreadyExists("stream '", name, "' already exists");
   }
-  streams_.emplace(name, XDRelation(std::move(schema)));
   return Status::OK();
 }
 
 Result<XDRelation*> StreamStore::GetStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::NotFound("stream '", name, "' does not exist");
@@ -27,6 +30,7 @@ Result<XDRelation*> StreamStore::GetStream(const std::string& name) {
 
 Result<const XDRelation*> StreamStore::GetStream(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::NotFound("stream '", name, "' does not exist");
@@ -35,10 +39,12 @@ Result<const XDRelation*> StreamStore::GetStream(
 }
 
 bool StreamStore::HasStream(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return streams_.count(name) > 0;
 }
 
 Status StreamStore::DropStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (streams_.erase(name) == 0) {
     return Status::NotFound("stream '", name, "' does not exist");
   }
@@ -46,6 +52,7 @@ Status StreamStore::DropStream(const std::string& name) {
 }
 
 std::vector<std::string> StreamStore::StreamNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(streams_.size());
   for (const auto& [name, stream] : streams_) names.push_back(name);

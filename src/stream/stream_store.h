@@ -2,6 +2,7 @@
 #define SERENA_STREAM_STREAM_STORE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,12 @@ namespace serena {
 /// Kept separate from `Environment` (which owns finite relations) so the
 /// one-shot algebra remains stream-agnostic; queries reach streams only
 /// through the Window operator.
+///
+/// Thread safety: the name→stream map is internally locked and streams
+/// have stable addresses (map nodes), so concurrent lookups while other
+/// threads add streams are safe; the `XDRelation`s themselves are also
+/// thread-safe. Dropping a stream while another thread still uses its
+/// pointer is the caller's race to avoid (the executor never drops).
 class StreamStore {
  public:
   StreamStore() = default;
@@ -36,6 +43,7 @@ class StreamStore {
   std::vector<std::string> StreamNames() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, XDRelation> streams_;
 };
 

@@ -13,6 +13,7 @@ XDRelation::XDRelation(ExtendedSchemaPtr schema)
 
 Status XDRelation::Append(Timestamp t, Tuple tuple) {
   SERENA_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
+  std::lock_guard<std::mutex> lock(mu_);
   if (!entries_.empty() && t < entries_.back().first) {
     return Status::FailedPrecondition(
         "stream '", schema_->name(), "' is append-only: instant ", t,
@@ -25,6 +26,7 @@ Status XDRelation::Append(Timestamp t, Tuple tuple) {
 std::vector<Tuple> XDRelation::InsertedDuring(Timestamp from_exclusive,
                                               Timestamp to_inclusive) const {
   std::vector<Tuple> result;
+  std::lock_guard<std::mutex> lock(mu_);
   // Binary search the first entry with instant > from_exclusive.
   const auto begin = std::upper_bound(
       entries_.begin(), entries_.end(), from_exclusive,
@@ -38,6 +40,7 @@ std::vector<Tuple> XDRelation::InsertedDuring(Timestamp from_exclusive,
 
 std::vector<Tuple> XDRelation::LastInserted(std::size_t count,
                                             Timestamp to_inclusive) const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Find the end of the eligible range (instant <= to_inclusive).
   const auto end = std::upper_bound(
       entries_.begin(), entries_.end(), to_inclusive,
@@ -54,6 +57,7 @@ std::vector<Tuple> XDRelation::LastInserted(std::size_t count,
 }
 
 std::size_t XDRelation::PruneBefore(Timestamp t) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t pruned = 0;
   while (!entries_.empty() && entries_.front().first < t) {
     entries_.pop_front();
@@ -64,6 +68,7 @@ std::size_t XDRelation::PruneBefore(Timestamp t) {
 
 std::size_t XDRelation::PruneBeforeKeeping(Timestamp t,
                                            std::size_t min_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t pruned = 0;
   while (entries_.size() > min_entries && entries_.front().first < t) {
     entries_.pop_front();

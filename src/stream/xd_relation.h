@@ -2,6 +2,7 @@
 #define SERENA_STREAM_XD_RELATION_H_
 
 #include <deque>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,9 +26,17 @@ namespace serena {
 ///
 /// The stream keeps a bounded history of insertions so windows can be
 /// answered; `PruneBefore` discards entries no window can reach anymore.
+///
+/// Thread safety: the entry history is internally locked, so concurrent
+/// appends and window reads (parallel executor ticks) are race-free.
+/// *Ordering* between a writer and a reader within one instant is the
+/// executor's job (its feed/read dependency levels).
 class XDRelation {
  public:
   explicit XDRelation(ExtendedSchemaPtr schema);
+
+  XDRelation(const XDRelation&) = delete;
+  XDRelation& operator=(const XDRelation&) = delete;
 
   const ExtendedSchema& schema() const { return *schema_; }
   const ExtendedSchemaPtr& schema_ptr() const { return schema_; }
@@ -58,15 +67,20 @@ class XDRelation {
   std::size_t PruneBeforeKeeping(Timestamp t, std::size_t min_entries);
 
   /// Total retained entries.
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Instant of the latest insertion, or `fallback` when empty.
   Timestamp LastInstant(Timestamp fallback = -1) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return entries_.empty() ? fallback : entries_.back().first;
   }
 
  private:
   ExtendedSchemaPtr schema_;
+  mutable std::mutex mu_;
   std::deque<std::pair<Timestamp, Tuple>> entries_;  // Sorted by instant.
 };
 

@@ -94,7 +94,7 @@ TEST_F(ErmTest, ProxyForwardsInvocationAndChargesRoundTrip) {
   auto proto = env_.GetPrototype("getTemperature").ValueOrDie();
   auto result = env_.registry().Invoke(*proto, "s1", Tuple(), 3);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)->size(), 1u);
   EXPECT_EQ(network_->stats().invocation_round_trips, 1u);
 }
 

@@ -86,8 +86,8 @@ TEST(RegistryTest, InvokeValidatesInputAndImplements) {
   // Happy path.
   auto result = registry.Invoke(*get_temp, "s1", Tuple(), 0);
   ASSERT_TRUE(result.ok());
-  ASSERT_EQ(result->size(), 1u);
-  EXPECT_TRUE((*result)[0][0].is_real());
+  ASSERT_EQ((*result)->size(), 1u);
+  EXPECT_TRUE((**result)[0][0].is_real());
 }
 
 TEST(RegistryTest, OutputValidationCatchesBadServices) {
