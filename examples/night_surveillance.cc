@@ -25,7 +25,8 @@ int main() {
 
   ContinuousExecutor executor(&scenario->env(), &scenario->streams());
   executor.AddSource(
-      [&](Timestamp t) { return scenario->PumpTemperatureStream(t); });
+      [&](Timestamp t) { return scenario->PumpTemperatureStream(t); },
+      /*feeds=*/{TemperatureScenario::kTemperatures});
   auto query = std::make_shared<ContinuousQuery>("q5", q5);
   (void)executor.Register(query);
 

@@ -20,7 +20,8 @@ int main() {
   auto scenario = RssScenario::Build(options).MoveValueOrDie();
 
   ContinuousExecutor executor(&scenario->env(), &scenario->streams());
-  executor.AddSource([&](Timestamp t) { return scenario->PumpNews(t); });
+  executor.AddSource([&](Timestamp t) { return scenario->PumpNews(t); },
+                     /*feeds=*/{RssScenario::kNews});
 
   // "Items mentioning Obama within the last 12 instants."
   PlanPtr keyword_plan = scenario->KeywordQuery("Obama", 12);

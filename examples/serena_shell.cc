@@ -24,9 +24,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "algebra/explain.h"
-#include "algebra/validate.h"
+#include "analysis/analyzer.h"
+#include "analysis/query_set.h"
 #include "common/string_util.h"
 #include "ddl/dump.h"
 #include "io/csv.h"
@@ -58,6 +60,7 @@ void PrintHelp() {
       "rows/timings\n"
       "  \\optimize EXPR     show the rewritten plan\n"
       "  \\validate EXPR     static diagnostics (errors + warnings)\n"
+      "  \\check             lint all registered continuous queries\n"
       "  \\register NAME EXPR   register a continuous query\n"
       "  \\unregister NAME   drop a continuous query\n"
       "  \\prepare NAME EXPR    store a :param query template\n"
@@ -168,7 +171,7 @@ void RunCommand(Pems& pems, const std::string& line) {
       std::cout << plan.status() << "\n";
       return;
     }
-    auto diagnostics = ValidatePlan(*plan, pems.env(), &pems.streams());
+    auto diagnostics = AnalyzePlan(*plan, pems.env(), &pems.streams());
     if (!diagnostics.ok()) {
       std::cout << diagnostics.status() << "\n";
     } else if (diagnostics->empty()) {
@@ -178,6 +181,39 @@ void RunCommand(Pems& pems, const std::string& line) {
         std::cout << "  " << d.ToString() << "\n";
       }
     }
+  } else if (command == "\\check") {
+    // Re-analyze every registered continuous query plus their
+    // feeds/reads graph — the static gate's view, warnings included.
+    ContinuousExecutor& executor = pems.queries().executor();
+    std::vector<QuerySetEntry> entries;
+    std::size_t findings = 0;
+    AnalyzerOptions options;
+    options.context = AnalysisContext::kContinuous;
+    for (const std::string& name : executor.QueryNames()) {
+      auto query = executor.GetQuery(name);
+      if (!query.ok()) continue;
+      entries.push_back(QuerySetEntry{(*query)->name(), (*query)->plan(),
+                                      (*query)->feeds()});
+      auto diagnostics =
+          AnalyzePlan((*query)->plan(), pems.env(), &pems.streams(), options);
+      if (!diagnostics.ok()) continue;
+      for (const Diagnostic& d : *diagnostics) {
+        std::cout << "  [" << name << "] " << d.ToString() << "\n";
+        ++findings;
+      }
+    }
+    QuerySetOptions set_options;
+    set_options.source_fed_streams = executor.SourceFedStreams();
+    auto set_diagnostics = AnalyzeQuerySet(entries, set_options);
+    if (set_diagnostics.ok()) {
+      for (const Diagnostic& d : *set_diagnostics) {
+        std::cout << "  " << d.ToString() << "\n";
+        ++findings;
+      }
+    }
+    std::cout << entries.size() << " quer"
+              << (entries.size() == 1 ? "y" : "ies") << " checked, "
+              << findings << " finding(s)\n";
   } else if (command == "\\register") {
     std::istringstream args(arg);
     std::string name;

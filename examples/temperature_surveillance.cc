@@ -19,7 +19,8 @@ int main() {
   auto scenario = TemperatureScenario::Build().MoveValueOrDie();
   ContinuousExecutor executor(&scenario->env(), &scenario->streams());
   executor.AddSource(
-      [&](Timestamp t) { return scenario->PumpTemperatureStream(t); });
+      [&](Timestamp t) { return scenario->PumpTemperatureStream(t); },
+      /*feeds=*/{TemperatureScenario::kTemperatures});
 
   std::cout << "Continuous queries (Serena algebra):\n  Q3 = "
             << scenario->Q3()->ToString() << "\n  Q4 = "

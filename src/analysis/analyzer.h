@@ -1,0 +1,69 @@
+#ifndef SERENA_ANALYSIS_ANALYZER_H_
+#define SERENA_ANALYSIS_ANALYZER_H_
+
+#include <vector>
+
+#include "algebra/plan.h"
+#include "analysis/diagnostics.h"
+
+namespace serena {
+
+/// What kind of evaluation the analyzed plan is headed for. Some rules
+/// change severity with the destination: a streaming operator is a hard
+/// error in a one-shot query (it cannot evaluate, §4.2) but perfectly
+/// fine in a continuous one.
+enum class AnalysisContext {
+  kNeutral,     ///< Unknown destination: context-dependent rules warn.
+  kOneShot,     ///< `QueryProcessor::ExecuteOneShot` and friends.
+  kContinuous,  ///< Registered with the continuous executor.
+};
+
+struct AnalyzerOptions {
+  AnalysisContext context = AnalysisContext::kNeutral;
+  /// With false, only errors are collected (the gate's configuration —
+  /// warnings never block execution).
+  bool include_warnings = true;
+  /// A time window at least this wide is reported as effectively
+  /// unbounded (SER051).
+  Timestamp unbounded_window_threshold = 1'000'000;
+};
+
+/// Statically checks a whole plan against an environment, collecting
+/// *all* findings instead of failing at the first (what `InferSchema`
+/// does). Passes, in order:
+///
+///  1. *Schema / well-formedness* (SER001–SER010): per-operator schema
+///     derivation exactly as Table 3 defines it, with coded findings —
+///     missing relations/streams, bad formulas, assignment to real
+///     attributes, unknown binding patterns, operand mismatches.
+///  2. *Realization dataflow* (SER020/SER021, Def. 4): every read of a
+///     virtual attribute (selection formula, assignment source,
+///     invocation input, aggregation) must be dominated by a realizing
+///     α/β; realizations whose results are provably dropped are flagged.
+///  3. *Side effects* (SER030/SER031, Def. 8): ACTIVE invocations must
+///     not sit under filtering operators — the filter does not reduce
+///     the action set (Example 6's Q1' pattern).
+///  4. *Cost lints* (SER050–SER052): Cartesian joins, empty/unbounded
+///     windows, binding-pattern-eliminating projections.
+///
+/// Passes 2–4 need resolved schemas, so they run only when pass 1 found
+/// no errors. Never returns an error status for plan *content* —
+/// diagnostics are the result; only a null plan is an argument error.
+///
+/// Increments the `serena.analyze.errors` / `serena.analyze.warnings`
+/// counters (docs/OBSERVABILITY.md) when the metrics registry is enabled.
+Result<std::vector<Diagnostic>> AnalyzePlan(const PlanPtr& plan,
+                                            const Environment& env,
+                                            const StreamStore* streams,
+                                            const AnalyzerOptions& options = {});
+
+/// Compatibility spelling of `AnalyzePlan` with neutral context — the
+/// historical `ValidatePlan` entry point, kept so existing callers (and
+/// the umbrella header contract) keep working.
+Result<std::vector<Diagnostic>> ValidatePlan(const PlanPtr& plan,
+                                             const Environment& env,
+                                             const StreamStore* streams);
+
+}  // namespace serena
+
+#endif  // SERENA_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,125 @@
+#include "analysis/diagnostics.h"
+
+#include "obs/json.h"
+
+namespace serena {
+
+const char* DiagCodeId(DiagCode code) {
+  switch (code) {
+    case DiagCode::kUnknownRelation:
+      return "SER001";
+    case DiagCode::kUnknownStream:
+      return "SER002";
+    case DiagCode::kInvalidFormula:
+      return "SER003";
+    case DiagCode::kInvalidOperatorArgs:
+      return "SER004";
+    case DiagCode::kAssignToReal:
+      return "SER005";
+    case DiagCode::kUnknownBindingPattern:
+      return "SER006";
+    case DiagCode::kUnrealizedInput:
+      return "SER007";
+    case DiagCode::kSchemaMismatch:
+      return "SER008";
+    case DiagCode::kStreamingContext:
+      return "SER009";
+    case DiagCode::kSchemaInference:
+      return "SER010";
+    case DiagCode::kVirtualRead:
+      return "SER020";
+    case DiagCode::kDeadRealization:
+      return "SER021";
+    case DiagCode::kActiveUnderFilter:
+      return "SER030";
+    case DiagCode::kActiveOnlyFiltering:
+      return "SER031";
+    case DiagCode::kQueryCycle:
+      return "SER040";
+    case DiagCode::kDanglingSource:
+      return "SER041";
+    case DiagCode::kWriterConflict:
+      return "SER042";
+    case DiagCode::kCartesianJoin:
+      return "SER050";
+    case DiagCode::kUnboundedWindow:
+      return "SER051";
+    case DiagCode::kPatternlessProjection:
+      return "SER052";
+    case DiagCode::kScriptStatement:
+      return "SER060";
+  }
+  return "SER000";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string s = is_error() ? "error[" : "warning[";
+  s += DiagCodeId(code);
+  s += "]";
+  if (!query.empty()) {
+    s += " in query '";
+    s += query;
+    s += "'";
+  }
+  if (!node.empty()) {
+    s += " at ";
+    s += node;
+  }
+  s += ": ";
+  s += message;
+  if (!hint.empty()) {
+    s += " (hint: ";
+    s += hint;
+    s += ")";
+  }
+  return s;
+}
+
+bool IsValid(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.is_error()) return false;
+  }
+  return true;
+}
+
+std::size_t CountErrors(const std::vector<Diagnostic>& diagnostics) {
+  std::size_t n = 0;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.is_error()) ++n;
+  }
+  return n;
+}
+
+std::size_t CountWarnings(const std::vector<Diagnostic>& diagnostics) {
+  return diagnostics.size() - CountErrors(diagnostics);
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    out += diagnostic.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  obs::JsonWriter writer;
+  writer.BeginArray();
+  for (const Diagnostic& diagnostic : diagnostics) {
+    writer.BeginObject();
+    writer.Key("code").Value(DiagCodeId(diagnostic.code));
+    writer.Key("severity").Value(diagnostic.is_error() ? "error" : "warning");
+    writer.Key("node").Value(diagnostic.node);
+    writer.Key("message").Value(diagnostic.message);
+    if (!diagnostic.hint.empty()) writer.Key("hint").Value(diagnostic.hint);
+    if (!diagnostic.query.empty()) {
+      writer.Key("query").Value(diagnostic.query);
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  return writer.TakeString();
+}
+
+}  // namespace serena

@@ -1,0 +1,90 @@
+#ifndef SERENA_ANALYSIS_DIAGNOSTICS_H_
+#define SERENA_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace serena {
+
+/// Stable diagnostic codes of the static analyzer (docs/ANALYSIS.md).
+///
+/// Numbering is grouped by pass:
+///   SER00x  schema / operator well-formedness (Table 3, Def. 2)
+///   SER02x  realization dataflow (Def. 4)
+///   SER03x  side effects of active services (Def. 8, Example 6)
+///   SER04x  cross-query dependency lints (§4.1 composition)
+///   SER05x  cost / cardinality lints
+///   SER06x  script-level failures (the offline lint runner)
+///
+/// Codes are part of the public contract: tests and downstream tooling
+/// match on them, so existing codes must never be renumbered.
+enum class DiagCode {
+  kUnknownRelation = 1,       ///< SER001: scan of a missing relation.
+  kUnknownStream = 2,         ///< SER002: window over a missing stream.
+  kInvalidFormula = 3,        ///< SER003: bad selection formula.
+  kInvalidOperatorArgs = 4,   ///< SER004: bad operator arguments.
+  kAssignToReal = 5,          ///< SER005: α targets a real attribute.
+  kUnknownBindingPattern = 6, ///< SER006: β's pattern absent/ambiguous.
+  kUnrealizedInput = 7,       ///< SER007: β input attribute still virtual.
+  kSchemaMismatch = 8,        ///< SER008: set op / join incompatibility.
+  kStreamingContext = 9,      ///< SER009: S[...] outside continuous eval.
+  kSchemaInference = 10,      ///< SER010: other schema-inference failure.
+  kVirtualRead = 20,          ///< SER020: virtual attribute read (Def. 4).
+  kDeadRealization = 21,      ///< SER021: invocation output never used.
+  kActiveUnderFilter = 30,    ///< SER030: ACTIVE invoke under a filter.
+  kActiveOnlyFiltering = 31,  ///< SER031: ACTIVE invoke feeds a filter only.
+  kQueryCycle = 40,           ///< SER040: feeds/reads cycle across queries.
+  kDanglingSource = 41,       ///< SER041: window over a producer-less stream.
+  kWriterConflict = 42,       ///< SER042: two queries feed one stream.
+  kCartesianJoin = 50,        ///< SER050: join degrades to Cartesian product.
+  kUnboundedWindow = 51,      ///< SER051: empty or effectively unbounded W.
+  kPatternlessProjection = 52,///< SER052: π eliminates all binding patterns.
+  kScriptStatement = 60,      ///< SER060: script statement failed (lint).
+};
+
+/// "SER001", "SER020", ... — the stable rendering of a code.
+const char* DiagCodeId(DiagCode code);
+
+/// One finding from the static analyzer.
+///
+/// This is the single diagnostic type of the codebase: plan analysis,
+/// cross-query linting and the offline script linter all produce it.
+struct Diagnostic {
+  enum class Severity { kError, kWarning };
+
+  DiagCode code = DiagCode::kSchemaInference;
+  Severity severity = Severity::kError;
+  /// The operator the finding anchors to (rendered label), e.g.
+  /// "select[temperature > 30]" — empty for query-set findings.
+  std::string node;
+  std::string message;
+  /// Optional fix-it hint ("realize it with invoke[getTemperature]").
+  std::string hint;
+  /// Optional continuous-query name (cross-query findings).
+  std::string query;
+
+  bool is_error() const { return severity == Severity::kError; }
+
+  /// "error[SER005] at assign[temp]: ... (hint: ...)".
+  std::string ToString() const;
+};
+
+/// True if no kError diagnostics are present.
+bool IsValid(const std::vector<Diagnostic>& diagnostics);
+
+std::size_t CountErrors(const std::vector<Diagnostic>& diagnostics);
+std::size_t CountWarnings(const std::vector<Diagnostic>& diagnostics);
+
+/// Multi-line human rendering, one finding per line (empty string for no
+/// findings).
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+/// Compact JSON array for the obs layer / `serena_lint --json`:
+/// [{"code":"SER001","severity":"error","node":"...","message":"...",
+///   "hint":"...","query":"..."}, ...] — hint/query keys only when set.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace serena
+
+#endif  // SERENA_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,236 @@
+#include "analysis/lint_runner.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "analysis/query_set.h"
+#include "common/string_util.h"
+#include "ddl/algebra_parser.h"
+#include "pems/pems.h"
+
+namespace serena {
+
+namespace {
+
+bool IsDdl(const std::string& text) {
+  std::istringstream in(text);
+  std::string head;
+  in >> head;
+  const std::string lower = ToLower(head);
+  return lower == "prototype" || lower == "service" || lower == "extended" ||
+         lower == "insert" || lower == "delete" || lower == "drop";
+}
+
+/// Collects everything one lint run accumulates.
+class LintRun {
+ public:
+  explicit LintRun(Pems* pems) : pems_(pems) {}
+
+  void Statement(int number, const std::string& statement) {
+    if (statement[0] == '\\') {
+      Directive(number, statement);
+      return;
+    }
+    if (IsDdl(statement)) {
+      const Status status = pems_->tables().ExecuteDdl(statement);
+      if (!status.ok()) ScriptError(number, status.message());
+      return;
+    }
+    std::string text = statement;
+    if (!text.empty() && text.back() == ';') text.pop_back();
+    auto plan = ParseAlgebra(text);
+    if (!plan.ok()) {
+      ScriptError(number, plan.status().message());
+      return;
+    }
+    AnalyzerOptions options;
+    options.context = AnalysisContext::kOneShot;
+    Append(AnalyzePlan(*plan, pems_->env(), &pems_->streams(), options)
+               .ValueOrDie(),
+           /*query=*/{});
+  }
+
+  std::vector<Diagnostic> Finish() {
+    QuerySetOptions options;
+    options.source_fed_streams = {source_fed_.begin(), source_fed_.end()};
+    auto set_diagnostics = AnalyzeQuerySet(queries_, options).ValueOrDie();
+    diagnostics_.insert(diagnostics_.end(), set_diagnostics.begin(),
+                        set_diagnostics.end());
+    return std::move(diagnostics_);
+  }
+
+ private:
+  void Directive(int number, const std::string& statement) {
+    std::istringstream in(statement);
+    std::string command;
+    in >> command;
+    if (command == "\\source") {
+      std::string stream;
+      while (in >> stream) source_fed_.insert(stream);
+      return;
+    }
+    if (command != "\\register") return;  // Session directives: not lintable.
+
+    std::string name;
+    in >> name;
+    std::string stream;
+    std::streampos before_into = in.tellg();
+    std::string maybe_into;
+    if (in >> maybe_into) {
+      if (maybe_into == "into") {
+        in >> stream;
+      } else {
+        in.seekg(before_into);
+      }
+    } else {
+      in.clear();
+    }
+    std::string expr;
+    std::getline(in, expr);
+    const std::string text(Trim(expr));
+    if (name.empty() || text.empty()) {
+      ScriptError(number,
+                  "\\register needs a name and an algebra expression");
+      return;
+    }
+    for (const QuerySetEntry& entry : queries_) {
+      if (entry.name == name) {
+        ScriptError(number, "continuous query '" + name +
+                                "' is registered twice");
+        return;
+      }
+    }
+    auto plan = ParseAlgebra(text);
+    if (!plan.ok()) {
+      ScriptError(number, plan.status().message());
+      return;
+    }
+    AnalyzerOptions options;
+    options.context = AnalysisContext::kContinuous;
+    auto diagnostics =
+        AnalyzePlan(*plan, pems_->env(), &pems_->streams(), options)
+            .ValueOrDie();
+    const bool plan_ok = IsValid(diagnostics);
+    Append(std::move(diagnostics), name);
+
+    std::vector<std::string> feeds;
+    if (!stream.empty()) {
+      feeds.push_back(stream);
+      // Mirror RegisterContinuousInto: the derived stream exists for
+      // downstream windows once its first producer is registered.
+      if (plan_ok) DeriveStream(number, name, *plan, stream);
+    }
+    queries_.push_back(QuerySetEntry{name, *plan, std::move(feeds)});
+  }
+
+  void DeriveStream(int number, const std::string& name, const PlanPtr& plan,
+                    const std::string& stream) {
+    auto schema = plan->InferSchema(pems_->env(), &pems_->streams());
+    if (!schema.ok()) {
+      ScriptError(number, schema.status().message());
+      return;
+    }
+    std::vector<Attribute> real_attrs;
+    for (const Attribute& attr : (*schema)->attributes()) {
+      if (attr.is_real()) real_attrs.push_back(attr);
+    }
+    if (!pems_->streams().HasStream(stream)) {
+      auto stream_schema = ExtendedSchema::Create(stream, real_attrs);
+      if (stream_schema.ok()) {
+        (void)pems_->streams().AddStream(*stream_schema);
+      } else {
+        ScriptError(number, stream_schema.status().message());
+      }
+      return;
+    }
+    const XDRelation* existing =
+        pems_->streams().GetStream(stream).ValueOrDie();
+    if (real_attrs != existing->schema().attributes()) {
+      diagnostics_.push_back(Diagnostic{
+          DiagCode::kSchemaMismatch, Diagnostic::Severity::kError,
+          /*node=*/{},
+          "derived stream '" + stream +
+              "' has a schema incompatible with query '" + name + "'",
+          /*hint=*/{}, name});
+    }
+  }
+
+  void ScriptError(int number, const std::string& message) {
+    diagnostics_.push_back(Diagnostic{
+        DiagCode::kScriptStatement, Diagnostic::Severity::kError,
+        "statement " + std::to_string(number), message, /*hint=*/{},
+        /*query=*/{}});
+  }
+
+  void Append(std::vector<Diagnostic> diagnostics, const std::string& query) {
+    for (Diagnostic& diagnostic : diagnostics) {
+      if (diagnostic.query.empty()) diagnostic.query = query;
+      diagnostics_.push_back(std::move(diagnostic));
+    }
+  }
+
+  Pems* pems_;
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<QuerySetEntry> queries_;
+  std::set<std::string> source_fed_;
+};
+
+}  // namespace
+
+std::vector<std::string> SplitScript(std::string_view script) {
+  std::vector<std::string> statements;
+  std::string buffer;
+  std::istringstream lines{std::string(script)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#' ||
+        trimmed.rfind("--", 0) == 0) {
+      continue;
+    }
+    if (Trim(buffer).empty() && trimmed[0] == '\\') {
+      statements.push_back(trimmed);
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    // Pull out every complete (';'-terminated) statement, tolerating ';'
+    // inside single-quoted literals.
+    std::size_t start = 0;
+    bool in_quote = false;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      if (buffer[i] == '\'') in_quote = !in_quote;
+      if (buffer[i] == ';' && !in_quote) {
+        const std::string statement(
+            Trim(std::string_view(buffer).substr(start, i - start + 1)));
+        if (!statement.empty()) statements.push_back(statement);
+        start = i + 1;
+      }
+    }
+    buffer.erase(0, start);
+    // Don't let leftover whitespace (the newline after a ';') mask the
+    // start of a fresh statement or directive.
+    if (Trim(buffer).empty()) buffer.clear();
+  }
+  const std::string tail(Trim(buffer));
+  if (!tail.empty()) statements.push_back(tail);
+  return statements;
+}
+
+Result<LintResult> LintScript(std::string_view script) {
+  SERENA_ASSIGN_OR_RETURN(std::unique_ptr<Pems> pems, Pems::Create());
+  LintResult result;
+  LintRun run(pems.get());
+  int number = 0;
+  for (const std::string& statement : SplitScript(script)) {
+    ++number;
+    run.Statement(number, statement);
+  }
+  result.statements = number;
+  result.diagnostics = run.Finish();
+  return result;
+}
+
+}  // namespace serena

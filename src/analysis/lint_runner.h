@@ -1,0 +1,52 @@
+#ifndef SERENA_ANALYSIS_LINT_RUNNER_H_
+#define SERENA_ANALYSIS_LINT_RUNNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "common/result.h"
+
+namespace serena {
+
+/// The outcome of linting one `.serena` script.
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Statements and directives processed (comments excluded).
+  int statements = 0;
+
+  bool ok() const { return IsValid(diagnostics); }
+};
+
+/// Offline static analysis of a `.serena` script (the shell's language):
+/// DDL statements are *executed* against a fresh, empty PEMS to build up
+/// the catalog, and every query statement is analyzed — never executed —
+/// with the full analyzer. This is what the `serena_lint` CLI runs.
+///
+/// Script syntax, as in `serena_shell`:
+///  - `;`-terminated DDL and one-shot algebra statements;
+///  - `--` and `#` comment lines;
+///  - directives on their own line:
+///      `\register NAME EXPR`              analyze EXPR as a continuous
+///                                         query named NAME;
+///      `\register NAME into STREAM EXPR`  same, feeding derived STREAM
+///                                         (created on first use);
+///      `\source STREAM [STREAM...]`       declare externally-fed streams
+///                                         (suppresses SER041 for them);
+///    other shell directives (`\tick`, `\show`, ...) are ignored — the
+///    linter checks queries, it does not run sessions.
+///
+/// After all statements, the accumulated continuous-query set goes
+/// through the cross-query lint (SER040/SER041/SER042). DDL or parse
+/// failures surface as SER060 with the 1-based statement number.
+Result<LintResult> LintScript(std::string_view script);
+
+/// Splits a script into `;`-terminated statements and single-line `\`
+/// directives, honoring single-quoted strings and dropping `--`/`#`
+/// comment lines. Exposed for the shell and tests.
+std::vector<std::string> SplitScript(std::string_view script);
+
+}  // namespace serena
+
+#endif  // SERENA_ANALYSIS_LINT_RUNNER_H_

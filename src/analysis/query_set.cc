@@ -1,0 +1,144 @@
+#include "analysis/query_set.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace serena {
+
+namespace {
+
+void CollectWindowReadsInto(const PlanPtr& plan,
+                            std::set<std::string>* reads) {
+  if (plan == nullptr) return;
+  if (plan->kind() == PlanKind::kWindow) {
+    reads->insert(static_cast<const WindowNode&>(*plan).stream());
+  }
+  for (const PlanPtr& child : plan->children()) {
+    CollectWindowReadsInto(child, reads);
+  }
+}
+
+/// DFS cycle search over the query dependency graph. Colors: 0 white,
+/// 1 on the current path, 2 done. On finding a back edge, renders the
+/// cycle through the current path.
+class CycleFinder {
+ public:
+  CycleFinder(const std::vector<QuerySetEntry>& queries,
+              const std::vector<std::vector<std::size_t>>& edges)
+      : queries_(queries), edges_(edges), color_(queries.size(), 0) {}
+
+  /// One rendered cycle per distinct back edge found from unvisited
+  /// roots ("a -> b -> a"), with the query index it anchors to.
+  std::vector<std::pair<std::size_t, std::string>> Find() {
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      if (color_[i] == 0) Visit(i);
+    }
+    return std::move(cycles_);
+  }
+
+ private:
+  void Visit(std::size_t node) {
+    color_[node] = 1;
+    path_.push_back(node);
+    for (const std::size_t next : edges_[node]) {
+      if (color_[next] == 1) {
+        RecordCycle(next);
+      } else if (color_[next] == 0) {
+        Visit(next);
+      }
+    }
+    path_.pop_back();
+    color_[node] = 2;
+  }
+
+  void RecordCycle(std::size_t entry) {
+    const auto start = std::find(path_.begin(), path_.end(), entry);
+    std::string rendered;
+    for (auto it = start; it != path_.end(); ++it) {
+      if (!rendered.empty()) rendered += " -> ";
+      rendered += queries_[*it].name;
+    }
+    rendered += " -> " + queries_[entry].name;
+    cycles_.emplace_back(entry, std::move(rendered));
+  }
+
+  const std::vector<QuerySetEntry>& queries_;
+  const std::vector<std::vector<std::size_t>>& edges_;
+  std::vector<int> color_;
+  std::vector<std::size_t> path_;
+  std::vector<std::pair<std::size_t, std::string>> cycles_;
+};
+
+}  // namespace
+
+std::vector<std::string> CollectWindowReads(const PlanPtr& plan) {
+  std::set<std::string> reads;
+  CollectWindowReadsInto(plan, &reads);
+  return {reads.begin(), reads.end()};
+}
+
+Result<std::vector<Diagnostic>> AnalyzeQuerySet(
+    const std::vector<QuerySetEntry>& queries,
+    const QuerySetOptions& options) {
+  std::vector<Diagnostic> diagnostics;
+
+  // Producers: stream -> feeding query index (first writer wins; later
+  // writers are the conflict).
+  std::map<std::string, std::size_t> producer_of;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    for (const std::string& stream : queries[i].feeds) {
+      const auto [it, inserted] = producer_of.emplace(stream, i);
+      if (!inserted && queries[it->second].name != queries[i].name) {
+        diagnostics.push_back(Diagnostic{
+            DiagCode::kWriterConflict, Diagnostic::Severity::kError,
+            /*node=*/{},
+            "queries '" + queries[it->second].name + "' and '" +
+                queries[i].name + "' both feed derived stream '" + stream +
+                "': readers would observe a scheduling-dependent merge",
+            "give each writer its own stream, or union the plans into one "
+            "query",
+            /*query=*/queries[i].name});
+      }
+    }
+  }
+
+  const std::set<std::string> source_fed(options.source_fed_streams.begin(),
+                                         options.source_fed_streams.end());
+
+  // Reads, dangling sources, and the dependency edges producer -> reader.
+  std::vector<std::vector<std::size_t>> edges(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    for (const std::string& stream : CollectWindowReads(queries[i].plan)) {
+      const auto producer = producer_of.find(stream);
+      if (producer != producer_of.end()) {
+        edges[producer->second].push_back(i);
+      } else if (options.include_warnings && source_fed.count(stream) == 0) {
+        diagnostics.push_back(Diagnostic{
+            DiagCode::kDanglingSource, Diagnostic::Severity::kWarning,
+            "window(" + stream + ")",
+            "no registered query or declared source feeds stream '" +
+                stream + "': this window will stay empty",
+            "register a producer first, or declare the source with "
+            "AddSource(source, {\"" + stream + "\"})",
+            /*query=*/queries[i].name});
+      }
+    }
+  }
+
+  for (auto& [index, cycle] : CycleFinder(queries, edges).Find()) {
+    diagnostics.push_back(Diagnostic{
+        DiagCode::kQueryCycle, Diagnostic::Severity::kError,
+        /*node=*/{},
+        "dependency cycle between continuous queries: " + cycle +
+            " (each tick has no valid evaluation order)",
+        "break the cycle by splitting the feedback path into its own "
+        "stream fed by a source",
+        /*query=*/queries[index].name});
+  }
+
+  return diagnostics;
+}
+
+}  // namespace serena

@@ -1,0 +1,53 @@
+#ifndef SERENA_ANALYSIS_QUERY_SET_H_
+#define SERENA_ANALYSIS_QUERY_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "analysis/diagnostics.h"
+
+namespace serena {
+
+/// One registered (or about-to-be-registered) continuous query, seen by
+/// the cross-query lint: its name, plan, and the streams its sink feeds.
+/// The streams it *reads* are derived from the plan's Window leaves.
+struct QuerySetEntry {
+  std::string name;
+  PlanPtr plan;
+  /// Streams this query's sink appends to (derived streams).
+  std::vector<std::string> feeds;
+};
+
+struct QuerySetOptions {
+  /// Streams fed by executor sources (sensor pumps, pollers) rather than
+  /// by queries — these are legitimate producers, so windows over them
+  /// are not dangling.
+  std::vector<std::string> source_fed_streams;
+  bool include_warnings = true;
+};
+
+/// The streams `plan` reads through Window leaves, sorted and deduplicated.
+std::vector<std::string> CollectWindowReads(const PlanPtr& plan);
+
+/// Lints the feeds/reads graph over a whole continuous-query set — the
+/// checks that only make sense across queries (§4.1 composition):
+///
+///  - SER040 (error): a cycle in the dependency graph (query A feeds a
+///    stream query B reads, ... back to A — including self-loops). The
+///    per-tick barrier schedule has no valid order for such a set, and
+///    results would depend on arbitrary tie-breaking.
+///  - SER041 (warning): a window over a stream no query feeds and no
+///    declared source feeds — the query can never produce anything.
+///  - SER042 (error): two queries feed the same derived stream. Appends
+///    from both writers interleave per tick, so readers observe a merge
+///    whose content depends on scheduling.
+///
+/// Diagnostics carry the offending query in their `query` field.
+Result<std::vector<Diagnostic>> AnalyzeQuerySet(
+    const std::vector<QuerySetEntry>& queries,
+    const QuerySetOptions& options = {});
+
+}  // namespace serena
+
+#endif  // SERENA_ANALYSIS_QUERY_SET_H_

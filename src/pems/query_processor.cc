@@ -1,16 +1,33 @@
 #include "pems/query_processor.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "analysis/query_set.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace serena {
+
+namespace {
+
+/// `SERENA_ANALYZE=off|0|false` disables the gate process-wide — the
+/// escape hatch for deliberately executing ill-formed plans.
+bool AnalyzeEnabledByEnv() {
+  const char* value = std::getenv("SERENA_ANALYZE");
+  if (value == nullptr) return true;
+  const std::string lower = ToLower(value);
+  return !(lower == "off" || lower == "0" || lower == "false");
+}
+
+}  // namespace
 
 QueryProcessor::QueryProcessor(Environment* env, StreamStore* streams)
     : env_(env),
       streams_(streams),
       executor_(env, streams),
-      rewriter_(env, streams) {}
+      rewriter_(env, streams),
+      analyze_(AnalyzeEnabledByEnv()) {}
 
 QueryProcessor::~QueryProcessor() {
   if (has_listener_) {
@@ -18,9 +35,46 @@ QueryProcessor::~QueryProcessor() {
   }
 }
 
+Status QueryProcessor::GatePlan(const PlanPtr& plan,
+                                AnalysisContext context) const {
+  if (!analyze_) return Status::OK();
+  AnalyzerOptions options;
+  options.context = context;
+  options.include_warnings = false;  // Warnings never block execution.
+  SERENA_ASSIGN_OR_RETURN(std::vector<Diagnostic> diagnostics,
+                          AnalyzePlan(plan, *env_, streams_, options));
+  if (IsValid(diagnostics)) return Status::OK();
+  return Status::InvalidArgument("plan rejected by static analysis:\n",
+                                 RenderDiagnostics(diagnostics));
+}
+
+Status QueryProcessor::GateQuerySet(
+    const std::string& name, const PlanPtr& plan,
+    const std::vector<std::string>& feeds) const {
+  if (!analyze_) return Status::OK();
+  std::vector<QuerySetEntry> entries;
+  for (const std::string& existing : executor_.QueryNames()) {
+    auto query = executor_.GetQuery(existing);
+    if (!query.ok()) continue;
+    entries.push_back(
+        QuerySetEntry{(*query)->name(), (*query)->plan(), (*query)->feeds()});
+  }
+  entries.push_back(QuerySetEntry{name, plan, feeds});
+  QuerySetOptions options;
+  options.include_warnings = false;
+  options.source_fed_streams = executor_.SourceFedStreams();
+  SERENA_ASSIGN_OR_RETURN(std::vector<Diagnostic> diagnostics,
+                          AnalyzeQuerySet(entries, options));
+  if (IsValid(diagnostics)) return Status::OK();
+  return Status::InvalidArgument("continuous query '", name,
+                                 "' rejected by static analysis:\n",
+                                 RenderDiagnostics(diagnostics));
+}
+
 Result<QueryResult> QueryProcessor::ExecuteOneShot(
     std::string_view algebra) {
   SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseAlgebra(algebra));
+  SERENA_RETURN_NOT_OK(GatePlan(plan, AnalysisContext::kOneShot));
   if (optimize_) {
     SERENA_ASSIGN_OR_RETURN(plan, rewriter_.Optimize(plan));
   }
@@ -46,6 +100,9 @@ Result<QueryResult> QueryProcessor::ExecutePrepared(
   }
   SERENA_ASSIGN_OR_RETURN(PlanPtr bound,
                           BindParameters(it->second, parameters));
+  // The gate runs on the *bound* plan: templates legitimately carry
+  // unbound parameters until here.
+  SERENA_RETURN_NOT_OK(GatePlan(bound, AnalysisContext::kOneShot));
   if (optimize_) {
     SERENA_ASSIGN_OR_RETURN(bound, rewriter_.Optimize(bound));
   }
@@ -65,9 +122,11 @@ Status QueryProcessor::RegisterContinuous(const std::string& name,
                                           std::string_view algebra,
                                           ContinuousQuery::Sink sink) {
   SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseAlgebra(algebra));
+  SERENA_RETURN_NOT_OK(GatePlan(plan, AnalysisContext::kContinuous));
   if (optimize_) {
     SERENA_ASSIGN_OR_RETURN(plan, rewriter_.Optimize(plan));
   }
+  SERENA_RETURN_NOT_OK(GateQuerySet(name, plan, /*feeds=*/{}));
   auto query = std::make_shared<ContinuousQuery>(name, std::move(plan));
   if (sink) query->set_sink(std::move(sink));
   return executor_.Register(std::move(query));
@@ -84,6 +143,7 @@ Status QueryProcessor::RegisterContinuousInto(const std::string& name,
     return Status::FailedPrecondition("no stream store configured");
   }
   SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseAlgebra(algebra));
+  SERENA_RETURN_NOT_OK(GatePlan(plan, AnalysisContext::kContinuous));
   if (optimize_) {
     SERENA_ASSIGN_OR_RETURN(plan, rewriter_.Optimize(plan));
   }
@@ -115,6 +175,11 @@ Status QueryProcessor::RegisterContinuousInto(const std::string& name,
           "' has a schema incompatible with query '", name, "'");
     }
   }
+
+  // The cross-query gate runs after the stream-schema compatibility
+  // check above (whose FailedPrecondition callers rely on) but before
+  // anything reaches the executor.
+  SERENA_RETURN_NOT_OK(GateQuerySet(name, plan, {stream}));
 
   auto query = std::make_shared<ContinuousQuery>(name, std::move(plan));
   // Declare the sink's target stream so the executor schedules consumers

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "algebra/parameters.h"
+#include "analysis/analyzer.h"
 #include "ddl/algebra_parser.h"
 #include "rewrite/rewriter.h"
 #include "stream/executor.h"
@@ -29,6 +30,16 @@ class QueryProcessor {
 
   /// Toggle logical optimization (§3.3 rewriting) before execution.
   void set_optimize(bool optimize) { optimize_ = optimize; }
+
+  /// Toggle the static-analysis gate. When on (the default), every plan
+  /// is analyzed before execution or registration and rejected with the
+  /// coded diagnostics (docs/ANALYSIS.md) if any *error* is found —
+  /// before any service invocation can fire a side effect. Warnings
+  /// never block. The initial value honors `SERENA_ANALYZE` (`off`, `0`
+  /// or `false` disable the gate — the escape hatch for ill-formed-plan
+  /// archaeology).
+  void set_analyze(bool analyze) { analyze_ = analyze; }
+  bool analyze() const { return analyze_; }
 
   /// Parses, optimizes and executes a one-shot query at the current
   /// instant.
@@ -83,11 +94,23 @@ class QueryProcessor {
   Status SyncDiscoveryRelation(const std::string& relation,
                                const std::string& prototype);
 
+  /// The static-analysis gate for one plan: InvalidArgument carrying the
+  /// rendered coded errors when the analyzer rejects it; OK otherwise
+  /// (or when the gate is off).
+  Status GatePlan(const PlanPtr& plan, AnalysisContext context) const;
+
+  /// The cross-query gate: lints the already-registered query set plus
+  /// the candidate (`name`, `plan`, `feeds`) for cycles and
+  /// writer/writer conflicts before it reaches the executor.
+  Status GateQuerySet(const std::string& name, const PlanPtr& plan,
+                      const std::vector<std::string>& feeds) const;
+
   Environment* env_;
   StreamStore* streams_;
   ContinuousExecutor executor_;
   Rewriter rewriter_;
   bool optimize_ = true;
+  bool analyze_ = true;
   // relation name -> prototype it mirrors.
   std::map<std::string, std::string> discovery_queries_;
   // Prepared query templates by name.

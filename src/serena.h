@@ -22,7 +22,11 @@
 ///  - `service/`: prototypes (active/passive/streaming), services, the
 ///    registry with per-instant deterministic invocation (Def. 1, §3.2).
 ///  - `algebra/`: Table 3 operators, plans, action sets, aggregation,
-///    EXPLAIN, validation, parameters.
+///    EXPLAIN, parameters.
+///  - `analysis/`: the multi-pass static analyzer — coded diagnostics
+///    (SER0xx), plan verification, cross-query dependency linting, and
+///    the offline script linter behind `serena_lint`
+///    (see docs/ANALYSIS.md).
 ///  - `rewrite/`: Table 5 rules, cost model, optimizer, Def. 9
 ///    equivalence checking.
 ///  - `stream/`: XD-Relations, windows, streaming operators, the
@@ -47,7 +51,9 @@
 #include "algebra/explain.h"
 #include "algebra/parameters.h"
 #include "algebra/plan.h"
-#include "algebra/validate.h"
+#include "analysis/analyzer.h"
+#include "analysis/lint_runner.h"
+#include "analysis/query_set.h"
 #include "ddl/algebra_parser.h"
 #include "ddl/catalog.h"
 #include "ddl/ddl_parser.h"

@@ -1,6 +1,7 @@
 #include "stream/executor.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -40,13 +41,26 @@ bool Intersects(const std::vector<std::string>& a,
 }  // namespace
 
 std::size_t ContinuousExecutor::AddSource(Source source) {
+  return AddSource(std::move(source), {});
+}
+
+std::size_t ContinuousExecutor::AddSource(Source source,
+                                          std::vector<std::string> feeds) {
   const std::size_t token = next_source_token_++;
-  sources_.emplace(token, std::move(source));
+  sources_.emplace(token, SourceEntry{std::move(source), std::move(feeds)});
   return token;
 }
 
 void ContinuousExecutor::RemoveSource(std::size_t token) {
   sources_.erase(token);
+}
+
+std::vector<std::string> ContinuousExecutor::SourceFedStreams() const {
+  std::set<std::string> streams;
+  for (const auto& [token, entry] : sources_) {
+    streams.insert(entry.feeds.begin(), entry.feeds.end());
+  }
+  return {streams.begin(), streams.end()};
 }
 
 Status ContinuousExecutor::Register(ContinuousQueryPtr query) {
@@ -157,8 +171,8 @@ Timestamp ContinuousExecutor::Tick() {
   last_errors_.clear();
   ++total_ticks_;
 
-  for (const auto& [token, source] : sources_) {
-    const Status status = source(now);
+  for (const auto& [token, entry] : sources_) {
+    const Status status = entry.source(now);
     if (!status.ok()) {
       SERENA_LOG(Warning) << "stream source failed at instant " << now
                           << ": " << status;

@@ -44,8 +44,17 @@ class ContinuousExecutor {
 
   /// Registers a stream-feeding source, returning its token. Sources
   /// always run serially, in token order, before any query steps.
+  /// `feeds` names the streams the source appends to — declaring them
+  /// lets the cross-query lint (SER041) know the streams have a
+  /// producer; an empty list is allowed but leaves windows over the
+  /// source's streams looking dangling to the analyzer.
   std::size_t AddSource(Source source);
+  std::size_t AddSource(Source source, std::vector<std::string> feeds);
   void RemoveSource(std::size_t token);
+
+  /// Streams any registered source declared it feeds, sorted and
+  /// deduplicated.
+  std::vector<std::string> SourceFedStreams() const;
 
   /// Registers a continuous query under its name. Dependent queries are
   /// evaluated in registration order each tick, so upstream stages of a
@@ -114,11 +123,16 @@ class ContinuousExecutor {
   /// query set changes.
   void RebuildSchedule();
 
+  struct SourceEntry {
+    Source source;
+    std::vector<std::string> feeds;
+  };
+
   Environment* env_;
   StreamStore* streams_;
   ThreadPool* pool_ = nullptr;
   std::size_t next_source_token_ = 0;
-  std::map<std::size_t, Source> sources_;
+  std::map<std::size_t, SourceEntry> sources_;
   // Registration order; within a schedule level this is evaluation order
   // under a serial pool.
   std::vector<Entry> entries_;

@@ -1,0 +1,293 @@
+// Unit tests for the multi-pass static analyzer (src/analysis). Every
+// SER0xx plan-level code is triggered at least once; the cross-query
+// codes (SER04x) live in query_set_test.cc and the script code (SER060)
+// in lint_runner_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "env/scenario.h"
+#include "obs/metrics.h"
+
+namespace serena {
+namespace {
+
+bool HasCode(const std::vector<Diagnostic>& diagnostics, DiagCode code) {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic& FindCode(const std::vector<Diagnostic>& diagnostics,
+                           DiagCode code) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return d;
+  }
+  static const Diagnostic missing{};
+  ADD_FAILURE() << "no diagnostic with code " << DiagCodeId(code);
+  return missing;
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+  }
+
+  std::vector<Diagnostic> Analyze(const PlanPtr& plan,
+                                  AnalyzerOptions options = {}) {
+    return AnalyzePlan(plan, scenario_->env(), &scenario_->streams(), options)
+        .ValueOrDie();
+  }
+
+  static FormulaPtr AttrEq(const std::string& attr, Value value) {
+    return Formula::Compare(Operand::Attr(attr), CompareOp::kEq,
+                            Operand::Const(std::move(value)));
+  }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+// --- Pass 1: well-formedness -----------------------------------------------
+
+TEST_F(AnalyzerTest, Ser001UnknownRelationWithDidYouMeanHint) {
+  const auto diagnostics = Analyze(Scan("contact"));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kUnknownRelation);
+  EXPECT_TRUE(d.is_error());
+  EXPECT_NE(d.message.find("contact"), std::string::npos);
+  EXPECT_NE(d.hint.find("contacts"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser001ScanOfStreamSuggestsWindow) {
+  const auto diagnostics = Analyze(Scan("temperatures"));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kUnknownRelation);
+  EXPECT_NE(d.hint.find("window"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser002UnknownStream) {
+  const auto diagnostics = Analyze(Window("temperature", 1));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kUnknownStream);
+  EXPECT_TRUE(d.is_error());
+  EXPECT_NE(d.hint.find("temperatures"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser003InvalidFormula) {
+  const auto diagnostics = Analyze(
+      Select(Scan("contacts"), AttrEq("missing", Value::Int(1))));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kInvalidFormula));
+}
+
+TEST_F(AnalyzerTest, Ser004ProjectionOfMissingAttribute) {
+  const auto diagnostics = Analyze(Project(Scan("contacts"), {"nope"}));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kInvalidOperatorArgs));
+}
+
+TEST_F(AnalyzerTest, Ser005AssignToRealAttribute) {
+  const auto diagnostics =
+      Analyze(Assign(Scan("contacts"), "name", Value::String("x")));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kAssignToReal);
+  EXPECT_NE(d.message.find("already real"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser006UnknownBindingPattern) {
+  // `surveillance` declares no binding patterns at all.
+  const auto diagnostics =
+      Analyze(Invoke(Scan("surveillance"), "sendMessage"));
+  const Diagnostic& d =
+      FindCode(diagnostics, DiagCode::kUnknownBindingPattern);
+  EXPECT_NE(d.hint.find("no binding patterns"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser007UnrealizedInvokeInput) {
+  const auto diagnostics = Analyze(Invoke(Scan("contacts"), "sendMessage"));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kUnrealizedInput);
+  EXPECT_NE(d.message.find("text"), std::string::npos);
+  EXPECT_NE(d.hint.find("assignment"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser008SetOpSchemaMismatch) {
+  const auto diagnostics =
+      Analyze(UnionOf(Scan("contacts"), Scan("cameras")));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kSchemaMismatch));
+}
+
+TEST_F(AnalyzerTest, Ser009StreamingContextDependsOnOptions) {
+  const PlanPtr plan =
+      Streaming(Scan("contacts"), StreamingType::kInsertion);
+
+  AnalyzerOptions one_shot;
+  one_shot.context = AnalysisContext::kOneShot;
+  const auto hard = Analyze(plan, one_shot);
+  EXPECT_TRUE(FindCode(hard, DiagCode::kStreamingContext).is_error());
+
+  const auto neutral = Analyze(plan);
+  const Diagnostic& warning =
+      FindCode(neutral, DiagCode::kStreamingContext);
+  EXPECT_EQ(warning.severity, Diagnostic::Severity::kWarning);
+
+  AnalyzerOptions continuous;
+  continuous.context = AnalysisContext::kContinuous;
+  EXPECT_FALSE(
+      HasCode(Analyze(plan, continuous), DiagCode::kStreamingContext));
+}
+
+TEST_F(AnalyzerTest, Ser010ResidualSchemaInferenceFailure) {
+  // Every per-node precondition holds (attribute exists and is real), but
+  // schema derivation still fails: sum() over a STRING attribute.
+  const auto diagnostics = Analyze(Aggregate(
+      Scan("contacts"), {},
+      {AggregateSpec{AggregateFn::kSum, "name", "total"}}));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kSchemaInference);
+  EXPECT_NE(d.message.find("non-numeric"), std::string::npos);
+}
+
+// --- Pass 2: realization dataflow ------------------------------------------
+
+TEST_F(AnalyzerTest, Ser020VirtualReadWithRealizationHint) {
+  const auto diagnostics = Analyze(
+      Select(Scan("sensors"), AttrEq("temperature", Value::Real(30.0))));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kVirtualRead);
+  EXPECT_TRUE(d.is_error());
+  EXPECT_NE(d.hint.find("invoke[getTemperature]"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, Ser020AggregateOverVirtualAttribute) {
+  const auto diagnostics = Analyze(Aggregate(
+      Scan("sensors"), {"location"},
+      {AggregateSpec{AggregateFn::kAvg, "temperature", "mean"}}));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kVirtualRead));
+}
+
+TEST_F(AnalyzerTest, Ser021DeadPassiveRealizationWarned) {
+  // getTemperature is passive and its only output is dropped: every
+  // physical call is wasted.
+  const auto diagnostics = Analyze(
+      Project(Invoke(Scan("sensors"), "getTemperature"), {"location"}));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kDeadRealization);
+  EXPECT_EQ(d.severity, Diagnostic::Severity::kWarning);
+}
+
+TEST_F(AnalyzerTest, Ser021NotRaisedForActiveInvocations) {
+  // Q1's sendMessage output `sent` is dropped here, but an active
+  // invocation exists for its side effect (Def. 8) — no warning.
+  const auto diagnostics =
+      Analyze(Project(scenario_->Q1(), {"name"}));
+  EXPECT_FALSE(HasCode(diagnostics, DiagCode::kDeadRealization));
+}
+
+TEST_F(AnalyzerTest, Ser021NotRaisedWhenOutputIsUsed) {
+  const auto diagnostics = Analyze(Select(
+      Invoke(Scan("sensors"), "getTemperature"),
+      Formula::Compare(Operand::Attr("temperature"), CompareOp::kGt,
+                       Operand::Const(Value::Real(30.0)))));
+  EXPECT_FALSE(HasCode(diagnostics, DiagCode::kDeadRealization));
+}
+
+// --- Pass 3: side effects --------------------------------------------------
+
+TEST_F(AnalyzerTest, Ser030ActiveInvokeUnderFilter) {
+  const auto diagnostics = Analyze(scenario_->Q1Prime());
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kActiveUnderFilter);
+  EXPECT_EQ(d.severity, Diagnostic::Severity::kWarning);
+  EXPECT_NE(d.message.find("Q1'"), std::string::npos);
+  // The well-ordered Q1 stays quiet.
+  EXPECT_FALSE(HasCode(Analyze(scenario_->Q1()),
+                       DiagCode::kActiveUnderFilter));
+}
+
+TEST_F(AnalyzerTest, Ser031ActiveInvokeOnDiscardedSideOfDifference) {
+  const PlanPtr messaged =
+      Invoke(Assign(Scan("contacts"), "text", Value::String("hi")),
+             "sendMessage");
+  const auto diagnostics = Analyze(DifferenceOf(messaged, messaged));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kActiveOnlyFiltering));
+}
+
+// --- Cost / cardinality lints ----------------------------------------------
+
+TEST_F(AnalyzerTest, Ser050CartesianJoinWarned) {
+  const auto diagnostics =
+      Analyze(Join(Window("temperatures", 1), Scan("contacts")));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kCartesianJoin));
+}
+
+TEST_F(AnalyzerTest, Ser051EmptyAndUnboundedWindowsWarned) {
+  EXPECT_TRUE(HasCode(Analyze(Window("temperatures", 0)),
+                      DiagCode::kUnboundedWindow));
+  AnalyzerOptions options;
+  options.unbounded_window_threshold = 100;
+  EXPECT_TRUE(HasCode(Analyze(Window("temperatures", 100), options),
+                      DiagCode::kUnboundedWindow));
+  EXPECT_FALSE(HasCode(Analyze(Window("temperatures", 99), options),
+                       DiagCode::kUnboundedWindow));
+}
+
+TEST_F(AnalyzerTest, Ser052PatternEliminatingProjectionWarned) {
+  const auto diagnostics = Analyze(Project(Scan("contacts"), {"name"}));
+  EXPECT_TRUE(HasCode(diagnostics, DiagCode::kPatternlessProjection));
+}
+
+// --- Framework behavior ----------------------------------------------------
+
+TEST_F(AnalyzerTest, CanonicalQueriesAreClean) {
+  AnalyzerOptions continuous;
+  continuous.context = AnalysisContext::kContinuous;
+  for (const PlanPtr& q : {scenario_->Q1(), scenario_->Q2()}) {
+    EXPECT_TRUE(IsValid(Analyze(q))) << q->ToString();
+  }
+  for (const PlanPtr& q : {scenario_->Q3(), scenario_->Q4()}) {
+    EXPECT_TRUE(IsValid(Analyze(q, continuous))) << q->ToString();
+  }
+}
+
+TEST_F(AnalyzerTest, WarningsSuppressedWhenNotRequested) {
+  AnalyzerOptions options;
+  options.include_warnings = false;
+  EXPECT_TRUE(Analyze(scenario_->Q1Prime(), options).empty());
+}
+
+TEST_F(AnalyzerTest, DiagnosticRenderingCarriesCodeAndNode) {
+  const auto diagnostics = Analyze(Invoke(Scan("contacts"), "sendMessage"));
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kUnrealizedInput);
+  const std::string rendered = d.ToString();
+  EXPECT_NE(rendered.find("SER007"), std::string::npos);
+  EXPECT_NE(rendered.find("invoke[sendMessage]"), std::string::npos);
+  const std::string json = DiagnosticsToJson(diagnostics);
+  EXPECT_NE(json.find("\"code\":\"SER007\""), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, SiblingErrorsAllCollected) {
+  const auto diagnostics = Analyze(UnionOf(Scan("ghost1"), Scan("ghost2")));
+  EXPECT_EQ(CountErrors(diagnostics), 2u);
+}
+
+TEST_F(AnalyzerTest, AnalysisCountersIncrement) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.set_enabled(true);
+  const std::uint64_t errors_before =
+      metrics.GetCounter("serena.analyze.errors").value();
+  const std::uint64_t warnings_before =
+      metrics.GetCounter("serena.analyze.warnings").value();
+  (void)Analyze(Scan("ghost"));
+  (void)Analyze(scenario_->Q1Prime());
+  EXPECT_GE(metrics.GetCounter("serena.analyze.errors").value(),
+            errors_before + 1);
+  EXPECT_GE(metrics.GetCounter("serena.analyze.warnings").value(),
+            warnings_before + 1);
+}
+
+TEST_F(AnalyzerTest, EveryCodeHasAStableId) {
+  EXPECT_STREQ(DiagCodeId(DiagCode::kUnknownRelation), "SER001");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kSchemaInference), "SER010");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kVirtualRead), "SER020");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kActiveUnderFilter), "SER030");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kQueryCycle), "SER040");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kCartesianJoin), "SER050");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kScriptStatement), "SER060");
+}
+
+}  // namespace
+}  // namespace serena

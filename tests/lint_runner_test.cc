@@ -1,0 +1,112 @@
+// Tests for the offline script linter behind the `serena_lint` CLI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/lint_runner.h"
+
+namespace serena {
+namespace {
+
+bool HasCode(const std::vector<Diagnostic>& diagnostics, DiagCode code) {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+constexpr const char* kCatalog = R"(
+# Comments vanish; the linter sees three statements here.
+PROTOTYPE sendMessage(address STRING, text STRING) : (sent BOOLEAN) ACTIVE;
+
+EXTENDED RELATION contacts (
+  name STRING, address STRING, text STRING VIRTUAL,
+  messenger SERVICE, sent BOOLEAN VIRTUAL
+) USING BINDING PATTERNS ( sendMessage[messenger](address, text) : (sent) );
+
+EXTENDED STREAM readings (value REAL);
+)";
+
+TEST(SplitScriptTest, StatementsCommentsAndDirectives) {
+  const auto statements = SplitScript(
+      "-- comment\n"
+      "PROTOTYPE p() : (x INT);\n"
+      "# another comment\n"
+      "\\source readings\n"
+      "select[name = 'semi;colon'](contacts);\n");
+  ASSERT_EQ(statements.size(), 3u);
+  EXPECT_EQ(statements[0], "PROTOTYPE p() : (x INT);");
+  EXPECT_EQ(statements[1], "\\source readings");
+  // A ';' inside a quoted literal does not split the statement.
+  EXPECT_NE(statements[2].find("semi;colon"), std::string::npos);
+}
+
+TEST(SplitScriptTest, MultiLineStatementsJoined) {
+  const auto statements = SplitScript("select[\n  value > 0\n](r);\n");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_NE(statements[0].find("value > 0"), std::string::npos);
+}
+
+TEST(LintRunnerTest, CleanScriptPasses) {
+  const std::string script = std::string(kCatalog) +
+      "\\source readings\n"
+      "invoke[sendMessage](assign[text := 'hi'](contacts));\n"
+      "\\register positive select[value > 0](window[1](readings))\n";
+  const LintResult result = LintScript(script).ValueOrDie();
+  EXPECT_TRUE(result.ok()) << RenderDiagnostics(result.diagnostics);
+  EXPECT_EQ(result.statements, 6);
+}
+
+TEST(LintRunnerTest, BrokenDdlReportsStatementNumber) {
+  const LintResult result =
+      LintScript("PROTOTYPE broken(((;").ValueOrDie();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kScriptStatement));
+  // The finding anchors to the 1-based statement number.
+  EXPECT_NE(result.diagnostics[0].ToString().find("statement 1"),
+            std::string::npos);
+}
+
+TEST(LintRunnerTest, QueryFindingsSurfaceWithAnalyzerCodes) {
+  const std::string script = std::string(kCatalog) +
+      "select[text = 'hello'](contacts);\n"    // SER020: virtual read.
+      "invoke[sendMessage](contacts);\n";       // SER007: unrealized input.
+  const LintResult result = LintScript(script).ValueOrDie();
+  EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kVirtualRead));
+  EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kUnrealizedInput));
+}
+
+TEST(LintRunnerTest, SelfFeedingRegisterIsACycle) {
+  const std::string script = std::string(kCatalog) +
+      "\\register echo into readings "
+      "select[value > 0](window[1](readings))\n";
+  const LintResult result = LintScript(script).ValueOrDie();
+  EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kQueryCycle));
+}
+
+TEST(LintRunnerTest, DuplicateRegisterNameRejected) {
+  const std::string script = std::string(kCatalog) +
+      "\\source readings\n"
+      "\\register q select[value > 0](window[1](readings))\n"
+      "\\register q select[value < 0](window[1](readings))\n";
+  const LintResult result = LintScript(script).ValueOrDie();
+  EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kScriptStatement));
+}
+
+TEST(LintRunnerTest, UnknownDirectivesIgnored) {
+  const LintResult result =
+      LintScript("\\tick 5\n\\show contacts\n").ValueOrDie();
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(LintRunnerTest, ParseErrorInQueryIsScriptStatement) {
+  const std::string script =
+      std::string(kCatalog) + "select[[[(contacts);\n";
+  const LintResult result = LintScript(script).ValueOrDie();
+  EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kScriptStatement));
+}
+
+}  // namespace
+}  // namespace serena

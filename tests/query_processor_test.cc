@@ -17,7 +17,8 @@ class QueryProcessorTest : public ::testing::Test {
     processor_ = std::make_unique<QueryProcessor>(&scenario_->env(),
                                                   &scenario_->streams());
     processor_->executor().AddSource(
-        [this](Timestamp t) { return scenario_->PumpTemperatureStream(t); });
+        [this](Timestamp t) { return scenario_->PumpTemperatureStream(t); },
+        /*feeds=*/{"temperatures"});
   }
 
   std::unique_ptr<TemperatureScenario> scenario_;
@@ -178,6 +179,86 @@ TEST_F(QueryProcessorTest, PreparedQueries) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(processor_->ExecutePrepared("ghost", {}).status().code(),
             StatusCode::kNotFound);
+}
+
+TEST_F(QueryProcessorTest, AnalysisGateRejectsUnknownRelation) {
+  // Regression: plans used to run unvalidated — a scan of a missing
+  // relation must now be refused up front with a coded diagnostic.
+  const Status status =
+      processor_->ExecuteOneShot("select[x = 1](ghost)").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SER001"), std::string::npos);
+}
+
+TEST_F(QueryProcessorTest, AnalysisGateBlocksBeforeAnyInvocation) {
+  scenario_->env().registry().ResetStats();
+  // sendMessage's `text` input is still virtual: SER007, and crucially no
+  // service may have been touched by the time the plan is rejected.
+  const Status status =
+      processor_->ExecuteOneShot("invoke[sendMessage](contacts)").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SER007"), std::string::npos);
+  EXPECT_EQ(scenario_->env().registry().stats().physical_invocations, 0u);
+  EXPECT_TRUE(scenario_->AllSentMessages().empty());
+}
+
+TEST_F(QueryProcessorTest, AnalysisGateHasAnEscapeHatch) {
+  EXPECT_TRUE(processor_->analyze());
+  processor_->set_analyze(false);
+  // The plan still fails — but at execution time, not in the analyzer.
+  const Status status =
+      processor_->ExecuteOneShot("select[x = 1](ghost)").status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message().find("static analysis"), std::string::npos);
+}
+
+TEST_F(QueryProcessorTest, AnalysisGateWarningsDoNotBlock) {
+  // Q1'-shaped query: SER030 is only a warning, so execution proceeds.
+  auto result = processor_->ExecuteOneShot(
+      "select[name = 'Carla'](invoke[sendMessage]("
+      "assign[text := 'hi'](contacts)))");
+  EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST_F(QueryProcessorTest, ContinuousRegistrationGated) {
+  const Status status =
+      processor_->RegisterContinuous("bad", "window[1](no_such_stream)");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SER002"), std::string::npos);
+  EXPECT_TRUE(processor_->executor().QueryNames().empty());
+}
+
+TEST_F(QueryProcessorTest, CrossQueryCycleRejectedAtRegistration) {
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuousInto("a", "window[1](temperatures)",
+                                           "s1")
+                  .ok());
+  // `b` would feed `temperatures`, which `a` reads: a -> b -> a.
+  const Status status =
+      processor_->RegisterContinuousInto("b", "window[1](s1)",
+                                         "temperatures");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SER040"), std::string::npos);
+  // The rejected query left no trace in the executor.
+  EXPECT_EQ(processor_->executor().QueryNames(),
+            (std::vector<std::string>{"a"}));
+}
+
+TEST_F(QueryProcessorTest, WriterConflictRejectedAtRegistration) {
+  ASSERT_TRUE(processor_
+                  ->RegisterContinuousInto("a", "window[1](temperatures)",
+                                           "derived")
+                  .ok());
+  // Same schema, same derived stream: refused as a writer/writer race.
+  const Status status = processor_->RegisterContinuousInto(
+      "b", "window[2](temperatures)", "derived");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SER042"), std::string::npos);
+}
+
+TEST_F(QueryProcessorTest, ExecutorReportsSourceFedStreams) {
+  EXPECT_EQ(processor_->executor().SourceFedStreams(),
+            (std::vector<std::string>{"temperatures"}));
 }
 
 TEST_F(QueryProcessorTest, RowWindowsThroughTheLanguage) {

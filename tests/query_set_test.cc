@@ -1,0 +1,124 @@
+// Tests for the cross-query dependency lint (SER040/SER041/SER042) and
+// the feeds/reads graph extraction it is built on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/query_set.h"
+
+namespace serena {
+namespace {
+
+bool HasCode(const std::vector<Diagnostic>& diagnostics, DiagCode code) {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic& FindCode(const std::vector<Diagnostic>& diagnostics,
+                           DiagCode code) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return d;
+  }
+  static const Diagnostic missing{};
+  ADD_FAILURE() << "no diagnostic with code " << DiagCodeId(code);
+  return missing;
+}
+
+/// A minimal standing query reading `stream` (the plan is only inspected
+/// for its Window leaves here).
+QuerySetEntry Reads(const std::string& name, const std::string& stream,
+                    std::vector<std::string> feeds = {}) {
+  return QuerySetEntry{name, Window(stream, 1), std::move(feeds)};
+}
+
+TEST(CollectWindowReadsTest, SortedAndDeduplicated) {
+  const PlanPtr plan = UnionOf(
+      Join(Window("b", 1), Window("a", 2)),
+      Select(Window("b", 3),
+             Formula::Compare(Operand::Attr("v"), CompareOp::kGt,
+                              Operand::Const(Value::Int(0)))));
+  EXPECT_EQ(CollectWindowReads(plan),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(CollectWindowReads(Scan("r")).empty());
+}
+
+TEST(QuerySetTest, LinearPipelineIsClean) {
+  QuerySetOptions options;
+  options.source_fed_streams = {"temperatures"};
+  const auto diagnostics =
+      AnalyzeQuerySet({Reads("hot-feed", "temperatures", {"hot"}),
+                       Reads("hot-count", "hot")},
+                      options)
+          .ValueOrDie();
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(QuerySetTest, Ser040SelfLoopRejected) {
+  const auto diagnostics =
+      AnalyzeQuerySet({Reads("echo", "s", {"s"})}).ValueOrDie();
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kQueryCycle);
+  EXPECT_TRUE(d.is_error());
+  EXPECT_EQ(d.query, "echo");
+}
+
+TEST(QuerySetTest, Ser040TwoQueryCycleRendersThePath) {
+  QuerySetOptions options;
+  options.include_warnings = false;  // Silence the dangling-entry warnings.
+  const auto diagnostics =
+      AnalyzeQuerySet(
+          {Reads("a", "y", {"x"}), Reads("b", "x", {"y"})}, options)
+          .ValueOrDie();
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kQueryCycle);
+  EXPECT_NE(d.message.find("->"), std::string::npos);
+}
+
+TEST(QuerySetTest, Ser041DanglingWindowSourceWarned) {
+  const auto diagnostics =
+      AnalyzeQuerySet({Reads("orphan", "nowhere")}).ValueOrDie();
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kDanglingSource);
+  EXPECT_EQ(d.severity, Diagnostic::Severity::kWarning);
+  EXPECT_EQ(d.query, "orphan");
+  EXPECT_NE(d.hint.find("AddSource"), std::string::npos);
+}
+
+TEST(QuerySetTest, Ser041SuppressedForDeclaredSources) {
+  QuerySetOptions options;
+  options.source_fed_streams = {"nowhere"};
+  EXPECT_TRUE(
+      AnalyzeQuerySet({Reads("orphan", "nowhere")}, options)
+          .ValueOrDie()
+          .empty());
+}
+
+TEST(QuerySetTest, Ser041SuppressedWithoutWarnings) {
+  QuerySetOptions options;
+  options.include_warnings = false;
+  EXPECT_TRUE(AnalyzeQuerySet({Reads("orphan", "nowhere")}, options)
+                  .ValueOrDie()
+                  .empty());
+}
+
+TEST(QuerySetTest, Ser042WriterConflictNamesBothQueries) {
+  QuerySetOptions options;
+  options.source_fed_streams = {"in"};
+  const auto diagnostics =
+      AnalyzeQuerySet(
+          {Reads("first", "in", {"out"}), Reads("second", "in", {"out"})},
+          options)
+          .ValueOrDie();
+  const Diagnostic& d = FindCode(diagnostics, DiagCode::kWriterConflict);
+  EXPECT_TRUE(d.is_error());
+  EXPECT_NE(d.message.find("first"), std::string::npos);
+  EXPECT_NE(d.message.find("second"), std::string::npos);
+  EXPECT_NE(d.message.find("out"), std::string::npos);
+}
+
+TEST(QuerySetTest, EmptySetIsClean) {
+  EXPECT_TRUE(AnalyzeQuerySet({}).ValueOrDie().empty());
+}
+
+}  // namespace
+}  // namespace serena

@@ -1,7 +1,6 @@
-#include "algebra/validate.h"
-
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.h"
 #include "env/scenario.h"
 
 namespace serena {

@@ -1,0 +1,117 @@
+// serena_lint: offline static analysis of `.serena` scripts.
+//
+//   $ serena_lint [--json] [--werror] script.serena [more.serena ...]
+//   $ serena_lint < script.serena
+//
+// DDL statements build up the catalog (nothing is queried or invoked);
+// every one-shot query and `\register`ed continuous query is analyzed
+// with the full multi-pass analyzer, and the accumulated continuous
+// query set is linted for cycles, dangling sources, and writer/writer
+// conflicts. See docs/ANALYSIS.md for the diagnostic catalog.
+//
+// Exit status: 0 clean, 1 findings of severity error (or any finding
+// under --werror), 2 usage / IO failure. Designed for CI.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lint_runner.h"
+
+namespace {
+
+struct FileReport {
+  std::string name;
+  serena::LintResult result;
+};
+
+int Usage() {
+  std::cerr << "usage: serena_lint [--json] [--werror] [script.serena ...]\n"
+               "       serena_lint < script.serena\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<FileReport> reports;
+  if (files.empty()) {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    auto result = serena::LintScript(buffer.str());
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 2;
+    }
+    reports.push_back(FileReport{"<stdin>", std::move(*result)});
+  }
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot read " << file << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto result = serena::LintScript(buffer.str());
+    if (!result.ok()) {
+      std::cerr << file << ": " << result.status() << "\n";
+      return 2;
+    }
+    reports.push_back(FileReport{file, std::move(*result)});
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const FileReport& report : reports) {
+    errors += serena::CountErrors(report.result.diagnostics);
+    warnings += serena::CountWarnings(report.result.diagnostics);
+  }
+
+  if (json) {
+    // One object per file keeps the output greppable in CI logs.
+    std::cout << "[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i > 0) std::cout << ",";
+      std::cout << "{\"file\":\"" << reports[i].name << "\",\"statements\":"
+                << reports[i].result.statements << ",\"diagnostics\":"
+                << serena::DiagnosticsToJson(reports[i].result.diagnostics)
+                << "}";
+    }
+    std::cout << "]\n";
+  } else {
+    for (const FileReport& report : reports) {
+      for (const serena::Diagnostic& d : report.result.diagnostics) {
+        std::cout << report.name << ": " << d.ToString() << "\n";
+      }
+    }
+    std::cout << reports.size() << " file(s), " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+  }
+
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
