@@ -7,6 +7,9 @@
 // serial one (input order, failed-tuple order, stats).
 
 #include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -15,8 +18,15 @@
 #include "bench_util.h"
 #include "algebra/operators.h"
 #include "common/thread_pool.h"
+#include "ddl/algebra_parser.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "service/lambda_service.h"
 #include "service/service_registry.h"
+#include "stream/continuous_query.h"
+#include "stream/executor.h"
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
 
 namespace serena {
 namespace {
@@ -133,6 +143,75 @@ void ReproduceParallelInvoke() {
   bench::RecordRepro("outputs_identical", identical ? 1 : 0, "bool");
 }
 
+/// Causal-tracing demo: independent continuous queries over the probe
+/// services (200 µs simulated service latency — slow enough that the
+/// pool's workers genuinely share the step and invocation load) ticked
+/// on a 4-thread pool with the trace buffer on. The resulting Chrome
+/// trace (one track per pool thread, tick → step → invoke nesting held
+/// together by trace/parent ids) is written next to the BENCH_*.json
+/// records when SERENA_BENCH_JSON_DIR is set — open it in
+/// chrome://tracing or https://ui.perfetto.dev.
+void ReproduceTracedTicks() {
+  bench::PrintSection("traced executor ticks (Chrome trace export)");
+
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Global();
+  buffer.set_capacity(4096);
+  buffer.Clear();
+  buffer.set_enabled(true);
+
+  Environment env;
+  RegisterProbeServices(&env.registry(), kServices,
+                        std::chrono::microseconds(200));
+  if (!env.PutRelation(ProbeRelation(kRows, kServices)).ok()) return;
+  StreamStore streams;
+  ContinuousExecutor executor(&env, &streams);
+  ThreadPool pool(4);
+  executor.set_pool(&pool);
+  for (int i = 0; i < 4; ++i) {
+    auto plan = ParseAlgebra("invoke[probe](probes)");
+    if (!plan.ok()) return;
+    (void)executor.Register(std::make_shared<ContinuousQuery>(
+        "probe-all-" + std::to_string(i), *plan));
+  }
+  executor.Run(3);
+  buffer.set_enabled(false);
+
+  std::size_t ticks = 0;
+  std::size_t steps = 0;
+  std::size_t invokes = 0;
+  std::set<std::uint64_t> threads;
+  for (const obs::SpanRecord& span : buffer.Snapshot()) {
+    if (span.name == "executor.tick") ++ticks;
+    if (span.name == "executor.step") ++steps;
+    if (span.name == "service.invoke" || span.name == "invoke.wait") {
+      ++invokes;
+    }
+    threads.insert(span.thread_index);
+  }
+  std::printf(
+      "spans    : %10zu  (%zu ticks, %zu steps, %zu invoke spans, "
+      "%zu threads)\n",
+      buffer.size(), ticks, steps, invokes, threads.size());
+  bench::RecordRepro("trace_spans", static_cast<double>(buffer.size()),
+                     "spans");
+  bench::RecordRepro("trace_threads", static_cast<double>(threads.size()),
+                     "threads");
+
+  const char* json_dir = std::getenv("SERENA_BENCH_JSON_DIR");
+  if (json_dir != nullptr && *json_dir != '\0') {
+    const std::string path =
+        std::string(json_dir) + "/TRACE_parallel_invoke.json";
+    const std::string trace = obs::ExportChromeTrace(buffer);
+    if (std::FILE* file = std::fopen(path.c_str(), "w")) {
+      std::fputs(trace.c_str(), file);
+      std::fclose(file);
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Throughput benchmarks: batch invocation across pool sizes.
 // ---------------------------------------------------------------------------
@@ -171,6 +250,8 @@ BENCHMARK(BM_InvokeBatch)
 }  // namespace serena
 
 int main(int argc, char** argv) {
-  return serena::bench::RunReproAndBenchmarks(
-      argc, argv, [] { serena::ReproduceParallelInvoke(); });
+  return serena::bench::RunReproAndBenchmarks(argc, argv, [] {
+    serena::ReproduceParallelInvoke();
+    serena::ReproduceTracedTicks();
+  });
 }

@@ -32,6 +32,7 @@
 #include "common/string_util.h"
 #include "ddl/dump.h"
 #include "io/csv.h"
+#include "obs/meta.h"
 #include "obs/metrics.h"
 #include "pems/monitor.h"
 #include "pems/pems.h"
@@ -67,7 +68,10 @@ void PrintHelp() {
       "  \\exec NAME k=v ...    bind parameters and run a template\n"
       "  \\tick [N]          advance N logical instants (default 1)\n"
       "  \\stats [json]      invocation / network statistics\n"
-      "  \\metrics           raw telemetry registry as JSON\n"
+      "  \\health            per-query health (lag, error streak, "
+      "latency)\n"
+      "  \\metrics [prom]    telemetry registry as JSON (or Prometheus "
+      "text)\n"
       "  \\dump              environment as a reloadable DDL script\n"
       "  \\save FILE         write the DDL dump to a file\n"
       "  \\load FILE         execute a DDL script from a file\n"
@@ -291,9 +295,28 @@ void RunCommand(Pems& pems, const std::string& line) {
     } else {
       std::cout << SnapshotMetrics(pems).ToString();
     }
+  } else if (command == "\\health") {
+    const auto snapshots = pems.queries().executor().health().Snapshots();
+    if (snapshots.empty()) {
+      std::cout << "no continuous queries registered\n";
+    }
+    for (const QueryHealth::QuerySnapshot& q : snapshots) {
+      std::cout << "  " << q.name << ": last instant "
+                << q.last_completed_instant << ", lag " << q.lag
+                << ", streak " << q.error_streak << ", errors "
+                << q.total_errors << ", steps " << q.steps << ", p50 "
+                << q.p50_step_ns / 1000.0 << "us, p99 "
+                << q.p99_step_ns / 1000.0 << "us, rows in/out per step "
+                << q.rows_in_rate << "/" << q.rows_out_rate << "\n";
+    }
   } else if (command == "\\metrics") {
-    // The raw process-wide registry (see docs/OBSERVABILITY.md).
-    std::cout << obs::MetricsRegistry::Global().ToJson() << "\n";
+    if (arg == "prom") {
+      // Prometheus text exposition, same as SERENA_METRICS_FILE dumps.
+      std::cout << obs::MetricsRegistry::Global().DumpPrometheus();
+    } else {
+      // The raw process-wide registry (see docs/OBSERVABILITY.md).
+      std::cout << obs::MetricsRegistry::Global().ToJson() << "\n";
+    }
   } else if (command == "\\dump") {
     std::cout << DumpEnvironment(pems.env(), &pems.streams());
   } else if (command == "\\save") {
@@ -331,6 +354,14 @@ void RunCommand(Pems& pems, const std::string& line) {
 
 int main() {
   auto pems = Pems::Create().MoveValueOrDie();
+  // The shell's PEMS observes itself: sys_metrics / sys_spans /
+  // sys_query_health refresh each tick and are queryable like any other
+  // relation (see docs/OBSERVABILITY.md).
+  const Status meta_status = obs::RegisterMetaRelations(
+      &pems->env(), &pems->queries().executor());
+  if (!meta_status.ok()) {
+    std::cerr << "meta-relations unavailable: " << meta_status << "\n";
+  }
   const bool interactive = isatty(0);
   if (interactive) {
     std::cout << "Serena PEMS shell. \\help for help, \\quit to exit.\n";
@@ -343,6 +374,8 @@ int main() {
     if (!std::getline(std::cin, line)) break;
     const std::string trimmed(Trim(line));
     if (trimmed.empty()) continue;
+    // Comment lines, as in `.serena` scripts (see SplitScript).
+    if (trimmed[0] == '#' || trimmed.rfind("--", 0) == 0) continue;
 
     if (buffer.empty() && trimmed[0] == '\\') {
       if (trimmed == "\\quit" || trimmed == "\\q") break;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace serena {
 
@@ -45,7 +47,15 @@ const OperatorInstruments& InstrumentsFor(PlanKind kind) {
 Result<XRelation> PlanNode::Evaluate(EvalContext& ctx) const {
   const bool collect = ctx.stats != nullptr;
   const bool meter = obs::MetricsRegistry::Global().enabled();
-  if (!collect && !meter) return EvaluateImpl(ctx);
+  const bool trace = obs::TraceBuffer::Global().enabled();
+  if (!collect && !meter && !trace) return EvaluateImpl(ctx);
+
+  // Operator span: nests under the enclosing query-step span (and any
+  // parent operator), completing the tick→step→operator causal chain.
+  std::optional<obs::Span> span;
+  if (trace) {
+    span.emplace(std::string("op.") + PlanKindToString(kind()), ctx.instant);
+  }
 
   const std::uint64_t invocations_before =
       ctx.env != nullptr ? ctx.env->registry().stats().logical_invocations

@@ -96,21 +96,30 @@ class Analyzer {
   }
 
  private:
+  /// A machine-applicable replacement carried alongside the prose hint.
+  struct FixIt {
+    std::string original;
+    std::string replacement;
+  };
+
   void Report(DiagCode code, Diagnostic::Severity severity,
               const PlanNode& node, std::string message,
-              std::string hint = {}) {
+              std::string hint = {}, FixIt fix = {}) {
     if (severity == Diagnostic::Severity::kWarning &&
         !options_.include_warnings) {
       return;
     }
-    diagnostics_.push_back(Diagnostic{code, severity, LabelOf(node),
-                                      std::move(message), std::move(hint),
-                                      /*query=*/{}});
+    Diagnostic diagnostic{code,     severity,        LabelOf(node),
+                          std::move(message), std::move(hint),
+                          /*query=*/{}};
+    diagnostic.fix_original = std::move(fix.original);
+    diagnostic.fix_replacement = std::move(fix.replacement);
+    diagnostics_.push_back(std::move(diagnostic));
   }
   void Error(DiagCode code, const PlanNode& node, std::string message,
-             std::string hint = {}) {
+             std::string hint = {}, FixIt fix = {}) {
     Report(code, Diagnostic::Severity::kError, node, std::move(message),
-           std::move(hint));
+           std::move(hint), std::move(fix));
   }
   void Warn(DiagCode code, const PlanNode& node, std::string message,
             std::string hint = {}) {
@@ -197,17 +206,23 @@ class Analyzer {
     auto relation = env_.GetRelation(node.relation());
     if (!relation.ok()) {
       std::string hint;
+      FixIt fix;
       if (streams_ != nullptr && streams_->HasStream(node.relation())) {
         hint = "'" + node.relation() +
                "' is a stream — read it through a window, e.g. window[10](" +
                node.relation() + ")";
+        fix = FixIt{node.relation(), "window[10](" + node.relation() + ")"};
       } else {
         const std::string closest =
             ClosestName(node.relation(), env_.RelationNames());
-        if (!closest.empty()) hint = "did you mean '" + closest + "'?";
+        if (!closest.empty()) {
+          hint = "did you mean '" + closest + "'?";
+          fix = FixIt{node.relation(), closest};
+        }
       }
       Error(DiagCode::kUnknownRelation, node,
-            "unknown relation '" + node.relation() + "'", std::move(hint));
+            "unknown relation '" + node.relation() + "'", std::move(hint),
+            std::move(fix));
       return std::nullopt;
     }
     return (*relation)->schema_ptr();
@@ -216,16 +231,21 @@ class Analyzer {
   std::optional<ExtendedSchemaPtr> ResolveWindow(const WindowNode& node) {
     if (streams_ == nullptr || !streams_->HasStream(node.stream())) {
       std::string hint;
+      FixIt fix;
       if (env_.HasRelation(node.stream())) {
         hint = "'" + node.stream() +
                "' is a finite relation — scan it directly";
       } else if (streams_ != nullptr) {
         const std::string closest =
             ClosestName(node.stream(), streams_->StreamNames());
-        if (!closest.empty()) hint = "did you mean '" + closest + "'?";
+        if (!closest.empty()) {
+          hint = "did you mean '" + closest + "'?";
+          fix = FixIt{node.stream(), closest};
+        }
       }
       Error(DiagCode::kUnknownStream, node,
-            "unknown stream '" + node.stream() + "'", std::move(hint));
+            "unknown stream '" + node.stream() + "'", std::move(hint),
+            std::move(fix));
       return std::nullopt;
     }
     if (node.period() <= 0) {

@@ -116,6 +116,16 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
     if (!diagnostic.query.empty()) {
       writer.Key("query").Value(diagnostic.query);
     }
+    if (diagnostic.statement > 0) {
+      writer.Key("statement")
+          .Value(static_cast<std::int64_t>(diagnostic.statement));
+    }
+    if (diagnostic.has_fix()) {
+      writer.Key("fix").BeginObject();
+      writer.Key("original").Value(diagnostic.fix_original);
+      writer.Key("replacement").Value(diagnostic.fix_replacement);
+      writer.EndObject();
+    }
     writer.EndObject();
   }
   writer.EndArray();

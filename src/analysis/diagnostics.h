@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace serena {
@@ -53,6 +54,17 @@ const char* DiagCodeId(DiagCode code);
 struct Diagnostic {
   enum class Severity { kError, kWarning };
 
+  Diagnostic() = default;
+  Diagnostic(DiagCode code, Severity severity, std::string node,
+             std::string message, std::string hint = {},
+             std::string query = {})
+      : code(code),
+        severity(severity),
+        node(std::move(node)),
+        message(std::move(message)),
+        hint(std::move(hint)),
+        query(std::move(query)) {}
+
   DiagCode code = DiagCode::kSchemaInference;
   Severity severity = Severity::kError;
   /// The operator the finding anchors to (rendered label), e.g.
@@ -63,8 +75,19 @@ struct Diagnostic {
   std::string hint;
   /// Optional continuous-query name (cross-query findings).
   std::string query;
+  /// Optional *structured* fix: replace the first token-boundary
+  /// occurrence of `fix_original` in the offending statement with
+  /// `fix_replacement` (the machine-applicable core of `hint`, applied
+  /// by `FixScript` / `serena_lint --fix`).
+  std::string fix_original;
+  std::string fix_replacement;
+  /// 1-based statement number within the linted script; 0 when the
+  /// finding is not tied to one statement (plan analysis outside the
+  /// lint runner, cross-query findings).
+  int statement = 0;
 
   bool is_error() const { return severity == Severity::kError; }
+  bool has_fix() const { return !fix_original.empty(); }
 
   /// "error[SER005] at assign[temp]: ... (hint: ...)".
   std::string ToString() const;
@@ -82,7 +105,9 @@ std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics);
 
 /// Compact JSON array for the obs layer / `serena_lint --json`:
 /// [{"code":"SER001","severity":"error","node":"...","message":"...",
-///   "hint":"...","query":"..."}, ...] — hint/query keys only when set.
+///   "hint":"...","query":"...","statement":N,
+///   "fix":{"original":"...","replacement":"..."}}, ...] — hint, query,
+/// statement and fix keys only when set.
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
 
 }  // namespace serena

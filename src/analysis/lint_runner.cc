@@ -1,5 +1,6 @@
 #include "analysis/lint_runner.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -49,7 +50,7 @@ class LintRun {
     options.context = AnalysisContext::kOneShot;
     Append(AnalyzePlan(*plan, pems_->env(), &pems_->streams(), options)
                .ValueOrDie(),
-           /*query=*/{});
+           /*query=*/{}, number);
   }
 
   std::vector<Diagnostic> Finish() {
@@ -113,7 +114,7 @@ class LintRun {
         AnalyzePlan(*plan, pems_->env(), &pems_->streams(), options)
             .ValueOrDie();
     const bool plan_ok = IsValid(diagnostics);
-    Append(std::move(diagnostics), name);
+    Append(std::move(diagnostics), name, number);
 
     std::vector<std::string> feeds;
     if (!stream.empty()) {
@@ -148,25 +149,31 @@ class LintRun {
     const XDRelation* existing =
         pems_->streams().GetStream(stream).ValueOrDie();
     if (real_attrs != existing->schema().attributes()) {
-      diagnostics_.push_back(Diagnostic{
+      Diagnostic diagnostic{
           DiagCode::kSchemaMismatch, Diagnostic::Severity::kError,
           /*node=*/{},
           "derived stream '" + stream +
               "' has a schema incompatible with query '" + name + "'",
-          /*hint=*/{}, name});
+          /*hint=*/{}, name};
+      diagnostic.statement = number;
+      diagnostics_.push_back(std::move(diagnostic));
     }
   }
 
   void ScriptError(int number, const std::string& message) {
-    diagnostics_.push_back(Diagnostic{
+    Diagnostic diagnostic{
         DiagCode::kScriptStatement, Diagnostic::Severity::kError,
         "statement " + std::to_string(number), message, /*hint=*/{},
-        /*query=*/{}});
+        /*query=*/{}};
+    diagnostic.statement = number;
+    diagnostics_.push_back(std::move(diagnostic));
   }
 
-  void Append(std::vector<Diagnostic> diagnostics, const std::string& query) {
+  void Append(std::vector<Diagnostic> diagnostics, const std::string& query,
+              int number) {
     for (Diagnostic& diagnostic : diagnostics) {
       if (diagnostic.query.empty()) diagnostic.query = query;
+      if (diagnostic.statement == 0) diagnostic.statement = number;
       diagnostics_.push_back(std::move(diagnostic));
     }
   }
@@ -231,6 +238,227 @@ Result<LintResult> LintScript(std::string_view script) {
   result.statements = number;
   result.diagnostics = run.Finish();
   return result;
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// First occurrence of `token` in `text` at or after `from` whose
+/// neighbors are not identifier characters (so fixing `contact` leaves
+/// `contacts` alone). npos when absent.
+std::size_t FindToken(std::string_view text, std::string_view token,
+                      std::size_t from) {
+  if (token.empty()) return std::string_view::npos;
+  while (from < text.size()) {
+    const std::size_t pos = text.find(token, from);
+    if (pos == std::string_view::npos) return pos;
+    const std::size_t end = pos + token.size();
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<FixResult> FixScript(std::string_view script) {
+  SERENA_ASSIGN_OR_RETURN(const LintResult lint, LintScript(script));
+
+  // Locate each statement's span in the original text. SplitScript trims
+  // statements and drops comment lines, so a statement with an interior
+  // comment is not a contiguous substring — its fixes are skipped.
+  const std::vector<std::string> statements = SplitScript(script);
+  const std::string text(script);
+  constexpr std::size_t kNpos = std::string::npos;
+  std::vector<std::pair<std::size_t, std::size_t>> spans(statements.size(),
+                                                         {kNpos, 0});
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    const std::size_t pos = text.find(statements[i], offset);
+    if (pos == kNpos) continue;
+    spans[i] = {pos, statements[i].size()};
+    offset = pos + statements[i].size();
+  }
+
+  struct Edit {
+    std::size_t pos;
+    std::size_t len;
+    std::string replacement;
+  };
+  std::vector<Edit> edits;
+  const auto overlaps_existing = [&edits](std::size_t pos, std::size_t len) {
+    for (const Edit& edit : edits) {
+      if (pos < edit.pos + edit.len && edit.pos < pos + len) return true;
+    }
+    return false;
+  };
+  for (const Diagnostic& diagnostic : lint.diagnostics) {
+    if (!diagnostic.has_fix() || diagnostic.statement <= 0 ||
+        static_cast<std::size_t>(diagnostic.statement) > spans.size()) {
+      continue;
+    }
+    const auto [span_pos, span_len] = spans[diagnostic.statement - 1];
+    if (span_pos == kNpos) continue;
+    const std::string_view statement =
+        std::string_view(text).substr(span_pos, span_len);
+    std::size_t from = 0;
+    std::size_t pos;
+    while ((pos = FindToken(statement, diagnostic.fix_original, from)) !=
+           std::string_view::npos) {
+      if (!overlaps_existing(span_pos + pos, diagnostic.fix_original.size())) {
+        break;
+      }
+      from = pos + 1;
+    }
+    if (pos == std::string_view::npos) continue;
+    edits.push_back(Edit{span_pos + pos, diagnostic.fix_original.size(),
+                         diagnostic.fix_replacement});
+  }
+
+  // Back-to-front so earlier positions stay valid while replacing.
+  std::sort(edits.begin(), edits.end(),
+            [](const Edit& a, const Edit& b) { return a.pos > b.pos; });
+  FixResult result;
+  result.script = text;
+  for (const Edit& edit : edits) {
+    result.script.replace(edit.pos, edit.len, edit.replacement);
+  }
+  result.fixes_applied = static_cast<int>(edits.size());
+  return result;
+}
+
+std::string UnifiedDiff(std::string_view original, std::string_view updated,
+                        std::string_view from_name,
+                        std::string_view to_name) {
+  if (original == updated) return {};
+  const std::vector<std::string> a = SplitLines(original);
+  const std::vector<std::string> b = SplitLines(updated);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+
+  // Longest-common-subsequence table; scripts are small, O(n·m) is fine.
+  std::vector<std::vector<std::size_t>> lcs(n + 1,
+                                            std::vector<std::size_t>(m + 1));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      lcs[i][j] = a[i] == b[j]
+                      ? lcs[i + 1][j + 1] + 1
+                      : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+
+  struct Op {
+    char tag;  // ' ' keep, '-' delete, '+' insert.
+    const std::string* line;
+  };
+  std::vector<Op> ops;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      ops.push_back(Op{' ', &a[i++]});
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      ops.push_back(Op{'-', &a[i++]});
+    } else {
+      ops.push_back(Op{'+', &b[j++]});
+    }
+  }
+  while (i < n) ops.push_back(Op{'-', &a[i++]});
+  while (j < m) ops.push_back(Op{'+', &b[j++]});
+
+  constexpr std::size_t kContext = 3;
+  std::string out;
+  out += "--- ";
+  out += from_name;
+  out += "\n+++ ";
+  out += to_name;
+  out += '\n';
+
+  // Group changed ops into hunks, padding each side with kContext lines
+  // of unchanged context and merging hunks whose gap fits within it.
+  std::size_t k = 0;
+  std::size_t a_line = 1;  // 1-based line numbers of ops[k].
+  std::size_t b_line = 1;
+  while (k < ops.size()) {
+    if (ops[k].tag == ' ') {
+      ++k;
+      ++a_line;
+      ++b_line;
+      continue;
+    }
+    // Hunk op-range [start, end): expand end over changes separated by at
+    // most 2·kContext unchanged lines.
+    std::size_t start = k;
+    std::size_t lead = 0;
+    while (start > 0 && lead < kContext && ops[start - 1].tag == ' ') {
+      --start;
+      ++lead;
+    }
+    std::size_t end = k + 1;
+    std::size_t gap = 0;
+    for (std::size_t scan = k + 1; scan < ops.size(); ++scan) {
+      if (ops[scan].tag == ' ') {
+        ++gap;
+        if (gap > 2 * kContext) break;
+      } else {
+        gap = 0;
+        end = scan + 1;
+      }
+    }
+    std::size_t trail = 0;
+    while (end < ops.size() && trail < kContext && ops[end].tag == ' ') {
+      ++end;
+      ++trail;
+    }
+
+    const std::size_t a_start = a_line - lead;
+    const std::size_t b_start = b_line - lead;
+    std::size_t a_count = 0;
+    std::size_t b_count = 0;
+    for (std::size_t scan = start; scan < end; ++scan) {
+      if (ops[scan].tag != '+') ++a_count;
+      if (ops[scan].tag != '-') ++b_count;
+    }
+    out += "@@ -" + std::to_string(a_count == 0 ? a_start - 1 : a_start) +
+           "," + std::to_string(a_count) + " +" +
+           std::to_string(b_count == 0 ? b_start - 1 : b_start) + "," +
+           std::to_string(b_count) + " @@\n";
+    for (std::size_t scan = start; scan < end; ++scan) {
+      out += ops[scan].tag;
+      out += *ops[scan].line;
+      out += '\n';
+    }
+    // Advance the running line numbers over everything just emitted
+    // beyond ops[k] (the lead context before k was already counted).
+    for (std::size_t scan = k; scan < end; ++scan) {
+      if (ops[scan].tag != '+') ++a_line;
+      if (ops[scan].tag != '-') ++b_line;
+    }
+    k = end;
+  }
+  return out;
 }
 
 }  // namespace serena

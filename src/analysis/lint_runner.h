@@ -47,6 +47,28 @@ Result<LintResult> LintScript(std::string_view script);
 /// comment lines. Exposed for the shell and tests.
 std::vector<std::string> SplitScript(std::string_view script);
 
+/// Outcome of mechanically applying structured fix-its to a script.
+struct FixResult {
+  /// The rewritten script (byte-identical to the input when nothing
+  /// applied — comments and formatting are preserved).
+  std::string script;
+  /// Number of fix-its applied.
+  int fixes_applied = 0;
+};
+
+/// Lints `script` and applies every structured fix its diagnostics carry
+/// (`Diagnostic::fix_original` → `fix_replacement`, first token-boundary
+/// occurrence inside the offending statement; overlapping edits are
+/// dropped). One pass — fixes only revealed after other fixes land need
+/// another call. This is what `serena_lint --fix` runs.
+Result<FixResult> FixScript(std::string_view script);
+
+/// Minimal unified diff (3 context lines) between two texts — what
+/// `serena_lint --fix --dry-run` prints. Empty string when they match.
+std::string UnifiedDiff(std::string_view original, std::string_view updated,
+                        std::string_view from_name = "a",
+                        std::string_view to_name = "b");
+
 }  // namespace serena
 
 #endif  // SERENA_ANALYSIS_LINT_RUNNER_H_

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace serena {
 
@@ -50,6 +51,19 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::Execute(std::function<void()> task) {
   if (obs::MetricsRegistry::Global().enabled()) {
     tasks_counter_->Increment();
+  }
+  // Capture the submitter's span context so work that lands on a worker
+  // thread still parents under the span that caused it (the causal-trace
+  // propagation point for every concurrent code path, ParallelFor
+  // helpers included). Only pay the wrapper while tracing is on.
+  if (obs::TraceBuffer::Global().enabled()) {
+    if (const obs::SpanContext context = obs::CurrentSpanContext();
+        context.valid()) {
+      task = [context, inner = std::move(task)] {
+        obs::ScopedSpanContext scope(context);
+        inner();
+      };
+    }
   }
   if (!serial()) {
     std::unique_lock<std::mutex> lock(mu_);

@@ -1,0 +1,263 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace serena {
+namespace obs {
+
+namespace {
+
+bool IsLegalPrometheusChar(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!IsLegalPrometheusChar(name[0], /*first=*/true) && name[0] >= '0' &&
+      name[0] <= '9') {
+    out.push_back('_');
+  }
+  for (char c : name) {
+    out.push_back(IsLegalPrometheusChar(c, /*first=*/false) ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const std::string& name : registry.CounterNames()) {
+    const Counter* counter = registry.FindCounter(name);
+    if (counter == nullptr) continue;
+    const std::string prom = PrometheusMetricName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const std::string& name : registry.GaugeNames()) {
+    const Gauge* gauge = registry.FindGauge(name);
+    if (gauge == nullptr) continue;
+    const std::string prom = PrometheusMetricName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const std::string& name : registry.HistogramNames()) {
+    const Histogram* histogram = registry.FindHistogram(name);
+    if (histogram == nullptr) continue;
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    const std::string prom = PrometheusMetricName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative buckets up to the one holding the observed max; the
+    // +Inf bucket always closes the series with the total count.
+    std::uint64_t cumulative = 0;
+    const std::size_t top =
+        snapshot.count == 0 ? 0 : Histogram::BucketIndex(snapshot.max);
+    for (std::size_t i = 0; i <= top && i < Histogram::kBucketCount; ++i) {
+      cumulative += snapshot.buckets[i];
+      out += prom + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(snapshot.count) +
+           "\n";
+    out += prom + "_sum " + std::to_string(snapshot.sum) + "\n";
+    out += prom + "_count " + std::to_string(snapshot.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  return ExportPrometheus(*this);
+}
+
+namespace {
+
+double ToMicros(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void EmitThreadName(JsonWriter& json, std::uint64_t tid,
+                    const std::string& name) {
+  json.BeginObject();
+  json.Key("name").Value("thread_name");
+  json.Key("ph").Value("M");
+  json.Key("pid").Value(1);
+  json.Key("tid").Value(tid);
+  json.Key("args").BeginObject();
+  json.Key("name").Value(name);
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const TraceBuffer& buffer) {
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+
+  std::uint64_t base_ns = UINT64_MAX;
+  for (const SpanRecord& span : spans) {
+    base_ns = std::min(base_ns, span.start_ns);
+  }
+  if (base_ns == UINT64_MAX) base_ns = 0;
+
+  // Index by span id so causal links can resolve to their target's
+  // location on the timeline.
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  by_id.reserve(spans.size());
+  std::set<std::uint64_t> threads;
+  // Extent of each logical instant across all spans stamped with it.
+  std::map<Timestamp, std::pair<std::uint64_t, std::uint64_t>> instants;
+  for (const SpanRecord& span : spans) {
+    if (span.span_id != 0) by_id.emplace(span.span_id, &span);
+    threads.insert(span.thread_index);
+    auto [it, inserted] = instants.try_emplace(
+        span.instant, span.start_ns, span.start_ns + span.duration_ns);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, span.start_ns);
+      it->second.second =
+          std::max(it->second.second, span.start_ns + span.duration_ns);
+    }
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+
+  json.BeginObject();
+  json.Key("name").Value("process_name");
+  json.Key("ph").Value("M");
+  json.Key("pid").Value(1);
+  json.Key("args").BeginObject();
+  json.Key("name").Value("serena-pems");
+  json.EndObject();
+  json.EndObject();
+
+  EmitThreadName(json, 0, "logical instants");
+  for (std::uint64_t tid : threads) {
+    EmitThreadName(json, tid, "thread " + std::to_string(tid));
+  }
+
+  // The synthetic instant track: one slice per logical instant τ,
+  // spanning the physical extent of every span stamped with it.
+  for (const auto& [instant, extent] : instants) {
+    json.BeginObject();
+    json.Key("name").Value("instant " + std::to_string(instant));
+    json.Key("ph").Value("X");
+    json.Key("pid").Value(1);
+    json.Key("tid").Value(0);
+    json.Key("ts").Value(ToMicros(extent.first - base_ns));
+    json.Key("dur").Value(ToMicros(extent.second - extent.first));
+    json.Key("args").BeginObject();
+    json.Key("instant").Value(static_cast<std::int64_t>(instant));
+    json.EndObject();
+    json.EndObject();
+  }
+
+  for (const SpanRecord& span : spans) {
+    json.BeginObject();
+    json.Key("name").Value(span.name);
+    if (!span.detail.empty()) json.Key("cat").Value("serena");
+    json.Key("ph").Value("X");
+    json.Key("pid").Value(1);
+    json.Key("tid").Value(span.thread_index);
+    json.Key("ts").Value(ToMicros(span.start_ns - base_ns));
+    json.Key("dur").Value(ToMicros(span.duration_ns));
+    json.Key("args").BeginObject();
+    if (!span.detail.empty()) json.Key("detail").Value(span.detail);
+    json.Key("instant").Value(static_cast<std::int64_t>(span.instant));
+    json.Key("trace_id").Value(span.trace_id);
+    json.Key("span_id").Value(span.span_id);
+    json.Key("parent_id").Value(span.parent_id);
+    if (span.link_span_id != 0) {
+      json.Key("link_span_id").Value(span.link_span_id);
+    }
+    json.EndObject();
+    json.EndObject();
+
+    // Causal link (memo waiter → winning invocation) as a flow arrow,
+    // emitted only when the target span is still in the ring.
+    const auto target = span.link_span_id != 0
+                            ? by_id.find(span.link_span_id)
+                            : by_id.end();
+    if (target != by_id.end()) {
+      const SpanRecord& linked = *target->second;
+      json.BeginObject();
+      json.Key("name").Value("memo-link");
+      json.Key("cat").Value("memo");
+      json.Key("ph").Value("s");
+      json.Key("id").Value(span.span_id);
+      json.Key("pid").Value(1);
+      json.Key("tid").Value(linked.thread_index);
+      json.Key("ts").Value(ToMicros(linked.start_ns - base_ns));
+      json.EndObject();
+      json.BeginObject();
+      json.Key("name").Value("memo-link");
+      json.Key("cat").Value("memo");
+      json.Key("ph").Value("f");
+      json.Key("bp").Value("e");
+      json.Key("id").Value(span.span_id);
+      json.Key("pid").Value(1);
+      json.Key("tid").Value(span.thread_index);
+      json.Key("ts").Value(ToMicros(span.start_ns - base_ns));
+      json.EndObject();
+    }
+  }
+
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+bool MaybeWriteMetricsFile(std::uint64_t min_interval_ns) {
+  const char* path = std::getenv("SERENA_METRICS_FILE");
+  if (path == nullptr || path[0] == '\0') return false;
+  static std::atomic<std::uint64_t> last_write_ns{0};
+  const std::uint64_t now = MonotonicNowNs();
+  std::uint64_t last = last_write_ns.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < min_interval_ns) return false;
+  if (!last_write_ns.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return false;  // Another thread is writing this interval.
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ExportPrometheus(MetricsRegistry::Global());
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace serena

@@ -1,0 +1,48 @@
+#ifndef SERENA_OBS_EXPORT_H_
+#define SERENA_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace serena {
+namespace obs {
+
+/// Sanitizes a dotted instrument name into a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal character becomes `_`, a
+/// leading digit gets a `_` prefix, an empty name becomes `_`.
+std::string PrometheusMetricName(std::string_view name);
+
+/// Escapes a label value for Prometheus text exposition: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+std::string PrometheusEscapeLabel(std::string_view value);
+
+/// Renders the registry in Prometheus text exposition format — `# TYPE`
+/// headers, counters/gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`. No HTTP server here:
+/// dump it to a file (SERENA_METRICS_FILE) or the shell (`\metrics prom`)
+/// and point a file-based scraper at it.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// Renders the buffer's spans as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` form), openable in chrome://tracing or
+/// Perfetto. One track per pool thread (from SpanRecord::thread_index),
+/// plus a synthetic track 0 showing logical instants, plus flow arrows for
+/// cross-span causal links (memo waiters → the winning invocation).
+/// Timestamps are rebased to the earliest span.
+std::string ExportChromeTrace(const TraceBuffer& buffer);
+
+/// When the SERENA_METRICS_FILE environment variable names a path, writes
+/// `ExportPrometheus(MetricsRegistry::Global())` to it, at most once per
+/// `min_interval_ns` of wall time (default 1s). The executor calls this
+/// every tick, making the file a poll-friendly exposition endpoint.
+/// Returns true when a write happened.
+bool MaybeWriteMetricsFile(std::uint64_t min_interval_ns = 1000000000ull);
+
+}  // namespace obs
+}  // namespace serena
+
+#endif  // SERENA_OBS_EXPORT_H_

@@ -1,0 +1,179 @@
+#include "obs/meta.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schema/extended_schema.h"
+#include "stream/executor.h"
+#include "stream/query_health.h"
+#include "types/tuple.h"
+#include "xrel/environment.h"
+#include "xrel/xrelation.h"
+
+namespace serena {
+namespace obs {
+
+namespace {
+
+Result<ExtendedSchemaPtr> MetricsSchema() {
+  return ExtendedSchema::Create(
+      kSysMetricsRelation, {{"metric", DataType::kString},
+                            {"kind", DataType::kString},
+                            {"value", DataType::kReal}});
+}
+
+Result<ExtendedSchemaPtr> SpansSchema() {
+  return ExtendedSchema::Create(
+      kSysSpansRelation, {{"name", DataType::kString},
+                          {"detail", DataType::kString},
+                          {"instant", DataType::kInt},
+                          {"trace_id", DataType::kInt},
+                          {"span_id", DataType::kInt},
+                          {"parent_id", DataType::kInt},
+                          {"link_span_id", DataType::kInt},
+                          {"thread_index", DataType::kInt},
+                          {"start_ns", DataType::kInt},
+                          {"duration_ns", DataType::kInt}});
+}
+
+Result<ExtendedSchemaPtr> QueryHealthSchema() {
+  return ExtendedSchema::Create(
+      kSysQueryHealthRelation, {{"name", DataType::kString},
+                                {"last_instant", DataType::kInt},
+                                {"lag", DataType::kInt},
+                                {"streak", DataType::kInt},
+                                {"errors", DataType::kInt},
+                                {"steps", DataType::kInt},
+                                {"p50_step_ns", DataType::kInt},
+                                {"p99_step_ns", DataType::kInt},
+                                {"rows_in_rate", DataType::kReal},
+                                {"rows_out_rate", DataType::kReal}});
+}
+
+Value IntValue(std::uint64_t v) {
+  return Value::Int(static_cast<std::int64_t>(v));
+}
+
+Status RefreshMetrics(Environment* env) {
+  SERENA_ASSIGN_OR_RETURN(const XRelation* existing,
+                          env->GetRelation(kSysMetricsRelation));
+  XRelation relation(existing->schema_ptr());
+  const MetricsRegistry& metrics = MetricsRegistry::Global();
+  for (const std::string& name : metrics.CounterNames()) {
+    const Counter* counter = metrics.FindCounter(name);
+    if (counter == nullptr) continue;
+    relation.InsertUnchecked(
+        Tuple{Value::String(name), Value::String("counter"),
+              Value::Real(static_cast<double>(counter->value()))});
+  }
+  for (const std::string& name : metrics.GaugeNames()) {
+    const Gauge* gauge = metrics.FindGauge(name);
+    if (gauge == nullptr) continue;
+    relation.InsertUnchecked(
+        Tuple{Value::String(name), Value::String("gauge"),
+              Value::Real(static_cast<double>(gauge->value()))});
+  }
+  for (const std::string& name : metrics.HistogramNames()) {
+    const Histogram* histogram = metrics.FindHistogram(name);
+    if (histogram == nullptr) continue;
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    const std::pair<const char*, double> facets[] = {
+        {".count", static_cast<double>(snapshot.count)},
+        {".mean", snapshot.mean()},
+        {".p50", static_cast<double>(snapshot.ValueAtPercentile(50))},
+        {".p99", static_cast<double>(snapshot.ValueAtPercentile(99))},
+        {".max", static_cast<double>(snapshot.max)},
+    };
+    for (const auto& [suffix, value] : facets) {
+      relation.InsertUnchecked(Tuple{Value::String(name + suffix),
+                                     Value::String("histogram"),
+                                     Value::Real(value)});
+    }
+  }
+  return env->PutRelation(std::move(relation));
+}
+
+Status RefreshSpans(Environment* env) {
+  SERENA_ASSIGN_OR_RETURN(const XRelation* existing,
+                          env->GetRelation(kSysSpansRelation));
+  XRelation relation(existing->schema_ptr());
+  for (const SpanRecord& span : TraceBuffer::Global().Snapshot()) {
+    relation.InsertUnchecked(
+        Tuple{Value::String(span.name), Value::String(span.detail),
+              Value::Int(span.instant), IntValue(span.trace_id),
+              IntValue(span.span_id), IntValue(span.parent_id),
+              IntValue(span.link_span_id), IntValue(span.thread_index),
+              IntValue(span.start_ns), IntValue(span.duration_ns)});
+  }
+  return env->PutRelation(std::move(relation));
+}
+
+Status RefreshQueryHealth(Environment* env, const QueryHealth* health) {
+  SERENA_ASSIGN_OR_RETURN(const XRelation* existing,
+                          env->GetRelation(kSysQueryHealthRelation));
+  XRelation relation(existing->schema_ptr());
+  if (health != nullptr) {
+    for (const QueryHealth::QuerySnapshot& query : health->Snapshots()) {
+      relation.InsertUnchecked(
+          Tuple{Value::String(query.name),
+                Value::Int(query.last_completed_instant),
+                Value::Int(query.lag), IntValue(query.error_streak),
+                IntValue(query.total_errors), IntValue(query.steps),
+                IntValue(query.p50_step_ns), IntValue(query.p99_step_ns),
+                Value::Real(query.rows_in_rate),
+                Value::Real(query.rows_out_rate)});
+    }
+  }
+  return env->PutRelation(std::move(relation));
+}
+
+}  // namespace
+
+Status RefreshMetaRelations(Environment* env, const QueryHealth* health) {
+  if (env == nullptr) return Status::InvalidArgument("null environment");
+  if (env->HasRelation(kSysMetricsRelation)) {
+    SERENA_RETURN_NOT_OK(RefreshMetrics(env));
+  }
+  if (env->HasRelation(kSysSpansRelation)) {
+    SERENA_RETURN_NOT_OK(RefreshSpans(env));
+  }
+  if (env->HasRelation(kSysQueryHealthRelation)) {
+    SERENA_RETURN_NOT_OK(RefreshQueryHealth(env, health));
+  }
+  return Status::OK();
+}
+
+Status RegisterMetaRelations(Environment* env,
+                             ContinuousExecutor* executor) {
+  if (env == nullptr) return Status::InvalidArgument("null environment");
+  if (!env->HasRelation(kSysMetricsRelation)) {
+    SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema, MetricsSchema());
+    SERENA_RETURN_NOT_OK(env->AddRelation(std::move(schema)));
+  }
+  if (!env->HasRelation(kSysSpansRelation)) {
+    SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema, SpansSchema());
+    SERENA_RETURN_NOT_OK(env->AddRelation(std::move(schema)));
+  }
+  if (!env->HasRelation(kSysQueryHealthRelation)) {
+    SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema, QueryHealthSchema());
+    SERENA_RETURN_NOT_OK(env->AddRelation(std::move(schema)));
+  }
+  SERENA_RETURN_NOT_OK(RefreshMetaRelations(
+      env, executor != nullptr ? &executor->health() : nullptr));
+  if (executor != nullptr) {
+    // The source runs serially before any query steps, so every query of
+    // a tick sees one consistent telemetry snapshot (taken at tick
+    // start; a query's view of sys_* therefore describes the state as of
+    // the previous tick's end).
+    executor->AddSource([env, executor](Timestamp) {
+      return RefreshMetaRelations(env, &executor->health());
+    });
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace serena

@@ -1,0 +1,55 @@
+#ifndef SERENA_OBS_META_H_
+#define SERENA_OBS_META_H_
+
+#include "common/result.h"
+
+namespace serena {
+
+class ContinuousExecutor;
+class Environment;
+class QueryHealth;
+
+namespace obs {
+
+/// Names of the built-in meta-relations ("the PEMS observing itself"):
+/// virtual X-Relations whose contents are refreshed from telemetry
+/// snapshots at the start of every executor tick, so ordinary standing
+/// Serena queries can monitor the runtime — e.g.
+/// `select[streak >= 3](sys_query_health)`.
+inline constexpr char kSysMetricsRelation[] = "sys_metrics";
+inline constexpr char kSysSpansRelation[] = "sys_spans";
+inline constexpr char kSysQueryHealthRelation[] = "sys_query_health";
+
+/// Creates the three meta-relations in `env` (skipping ones that already
+/// exist) and registers an executor source that refreshes them each tick
+/// before any query steps. Schemas:
+///
+///   sys_metrics(metric STRING, kind STRING, value REAL)
+///     — one row per counter/gauge; histograms expand to `.count`,
+///       `.mean`, `.p50`, `.p99`, `.max` rows.
+///   sys_spans(name STRING, detail STRING, instant INTEGER,
+///             trace_id INTEGER, span_id INTEGER, parent_id INTEGER,
+///             link_span_id INTEGER, thread_index INTEGER,
+///             start_ns INTEGER, duration_ns INTEGER)
+///     — the trace ring, oldest to newest (empty while tracing is off).
+///   sys_query_health(name STRING, last_instant INTEGER, lag INTEGER,
+///                    streak INTEGER, errors INTEGER, steps INTEGER,
+///                    p50_step_ns INTEGER, p99_step_ns INTEGER,
+///                    rows_in_rate REAL, rows_out_rate REAL)
+///     — one row per registered continuous query.
+///
+/// Opt-in: call it once after constructing the PEMS (the shell does).
+/// Fails when a same-named attribute elsewhere in `env` has a conflicting
+/// type (URSA).
+Status RegisterMetaRelations(Environment* env, ContinuousExecutor* executor);
+
+/// Rebuilds the meta-relations' contents from the current telemetry
+/// snapshots (global metrics registry + trace buffer + `health`, which
+/// may be null). Relations missing from `env` are skipped. Called by the
+/// registered source every tick; call directly for an on-demand refresh.
+Status RefreshMetaRelations(Environment* env, const QueryHealth* health);
+
+}  // namespace obs
+}  // namespace serena
+
+#endif  // SERENA_OBS_META_H_

@@ -77,6 +77,36 @@ std::uint64_t Histogram::ValueAtPercentile(double p) const {
   return max();
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.resize(kBucketCount + 1);
+  for (std::size_t i = 0; i <= kBucketCount; ++i) {
+    snapshot.buckets[i] = BucketCount(i);
+    snapshot.count += snapshot.buckets[i];
+  }
+  snapshot.sum = sum();
+  snapshot.min = min();
+  snapshot.max = max();
+  return snapshot;
+}
+
+std::uint64_t HistogramSnapshot::ValueAtPercentile(double p) const {
+  if (count == 0) return 0;
+  if (p <= 0.0) return min;
+  if (p >= 100.0) return max;
+  const auto rank =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      const std::uint64_t bound = Histogram::BucketBound(i);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -196,18 +226,22 @@ std::string MetricsRegistry::ToJson() const {
 
   json.Key("histograms").BeginObject();
   for (const auto& [name, histogram] : histograms_) {
+    // One snapshot per histogram: every derived figure below comes from
+    // the same frozen buckets, so a concurrent Reset can't tear the entry
+    // into count/percentile combinations that never coexisted.
+    const HistogramSnapshot snapshot = histogram->Snapshot();
     json.Key(name).BeginObject();
-    json.Key("count").Value(histogram->count());
-    json.Key("sum").Value(histogram->sum());
-    json.Key("min").Value(histogram->min());
-    json.Key("max").Value(histogram->max());
-    json.Key("mean").Value(histogram->mean());
-    json.Key("p50").Value(histogram->ValueAtPercentile(50));
-    json.Key("p90").Value(histogram->ValueAtPercentile(90));
-    json.Key("p99").Value(histogram->ValueAtPercentile(99));
+    json.Key("count").Value(snapshot.count);
+    json.Key("sum").Value(snapshot.sum);
+    json.Key("min").Value(snapshot.min);
+    json.Key("max").Value(snapshot.max);
+    json.Key("mean").Value(snapshot.mean());
+    json.Key("p50").Value(snapshot.ValueAtPercentile(50));
+    json.Key("p90").Value(snapshot.ValueAtPercentile(90));
+    json.Key("p99").Value(snapshot.ValueAtPercentile(99));
     json.Key("buckets").BeginArray();
-    for (std::size_t i = 0; i <= Histogram::kBucketCount; ++i) {
-      const std::uint64_t in_bucket = histogram->BucketCount(i);
+    for (std::size_t i = 0; i < snapshot.buckets.size(); ++i) {
+      const std::uint64_t in_bucket = snapshot.buckets[i];
       if (in_bucket == 0) continue;
       json.BeginObject();
       json.Key("le").Value(Histogram::BucketBound(i));

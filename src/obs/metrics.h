@@ -47,6 +47,28 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// A point-in-time copy of one histogram's state, internally consistent
+/// by construction: `count` is computed as the sum of the copied buckets,
+/// so percentiles derived from a snapshot are monotone even while writers
+/// race — the fix for torn dashboards read field-by-field from the live
+/// atomics (see docs/OBSERVABILITY.md).
+struct HistogramSnapshot {
+  /// One count per bounded bucket plus the overflow bucket (last entry).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Same semantics as Histogram::ValueAtPercentile, over the frozen
+  /// buckets.
+  std::uint64_t ValueAtPercentile(double p) const;
+};
+
 /// A fixed-bucket latency histogram. Buckets are exponential, base 2:
 /// bucket i counts recorded values v with v < BucketBound(i), where
 /// BucketBound(i) = 2^(i + 8) — i.e. 256ns, 512ns, ..., up to
@@ -86,6 +108,11 @@ class Histogram {
   std::uint64_t BucketCount(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  /// A single-pass consistent snapshot; all derived statistics (exports,
+  /// dashboards) should be computed from one snapshot rather than from
+  /// repeated live reads.
+  HistogramSnapshot Snapshot() const;
 
   void Reset();
 
@@ -147,6 +174,11 @@ class MetricsRegistry {
   /// {"count", "sum", "min", "max", "mean", "p50", "p90", "p99",
   /// "buckets": [{"le", "count"}, ...]}}}` (only non-empty buckets).
   std::string ToJson() const;
+
+  /// The full registry in Prometheus text exposition format (metric names
+  /// sanitized, histograms as cumulative `_bucket{le=...}`/`_sum`/`_count`
+  /// series). Implemented in obs/export.cc.
+  std::string DumpPrometheus() const;
 
  private:
   std::atomic<bool> enabled_;

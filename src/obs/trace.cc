@@ -8,6 +8,39 @@
 namespace serena {
 namespace obs {
 
+namespace {
+
+thread_local SpanContext t_current_context;
+
+SpanContext SwapCurrentContext(SpanContext context) {
+  const SpanContext previous = t_current_context;
+  t_current_context = context;
+  return previous;
+}
+
+}  // namespace
+
+SpanContext CurrentSpanContext() { return t_current_context; }
+
+std::uint64_t NextSpanId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t CurrentThreadIndex() {
+  // Index 0 is reserved for synthetic exporter tracks; real threads are
+  // numbered from 1 in first-use order.
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+ScopedSpanContext::ScopedSpanContext(SpanContext context)
+    : saved_(SwapCurrentContext(context)) {}
+
+ScopedSpanContext::~ScopedSpanContext() { SwapCurrentContext(saved_); }
+
 TraceBuffer::TraceBuffer(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
@@ -43,14 +76,22 @@ std::size_t TraceBuffer::capacity() const {
 }
 
 void TraceBuffer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++total_;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(record));
-    next_ = ring_.size() == capacity_ ? 0 : ring_.size();
-  } else {
-    ring_[next_] = std::move(record);
-    next_ = (next_ + 1) % capacity_;
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+      next_ = ring_.size() == capacity_ ? 0 : ring_.size();
+    } else {
+      ring_[next_] = std::move(record);
+      next_ = (next_ + 1) % capacity_;
+      ++dropped_;
+      overwrote = true;
+    }
+  }
+  if (overwrote) {
+    MetricsRegistry::Global().GetCounter("serena.trace.dropped").Increment();
   }
 }
 
@@ -72,6 +113,11 @@ std::uint64_t TraceBuffer::total_recorded() const {
   return total_;
 }
 
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 std::size_t TraceBuffer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ring_.size();
@@ -82,6 +128,7 @@ void TraceBuffer::Clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 std::string TraceBuffer::ToJson() const {
@@ -89,12 +136,20 @@ std::string TraceBuffer::ToJson() const {
   JsonWriter json;
   json.BeginObject();
   json.Key("total_recorded").Value(total_recorded());
+  json.Key("dropped").Value(dropped());
   json.Key("spans").BeginArray();
   for (const SpanRecord& span : spans) {
     json.BeginObject();
     json.Key("name").Value(span.name);
     if (!span.detail.empty()) json.Key("detail").Value(span.detail);
     json.Key("instant").Value(static_cast<std::int64_t>(span.instant));
+    json.Key("trace_id").Value(span.trace_id);
+    json.Key("span_id").Value(span.span_id);
+    json.Key("parent_id").Value(span.parent_id);
+    if (span.link_span_id != 0) {
+      json.Key("link_span_id").Value(span.link_span_id);
+    }
+    json.Key("thread_index").Value(span.thread_index);
     json.Key("start_ns").Value(span.start_ns);
     json.Key("duration_ns").Value(span.duration_ns);
     json.EndObject();
@@ -108,15 +163,36 @@ Span::Span(std::string_view name, Timestamp instant, std::string_view detail,
            TraceBuffer* buffer)
     : buffer_(buffer != nullptr && buffer->enabled() ? buffer : nullptr) {
   if (buffer_ == nullptr) return;
+  Init(name, instant, detail, 0);
+}
+
+Span::Span(std::string_view name, Timestamp instant, std::string_view detail,
+           std::uint64_t span_id, TraceBuffer* buffer)
+    : buffer_(buffer != nullptr && buffer->enabled() ? buffer : nullptr) {
+  if (buffer_ == nullptr) return;
+  Init(name, instant, detail, span_id);
+}
+
+void Span::Init(std::string_view name, Timestamp instant,
+                std::string_view detail, std::uint64_t span_id) {
   record_.name.assign(name);
   record_.detail.assign(detail);
   record_.instant = instant;
+  const SpanContext parent = CurrentSpanContext();
+  record_.span_id = span_id != 0 ? span_id : NextSpanId();
+  record_.parent_id = parent.span_id;
+  // Roots start a fresh trace; reuse the span id as the trace id so
+  // related spans stay groupable without a second id space.
+  record_.trace_id = parent.valid() ? parent.trace_id : record_.span_id;
+  saved_ = SwapCurrentContext(SpanContext{record_.trace_id, record_.span_id});
   record_.start_ns = MonotonicNowNs();
 }
 
 Span::~Span() {
   if (buffer_ == nullptr) return;
   record_.duration_ns = MonotonicNowNs() - record_.start_ns;
+  record_.thread_index = CurrentThreadIndex();
+  SwapCurrentContext(saved_);
   buffer_->Record(std::move(record_));
 }
 

@@ -13,10 +13,49 @@
 namespace serena {
 namespace obs {
 
+/// The causal identity of an in-flight span: which trace it belongs to and
+/// which span is currently active. Propagated through thread pools and
+/// service invocations so work scheduled on another thread still parents
+/// under the span that caused it. A default-constructed context is the
+/// "no active span" root state.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return span_id != 0; }
+};
+
+/// The context of the span currently active on this thread (thread-local).
+SpanContext CurrentSpanContext();
+
+/// Allocates a fresh process-unique nonzero span/trace id.
+std::uint64_t NextSpanId();
+
+/// A stable small index identifying the calling OS thread, assigned on
+/// first use starting at 1. Index 0 is reserved for synthetic tracks
+/// (the logical-instant track in the Chrome exporter).
+std::uint64_t CurrentThreadIndex();
+
+/// RAII installer for a span context: makes `context` current for this
+/// thread, restoring the previous context on destruction. Thread pools use
+/// this to re-establish the submitter's context inside the worker.
+class ScopedSpanContext {
+ public:
+  explicit ScopedSpanContext(SpanContext context);
+  ~ScopedSpanContext();
+
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  SpanContext saved_;
+};
+
 /// One completed span: a named stretch of work stamped with both physical
 /// time (monotonic nanoseconds) and the logical clock instant it executed
 /// at — the dual-time view that makes tick traces line up with the
-/// algebra's discrete-time semantics.
+/// algebra's discrete-time semantics. Trace/span/parent ids make the
+/// records causally linkable across threads.
 struct SpanRecord {
   std::string name;
   /// Free-form qualifier (query name, prototype, ...). May be empty.
@@ -25,10 +64,23 @@ struct SpanRecord {
   Timestamp instant = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
+  /// Causal identity. trace_id groups one causally-connected unit (e.g.
+  /// one executor tick); parent_id is 0 for roots.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  /// Cross-trace causal link (e.g. a memo waiter → the winning physical
+  /// invocation's span). 0 when absent.
+  std::uint64_t link_span_id = 0;
+  /// Stable index of the thread the span completed on (see
+  /// CurrentThreadIndex).
+  std::uint64_t thread_index = 0;
 };
 
 /// A bounded ring buffer of the most recent spans. When full, the oldest
 /// span is overwritten — tracing a long-running PEMS never grows memory.
+/// Overwrites are *not* silent: they bump `dropped()` and the
+/// `serena.trace.dropped` counter.
 ///
 /// Disabled by default (spans carry strings); enable for debugging or
 /// tick-latency investigations. Thread-safe.
@@ -59,15 +111,18 @@ class TraceBuffer {
   /// Retained spans, oldest to newest.
   std::vector<SpanRecord> Snapshot() const;
 
-  /// Spans ever recorded (monotonic; `total_recorded() - size()` of them
-  /// have been overwritten).
+  /// Spans ever recorded (monotonic; `dropped()` of them have been
+  /// overwritten).
   std::uint64_t total_recorded() const;
+  /// Spans lost to ring overwrites since construction / Clear().
+  std::uint64_t dropped() const;
   std::size_t size() const;
 
   void Clear();
 
-  /// `{"total_recorded": N, "spans": [{"name", "detail", "instant",
-  /// "start_ns", "duration_ns"}, ...]}` — oldest to newest.
+  /// `{"total_recorded": N, "dropped": D, "spans": [{"name", "detail",
+  /// "instant", "trace_id", "span_id", "parent_id", ...}, ...]}` —
+  /// oldest to newest.
   std::string ToJson() const;
 
  private:
@@ -77,24 +132,47 @@ class TraceBuffer {
   std::size_t capacity_;
   std::size_t next_ = 0;  ///< Slot the next span lands in (once full).
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// RAII span: times its scope and records into the buffer on destruction.
-/// When the buffer is disabled at construction the span is inert — no
-/// clock read, no string copies.
+/// While alive it is the thread's current span context, so nested spans
+/// (and pool tasks submitted from inside it) parent under it. When the
+/// buffer is disabled at construction the span is inert — no clock read,
+/// no string copies, no context install.
 class Span {
  public:
   Span(std::string_view name, Timestamp instant,
        std::string_view detail = {},
        TraceBuffer* buffer = &TraceBuffer::Global());
+  /// Variant with a caller-preallocated span id (see NextSpanId) — used
+  /// when the id must be published (e.g. in a memo slot) before the span
+  /// completes. `span_id` 0 falls back to a fresh id.
+  Span(std::string_view name, Timestamp instant, std::string_view detail,
+       std::uint64_t span_id, TraceBuffer* buffer = &TraceBuffer::Global());
   ~Span();
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// Marks a causal link to another span (e.g. the memoized invocation
+  /// this span waited on). No-op when inert.
+  void set_link_span(std::uint64_t span_id) {
+    if (buffer_ != nullptr) record_.link_span_id = span_id;
+  }
+
+  /// This span's context (zeroes when inert).
+  SpanContext context() const {
+    return SpanContext{record_.trace_id, record_.span_id};
+  }
+
  private:
+  void Init(std::string_view name, Timestamp instant, std::string_view detail,
+            std::uint64_t span_id);
+
   TraceBuffer* buffer_;  ///< nullptr when inert.
   SpanRecord record_;
+  SpanContext saved_;  ///< Context to restore on destruction.
 };
 
 }  // namespace obs

@@ -54,6 +54,17 @@ std::string PemsMetrics::ToString() const {
                       static_cast<unsigned long long>(query.steps),
                       query.actions);
   }
+  for (const QueryHealth::QuerySnapshot& health : query_health) {
+    s += StringFormat(
+        "  %s health: lag %lld, streak %llu, errors %llu, p50 %.1fus, "
+        "p99 %.1fus, rows in/out per step %.1f/%.1f\n",
+        health.name.c_str(), static_cast<long long>(health.lag),
+        static_cast<unsigned long long>(health.error_streak),
+        static_cast<unsigned long long>(health.total_errors),
+        static_cast<double>(health.p50_step_ns) / 1e3,
+        static_cast<double>(health.p99_step_ns) / 1e3, health.rows_in_rate,
+        health.rows_out_rate);
+  }
   return s;
 }
 
@@ -115,6 +126,24 @@ std::string PemsMetrics::ToJson() const {
   }
   json.EndArray();
 
+  json.Key("query_health").BeginArray();
+  for (const QueryHealth::QuerySnapshot& health : query_health) {
+    json.BeginObject();
+    json.Key("name").Value(health.name);
+    json.Key("last_instant")
+        .Value(static_cast<std::int64_t>(health.last_completed_instant));
+    json.Key("lag").Value(static_cast<std::int64_t>(health.lag));
+    json.Key("streak").Value(health.error_streak);
+    json.Key("errors").Value(health.total_errors);
+    json.Key("steps").Value(health.steps);
+    json.Key("p50_step_ns").Value(health.p50_step_ns);
+    json.Key("p99_step_ns").Value(health.p99_step_ns);
+    json.Key("rows_in_rate").Value(health.rows_in_rate);
+    json.Key("rows_out_rate").Value(health.rows_out_rate);
+    json.EndObject();
+  }
+  json.EndArray();
+
   json.EndObject();
   return json.TakeString();
 }
@@ -145,11 +174,15 @@ PemsMetrics SnapshotMetrics(Pems& pems) {
   const obs::Histogram* tick_ns =
       obs::MetricsRegistry::Global().FindHistogram("serena.executor.tick_ns");
   if (tick_ns != nullptr) {
-    metrics.tick_latency.count = tick_ns->count();
-    metrics.tick_latency.mean_ns = tick_ns->mean();
-    metrics.tick_latency.p50_ns = tick_ns->ValueAtPercentile(50);
-    metrics.tick_latency.p99_ns = tick_ns->ValueAtPercentile(99);
-    metrics.tick_latency.max_ns = tick_ns->max();
+    // One snapshot pass: a concurrent ResetValues can no longer tear the
+    // summary into a count from before the reset and percentiles from
+    // after it.
+    const obs::HistogramSnapshot snapshot = tick_ns->Snapshot();
+    metrics.tick_latency.count = snapshot.count;
+    metrics.tick_latency.mean_ns = snapshot.mean();
+    metrics.tick_latency.p50_ns = snapshot.ValueAtPercentile(50);
+    metrics.tick_latency.p99_ns = snapshot.ValueAtPercentile(99);
+    metrics.tick_latency.max_ns = snapshot.max;
   }
 
   for (const std::string& name : pems.queries().executor().QueryNames()) {
@@ -159,6 +192,7 @@ PemsMetrics SnapshotMetrics(Pems& pems) {
           name, (*query)->steps(), (*query)->accumulated_actions().size()});
     }
   }
+  metrics.query_health = executor.health().Snapshots();
   return metrics;
 }
 

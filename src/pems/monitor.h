@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pems/pems.h"
+#include "stream/query_health.h"
 
 namespace serena {
 
@@ -62,6 +63,10 @@ struct PemsMetrics {
     std::size_t actions = 0;
   };
   std::vector<QueryInfo> queries;
+
+  /// Per-query health (lag, error streak, latency percentiles, tuple
+  /// rates) from the executor's QueryHealth tracker, sorted by name.
+  std::vector<QueryHealth::QuerySnapshot> query_health;
 
   /// Multi-line human-readable dashboard rendering.
   std::string ToString() const;

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace serena {
 
@@ -172,9 +173,10 @@ Result<TupleRows> ServiceRegistry::InvokeMemoized(
     const Tuple& input, Timestamp now,
     const PrototypeInstruments& instruments) {
   MemoKey key{prototype.name(), service_ref, input};
+  const bool tracing = obs::TraceBuffer::Global().enabled();
   for (;;) {
     std::promise<Result<TupleRows>> promise;
-    MemoFuture future;
+    MemoSlot slot;
     bool owner = false;
     {
       std::lock_guard<std::mutex> lock(memo_mu_);
@@ -182,10 +184,13 @@ Result<TupleRows> ServiceRegistry::InvokeMemoized(
       const auto it = memo_.find(key);
       if (it == memo_.end()) {
         owner = true;
-        future = promise.get_future().share();
-        memo_.emplace(key, future);
+        slot.future = promise.get_future().share();
+        // Preallocate the winning call's span id so waiters arriving
+        // while the call is in flight can already link to it.
+        slot.span_id = tracing ? obs::NextSpanId() : 0;
+        memo_.emplace(key, slot);
       } else {
-        future = it->second;
+        slot = it->second;
       }
     }
 
@@ -193,8 +198,11 @@ Result<TupleRows> ServiceRegistry::InvokeMemoized(
       if (instruments.memo_misses != nullptr) {
         instruments.memo_misses->Increment();
       }
-      Result<TupleRows> result = InvokePhysical(prototype, service_ref,
-                                                input, now, instruments);
+      Result<TupleRows> result = [&] {
+        obs::Span span("service.invoke", now, service_ref, slot.span_id);
+        return InvokePhysical(prototype, service_ref, input, now,
+                              instruments);
+      }();
       if (!result.ok()) {
         // Failures are not memoized: drop the slot (before waking
         // waiters, so a retrying waiter never re-reads it).
@@ -208,7 +216,11 @@ Result<TupleRows> ServiceRegistry::InvokeMemoized(
     // Another call owns this key; await its result. The owner runs the
     // physical call on its own thread, so this wait cannot deadlock on
     // pool capacity.
-    Result<TupleRows> result = future.get();
+    Result<TupleRows> result = [&] {
+      obs::Span span("invoke.wait", now, service_ref);
+      span.set_link_span(slot.span_id);
+      return slot.future.get();
+    }();
     if (result.ok()) {
       stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
       if (instruments.memo_hits != nullptr) {
@@ -261,15 +273,17 @@ std::vector<Result<TupleRows>> ServiceRegistry::InvokeMany(
     std::size_t first_index;
     std::vector<std::size_t> indices;
     std::promise<Result<TupleRows>> promise;
+    std::uint64_t span_id = 0;  ///< Preallocated invocation span.
   };
   std::vector<Group> groups;
   // Requests whose key is owned by an earlier call (possibly still in
   // flight): resolved from the owner's future after dispatch.
   struct Await {
     std::size_t index;
-    MemoFuture future;
+    MemoSlot slot;
   };
   std::vector<Await> awaits;
+  const bool tracing = obs::TraceBuffer::Global().enabled();
   {
     std::unordered_map<MemoKey, std::size_t, MemoKeyHasher> pending;
     std::lock_guard<std::mutex> lock(memo_mu_);
@@ -305,7 +319,10 @@ std::vector<Result<TupleRows>> ServiceRegistry::InvokeMany(
       Group group;
       group.first_index = i;
       group.indices.push_back(i);
-      memo_.emplace(key, group.promise.get_future().share());
+      group.span_id = tracing ? obs::NextSpanId() : 0;
+      memo_.emplace(key,
+                    MemoSlot{group.promise.get_future().share(),
+                             group.span_id});
       pending.emplace(std::move(key), groups.size());
       groups.push_back(std::move(group));
     }
@@ -324,8 +341,12 @@ std::vector<Result<TupleRows>> ServiceRegistry::InvokeMany(
         // cancelled.
       } else {
         const InvocationRequest& request = requests[group.first_index];
-        result = InvokePhysical(prototype, request.service_ref,
+        result = [&] {
+          obs::Span span("service.invoke", now, request.service_ref,
+                         group.span_id);
+          return InvokePhysical(prototype, request.service_ref,
                                 request.input, now, instruments);
+        }();
         if (!result.ok() && cancel_on_error) {
           cancelled.store(true, std::memory_order_relaxed);
         }
@@ -355,7 +376,12 @@ std::vector<Result<TupleRows>> ServiceRegistry::InvokeMany(
   // threads (never queued behind this ParallelFor), so waiting here is
   // deadlock-free.
   for (Await& await : awaits) {
-    Result<TupleRows> result = await.future.get();
+    Result<TupleRows> result = [&] {
+      obs::Span span("invoke.wait", now,
+                     requests[await.index].service_ref);
+      span.set_link_span(await.slot.span_id);
+      return await.slot.future.get();
+    }();
     if (result.ok()) {
       stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
       if (instruments.memo_hits != nullptr) {

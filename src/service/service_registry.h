@@ -230,9 +230,18 @@ class ServiceRegistry {
   /// results stay in the map.
   using MemoFuture = std::shared_future<Result<TupleRows>>;
 
+  /// The future plus the causal identity of the call that owns it:
+  /// `span_id` is preallocated before the physical dispatch so waiters
+  /// can link their wait spans to the winning invocation's span (0 when
+  /// tracing is off).
+  struct MemoSlot {
+    MemoFuture future;
+    std::uint64_t span_id = 0;
+  };
+
   std::mutex memo_mu_;
   Timestamp memo_instant_ = -1;
-  std::unordered_map<MemoKey, MemoFuture, MemoKeyHasher> memo_;
+  std::unordered_map<MemoKey, MemoSlot, MemoKeyHasher> memo_;
 
   mutable std::mutex listeners_mu_;
   std::size_t next_listener_token_ = 0;

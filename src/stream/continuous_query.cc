@@ -1,6 +1,29 @@
 #include "stream/continuous_query.h"
 
+#include "obs/metrics.h"
+
 namespace serena {
+
+namespace {
+
+std::uint64_t SumLeafRows(const PlanPtr& plan,
+                          const PlanStatsCollector& stats) {
+  if (plan == nullptr) return 0;
+  const std::vector<PlanPtr> children = plan->children();
+  if (children.empty()) {
+    const NodeRuntimeStats* node_stats = stats.Find(plan.get());
+    return node_stats != nullptr ? node_stats->rows_out : 0;
+  }
+  std::uint64_t total = 0;
+  for (const PlanPtr& child : children) total += SumLeafRows(child, stats);
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t ContinuousQuery::LeafRowsTotal() const {
+  return SumLeafRows(plan_, stats_);
+}
 
 Result<XRelation> ContinuousQuery::Step(Environment* env,
                                         StreamStore* streams,
@@ -18,8 +41,22 @@ Result<XRelation> ContinuousQuery::Step(Environment* env,
   };
   ctx.error_policy = InvocationErrorPolicy::kSkipTuple;
   ctx.state = &state_;
+  // Collect per-node actuals while metrics are on: they power
+  // RenderPlanWithStats and the rows-in figure below (leaf rows this step
+  // = delta of the accumulated leaf totals).
+  const bool track = obs::MetricsRegistry::Global().enabled();
+  if (track) ctx.stats = &stats_;
   SERENA_ASSIGN_OR_RETURN(XRelation result, plan_->Evaluate(ctx));
   ++steps_;
+  if (track) {
+    const std::uint64_t leaf_total = LeafRowsTotal();
+    last_rows_in_ = leaf_total - leaf_rows_total_;
+    leaf_rows_total_ = leaf_total;
+    last_rows_out_ = result.size();
+  } else {
+    last_rows_in_ = 0;
+    last_rows_out_ = result.size();
+  }
   if (sink_) sink_(instant, result);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/export.h"
 #include "obs/trace.h"
 
 namespace serena {
@@ -84,6 +85,7 @@ Status ContinuousExecutor::Register(ContinuousQueryPtr query) {
   entry.query = std::move(query);
   entries_.push_back(std::move(entry));
   RebuildSchedule();
+  health_.Register(name, env_->clock().now());
   return Status::OK();
 }
 
@@ -92,6 +94,7 @@ Status ContinuousExecutor::Unregister(const std::string& name) {
     if (it->query->name() == name) {
       entries_.erase(it);
       RebuildSchedule();
+      health_.Unregister(name);
       return Status::OK();
     }
   }
@@ -170,6 +173,7 @@ Timestamp ContinuousExecutor::Tick() {
   obs::Span tick_span("executor.tick", now);
   last_errors_.clear();
   ++total_ticks_;
+  health_.SetNow(now);
 
   for (const auto& [token, entry] : sources_) {
     const Status status = entry.source(now);
@@ -181,6 +185,7 @@ Timestamp ContinuousExecutor::Tick() {
 
   ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Shared();
   std::vector<Status> step_status(entries_.size(), Status::OK());
+  std::vector<std::uint64_t> step_ns(entries_.size(), 0);
   for (const std::vector<std::size_t>& level : schedule_) {
     // Resolve instruments serially: the metrics registry lookup and the
     // histogram cache are not on the step's concurrent path.
@@ -197,17 +202,26 @@ Timestamp ContinuousExecutor::Tick() {
     pool.ParallelFor(level.size(), [&](std::size_t k) {
       Entry& entry = entries_[level[k]];
       obs::Span step_span("executor.step", now, entry.query->name());
-      obs::ScopedLatencyTimer step_timer(meter ? entry.step_histogram
-                                               : nullptr);
+      const std::uint64_t step_start_ns = obs::MonotonicNowNs();
       const auto result = entry.query->Step(env_, streams_, now, &pool);
+      const std::uint64_t elapsed_ns =
+          obs::MonotonicNowNs() - step_start_ns;
+      step_ns[level[k]] = elapsed_ns;
+      if (meter && entry.step_histogram != nullptr) {
+        entry.step_histogram->Record(elapsed_ns);
+      }
       if (!result.ok()) step_status[level[k]] = result.status();
     });
   }
 
-  // Merge failures serially, in registration order.
+  // Merge failures and health observations serially, in registration
+  // order.
   for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const ContinuousQuery& query = *entries_[i].query;
+    health_.Observe(query.name(), now, step_status[i].ok(), step_ns[i],
+                    query.last_rows_in(), query.last_rows_out());
     if (step_status[i].ok()) continue;
-    const std::string& name = entries_[i].query->name();
+    const std::string& name = query.name();
     last_errors_.emplace(name, step_status[i]);
     ++total_query_errors_;
     if (meter) Instruments().query_errors->Increment();
@@ -236,6 +250,9 @@ Timestamp ContinuousExecutor::Tick() {
     Instruments().ticks->Increment();
     Instruments().tick_ns->Record(obs::MonotonicNowNs() - tick_start_ns);
   }
+  // Periodic Prometheus exposition to SERENA_METRICS_FILE (throttled
+  // inside; a fast no-op when the variable is unset).
+  obs::MaybeWriteMetricsFile();
   return now;
 }
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "stream/continuous_query.h"
+#include "stream/query_health.h"
 
 namespace serena {
 
@@ -99,6 +100,11 @@ class ContinuousExecutor {
   void set_prune_slack(Timestamp slack) { prune_slack_ = slack; }
   Timestamp prune_slack() const { return prune_slack_; }
 
+  /// Per-query health signals (lag, error streaks, step latency, tuple
+  /// rates), maintained across ticks for every registered query.
+  const QueryHealth& health() const { return health_; }
+  QueryHealth& health() { return health_; }
+
  private:
   struct WindowDemand {
     Timestamp max_period = 0;    ///< Widest time window on the stream.
@@ -143,6 +149,7 @@ class ContinuousExecutor {
   // at (un)registration instead of re-walking every plan per tick.
   std::map<std::string, WindowDemand> window_demand_;
   std::map<std::string, Status> last_errors_;
+  QueryHealth health_;
   std::uint64_t total_query_errors_ = 0;
   std::uint64_t total_ticks_ = 0;
   std::uint64_t total_pruned_tuples_ = 0;

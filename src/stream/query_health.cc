@@ -1,0 +1,82 @@
+#include "stream/query_health.h"
+
+namespace serena {
+
+void QueryHealth::Register(const std::string& name, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto entry = std::make_unique<Entry>();
+  entry->registered_at = now;
+  entries_[name] = std::move(entry);
+  if (now > now_) now_ = now;
+}
+
+void QueryHealth::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(name);
+}
+
+void QueryHealth::SetNow(Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (now > now_) now_ = now;
+}
+
+void QueryHealth::Observe(const std::string& name, Timestamp instant,
+                          bool ok, std::uint64_t step_ns,
+                          std::uint64_t rows_in, std::uint64_t rows_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  Entry& entry = *it->second;
+  ++entry.observed;
+  entry.step_ns.Record(step_ns);
+  if (ok) {
+    entry.last_completed = instant;
+    entry.error_streak = 0;
+    ++entry.steps;
+    entry.rows_in += rows_in;
+    entry.rows_out += rows_out;
+  } else {
+    ++entry.error_streak;
+    ++entry.total_errors;
+  }
+  if (instant > now_) now_ = instant;
+}
+
+std::vector<QueryHealth::QuerySnapshot> QueryHealth::Snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QuerySnapshot> snapshots;
+  snapshots.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    QuerySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.last_completed_instant = entry->last_completed;
+    // Before the first completed step the lag counts from registration.
+    const Timestamp baseline = entry->last_completed >= 0
+                                   ? entry->last_completed
+                                   : entry->registered_at;
+    snapshot.lag = now_ > baseline ? now_ - baseline : 0;
+    snapshot.error_streak = entry->error_streak;
+    snapshot.total_errors = entry->total_errors;
+    snapshot.steps = entry->steps;
+    const obs::HistogramSnapshot latency = entry->step_ns.Snapshot();
+    snapshot.p50_step_ns = latency.ValueAtPercentile(50);
+    snapshot.p99_step_ns = latency.ValueAtPercentile(99);
+    snapshot.rows_in = entry->rows_in;
+    snapshot.rows_out = entry->rows_out;
+    if (entry->observed > 0) {
+      const double steps = static_cast<double>(entry->observed);
+      snapshot.rows_in_rate = static_cast<double>(entry->rows_in) / steps;
+      snapshot.rows_out_rate = static_cast<double>(entry->rows_out) / steps;
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+void QueryHealth::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  now_ = 0;
+}
+
+}  // namespace serena

@@ -1,0 +1,93 @@
+#ifndef SERENA_STREAM_QUERY_HEALTH_H_
+#define SERENA_STREAM_QUERY_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace serena {
+
+/// Per-query health signals the executor maintains for every registered
+/// continuous query: last-completed instant, tick lag (logical watermark
+/// vs. the executor clock), consecutive-error streak, step-latency
+/// percentiles and tuple in/out rates. This is the alertable layer above
+/// the raw metrics registry — surfaced through `\health` in the shell,
+/// `PemsMetrics::ToJson`, and the `sys_query_health` meta-relation.
+///
+/// Thread-safe; `Observe` is called from the executor's serial merge
+/// phase, snapshots may be taken from any thread.
+class QueryHealth {
+ public:
+  struct QuerySnapshot {
+    std::string name;
+    /// Instant of the last successful step; -1 before the first one.
+    Timestamp last_completed_instant = -1;
+    /// Executor clock minus last completed instant (ticks the query is
+    /// behind). 1 means "stepped last tick" — the healthy steady state.
+    Timestamp lag = 0;
+    /// Consecutive failed steps (0 for a healthy query).
+    std::uint64_t error_streak = 0;
+    std::uint64_t total_errors = 0;
+    /// Completed (successful) steps.
+    std::uint64_t steps = 0;
+    std::uint64_t p50_step_ns = 0;
+    std::uint64_t p99_step_ns = 0;
+    /// Totals across all observed steps.
+    std::uint64_t rows_in = 0;
+    std::uint64_t rows_out = 0;
+    /// Totals divided by observed steps (successful + failed).
+    double rows_in_rate = 0.0;
+    double rows_out_rate = 0.0;
+  };
+
+  QueryHealth() = default;
+  QueryHealth(const QueryHealth&) = delete;
+  QueryHealth& operator=(const QueryHealth&) = delete;
+
+  /// Starts tracking `name`; lag is measured from `now` until the first
+  /// completed step. Re-registering resets the entry.
+  void Register(const std::string& name, Timestamp now);
+  void Unregister(const std::string& name);
+
+  /// Advances the lag baseline — the executor calls this with each tick's
+  /// instant before stepping, so stalled queries show a growing lag.
+  void SetNow(Timestamp now);
+
+  /// Records one step outcome for `name` (no-op when untracked).
+  void Observe(const std::string& name, Timestamp instant, bool ok,
+               std::uint64_t step_ns, std::uint64_t rows_in,
+               std::uint64_t rows_out);
+
+  /// All tracked queries, sorted by name.
+  std::vector<QuerySnapshot> Snapshots() const;
+
+  void Clear();
+
+ private:
+  struct Entry {
+    Timestamp registered_at = 0;
+    Timestamp last_completed = -1;
+    std::uint64_t error_streak = 0;
+    std::uint64_t total_errors = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t observed = 0;  ///< Successful + failed steps.
+    std::uint64_t rows_in = 0;
+    std::uint64_t rows_out = 0;
+    obs::Histogram step_ns;
+  };
+
+  mutable std::mutex mu_;
+  Timestamp now_ = 0;
+  // unique_ptr: Entry holds atomics (non-movable).
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace serena
+
+#endif  // SERENA_STREAM_QUERY_HEALTH_H_

@@ -1,0 +1,335 @@
+// Golden tests for the standard exporters: Prometheus text exposition
+// (name sanitization, label escaping, cumulative buckets) and Chrome
+// trace_event JSON (structure, tracks, rebased timestamps, causal
+// consistency of trace/span/parent ids across pool threads).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace serena {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny format validators (no JSON library in the repo — by design).
+// ---------------------------------------------------------------------------
+
+/// Structural JSON well-formedness: balanced braces/brackets outside of
+/// string literals, closed strings, legal escapes left to the consumer.
+bool JsonIsBalanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+bool IsPrometheusNameChar(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+}
+
+/// Validates one exposition-format sample line: `name{labels} value` or
+/// `name value`, with a legal metric name and a parseable value.
+bool ValidPrometheusSampleLine(const std::string& line) {
+  if (line.empty()) return false;
+  std::size_t i = 0;
+  while (i < line.size() && IsPrometheusNameChar(line[i], i == 0)) ++i;
+  if (i == 0) return false;
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string::npos) return false;
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  const std::string value = line.substr(i + 1);
+  if (value.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Validates a whole exposition document: every line is either a `# TYPE
+/// <name> <kind>` header or a sample line.
+::testing::AssertionResult ValidPrometheusText(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream header(line.substr(7));
+      std::string name;
+      std::string kind;
+      header >> name >> kind;
+      if (name.empty() ||
+          (kind != "counter" && kind != "gauge" && kind != "histogram")) {
+        return ::testing::AssertionFailure() << "bad header: " << line;
+      }
+      continue;
+    }
+    if (!ValidPrometheusSampleLine(line)) {
+      return ::testing::AssertionFailure() << "bad sample line: " << line;
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    return ::testing::AssertionFailure() << "no samples";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<std::uint64_t> ExtractNumbers(const std::string& text,
+                                          const std::string& key) {
+  std::vector<std::uint64_t> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtoull(text.c_str() + pos, nullptr, 10));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusExportTest, SanitizesMetricNames) {
+  EXPECT_EQ(PrometheusMetricName("serena.executor.tick_ns"),
+            "serena_executor_tick_ns");
+  EXPECT_EQ(PrometheusMetricName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(PrometheusMetricName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusMetricName(""), "_");
+  EXPECT_EQ(PrometheusMetricName("ok_name:sub"), "ok_name:sub");
+}
+
+TEST(PrometheusExportTest, EscapesLabelValues) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabel("line\nbreak"), "line\\nbreak");
+}
+
+TEST(PrometheusExportTest, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("serena.test.events").Increment(7);
+  registry.GetGauge("serena.test.depth").Set(-2);
+  Histogram& histogram = registry.GetHistogram("serena.test.latency_ns");
+  histogram.Record(300);
+  histogram.Record(300);
+
+  const std::string text = ExportPrometheus(registry);
+  EXPECT_EQ(text,
+            "# TYPE serena_test_events counter\n"
+            "serena_test_events 7\n"
+            "# TYPE serena_test_depth gauge\n"
+            "serena_test_depth -2\n"
+            "# TYPE serena_test_latency_ns histogram\n"
+            "serena_test_latency_ns_bucket{le=\"256\"} 0\n"
+            "serena_test_latency_ns_bucket{le=\"512\"} 2\n"
+            "serena_test_latency_ns_bucket{le=\"+Inf\"} 2\n"
+            "serena_test_latency_ns_sum 600\n"
+            "serena_test_latency_ns_count 2\n");
+  EXPECT_TRUE(ValidPrometheusText(text));
+}
+
+TEST(PrometheusExportTest, BucketsAreCumulativeAndCapped) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("h");
+  histogram.Record(100);                     // Bucket 0 (< 256).
+  histogram.Record(1000);                    // Bucket 2 (< 1024).
+  histogram.Record(UINT64_MAX);              // Overflow bucket.
+
+  const std::string text = ExportPrometheus(registry);
+  // An overflow max must not index past the bounded buckets.
+  EXPECT_NE(text.find("h_bucket{le=\"256\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"512\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"1024\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("h_count 3\n"), std::string::npos);
+  EXPECT_TRUE(ValidPrometheusText(text));
+}
+
+TEST(PrometheusExportTest, DumpPrometheusMatchesExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment();
+  EXPECT_EQ(registry.DumpPrometheus(), ExportPrometheus(registry));
+}
+
+TEST(PrometheusExportTest, MetricsFileWriterHonorsEnvVar) {
+  const std::string path =
+      ::testing::TempDir() + "/serena_metrics_test.prom";
+  ASSERT_EQ(::setenv("SERENA_METRICS_FILE", path.c_str(), 1), 0);
+  MetricsRegistry::Global().GetCounter("serena.test.file_writer")
+      .Increment();
+  EXPECT_TRUE(MaybeWriteMetricsFile(/*min_interval_ns=*/0));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("serena_test_file_writer"),
+            std::string::npos);
+  EXPECT_TRUE(ValidPrometheusText(buffer.str()));
+
+  ASSERT_EQ(::unsetenv("SERENA_METRICS_FILE"), 0);
+  EXPECT_FALSE(MaybeWriteMetricsFile(0));  // No destination, no write.
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTraceExportTest, EmptyBufferStillWellFormed) {
+  TraceBuffer buffer(/*capacity=*/4);
+  const std::string trace = ExportChromeTrace(buffer);
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_TRUE(JsonIsBalanced(trace));
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"logical instants\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, NestedSpansExportConsistentIds) {
+  TraceBuffer buffer(/*capacity=*/16);
+  buffer.set_enabled(true);
+  {
+    Span tick("executor.tick", /*instant=*/3, {}, &buffer);
+    {
+      Span step("executor.step", /*instant=*/3, "q1", &buffer);
+      Span invoke("service.invoke", /*instant=*/3, "svc0", &buffer);
+    }
+  }
+  const std::string trace = ExportChromeTrace(buffer);
+  EXPECT_TRUE(JsonIsBalanced(trace));
+  // One instant-track slice plus the three spans.
+  EXPECT_NE(trace.find("\"instant 3\""), std::string::npos);
+  EXPECT_NE(trace.find("\"executor.tick\""), std::string::npos);
+  EXPECT_NE(trace.find("\"detail\":\"q1\""), std::string::npos);
+
+  // All spans belong to the tick's trace; every nonzero parent_id is one
+  // of the exported span_ids.
+  const auto trace_ids = ExtractNumbers(trace, "trace_id");
+  ASSERT_EQ(trace_ids.size(), 3u);
+  EXPECT_EQ(trace_ids[0], trace_ids[1]);
+  EXPECT_EQ(trace_ids[1], trace_ids[2]);
+  const auto span_ids = ExtractNumbers(trace, "span_id");
+  const auto parent_ids = ExtractNumbers(trace, "parent_id");
+  const std::set<std::uint64_t> known(span_ids.begin(), span_ids.end());
+  int roots = 0;
+  for (const std::uint64_t parent : parent_ids) {
+    if (parent == 0) {
+      ++roots;
+    } else {
+      EXPECT_EQ(known.count(parent), 1u);
+    }
+  }
+  EXPECT_EQ(roots, 1);  // Only the tick is a root.
+
+  // Timestamps are rebased: the earliest event starts at ts 0.
+  EXPECT_NE(trace.find("\"ts\":0,"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, MemoLinksBecomeFlowArrows) {
+  TraceBuffer buffer(/*capacity=*/8);
+  buffer.set_enabled(true);
+  std::uint64_t winner_id = 0;
+  {
+    Span winner("service.invoke", 1, "svc", &buffer);
+    winner_id = winner.context().span_id;
+  }
+  {
+    Span waiter("invoke.wait", 1, "svc", &buffer);
+    waiter.set_link_span(winner_id);
+  }
+  const std::string trace = ExportChromeTrace(buffer);
+  EXPECT_TRUE(JsonIsBalanced(trace));
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(trace.find("\"memo-link\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, DanglingLinkEmitsNoFlow) {
+  TraceBuffer buffer(/*capacity=*/8);
+  buffer.set_enabled(true);
+  {
+    Span waiter("invoke.wait", 1, "svc", &buffer);
+    waiter.set_link_span(987654321);  // Target long overwritten.
+  }
+  const std::string trace = ExportChromeTrace(buffer);
+  EXPECT_TRUE(JsonIsBalanced(trace));
+  EXPECT_EQ(trace.find("\"ph\":\"s\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, PoolThreadsShareTickTraceAcrossTracks) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  buffer.set_enabled(true);
+  ThreadPool pool(2);
+  std::uint64_t root_trace = 0;
+  {
+    Span root("executor.tick", /*instant=*/9);
+    root_trace = root.context().trace_id;
+    pool.ParallelFor(6, [](std::size_t i) {
+      std::string detail = "q";
+      detail += std::to_string(i);
+      Span child("executor.step", /*instant=*/9, detail);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  buffer.set_enabled(false);
+  const std::string trace = ExportChromeTrace(buffer);
+  buffer.Clear();
+
+  EXPECT_TRUE(JsonIsBalanced(trace));
+  // Every exported span is part of the single tick trace, whatever
+  // thread track it landed on.
+  for (const std::uint64_t id : ExtractNumbers(trace, "trace_id")) {
+    EXPECT_EQ(id, root_trace);
+  }
+  EXPECT_NE(trace.find("\"thread "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace serena

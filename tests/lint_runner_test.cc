@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,147 @@ TEST(LintRunnerTest, ParseErrorInQueryIsScriptStatement) {
       std::string(kCatalog) + "select[[[(contacts);\n";
   const LintResult result = LintScript(script).ValueOrDie();
   EXPECT_TRUE(HasCode(result.diagnostics, DiagCode::kScriptStatement));
+}
+
+// ---------------------------------------------------------------------------
+// --fix: structured fix-its, script rewriting, unified diffs
+// ---------------------------------------------------------------------------
+
+TEST(FixScriptTest, MisspelledRelationNameIsFixed) {
+  const std::string script = std::string(kCatalog) +
+      "select[name = 'Carla'](contact);\n";  // SER001 → contacts.
+  const FixResult fixed = FixScript(script).ValueOrDie();
+  EXPECT_EQ(fixed.fixes_applied, 1);
+  EXPECT_NE(fixed.script.find("(contacts);"), std::string::npos);
+  EXPECT_EQ(fixed.script.find("(contact);"), std::string::npos);
+
+  // The rewritten script lints clean where the original did not.
+  EXPECT_TRUE(
+      HasCode(LintScript(script).ValueOrDie().diagnostics,
+              DiagCode::kUnknownRelation));
+  EXPECT_FALSE(
+      HasCode(LintScript(fixed.script).ValueOrDie().diagnostics,
+              DiagCode::kUnknownRelation));
+}
+
+TEST(FixScriptTest, WindowlessStreamScanGetsWrapped) {
+  const std::string script = std::string(kCatalog) +
+      "select[value > 0](readings);\n";  // SER001: stream without window.
+  const FixResult fixed = FixScript(script).ValueOrDie();
+  EXPECT_EQ(fixed.fixes_applied, 1);
+  EXPECT_NE(fixed.script.find("select[value > 0](window[10](readings));"),
+            std::string::npos);
+}
+
+TEST(FixScriptTest, ReplacementRespectsTokenBoundaries) {
+  // "contact" must not match inside "contacts" — only the standalone
+  // misspelling in the final statement is rewritten.
+  const std::string script = std::string(kCatalog) +
+      "invoke[sendMessage](assign[text := 'hi'](contacts));\n"
+      "select[name = 'Ana'](contact);\n";
+  const FixResult fixed = FixScript(script).ValueOrDie();
+  EXPECT_EQ(fixed.fixes_applied, 1);
+  EXPECT_NE(fixed.script.find("assign[text := 'hi'](contacts)"),
+            std::string::npos);
+  EXPECT_NE(fixed.script.find("select[name = 'Ana'](contacts);"),
+            std::string::npos);
+}
+
+TEST(FixScriptTest, CleanScriptIsUntouched) {
+  const std::string script =
+      std::string(kCatalog) + "select[name = 'Ana'](contacts);\n";
+  const FixResult fixed = FixScript(script).ValueOrDie();
+  EXPECT_EQ(fixed.fixes_applied, 0);
+  EXPECT_EQ(fixed.script, script);
+}
+
+TEST(FixScriptTest, DiagnosticsCarryStatementNumbersAndFixes) {
+  const std::string script = std::string(kCatalog) +
+      "select[name = 'Carla'](contact);\n";
+  const LintResult result = LintScript(script).ValueOrDie();
+  bool saw_fix = false;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code != DiagCode::kUnknownRelation) continue;
+    saw_fix = true;
+    EXPECT_TRUE(d.has_fix());
+    EXPECT_EQ(d.fix_original, "contact");
+    EXPECT_EQ(d.fix_replacement, "contacts");
+    EXPECT_EQ(d.statement, 4);  // 1-based; three catalog statements first.
+  }
+  EXPECT_TRUE(saw_fix);
+  // The JSON rendering exposes both for tooling.
+  const std::string json = DiagnosticsToJson(result.diagnostics);
+  EXPECT_NE(json.find("\"statement\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"fix\":{\"original\":\"contact\","
+                      "\"replacement\":\"contacts\"}"),
+            std::string::npos);
+}
+
+TEST(FixScriptTest, ExampleLintErrorsScriptIsPartiallyFixable) {
+  std::ifstream in(std::string(SERENA_REPO_DIR) +
+                   "/examples/scripts/lint_errors.serena");
+  ASSERT_TRUE(in.good()) << "fixture missing";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string script = buffer.str();
+
+  const LintResult before = LintScript(script).ValueOrDie();
+  ASSERT_FALSE(before.ok());
+
+  // The SER001 misspelling is mechanically fixable; the semantic
+  // findings (SER020, SER007, SER040, ...) have no structured remedy
+  // and must survive the rewrite.
+  const FixResult fixed = FixScript(script).ValueOrDie();
+  EXPECT_EQ(fixed.fixes_applied, 1);
+  const LintResult after = LintScript(fixed.script).ValueOrDie();
+  EXPECT_FALSE(HasCode(after.diagnostics, DiagCode::kUnknownRelation));
+  EXPECT_TRUE(HasCode(after.diagnostics, DiagCode::kVirtualRead));
+  EXPECT_TRUE(HasCode(after.diagnostics, DiagCode::kQueryCycle));
+  EXPECT_LT(CountErrors(after.diagnostics), CountErrors(before.diagnostics));
+
+  // The dry-run diff for the same script shows the rename.
+  const std::string diff = UnifiedDiff(script, fixed.script);
+  EXPECT_NE(diff.find("-select[name = 'Carla'](contact);"),
+            std::string::npos);
+  EXPECT_NE(diff.find("+select[name = 'Carla'](contacts);"),
+            std::string::npos);
+}
+
+TEST(UnifiedDiffTest, IdenticalTextsProduceEmptyDiff) {
+  EXPECT_EQ(UnifiedDiff("a\nb\n", "a\nb\n"), "");
+}
+
+TEST(UnifiedDiffTest, SingleLineChangeWithContext) {
+  const std::string before = "one\ntwo\nthree\nfour\nfive\nsix\nseven\n";
+  const std::string after = "one\ntwo\nthree\nFOUR\nfive\nsix\nseven\n";
+  EXPECT_EQ(UnifiedDiff(before, after, "a/s.serena", "b/s.serena"),
+            "--- a/s.serena\n"
+            "+++ b/s.serena\n"
+            "@@ -1,7 +1,7 @@\n"
+            " one\n"
+            " two\n"
+            " three\n"
+            "-four\n"
+            "+FOUR\n"
+            " five\n"
+            " six\n"
+            " seven\n");
+}
+
+TEST(UnifiedDiffTest, DistantChangesSplitIntoHunks) {
+  std::string before;
+  std::string after;
+  for (int i = 0; i < 30; ++i) {
+    const std::string line = "line" + std::to_string(i) + "\n";
+    before += line;
+    after += (i == 2 || i == 27) ? "CHANGED" + std::to_string(i) + "\n"
+                                 : line;
+  }
+  const std::string diff = UnifiedDiff(before, after);
+  // Two far-apart edits must not be merged into one hunk.
+  EXPECT_EQ(std::count(diff.begin(), diff.end(), '@'), 8);
+  EXPECT_NE(diff.find("-line2\n+CHANGED2\n"), std::string::npos);
+  EXPECT_NE(diff.find("-line27\n+CHANGED27\n"), std::string::npos);
 }
 
 }  // namespace

@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -270,6 +274,155 @@ TEST(TraceBufferTest, ShrinkingCapacityKeepsNewest) {
   ASSERT_EQ(spans.size(), 2u);
   EXPECT_EQ(spans[0].name, "span2");
   EXPECT_EQ(spans[1].name, "span3");
+}
+
+TEST(TraceBufferTest, OverflowBumpsDroppedCounterAndJson) {
+  MetricsRegistry::Global().set_enabled(true);
+  Counter& dropped_counter =
+      MetricsRegistry::Global().GetCounter("serena.trace.dropped");
+  const std::uint64_t before = dropped_counter.value();
+
+  TraceBuffer buffer(/*capacity=*/2);
+  buffer.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    SpanRecord record;
+    record.name = "span" + std::to_string(i);
+    buffer.Record(std::move(record));
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.total_recorded(), 5u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  EXPECT_EQ(dropped_counter.value(), before + 3);
+  EXPECT_NE(buffer.ToJson().find("\"dropped\":3"), std::string::npos);
+
+  buffer.Clear();
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Span contexts / causal propagation
+// ---------------------------------------------------------------------------
+
+TEST(SpanContextTest, NestedSpansShareTraceAndParent) {
+  TraceBuffer buffer(/*capacity=*/8);
+  buffer.set_enabled(true);
+  ASSERT_FALSE(CurrentSpanContext().valid());
+  {
+    Span outer("outer", /*instant=*/1, {}, &buffer);
+    const SpanContext outer_context = outer.context();
+    ASSERT_TRUE(outer_context.valid());
+    // A root span starts its own trace.
+    EXPECT_EQ(outer_context.trace_id, outer_context.span_id);
+    EXPECT_EQ(CurrentSpanContext().span_id, outer_context.span_id);
+    {
+      Span inner("inner", /*instant=*/1, {}, &buffer);
+      EXPECT_EQ(inner.context().trace_id, outer_context.trace_id);
+      EXPECT_NE(inner.context().span_id, outer_context.span_id);
+      EXPECT_EQ(CurrentSpanContext().span_id, inner.context().span_id);
+    }
+    // Inner's destruction restores the outer context.
+    EXPECT_EQ(CurrentSpanContext().span_id, outer_context.span_id);
+  }
+  EXPECT_FALSE(CurrentSpanContext().valid());
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // Inner completes (and records) first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_GE(spans[0].thread_index, 1u);
+}
+
+TEST(SpanContextTest, InertSpanInstallsNoContext) {
+  TraceBuffer buffer(/*capacity=*/8);  // Disabled.
+  Span span("ignored", 1, {}, &buffer);
+  EXPECT_FALSE(CurrentSpanContext().valid());
+  EXPECT_FALSE(span.context().valid());
+}
+
+TEST(SpanContextTest, PreallocatedSpanIdIsUsed) {
+  TraceBuffer buffer(/*capacity=*/8);
+  buffer.set_enabled(true);
+  const std::uint64_t id = NextSpanId();
+  {
+    Span span("invoke", 1, "svc", id, &buffer);
+    EXPECT_EQ(span.context().span_id, id);
+    span.set_link_span(id + 1000);
+  }
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].span_id, id);
+  EXPECT_EQ(spans[0].link_span_id, id + 1000);
+}
+
+TEST(SpanContextTest, ThreadPoolPropagatesSubmitterContext) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  buffer.set_enabled(true);
+  ThreadPool pool(2);
+  SpanContext root_context;
+  {
+    Span root("root", /*instant=*/7);
+    root_context = root.context();
+    pool.ParallelFor(6, [](std::size_t i) {
+      Span child("child" + std::to_string(i), /*instant=*/7);
+      // A little work so pool helpers get a share of the indices.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  buffer.set_enabled(false);
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  buffer.Clear();
+
+  std::size_t children = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name.rfind("child", 0) != 0) continue;
+    ++children;
+    // Regardless of which pool thread ran it, every child belongs to the
+    // root's trace and parents under the root span.
+    EXPECT_EQ(span.trace_id, root_context.trace_id);
+    EXPECT_EQ(span.parent_id, root_context.span_id);
+  }
+  EXPECT_EQ(children, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-dashboard regression: snapshots stay internally consistent while
+// writers and resetters race.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, SnapshotConsistentUnderConcurrentReset) {
+  Histogram histogram;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      histogram.Record(1u << 10);
+      histogram.Record(1u << 20);
+    }
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) histogram.Reset();
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSnapshot snapshot = histogram.Snapshot();
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t b : snapshot.buckets) bucket_sum += b;
+    // The invariant the field-by-field reads could not give: count always
+    // equals the bucket mass the percentile walk will traverse.
+    ASSERT_EQ(snapshot.count, bucket_sum);
+    const std::uint64_t p50 = snapshot.ValueAtPercentile(50);
+    const std::uint64_t p99 = snapshot.ValueAtPercentile(99);
+    ASSERT_LE(p50, p99);
+    if (snapshot.count == 0) {
+      ASSERT_EQ(p50, 0u);
+      ASSERT_EQ(snapshot.mean(), 0.0);
+    }
+  }
+  stop.store(true);
+  writer.join();
+  resetter.join();
 }
 
 }  // namespace

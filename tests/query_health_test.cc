@@ -1,0 +1,274 @@
+// Per-query health tracking and the self-observability meta-relations:
+// lag/streak semantics, executor integration, and the acceptance
+// scenario — a standing Serena query over `sys_query_health` detecting a
+// persistently failing query within two ticks of its streak crossing the
+// alert threshold.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ddl/algebra_parser.h"
+#include "obs/meta.h"
+#include "obs/metrics.h"
+#include "stream/continuous_query.h"
+#include "stream/executor.h"
+#include "stream/query_health.h"
+#include "stream/stream_store.h"
+#include "xrel/environment.h"
+
+namespace serena {
+namespace {
+
+using obs::kSysMetricsRelation;
+using obs::kSysQueryHealthRelation;
+using obs::kSysSpansRelation;
+
+QueryHealth::QuerySnapshot Find(
+    const std::vector<QueryHealth::QuerySnapshot>& snapshots,
+    const std::string& name) {
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.name == name) return snapshot;
+  }
+  ADD_FAILURE() << "no snapshot for " << name;
+  return {};
+}
+
+ContinuousQueryPtr MakeQuery(const std::string& name,
+                             const std::string& algebra) {
+  auto plan = ParseAlgebra(algebra);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return std::make_shared<ContinuousQuery>(name, *plan);
+}
+
+// ---------------------------------------------------------------------------
+// QueryHealth unit semantics
+// ---------------------------------------------------------------------------
+
+TEST(QueryHealthTest, LagCountsFromRegistrationUntilFirstStep) {
+  QueryHealth health;
+  health.Register("q", /*now=*/2);
+  EXPECT_EQ(Find(health.Snapshots(), "q").lag, 0);
+  health.SetNow(5);
+  const auto snapshot = Find(health.Snapshots(), "q");
+  EXPECT_EQ(snapshot.last_completed_instant, -1);
+  EXPECT_EQ(snapshot.lag, 3);
+}
+
+TEST(QueryHealthTest, HealthySteadyStateHasLagOne) {
+  QueryHealth health;
+  health.Register("q", 0);
+  for (Timestamp t = 1; t <= 3; ++t) {
+    health.SetNow(t);
+    // During the tick, before this query's own step, lag is 1 ("stepped
+    // last tick").
+    if (t > 1) {
+      EXPECT_EQ(Find(health.Snapshots(), "q").lag, 1);
+    }
+    health.Observe("q", t, /*ok=*/true, /*step_ns=*/1000, /*rows_in=*/4,
+                   /*rows_out=*/2);
+  }
+  const auto snapshot = Find(health.Snapshots(), "q");
+  EXPECT_EQ(snapshot.last_completed_instant, 3);
+  EXPECT_EQ(snapshot.lag, 0);
+  EXPECT_EQ(snapshot.steps, 3u);
+  EXPECT_EQ(snapshot.rows_in, 12u);
+  EXPECT_DOUBLE_EQ(snapshot.rows_in_rate, 4.0);
+  EXPECT_DOUBLE_EQ(snapshot.rows_out_rate, 2.0);
+}
+
+TEST(QueryHealthTest, StalledQueryShowsGrowingLag) {
+  QueryHealth health;
+  health.Register("q", 0);
+  health.SetNow(1);
+  health.Observe("q", 1, true, 1000, 0, 0);
+  health.SetNow(4);  // Three ticks without a completed step.
+  EXPECT_EQ(Find(health.Snapshots(), "q").lag, 3);
+}
+
+TEST(QueryHealthTest, ErrorStreakAccumulatesAndResets) {
+  QueryHealth health;
+  health.Register("q", 0);
+  for (Timestamp t = 1; t <= 3; ++t) {
+    health.SetNow(t);
+    health.Observe("q", t, /*ok=*/false, 500, 0, 0);
+  }
+  auto snapshot = Find(health.Snapshots(), "q");
+  EXPECT_EQ(snapshot.error_streak, 3u);
+  EXPECT_EQ(snapshot.total_errors, 3u);
+  EXPECT_EQ(snapshot.steps, 0u);
+  EXPECT_EQ(snapshot.last_completed_instant, -1);
+
+  health.SetNow(4);
+  health.Observe("q", 4, /*ok=*/true, 500, 1, 1);
+  snapshot = Find(health.Snapshots(), "q");
+  EXPECT_EQ(snapshot.error_streak, 0u);   // Reset by the success...
+  EXPECT_EQ(snapshot.total_errors, 3u);   // ...but history is kept.
+  EXPECT_EQ(snapshot.last_completed_instant, 4);
+}
+
+TEST(QueryHealthTest, StepLatencyPercentilesAreOrdered) {
+  QueryHealth health;
+  health.Register("q", 0);
+  for (int i = 0; i < 100; ++i) {
+    health.Observe("q", 1, true, i < 99 ? 1000 : 1000000, 0, 0);
+  }
+  const auto snapshot = Find(health.Snapshots(), "q");
+  EXPECT_GT(snapshot.p50_step_ns, 0u);
+  EXPECT_GE(snapshot.p99_step_ns, snapshot.p50_step_ns);
+}
+
+TEST(QueryHealthTest, ReRegisteringResetsTheEntry) {
+  QueryHealth health;
+  health.Register("q", 0);
+  health.Observe("q", 1, false, 500, 0, 0);
+  health.Register("q", 2);
+  const auto snapshot = Find(health.Snapshots(), "q");
+  EXPECT_EQ(snapshot.error_streak, 0u);
+  EXPECT_EQ(snapshot.total_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor integration
+// ---------------------------------------------------------------------------
+
+TEST(QueryHealthExecutorTest, FailingQueryBuildsAStreakHealthyOneDoesNot) {
+  Environment env;
+  auto schema = ExtendedSchema::Create(
+      "readings", {{"value", DataType::kInt}}, {});
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  XRelation readings(*schema);
+  readings.InsertUnchecked(Tuple{Value::Int(7)});
+  ASSERT_TRUE(env.PutRelation(std::move(readings)).ok());
+
+  StreamStore streams;
+  ContinuousExecutor executor(&env, &streams);
+  ASSERT_TRUE(
+      executor.Register(MakeQuery("healthy", "select[value > 0](readings)"))
+          .ok());
+  // Scans a relation that does not exist: every step fails.
+  ASSERT_TRUE(
+      executor.Register(MakeQuery("doomed", "select[value > 0](nosuch)"))
+          .ok());
+
+  executor.Run(3);
+
+  const auto snapshots = executor.health().Snapshots();
+  const auto healthy = Find(snapshots, "healthy");
+  EXPECT_EQ(healthy.error_streak, 0u);
+  EXPECT_EQ(healthy.steps, 3u);
+  EXPECT_EQ(healthy.last_completed_instant, 3);
+  const auto doomed = Find(snapshots, "doomed");
+  EXPECT_EQ(doomed.error_streak, 3u);
+  EXPECT_EQ(doomed.total_errors, 3u);
+  EXPECT_EQ(doomed.last_completed_instant, -1);
+  EXPECT_EQ(doomed.lag, 3);
+  EXPECT_EQ(executor.last_errors().count("doomed"), 1u);
+
+  // Unregistration drops the health entry.
+  ASSERT_TRUE(executor.Unregister("doomed").ok());
+  EXPECT_EQ(executor.health().Snapshots().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Meta-relations: the PEMS observing itself
+// ---------------------------------------------------------------------------
+
+TEST(MetaRelationsTest, RegisterCreatesAllThreeRelations) {
+  Environment env;
+  StreamStore streams;
+  ContinuousExecutor executor(&env, &streams);
+  ASSERT_TRUE(obs::RegisterMetaRelations(&env, &executor).ok());
+  EXPECT_TRUE(env.GetRelation(kSysMetricsRelation).ok());
+  EXPECT_TRUE(env.GetRelation(kSysSpansRelation).ok());
+  EXPECT_TRUE(env.GetRelation(kSysQueryHealthRelation).ok());
+  // Registering twice is harmless (relations already exist).
+  EXPECT_TRUE(obs::RegisterMetaRelations(&env, &executor).ok());
+}
+
+TEST(MetaRelationsTest, RefreshPopulatesMetricsAndHealthRows) {
+  obs::MetricsRegistry::Global().set_enabled(true);
+  obs::MetricsRegistry::Global()
+      .GetCounter("serena.test.meta_refresh")
+      .Increment();
+
+  Environment env;
+  StreamStore streams;
+  ContinuousExecutor executor(&env, &streams);
+  ASSERT_TRUE(obs::RegisterMetaRelations(&env, &executor).ok());
+
+  QueryHealth health;
+  health.Register("watched", 0);
+  health.SetNow(2);
+  health.Observe("watched", 2, false, 1000, 0, 0);
+  ASSERT_TRUE(obs::RefreshMetaRelations(&env, &health).ok());
+
+  const auto metrics = env.GetRelation(kSysMetricsRelation);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT((*metrics)->size(), 0u);
+  bool saw_counter = false;
+  for (const Tuple& row : (*metrics)->tuples()) {
+    if (row[0].string_value() == "serena.test.meta_refresh") {
+      saw_counter = true;
+      EXPECT_EQ(row[1].string_value(), "counter");
+      EXPECT_GE(row[2].real_value(), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+
+  // sys_query_health(name, last_instant, lag, streak, ...).
+  const auto rows = env.GetRelation(kSysQueryHealthRelation);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ((*rows)->size(), 1u);
+  const Tuple& row = (*rows)->tuples()[0];
+  EXPECT_EQ(row[0].string_value(), "watched");
+  EXPECT_EQ(row[1].int_value(), -1);  // Never completed.
+  EXPECT_EQ(row[2].int_value(), 2);   // Lag from registration.
+  EXPECT_EQ(row[3].int_value(), 1);   // One failed step.
+}
+
+/// The acceptance scenario: a meta-query
+/// `select[streak >= 3](sys_query_health)` registered as an ordinary
+/// continuous query must surface a failing query within 2 ticks of its
+/// error streak reaching 3.
+TEST(MetaRelationsTest, StandingMetaQueryDetectsFailingQueryWithinTwoTicks) {
+  Environment env;
+  StreamStore streams;
+  ContinuousExecutor executor(&env, &streams);
+  ASSERT_TRUE(obs::RegisterMetaRelations(&env, &executor).ok());
+
+  // The patient: fails every tick (scan of a nonexistent relation).
+  ASSERT_TRUE(
+      executor.Register(MakeQuery("doomed", "select[value > 0](nosuch)"))
+          .ok());
+
+  // The watchdog: plain Serena algebra over the health meta-relation.
+  auto watchdog = MakeQuery("watchdog", "select[streak >= 3](sys_query_health)");
+  Timestamp first_detection = -1;
+  std::vector<std::string> detected;
+  watchdog->set_sink([&](Timestamp t, const XRelation& result) {
+    for (const Tuple& row : result.tuples()) {
+      if (row[0].string_value() == "doomed" && first_detection < 0) {
+        first_detection = t;
+        detected.push_back(row[0].string_value());
+      }
+    }
+  });
+  ASSERT_TRUE(executor.Register(std::move(watchdog)).ok());
+
+  // "doomed" reaches streak 3 at the end of tick 3; the meta source
+  // republishes sys_query_health at the start of tick 4, where the
+  // watchdog must fire.
+  executor.Run(6);
+
+  EXPECT_EQ(Find(executor.health().Snapshots(), "doomed").error_streak, 6u);
+  ASSERT_GE(first_detection, 0) << "watchdog never fired";
+  EXPECT_LE(first_detection, 5) << "detection later than streak+2 ticks";
+  EXPECT_EQ(first_detection, 4);
+  EXPECT_EQ(detected, std::vector<std::string>{"doomed"});
+}
+
+}  // namespace
+}  // namespace serena

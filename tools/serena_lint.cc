@@ -1,6 +1,7 @@
 // serena_lint: offline static analysis of `.serena` scripts.
 //
 //   $ serena_lint [--json] [--werror] script.serena [more.serena ...]
+//   $ serena_lint --fix [--dry-run] script.serena
 //   $ serena_lint < script.serena
 //
 // DDL statements build up the catalog (nothing is queried or invoked);
@@ -9,8 +10,14 @@
 // query set is linted for cycles, dangling sources, and writer/writer
 // conflicts. See docs/ANALYSIS.md for the diagnostic catalog.
 //
+// --fix rewrites each script in place, applying the structured fix-its
+// the diagnostics carry (misspelled names, windowless stream scans);
+// with --dry-run it prints a unified diff instead of writing. On stdin,
+// --fix writes the fixed script to stdout (--dry-run still diffs).
+//
 // Exit status: 0 clean, 1 findings of severity error (or any finding
-// under --werror), 2 usage / IO failure. Designed for CI.
+// under --werror; under --fix, errors *remaining after* the fixes),
+// 2 usage / IO failure. Designed for CI.
 
 #include <fstream>
 #include <iostream>
@@ -30,8 +37,43 @@ struct FileReport {
 
 int Usage() {
   std::cerr << "usage: serena_lint [--json] [--werror] [script.serena ...]\n"
+               "       serena_lint --fix [--dry-run] [script.serena ...]\n"
                "       serena_lint < script.serena\n";
   return 2;
+}
+
+/// Applies --fix to one script text: rewrites `text`, reports what was
+/// applied, and prints/writes per mode. Returns false on IO failure.
+bool ApplyFixes(const std::string& name, const std::string& text,
+                bool dry_run, bool to_stdout, std::string* fixed_out) {
+  auto fixed = serena::FixScript(text);
+  if (!fixed.ok()) {
+    std::cerr << name << ": " << fixed.status() << "\n";
+    return false;
+  }
+  *fixed_out = fixed->script;
+  if (dry_run) {
+    // git-style a/ b/ prefixes, except on absolute paths.
+    const bool absolute = !name.empty() && name[0] == '/';
+    const std::string diff = serena::UnifiedDiff(
+        text, fixed->script, absolute ? name : "a/" + name,
+        absolute ? name : "b/" + name);
+    if (!diff.empty()) std::cout << diff;
+    std::cerr << name << ": " << fixed->fixes_applied
+              << " fix(es) available\n";
+    return true;
+  }
+  if (to_stdout) {
+    std::cout << fixed->script;
+  } else if (fixed->fixes_applied > 0) {
+    std::ofstream out(name, std::ios::trunc);
+    if (!out || !(out << fixed->script)) {
+      std::cerr << "cannot write " << name << "\n";
+      return false;
+    }
+  }
+  std::cerr << name << ": " << fixed->fixes_applied << " fix(es) applied\n";
+  return true;
 }
 
 }  // namespace
@@ -39,6 +81,8 @@ int Usage() {
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
+  bool fix = false;
+  bool dry_run = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -46,6 +90,10 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -56,12 +104,24 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+  if (dry_run && !fix) {
+    std::cerr << "--dry-run requires --fix\n";
+    return Usage();
+  }
 
   std::vector<FileReport> reports;
   if (files.empty()) {
     std::stringstream buffer;
     buffer << std::cin.rdbuf();
-    auto result = serena::LintScript(buffer.str());
+    std::string text = buffer.str();
+    if (fix) {
+      std::string fixed;
+      if (!ApplyFixes("<stdin>", text, dry_run, /*to_stdout=*/true, &fixed)) {
+        return 2;
+      }
+      text = std::move(fixed);
+    }
+    auto result = serena::LintScript(text);
     if (!result.ok()) {
       std::cerr << result.status() << "\n";
       return 2;
@@ -76,7 +136,18 @@ int main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    auto result = serena::LintScript(buffer.str());
+    std::string text = buffer.str();
+    in.close();
+    if (fix) {
+      std::string fixed;
+      if (!ApplyFixes(file, text, dry_run, /*to_stdout=*/false, &fixed)) {
+        return 2;
+      }
+      // Report the diagnostics that remain after the rewrite (the file on
+      // disk under --fix, the hypothetical rewrite under --dry-run).
+      text = std::move(fixed);
+    }
+    auto result = serena::LintScript(text);
     if (!result.ok()) {
       std::cerr << file << ": " << result.status() << "\n";
       return 2;
