@@ -27,9 +27,9 @@
 #include <vector>
 
 #include "algebra/explain.h"
-#include "analysis/analyzer.h"
-#include "analysis/query_set.h"
+#include "analysis/session.h"
 #include "common/string_util.h"
+#include "rewrite/semantic.h"
 #include "ddl/dump.h"
 #include "io/csv.h"
 #include "obs/meta.h"
@@ -59,9 +59,10 @@ void PrintHelp() {
       "  \\explain EXPR      show the operator tree with schemas\n"
       "  \\analyze EXPR      EXPLAIN ANALYZE: run EXPR, show actual "
       "rows/timings\n"
-      "  \\optimize EXPR     show the rewritten plan\n"
+      "  \\optimize EXPR     show the rewritten plan (semantic + classic)\n"
       "  \\validate EXPR     static diagnostics (errors + warnings)\n"
-      "  \\check             lint all registered continuous queries\n"
+      "  \\check [-Werror=CODES] [-no-warn=CODES]\n"
+      "                     lint all registered continuous queries\n"
       "  \\register NAME EXPR   register a continuous query\n"
       "  \\unregister NAME   drop a continuous query\n"
       "  \\prepare NAME EXPR    store a :param query template\n"
@@ -151,8 +152,20 @@ void RunCommand(Pems& pems, const std::string& line) {
     }
     PlanPtr shown = *plan;
     if (command == "\\optimize") {
+      // Semantic pass first — it prints its EXPLAIN-level equivalence
+      // proofs — then the classic rule rewriter.
+      auto semantic = SemanticOptimize(shown, pems.env(), &pems.streams());
+      if (!semantic.ok()) {
+        std::cout << semantic.status() << "\n";
+        return;
+      }
+      if (!semantic->steps.empty()) {
+        std::cout << (semantic->reverted ? "semantic rewrites (reverted):\n"
+                                         : "semantic rewrites:\n")
+                  << RenderSemanticSteps(semantic->steps);
+      }
       Rewriter rewriter(&pems.env(), &pems.streams());
-      auto optimized = rewriter.Optimize(shown);
+      auto optimized = rewriter.Optimize(semantic->plan);
       if (!optimized.ok()) {
         std::cout << optimized.status() << "\n";
         return;
@@ -175,7 +188,8 @@ void RunCommand(Pems& pems, const std::string& line) {
       std::cout << plan.status() << "\n";
       return;
     }
-    auto diagnostics = AnalyzePlan(*plan, pems.env(), &pems.streams());
+    analysis::Session session(&pems.env(), &pems.streams());
+    auto diagnostics = session.AnalyzePlan(*plan);
     if (!diagnostics.ok()) {
       std::cout << diagnostics.status() << "\n";
     } else if (diagnostics->empty()) {
@@ -188,35 +202,59 @@ void RunCommand(Pems& pems, const std::string& line) {
   } else if (command == "\\check") {
     // Re-analyze every registered continuous query plus their
     // feeds/reads graph — the static gate's view, warnings included.
+    // Optional args: -Werror=CODES (or bare -Werror) promotes warnings
+    // to errors, -no-warn=CODES suppresses codes.
+    std::string werror_list;
+    std::string no_warn_list;
+    {
+      std::istringstream args(arg);
+      std::string flag;
+      while (args >> flag) {
+        if (flag == "-Werror" || flag == "--werror") {
+          werror_list = "all";
+        } else if (flag.rfind("-Werror=", 0) == 0) {
+          werror_list = flag.substr(8);
+        } else if (flag.rfind("--werror=", 0) == 0) {
+          werror_list = flag.substr(9);
+        } else if (flag.rfind("-no-warn=", 0) == 0) {
+          no_warn_list = flag.substr(9);
+        } else if (flag.rfind("--no-warn=", 0) == 0) {
+          no_warn_list = flag.substr(10);
+        } else {
+          std::cout << "unknown \\check option " << flag << "\n";
+          return;
+        }
+      }
+    }
+    auto severity = analysis::SeverityConfig::Parse(werror_list, no_warn_list);
+    if (!severity.ok()) {
+      std::cout << severity.status() << "\n";
+      return;
+    }
     ContinuousExecutor& executor = pems.queries().executor();
-    std::vector<QuerySetEntry> entries;
-    std::size_t findings = 0;
-    AnalyzerOptions options;
+    analysis::AnalyzeOptions options;
     options.context = AnalysisContext::kContinuous;
+    options.severity = *severity;
+    options.source_fed_streams = executor.SourceFedStreams();
+    analysis::Session session(&pems.env(), &pems.streams(), options);
     for (const std::string& name : executor.QueryNames()) {
       auto query = executor.GetQuery(name);
       if (!query.ok()) continue;
-      entries.push_back(QuerySetEntry{(*query)->name(), (*query)->plan(),
-                                      (*query)->feeds()});
-      auto diagnostics =
-          AnalyzePlan((*query)->plan(), pems.env(), &pems.streams(), options);
-      if (!diagnostics.ok()) continue;
-      for (const Diagnostic& d : *diagnostics) {
-        std::cout << "  [" << name << "] " << d.ToString() << "\n";
-        ++findings;
-      }
+      session.CommitQuery((*query)->name(), (*query)->plan(),
+                          (*query)->feeds());
     }
-    QuerySetOptions set_options;
-    set_options.source_fed_streams = executor.SourceFedStreams();
-    auto set_diagnostics = AnalyzeQuerySet(entries, set_options);
-    if (set_diagnostics.ok()) {
-      for (const Diagnostic& d : *set_diagnostics) {
-        std::cout << "  " << d.ToString() << "\n";
-        ++findings;
-      }
+    std::size_t findings = 0;
+    auto diagnostics = session.CheckAll();
+    if (!diagnostics.ok()) {
+      std::cout << diagnostics.status() << "\n";
+      return;
     }
-    std::cout << entries.size() << " quer"
-              << (entries.size() == 1 ? "y" : "ies") << " checked, "
+    for (const Diagnostic& d : *diagnostics) {
+      std::cout << "  " << d.ToString() << "\n";
+      ++findings;
+    }
+    std::cout << session.query_count() << " quer"
+              << (session.query_count() == 1 ? "y" : "ies") << " checked, "
               << findings << " finding(s)\n";
   } else if (command == "\\register") {
     std::istringstream args(arg);

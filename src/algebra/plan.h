@@ -525,6 +525,13 @@ Result<ActionSet> ComputeActionSet(const PlanPtr& plan, Environment* env,
 bool ContainsActiveInvoke(const PlanPtr& plan, const Environment& env,
                           const StreamStore* streams);
 
+/// Rebuilds `plan` with `children` substituted in operand order,
+/// preserving every operator argument (identity — the same PlanPtr —
+/// when all children are unchanged). The structural-rewrite primitive
+/// shared by the classic rewriter and the semantic rewrite pass.
+Result<PlanPtr> ReplaceChildren(const PlanPtr& plan,
+                                std::vector<PlanPtr> children);
+
 }  // namespace serena
 
 #endif  // SERENA_ALGEBRA_PLAN_H_

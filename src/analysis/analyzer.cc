@@ -629,6 +629,10 @@ class Analyzer {
 void CountIntoMetrics(const std::vector<Diagnostic>& diagnostics) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   if (!metrics.enabled()) return;
+  // One increment per analyzed plan — the scaling smoke asserts this
+  // stays O(registrations), not O(registrations²), once registration
+  // linting is incremental.
+  metrics.GetCounter("serena.analyze.plans").Increment();
   const std::size_t errors = CountErrors(diagnostics);
   const std::size_t warnings = diagnostics.size() - errors;
   if (errors > 0) {

@@ -52,6 +52,30 @@ const char* DiagCodeId(DiagCode code) {
   return "SER000";
 }
 
+std::optional<DiagCode> DiagCodeFromId(std::string_view id) {
+  static constexpr DiagCode kAll[] = {
+      DiagCode::kUnknownRelation,       DiagCode::kUnknownStream,
+      DiagCode::kInvalidFormula,        DiagCode::kInvalidOperatorArgs,
+      DiagCode::kAssignToReal,          DiagCode::kUnknownBindingPattern,
+      DiagCode::kUnrealizedInput,       DiagCode::kSchemaMismatch,
+      DiagCode::kStreamingContext,      DiagCode::kSchemaInference,
+      DiagCode::kVirtualRead,           DiagCode::kDeadRealization,
+      DiagCode::kActiveUnderFilter,     DiagCode::kActiveOnlyFiltering,
+      DiagCode::kQueryCycle,            DiagCode::kDanglingSource,
+      DiagCode::kWriterConflict,        DiagCode::kCartesianJoin,
+      DiagCode::kUnboundedWindow,       DiagCode::kPatternlessProjection,
+      DiagCode::kScriptStatement,
+  };
+  std::string upper(id);
+  for (char& c : upper) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  for (const DiagCode code : kAll) {
+    if (upper == DiagCodeId(code)) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Diagnostic::ToString() const {
   std::string s = is_error() ? "error[" : "warning[";
   s += DiagCodeId(code);

@@ -2,7 +2,9 @@
 #define SERENA_ANALYSIS_DIAGNOSTICS_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -46,6 +48,11 @@ enum class DiagCode {
 
 /// "SER001", "SER020", ... — the stable rendering of a code.
 const char* DiagCodeId(DiagCode code);
+
+/// The inverse of `DiagCodeId`: parses "SER021" (case-insensitive) back
+/// into its code. nullopt for unknown ids — severity configuration
+/// rejects them with a proper error instead of silently ignoring typos.
+std::optional<DiagCode> DiagCodeFromId(std::string_view id);
 
 /// One finding from the static analyzer.
 ///

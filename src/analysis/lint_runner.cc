@@ -5,8 +5,7 @@
 #include <sstream>
 #include <utility>
 
-#include "analysis/analyzer.h"
-#include "analysis/query_set.h"
+#include "analysis/session.h"
 #include "common/string_util.h"
 #include "ddl/algebra_parser.h"
 #include "pems/pems.h"
@@ -24,10 +23,13 @@ bool IsDdl(const std::string& text) {
          lower == "insert" || lower == "delete" || lower == "drop";
 }
 
-/// Collects everything one lint run accumulates.
+/// Collects everything one lint run accumulates. Plan analysis and the
+/// end-of-script cross-query lint go through the shared
+/// `analysis::Session`, which also applies the severity configuration.
 class LintRun {
  public:
-  explicit LintRun(Pems* pems) : pems_(pems) {}
+  LintRun(Pems* pems, analysis::Session* session)
+      : pems_(pems), session_(session) {}
 
   void Statement(int number, const std::string& statement) {
     if (statement[0] == '\\') {
@@ -46,19 +48,18 @@ class LintRun {
       ScriptError(number, plan.status().message());
       return;
     }
-    AnalyzerOptions options;
-    options.context = AnalysisContext::kOneShot;
-    Append(AnalyzePlan(*plan, pems_->env(), &pems_->streams(), options)
+    Append(session_->AnalyzePlan(*plan, AnalysisContext::kOneShot)
                .ValueOrDie(),
            /*query=*/{}, number);
   }
 
   std::vector<Diagnostic> Finish() {
-    QuerySetOptions options;
-    options.source_fed_streams = {source_fed_.begin(), source_fed_.end()};
-    auto set_diagnostics = AnalyzeQuerySet(queries_, options).ValueOrDie();
-    diagnostics_.insert(diagnostics_.end(), set_diagnostics.begin(),
-                        set_diagnostics.end());
+    session_->mutable_options().source_fed_streams = {source_fed_.begin(),
+                                                      source_fed_.end()};
+    auto set_diagnostics = session_->LintQuerySet().ValueOrDie();
+    diagnostics_.insert(diagnostics_.end(),
+                        std::make_move_iterator(set_diagnostics.begin()),
+                        std::make_move_iterator(set_diagnostics.end()));
     return std::move(diagnostics_);
   }
 
@@ -96,8 +97,8 @@ class LintRun {
                   "\\register needs a name and an algebra expression");
       return;
     }
-    for (const QuerySetEntry& entry : queries_) {
-      if (entry.name == name) {
+    for (const std::string& existing : session_->QueryNames()) {
+      if (existing == name) {
         ScriptError(number, "continuous query '" + name +
                                 "' is registered twice");
         return;
@@ -108,10 +109,8 @@ class LintRun {
       ScriptError(number, plan.status().message());
       return;
     }
-    AnalyzerOptions options;
-    options.context = AnalysisContext::kContinuous;
     auto diagnostics =
-        AnalyzePlan(*plan, pems_->env(), &pems_->streams(), options)
+        session_->AnalyzePlan(*plan, AnalysisContext::kContinuous)
             .ValueOrDie();
     const bool plan_ok = IsValid(diagnostics);
     Append(std::move(diagnostics), name, number);
@@ -123,7 +122,7 @@ class LintRun {
       // downstream windows once its first producer is registered.
       if (plan_ok) DeriveStream(number, name, *plan, stream);
     }
-    queries_.push_back(QuerySetEntry{name, *plan, std::move(feeds)});
+    session_->CommitQuery(name, *plan, std::move(feeds));
   }
 
   void DeriveStream(int number, const std::string& name, const PlanPtr& plan,
@@ -179,8 +178,8 @@ class LintRun {
   }
 
   Pems* pems_;
+  analysis::Session* session_;
   std::vector<Diagnostic> diagnostics_;
-  std::vector<QuerySetEntry> queries_;
   std::set<std::string> source_fed_;
 };
 
@@ -227,9 +226,17 @@ std::vector<std::string> SplitScript(std::string_view script) {
 }
 
 Result<LintResult> LintScript(std::string_view script) {
+  return LintScript(script, analysis::SeverityConfig{});
+}
+
+Result<LintResult> LintScript(std::string_view script,
+                              const analysis::SeverityConfig& severity) {
   SERENA_ASSIGN_OR_RETURN(std::unique_ptr<Pems> pems, Pems::Create());
+  analysis::AnalyzeOptions options;
+  options.severity = severity;
+  analysis::Session session(&pems->env(), &pems->streams(), options);
   LintResult result;
-  LintRun run(pems.get());
+  LintRun run(pems.get(), &session);
   int number = 0;
   for (const std::string& statement : SplitScript(script)) {
     ++number;
@@ -280,10 +287,10 @@ std::vector<std::string> SplitLines(std::string_view text) {
   return lines;
 }
 
-}  // namespace
-
-Result<FixResult> FixScript(std::string_view script) {
-  SERENA_ASSIGN_OR_RETURN(const LintResult lint, LintScript(script));
+/// One lint-then-apply pass (the fixpoint loop in `FixScript` drives it).
+Result<FixResult> FixOnce(std::string_view script,
+                          const analysis::SeverityConfig& severity) {
+  SERENA_ASSIGN_OR_RETURN(const LintResult lint, LintScript(script, severity));
 
   // Locate each statement's span in the original text. SplitScript trims
   // statements and drops comment lines, so a statement with an interior
@@ -346,6 +353,31 @@ Result<FixResult> FixScript(std::string_view script) {
   }
   result.fixes_applied = static_cast<int>(edits.size());
   return result;
+}
+
+}  // namespace
+
+Result<FixResult> FixScript(std::string_view script) {
+  return FixScript(script, analysis::SeverityConfig{});
+}
+
+Result<FixResult> FixScript(std::string_view script,
+                            const analysis::SeverityConfig& severity) {
+  // Iterate to a fixpoint: applying one fix can reveal the next (a
+  // realized attribute enabling a later statement's analysis, say), and
+  // idempotency — FixScript of its own output applies nothing — is part
+  // of the contract `serena_lint --fix` relies on. The pass cap bounds
+  // pathological fix cycles; scripts hitting it keep the last text.
+  constexpr int kMaxPasses = 8;
+  FixResult total;
+  total.script = std::string(script);
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    SERENA_ASSIGN_OR_RETURN(FixResult once, FixOnce(total.script, severity));
+    total.script = std::move(once.script);
+    if (once.fixes_applied == 0) break;
+    total.fixes_applied += once.fixes_applied;
+  }
+  return total;
 }
 
 std::string UnifiedDiff(std::string_view original, std::string_view updated,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/session.h"
 #include "common/result.h"
 
 namespace serena {
@@ -40,7 +41,14 @@ struct LintResult {
 /// After all statements, the accumulated continuous-query set goes
 /// through the cross-query lint (SER040/SER041/SER042). DDL or parse
 /// failures surface as SER060 with the 1-based statement number.
+///
+/// Runs on an `analysis::Session` under the hood — the same facade the
+/// QueryProcessor gate and the shell use, so diagnostics and their
+/// ordering are identical across all three. The severity overload
+/// applies per-code promotion/suppression (`--werror=` / `--no-warn=`).
 Result<LintResult> LintScript(std::string_view script);
+Result<LintResult> LintScript(std::string_view script,
+                              const analysis::SeverityConfig& severity);
 
 /// Splits a script into `;`-terminated statements and single-line `\`
 /// directives, honoring single-quoted strings and dropping `--`/`#`
@@ -59,9 +67,13 @@ struct FixResult {
 /// Lints `script` and applies every structured fix its diagnostics carry
 /// (`Diagnostic::fix_original` → `fix_replacement`, first token-boundary
 /// occurrence inside the offending statement; overlapping edits are
-/// dropped). One pass — fixes only revealed after other fixes land need
-/// another call. This is what `serena_lint --fix` runs.
+/// dropped). Iterates lint-then-apply until no further fix applies (or a
+/// small pass cap), so the result is a fixpoint: running `FixScript` on
+/// its own output applies zero fixes. This is what `serena_lint --fix`
+/// runs.
 Result<FixResult> FixScript(std::string_view script);
+Result<FixResult> FixScript(std::string_view script,
+                            const analysis::SeverityConfig& severity);
 
 /// Minimal unified diff (3 context lines) between two texts — what
 /// `serena_lint --fix --dry-run` prints. Empty string when they match.

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
-#include "analysis/query_set.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "rewrite/semantic.h"
 
 namespace serena {
 
@@ -20,6 +20,16 @@ bool AnalyzeEnabledByEnv() {
   return !(lower == "off" || lower == "0" || lower == "false");
 }
 
+/// The gate's session configuration: errors only (warnings never block
+/// execution — unless severity config promotes them), severity from the
+/// environment.
+analysis::AnalyzeOptions GateOptions() {
+  analysis::AnalyzeOptions options;
+  options.include_warnings = false;
+  options.severity = analysis::SeverityConfig::FromEnv();
+  return options;
+}
+
 }  // namespace
 
 QueryProcessor::QueryProcessor(Environment* env, StreamStore* streams)
@@ -27,6 +37,7 @@ QueryProcessor::QueryProcessor(Environment* env, StreamStore* streams)
       streams_(streams),
       executor_(env, streams),
       rewriter_(env, streams),
+      session_(env, streams, GateOptions()),
       analyze_(AnalyzeEnabledByEnv()) {}
 
 QueryProcessor::~QueryProcessor() {
@@ -38,46 +49,43 @@ QueryProcessor::~QueryProcessor() {
 Status QueryProcessor::GatePlan(const PlanPtr& plan,
                                 AnalysisContext context) const {
   if (!analyze_) return Status::OK();
-  AnalyzerOptions options;
-  options.context = context;
-  options.include_warnings = false;  // Warnings never block execution.
   SERENA_ASSIGN_OR_RETURN(std::vector<Diagnostic> diagnostics,
-                          AnalyzePlan(plan, *env_, streams_, options));
+                          session_.AnalyzePlan(plan, context));
   if (IsValid(diagnostics)) return Status::OK();
   return Status::InvalidArgument("plan rejected by static analysis:\n",
                                  RenderDiagnostics(diagnostics));
 }
 
-Status QueryProcessor::GateQuerySet(
+Status QueryProcessor::GateRegistration(
     const std::string& name, const PlanPtr& plan,
-    const std::vector<std::string>& feeds) const {
+    const std::vector<std::string>& feeds) {
   if (!analyze_) return Status::OK();
-  std::vector<QuerySetEntry> entries;
-  for (const std::string& existing : executor_.QueryNames()) {
-    auto query = executor_.GetQuery(existing);
-    if (!query.ok()) continue;
-    entries.push_back(
-        QuerySetEntry{(*query)->name(), (*query)->plan(), (*query)->feeds()});
-  }
-  entries.push_back(QuerySetEntry{name, plan, feeds});
-  QuerySetOptions options;
-  options.include_warnings = false;
-  options.source_fed_streams = executor_.SourceFedStreams();
+  // Sources may have been added since the last registration; the lint
+  // needs the current list to not misreport SER041.
+  session_.mutable_options().source_fed_streams =
+      executor_.SourceFedStreams();
   SERENA_ASSIGN_OR_RETURN(std::vector<Diagnostic> diagnostics,
-                          AnalyzeQuerySet(entries, options));
+                          session_.LintRegistration(name, plan, feeds));
   if (IsValid(diagnostics)) return Status::OK();
   return Status::InvalidArgument("continuous query '", name,
                                  "' rejected by static analysis:\n",
                                  RenderDiagnostics(diagnostics));
 }
 
+Result<PlanPtr> QueryProcessor::OptimizePlan(PlanPtr plan) const {
+  if (!optimize_) return plan;
+  // Semantic pass first: it consumes analyzer facts over the *user's*
+  // plan shape, then the classic rule rewriter reorders what remains.
+  SERENA_ASSIGN_OR_RETURN(SemanticRewriteResult semantic,
+                          SemanticOptimize(plan, *env_, streams_));
+  return rewriter_.Optimize(semantic.plan);
+}
+
 Result<QueryResult> QueryProcessor::ExecuteOneShot(
     std::string_view algebra) {
   SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseAlgebra(algebra));
   SERENA_RETURN_NOT_OK(GatePlan(plan, AnalysisContext::kOneShot));
-  if (optimize_) {
-    SERENA_ASSIGN_OR_RETURN(plan, rewriter_.Optimize(plan));
-  }
+  SERENA_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan)));
   return Execute(plan, env_, streams_);
 }
 
@@ -103,9 +111,7 @@ Result<QueryResult> QueryProcessor::ExecutePrepared(
   // The gate runs on the *bound* plan: templates legitimately carry
   // unbound parameters until here.
   SERENA_RETURN_NOT_OK(GatePlan(bound, AnalysisContext::kOneShot));
-  if (optimize_) {
-    SERENA_ASSIGN_OR_RETURN(bound, rewriter_.Optimize(bound));
-  }
+  SERENA_ASSIGN_OR_RETURN(bound, OptimizePlan(std::move(bound)));
   return Execute(bound, env_, streams_);
 }
 
@@ -123,17 +129,19 @@ Status QueryProcessor::RegisterContinuous(const std::string& name,
                                           ContinuousQuery::Sink sink) {
   SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseAlgebra(algebra));
   SERENA_RETURN_NOT_OK(GatePlan(plan, AnalysisContext::kContinuous));
-  if (optimize_) {
-    SERENA_ASSIGN_OR_RETURN(plan, rewriter_.Optimize(plan));
-  }
-  SERENA_RETURN_NOT_OK(GateQuerySet(name, plan, /*feeds=*/{}));
-  auto query = std::make_shared<ContinuousQuery>(name, std::move(plan));
+  SERENA_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan)));
+  SERENA_RETURN_NOT_OK(GateRegistration(name, plan, /*feeds=*/{}));
+  auto query = std::make_shared<ContinuousQuery>(name, plan);
   if (sink) query->set_sink(std::move(sink));
-  return executor_.Register(std::move(query));
+  SERENA_RETURN_NOT_OK(executor_.Register(std::move(query)));
+  session_.CommitQuery(name, plan, /*feeds=*/{});
+  return Status::OK();
 }
 
 Status QueryProcessor::UnregisterContinuous(const std::string& name) {
-  return executor_.Unregister(name);
+  SERENA_RETURN_NOT_OK(executor_.Unregister(name));
+  session_.RemoveQuery(name);
+  return Status::OK();
 }
 
 Status QueryProcessor::RegisterContinuousInto(const std::string& name,
@@ -144,9 +152,7 @@ Status QueryProcessor::RegisterContinuousInto(const std::string& name,
   }
   SERENA_ASSIGN_OR_RETURN(PlanPtr plan, ParseAlgebra(algebra));
   SERENA_RETURN_NOT_OK(GatePlan(plan, AnalysisContext::kContinuous));
-  if (optimize_) {
-    SERENA_ASSIGN_OR_RETURN(plan, rewriter_.Optimize(plan));
-  }
+  SERENA_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan)));
   SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr result_schema,
                           plan->InferSchema(*env_, streams_));
 
@@ -179,9 +185,9 @@ Status QueryProcessor::RegisterContinuousInto(const std::string& name,
   // The cross-query gate runs after the stream-schema compatibility
   // check above (whose FailedPrecondition callers rely on) but before
   // anything reaches the executor.
-  SERENA_RETURN_NOT_OK(GateQuerySet(name, plan, {stream}));
+  SERENA_RETURN_NOT_OK(GateRegistration(name, plan, {stream}));
 
-  auto query = std::make_shared<ContinuousQuery>(name, std::move(plan));
+  auto query = std::make_shared<ContinuousQuery>(name, plan);
   // Declare the sink's target stream so the executor schedules consumers
   // of `stream` after this producer within each tick.
   query->set_feeds({stream});
@@ -197,7 +203,9 @@ Status QueryProcessor::RegisterContinuousInto(const std::string& name,
       }
     }
   });
-  return executor_.Register(std::move(query));
+  SERENA_RETURN_NOT_OK(executor_.Register(std::move(query)));
+  session_.CommitQuery(name, plan, {stream});
+  return Status::OK();
 }
 
 Result<ContinuousQueryPtr> QueryProcessor::GetContinuous(

@@ -8,7 +8,7 @@
 #include <set>
 
 #include "algebra/parameters.h"
-#include "analysis/analyzer.h"
+#include "analysis/session.h"
 #include "ddl/algebra_parser.h"
 #include "rewrite/rewriter.h"
 #include "stream/executor.h"
@@ -87,6 +87,13 @@ class QueryProcessor {
   /// feeders) are added here.
   ContinuousExecutor& executor() { return executor_; }
 
+  /// The analysis session backing the gate: the per-query facts cache
+  /// that keeps registration linting O(new query), plus the severity
+  /// configuration (seeded from `SERENA_WERROR` / `SERENA_NO_WARN`).
+  /// The shell's \check and tests read it; gate callers never need to.
+  analysis::Session& analysis_session() { return session_; }
+  const analysis::Session& analysis_session() const { return session_; }
+
   /// Advances one instant (delegates to the executor).
   Timestamp Tick() { return executor_.Tick(); }
 
@@ -99,16 +106,21 @@ class QueryProcessor {
   /// (or when the gate is off).
   Status GatePlan(const PlanPtr& plan, AnalysisContext context) const;
 
-  /// The cross-query gate: lints the already-registered query set plus
-  /// the candidate (`name`, `plan`, `feeds`) for cycles and
-  /// writer/writer conflicts before it reaches the executor.
-  Status GateQuerySet(const std::string& name, const PlanPtr& plan,
-                      const std::vector<std::string>& feeds) const;
+  /// The cross-query gate: incremental frontier lint of the candidate
+  /// (`name`, `plan`, `feeds`) against the session's committed facts —
+  /// cycles, writer/writer conflicts — before it reaches the executor.
+  Status GateRegistration(const std::string& name, const PlanPtr& plan,
+                          const std::vector<std::string>& feeds);
+
+  /// Semantic (analyzer-fact-driven) rewrites followed by the classic
+  /// rule rewriter; identity when `optimize_` is off.
+  Result<PlanPtr> OptimizePlan(PlanPtr plan) const;
 
   Environment* env_;
   StreamStore* streams_;
   ContinuousExecutor executor_;
   Rewriter rewriter_;
+  analysis::Session session_;
   bool optimize_ = true;
   bool analyze_ = true;
   // relation name -> prototype it mirrors.

@@ -15,66 +15,6 @@ Rewriter::Rewriter(const Environment* env, const StreamStore* streams,
   ctx_.streams = streams;
 }
 
-Result<PlanPtr> Rewriter::WithChildren(const PlanPtr& plan,
-                                       std::vector<PlanPtr> children) const {
-  const std::vector<PlanPtr> old_children = plan->children();
-  bool same = old_children.size() == children.size();
-  for (std::size_t i = 0; same && i < children.size(); ++i) {
-    same = old_children[i] == children[i];
-  }
-  if (same) return plan;
-
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-    case PlanKind::kWindow:
-      return plan;
-    case PlanKind::kUnion:
-      return UnionOf(children[0], children[1]);
-    case PlanKind::kIntersect:
-      return IntersectOf(children[0], children[1]);
-    case PlanKind::kDifference:
-      return DifferenceOf(children[0], children[1]);
-    case PlanKind::kJoin:
-      return Join(children[0], children[1]);
-    case PlanKind::kProject: {
-      const auto* node = static_cast<const ProjectNode*>(plan.get());
-      return Project(children[0], node->attributes());
-    }
-    case PlanKind::kSelect: {
-      const auto* node = static_cast<const SelectNode*>(plan.get());
-      return Select(children[0], node->formula());
-    }
-    case PlanKind::kRename: {
-      const auto* node = static_cast<const RenameNode*>(plan.get());
-      return Rename(children[0], node->from(), node->to());
-    }
-    case PlanKind::kAssign: {
-      const auto* node = static_cast<const AssignNode*>(plan.get());
-      if (node->from_parameter()) {
-        return AssignParam(children[0], node->target(), node->parameter());
-      }
-      return node->from_attribute()
-                 ? Assign(children[0], node->target(),
-                          node->source_attribute())
-                 : Assign(children[0], node->target(), node->constant());
-    }
-    case PlanKind::kInvoke: {
-      const auto* node = static_cast<const InvokeNode*>(plan.get());
-      return Invoke(children[0], node->prototype(),
-                    node->service_attribute());
-    }
-    case PlanKind::kAggregate: {
-      const auto* node = static_cast<const AggregateNode*>(plan.get());
-      return Aggregate(children[0], node->group_by(), node->aggregates());
-    }
-    case PlanKind::kStreaming: {
-      const auto* node = static_cast<const StreamingNode*>(plan.get());
-      return Streaming(children[0], node->type());
-    }
-  }
-  return Status::Internal("unknown plan kind");
-}
-
 Result<PlanPtr> Rewriter::RewriteOnce(const PlanPtr& plan,
                                       bool* changed) const {
   // Rewrite children first (bottom-up).
@@ -83,7 +23,7 @@ Result<PlanPtr> Rewriter::RewriteOnce(const PlanPtr& plan,
     SERENA_ASSIGN_OR_RETURN(child, RewriteOnce(child, changed));
   }
   SERENA_ASSIGN_OR_RETURN(PlanPtr current,
-                          WithChildren(plan, std::move(children)));
+                          ReplaceChildren(plan, std::move(children)));
 
   // Then try each rule at this node until none fires.
   bool fired = true;

@@ -30,10 +30,6 @@ class Rewriter {
   const std::vector<RewriteRulePtr>& rules() const { return rules_; }
 
  private:
-  /// Rebuilds `plan` with new children (identity when children unchanged).
-  Result<PlanPtr> WithChildren(const PlanPtr& plan,
-                               std::vector<PlanPtr> children) const;
-
   RewriteContext ctx_;
   std::vector<RewriteRulePtr> rules_;
 };

@@ -1,0 +1,80 @@
+#ifndef SERENA_REWRITE_SEMANTIC_H_
+#define SERENA_REWRITE_SEMANTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace serena {
+
+/// One applied semantic rewrite, with its equivalence argument — the
+/// EXPLAIN-level proof the shell's \optimize prints.
+struct SemanticRewriteStep {
+  /// "drop-dead-invoke", "narrow-projection", "drop-identity-projection".
+  std::string rule;
+  /// Label of the rewritten operator ("invoke[getTemperature]").
+  std::string node;
+  /// Why the rewritten plan is result- and action-equivalent (Def. 9).
+  std::string proof;
+};
+
+struct SemanticRewriteResult {
+  PlanPtr plan;
+  std::vector<SemanticRewriteStep> steps;
+  /// True when the guarded rewrite was discarded because the rewritten
+  /// plan failed re-verification (schema drift or analyzer errors) —
+  /// `plan` is then the original.
+  bool reverted = false;
+
+  bool changed() const { return !steps.empty() && !reverted; }
+};
+
+/// The analyzer-driven *semantic* optimization pass: turns the dataflow
+/// facts the static analyzer proves (docs/ANALYSIS.md) into plan
+/// rewrites instead of mere warnings. It runs the analyzer's Def. 4
+/// needed-set computation over the plan and applies, bottom-up:
+///
+///  1. drop-dead-invoke (the SER021 fact): a *passive* β whose output
+///     attributes are all provably dropped by the operators above is
+///     removed — β extends each tuple 1:1 and deterministically (§3.2)
+///     and a passive prototype has an empty action set (Def. 8), so the
+///     final result and action set are unchanged while every physical
+///     service call the node made per tick disappears.
+///  2. narrow-projection (the SER052 projection analysis): π keeps only
+///     the attributes some operator above actually consumes — guarded by
+///     a duplicate-sensitivity analysis, because narrowing a projection
+///     can merge tuples (relations are sets): the rule is blocked below
+///     Aggregate, set operators, and S[...] streaming nodes.
+///  3. drop-identity-projection: a π whose list equals its child's full
+///     schema is the identity over sets and is removed.
+///
+/// Every rewrite is re-verified before being returned: the rewritten
+/// plan must infer the *identical* root schema and re-analyze without
+/// errors, else the original plan is returned with `reverted` set
+/// (metric `serena.rewrite.semantic.reverted`). Plans that already have
+/// analyzer errors are returned untouched — semantic facts are only
+/// trustworthy on well-formed plans.
+///
+/// Caveat (documented in docs/REWRITES.md): dropping a dead invocation
+/// assumes the invocation would have *succeeded*. Under the default
+/// kFail error policy the original plan would abort the whole query on
+/// a service error where the rewritten plan proceeds — the standard
+/// semantic-optimization assumption that verification facts describe
+/// the non-failing execution.
+///
+/// Metrics: serena.rewrite.semantic.dead_invokes,
+/// serena.rewrite.semantic.narrowed_projections,
+/// serena.rewrite.semantic.identity_projections,
+/// serena.rewrite.semantic.reverted.
+Result<SemanticRewriteResult> SemanticOptimize(const PlanPtr& plan,
+                                               const Environment& env,
+                                               const StreamStore* streams);
+
+/// Human rendering of the applied steps, one "rule @ node: proof" line
+/// each (empty string for no steps).
+std::string RenderSemanticSteps(const std::vector<SemanticRewriteStep>& steps);
+
+}  // namespace serena
+
+#endif  // SERENA_REWRITE_SEMANTIC_H_

@@ -214,6 +214,66 @@ TEST(FixScriptTest, ExampleLintErrorsScriptIsPartiallyFixable) {
             std::string::npos);
 }
 
+TEST(FixScriptTest, FixIsIdempotentOverEveryExampleScript) {
+  // `serena_lint --fix` must converge: fixing a fixed script changes
+  // nothing and applies zero fixes — over every shipped example,
+  // including the deliberately broken one.
+  const std::string dir = std::string(SERENA_REPO_DIR) + "/examples/scripts/";
+  const char* names[] = {"lint_errors.serena", "messaging.serena",
+                         "self_monitoring.serena",
+                         "temperature_watch.serena"};
+  for (const char* name : names) {
+    std::ifstream in(dir + name);
+    ASSERT_TRUE(in.good()) << "fixture missing: " << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const FixResult once = FixScript(buffer.str()).ValueOrDie();
+    const FixResult twice = FixScript(once.script).ValueOrDie();
+    EXPECT_EQ(twice.fixes_applied, 0) << name;
+    EXPECT_EQ(twice.script, once.script) << name;
+  }
+}
+
+TEST(FixScriptTest, MultipleFixesConvergeToAFixpoint) {
+  // Several fixable findings across statements all land, and the result
+  // is a fixpoint: re-running applies nothing further.
+  const std::string script = std::string(kCatalog) +
+      "select[name = 'Ana'](contact);\n"
+      "select[value > 0](readings);\n";
+  const FixResult fixed = FixScript(script).ValueOrDie();
+  EXPECT_GE(fixed.fixes_applied, 2);
+  EXPECT_NE(fixed.script.find("select[name = 'Ana'](contacts);"),
+            std::string::npos);
+  EXPECT_NE(fixed.script.find("select[value > 0](window[10](readings));"),
+            std::string::npos);
+  EXPECT_EQ(FixScript(fixed.script).ValueOrDie().fixes_applied, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Severity configuration through the lint runner
+// ---------------------------------------------------------------------------
+
+TEST(LintRunnerTest, SeverityConfigPromotesAndSuppresses) {
+  // Q1'-shaped statement: SER030 (active invoke under a filter) is a
+  // warning by default.
+  const std::string script = std::string(kCatalog) +
+      "select[name = 'Ana'](invoke[sendMessage]"
+      "(assign[text := 'x'](contacts)));\n";
+  const LintResult plain = LintScript(script).ValueOrDie();
+  EXPECT_TRUE(plain.ok());
+  EXPECT_TRUE(HasCode(plain.diagnostics, DiagCode::kActiveUnderFilter));
+
+  const analysis::SeverityConfig werror =
+      analysis::SeverityConfig::Parse("SER030", "").ValueOrDie();
+  const LintResult strict = LintScript(script, werror).ValueOrDie();
+  EXPECT_FALSE(strict.ok());  // promoted to an error
+
+  const analysis::SeverityConfig quiet =
+      analysis::SeverityConfig::Parse("", "SER030").ValueOrDie();
+  const LintResult silenced = LintScript(script, quiet).ValueOrDie();
+  EXPECT_FALSE(HasCode(silenced.diagnostics, DiagCode::kActiveUnderFilter));
+}
+
 TEST(UnifiedDiffTest, IdenticalTextsProduceEmptyDiff) {
   EXPECT_EQ(UnifiedDiff("a\nb\n", "a\nb\n"), "");
 }

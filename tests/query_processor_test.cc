@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "env/scenario.h"
+#include "obs/metrics.h"
 
 namespace serena {
 namespace {
@@ -259,6 +263,76 @@ TEST_F(QueryProcessorTest, WriterConflictRejectedAtRegistration) {
 TEST_F(QueryProcessorTest, ExecutorReportsSourceFedStreams) {
   EXPECT_EQ(processor_->executor().SourceFedStreams(),
             (std::vector<std::string>{"temperatures"}));
+}
+
+TEST_F(QueryProcessorTest, SemanticRewriteDropsDeadInvoke) {
+  // The projection above never reads checkPhoto's output: the analyzer
+  // fact feeds the semantic rewriter, which drops the dead β entirely —
+  // same bytes out, zero service calls.
+  const std::string algebra = "project[area](invoke[checkPhoto](cameras))";
+
+  scenario_->env().registry().ResetStats();
+  auto optimized = processor_->ExecuteOneShot(algebra);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  EXPECT_EQ(scenario_->env().registry().stats().physical_invocations, 0u);
+
+  processor_->set_optimize(false);
+  scenario_->env().registry().ResetStats();
+  auto naive = processor_->ExecuteOneShot(algebra);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  EXPECT_EQ(scenario_->env().registry().stats().physical_invocations, 3u);
+
+  EXPECT_EQ(optimized->relation.ToTableString(),
+            naive->relation.ToTableString());
+  EXPECT_EQ(optimized->actions.ToString(), naive->actions.ToString());
+}
+
+TEST_F(QueryProcessorTest, WerrorEnvironmentPromotesWarningsToGateErrors) {
+  // SER021 (dead passive invocation) is a warning: the default gate
+  // waves the plan through.
+  const std::string algebra = "project[area](invoke[checkPhoto](cameras))";
+  EXPECT_TRUE(processor_->ExecuteOneShot(algebra).ok());
+
+  // A processor built under SERENA_WERROR=SER021 promotes it to a gate
+  // error — the same plan is now refused before anything executes.
+  ::setenv("SERENA_WERROR", "SER021", 1);
+  QueryProcessor strict(&scenario_->env(), &scenario_->streams());
+  ::unsetenv("SERENA_WERROR");
+  const Status status = strict.ExecuteOneShot(algebra).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SER021"), std::string::npos);
+}
+
+TEST_F(QueryProcessorTest, RegistrationLintStaysLinearInNewQueries) {
+  // Registering the N-th query must analyze only that query (gate +
+  // registration lint), never re-lint the committed set — and with no
+  // feeds there is no dependency frontier to walk at all.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.set_enabled(true);
+  const std::uint64_t plans_before =
+      metrics.GetCounter("serena.analyze.plans").value();
+  const std::uint64_t frontier_before =
+      metrics.GetCounter("serena.analyze.frontier_queries").value();
+
+  constexpr std::size_t kQueries = 200;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    std::string name = "w";
+    name += std::to_string(i);
+    ASSERT_TRUE(
+        processor_->RegisterContinuous(name, "window[1](temperatures)")
+            .ok());
+  }
+  EXPECT_EQ(processor_->analysis_session().query_count(), kQueries);
+
+  const std::uint64_t plans =
+      metrics.GetCounter("serena.analyze.plans").value() - plans_before;
+  const std::uint64_t frontier =
+      metrics.GetCounter("serena.analyze.frontier_queries").value() -
+      frontier_before;
+  // O(new query): a constant number of analyses per registration.
+  EXPECT_GE(plans, 2 * kQueries);
+  EXPECT_LE(plans, 3 * kQueries);
+  EXPECT_EQ(frontier, 0u);
 }
 
 TEST_F(QueryProcessorTest, RowWindowsThroughTheLanguage) {

@@ -1,0 +1,240 @@
+// Tests for the analyzer-driven semantic rewrite pass (src/rewrite):
+// golden EXPLAIN before/after snapshots per rule, the Def. 9 equivalence
+// of rewritten plans (byte-identical results *and* action sets), and the
+// strictly-fewer-service-calls payoff of dropping dead invocations.
+
+#include "rewrite/semantic.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algebra/explain.h"
+#include "ddl/algebra_parser.h"
+#include "env/scenario.h"
+#include "obs/metrics.h"
+
+namespace serena {
+namespace {
+
+class SemanticRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+  }
+
+  PlanPtr Parse(const std::string& algebra) {
+    return ParseAlgebra(algebra).ValueOrDie();
+  }
+
+  SemanticRewriteResult Optimize(const std::string& algebra) {
+    return SemanticOptimize(Parse(algebra), scenario_->env(),
+                            &scenario_->streams())
+        .MoveValueOrDie();
+  }
+
+  std::string Explain(const PlanPtr& plan) {
+    return ExplainPlan(plan, scenario_->env(), &scenario_->streams());
+  }
+
+  std::string Explain(const std::string& algebra) {
+    return Explain(Parse(algebra));
+  }
+
+  QueryResult Run(const PlanPtr& plan) {
+    return Execute(plan, &scenario_->env(), &scenario_->streams())
+        .MoveValueOrDie();
+  }
+
+  std::uint64_t PhysicalInvocations() {
+    return scenario_->env().registry().stats().physical_invocations;
+  }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+// --- Rule 1: drop-dead-invoke (the SER021 fact) ----------------------------
+
+TEST_F(SemanticRewriteTest, DeadPassiveInvokeDroppedWithProof) {
+  const auto result = Optimize("project[area](invoke[checkPhoto](cameras))");
+  ASSERT_TRUE(result.changed());
+  ASSERT_EQ(result.steps.size(), 1u);
+  EXPECT_EQ(result.steps[0].rule, "drop-dead-invoke");
+  EXPECT_EQ(result.steps[0].node, "invoke[checkPhoto]");
+  // The EXPLAIN-level equivalence argument names the Def. 8/Def. 9 facts.
+  EXPECT_NE(result.steps[0].proof.find("passive"), std::string::npos);
+  EXPECT_NE(result.steps[0].proof.find("Def. 9"), std::string::npos);
+  // Golden snapshot: the rewritten tree is exactly the plan without β.
+  EXPECT_EQ(Explain(result.plan), Explain("project[area](cameras)"));
+  EXPECT_NE(RenderSemanticSteps(result.steps).find("drop-dead-invoke @"),
+            std::string::npos);
+}
+
+TEST_F(SemanticRewriteTest, DeadInvokeEquivalentResultsStrictlyFewerCalls) {
+  const PlanPtr original =
+      Parse("project[area](invoke[checkPhoto](cameras))");
+  const auto rewritten =
+      SemanticOptimize(original, scenario_->env(), &scenario_->streams())
+          .MoveValueOrDie();
+  ASSERT_TRUE(rewritten.changed());
+
+  scenario_->env().registry().ResetStats();
+  const QueryResult before = Run(original);
+  const std::uint64_t calls_original = PhysicalInvocations();
+  scenario_->env().registry().ResetStats();
+  const QueryResult after = Run(rewritten.plan);
+  const std::uint64_t calls_rewritten = PhysicalInvocations();
+
+  // Def. 9 equivalence, byte for byte: same tuples, same action set.
+  EXPECT_EQ(before.relation.ToTableString(), after.relation.ToTableString());
+  EXPECT_EQ(before.actions.ToString(), after.actions.ToString());
+  // One checkPhoto per camera gone entirely.
+  EXPECT_EQ(calls_original, 3u);
+  EXPECT_EQ(calls_rewritten, 0u);
+}
+
+TEST_F(SemanticRewriteTest, ActiveInvokeIsNeverDropped) {
+  // takePhoto's photo output is dropped by the projection. While the
+  // prototype is passive (the default), the dead β goes — and once it
+  // does, checkPhoto's quality output has no consumer left either.
+  const std::string algebra =
+      "project[area](invoke[takePhoto](invoke[checkPhoto](cameras)))";
+  EXPECT_TRUE(Optimize(algebra).changed());
+
+  // As a side-effecting prototype (§3.3's design choice) its action set
+  // is observable and the node must stay — which also keeps checkPhoto
+  // alive, since takePhoto reads the quality it realizes.
+  TemperatureScenarioOptions options;
+  options.take_photo_active = true;
+  auto active = TemperatureScenario::Build(options).MoveValueOrDie();
+  const PlanPtr plan = ParseAlgebra(algebra).ValueOrDie();
+  const auto result =
+      SemanticOptimize(plan, active->env(), &active->streams())
+          .MoveValueOrDie();
+  EXPECT_FALSE(result.changed());
+  EXPECT_EQ(result.plan, plan);
+}
+
+TEST_F(SemanticRewriteTest, UsedInvokeOutputKeepsTheInvoke) {
+  // quality is read by the selection above: checkPhoto is live.
+  const auto result = Optimize(
+      "project[area](select[quality >= 5](invoke[checkPhoto](cameras)))");
+  for (const SemanticRewriteStep& step : result.steps) {
+    EXPECT_NE(step.rule, "drop-dead-invoke");
+  }
+}
+
+// --- Rule 2: narrow-projection (the SER052 analysis) -----------------------
+
+TEST_F(SemanticRewriteTest, ProjectionNarrowedToConsumedAttributes) {
+  const auto result = Optimize(
+      "project[location](project[location, temperature]"
+      "(window[1](temperatures)))");
+  ASSERT_TRUE(result.changed());
+  ASSERT_EQ(result.steps.size(), 2u);
+  // The inner π narrows to what the outer one consumes; the outer π then
+  // collapses to the identity and disappears.
+  EXPECT_EQ(result.steps[0].rule, "narrow-projection");
+  EXPECT_NE(result.steps[0].proof.find("temperature"), std::string::npos);
+  EXPECT_EQ(result.steps[1].rule, "drop-identity-projection");
+  EXPECT_EQ(Explain(result.plan),
+            Explain("project[location](window[1](temperatures))"));
+}
+
+TEST_F(SemanticRewriteTest, NarrowingBlockedBelowAggregate) {
+  // count observes cardinality: merging tuples that differ only on a
+  // dropped attribute would change the answer, so π must stay as-is.
+  const PlanPtr plan = Aggregate(
+      Project(Scan("contacts"), {"name", "address"}),
+      /*group_by=*/{"name"},
+      {AggregateSpec{AggregateFn::kCount, "", "n"}});
+  const auto result =
+      SemanticOptimize(plan, scenario_->env(), &scenario_->streams())
+          .MoveValueOrDie();
+  EXPECT_FALSE(result.changed());
+  EXPECT_EQ(result.plan, plan);
+}
+
+// --- Rule 3: drop-identity-projection --------------------------------------
+
+TEST_F(SemanticRewriteTest, IdentityProjectionRemoved) {
+  const auto result = Optimize(
+      "project[name, address, text, messenger, sent](contacts)");
+  ASSERT_TRUE(result.changed());
+  ASSERT_EQ(result.steps.size(), 1u);
+  EXPECT_EQ(result.steps[0].rule, "drop-identity-projection");
+  EXPECT_EQ(Explain(result.plan), Explain("contacts"));
+}
+
+// --- Guards ----------------------------------------------------------------
+
+TEST_F(SemanticRewriteTest, IllFormedPlansAreReturnedUntouched) {
+  const PlanPtr plan = Parse("project[area](invoke[checkPhoto](ghost))");
+  const auto result =
+      SemanticOptimize(plan, scenario_->env(), &scenario_->streams())
+          .MoveValueOrDie();
+  EXPECT_FALSE(result.changed());
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_EQ(result.plan, plan);
+}
+
+TEST_F(SemanticRewriteTest, UnchangedPlansReportNoSteps) {
+  const auto result = Optimize("select[area = 'office'](cameras)");
+  EXPECT_FALSE(result.changed());
+  EXPECT_FALSE(result.reverted);
+  EXPECT_TRUE(RenderSemanticSteps(result.steps).empty());
+}
+
+TEST_F(SemanticRewriteTest, RewriteCountersIncrement) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.set_enabled(true);
+  const std::uint64_t dead_before =
+      metrics.GetCounter("serena.rewrite.semantic.dead_invokes").value();
+  const std::uint64_t narrowed_before =
+      metrics.GetCounter("serena.rewrite.semantic.narrowed_projections")
+          .value();
+  (void)Optimize("project[area](invoke[checkPhoto](cameras))");
+  (void)Optimize(
+      "project[location](project[location, temperature]"
+      "(window[1](temperatures)))");
+  EXPECT_EQ(
+      metrics.GetCounter("serena.rewrite.semantic.dead_invokes").value(),
+      dead_before + 1);
+  EXPECT_EQ(metrics.GetCounter("serena.rewrite.semantic.narrowed_projections")
+                .value(),
+            narrowed_before + 1);
+}
+
+// --- Def. 9 equivalence over the paper's walkthrough queries ---------------
+
+TEST_F(SemanticRewriteTest, WalkthroughQueriesStayEquivalent) {
+  // Table 4's canonical queries (plus a dead-invoke variant) rewritten
+  // and unrewritten must produce byte-identical relations and action
+  // sets. Q1 messages contacts — equivalence covers side effects too.
+  const std::vector<PlanPtr> plans = {
+      scenario_->Q1(),
+      scenario_->Q2(),
+      scenario_->Q2Prime(),
+      Parse("project[area](invoke[checkPhoto](cameras))"),
+      Parse("project[name, address](project[name, address, text]"
+            "(contacts))"),
+  };
+  for (const PlanPtr& plan : plans) {
+    const auto rewritten =
+        SemanticOptimize(plan, scenario_->env(), &scenario_->streams())
+            .MoveValueOrDie();
+    EXPECT_FALSE(rewritten.reverted);
+    scenario_->ClearOutboxes();
+    const QueryResult before = Run(plan);
+    scenario_->ClearOutboxes();
+    const QueryResult after = Run(rewritten.plan);
+    EXPECT_EQ(before.relation.ToTableString(),
+              after.relation.ToTableString())
+        << plan->ToString();
+    EXPECT_EQ(before.actions.ToString(), after.actions.ToString())
+        << plan->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace serena

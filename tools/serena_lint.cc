@@ -1,6 +1,7 @@
 // serena_lint: offline static analysis of `.serena` scripts.
 //
-//   $ serena_lint [--json] [--werror] script.serena [more.serena ...]
+//   $ serena_lint [--json] [--werror[=CODES]] [--no-warn=CODES]
+//                 script.serena [more.serena ...]
 //   $ serena_lint --fix [--dry-run] script.serena
 //   $ serena_lint < script.serena
 //
@@ -15,8 +16,13 @@
 // with --dry-run it prints a unified diff instead of writing. On stdin,
 // --fix writes the fixed script to stdout (--dry-run still diffs).
 //
-// Exit status: 0 clean, 1 findings of severity error (or any finding
-// under --werror; under --fix, errors *remaining after* the fixes),
+// Severity configuration: `--werror` promotes every warning to an
+// error, `--werror=SER030,SER052` promotes just those codes, and
+// `--no-warn=SER041` suppresses codes (unknown codes exit 2). Without
+// flags, `SERENA_WERROR` / `SERENA_NO_WARN` apply (same syntax).
+//
+// Exit status: 0 clean, 1 findings of severity error after severity
+// configuration (under --fix, errors *remaining after* the fixes),
 // 2 usage / IO failure. Designed for CI.
 
 #include <fstream>
@@ -27,6 +33,7 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/lint_runner.h"
+#include "analysis/session.h"
 
 namespace {
 
@@ -36,7 +43,8 @@ struct FileReport {
 };
 
 int Usage() {
-  std::cerr << "usage: serena_lint [--json] [--werror] [script.serena ...]\n"
+  std::cerr << "usage: serena_lint [--json] [--werror[=CODES]] "
+               "[--no-warn=CODES] [script.serena ...]\n"
                "       serena_lint --fix [--dry-run] [script.serena ...]\n"
                "       serena_lint < script.serena\n";
   return 2;
@@ -45,8 +53,9 @@ int Usage() {
 /// Applies --fix to one script text: rewrites `text`, reports what was
 /// applied, and prints/writes per mode. Returns false on IO failure.
 bool ApplyFixes(const std::string& name, const std::string& text,
+                const serena::analysis::SeverityConfig& severity,
                 bool dry_run, bool to_stdout, std::string* fixed_out) {
-  auto fixed = serena::FixScript(text);
+  auto fixed = serena::FixScript(text, severity);
   if (!fixed.ok()) {
     std::cerr << name << ": " << fixed.status() << "\n";
     return false;
@@ -80,16 +89,25 @@ bool ApplyFixes(const std::string& name, const std::string& text,
 
 int main(int argc, char** argv) {
   bool json = false;
-  bool werror = false;
   bool fix = false;
   bool dry_run = false;
+  bool severity_flags = false;
+  std::string werror_list;
+  std::string no_warn_list;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--werror") {
-      werror = true;
+      werror_list = "all";
+      severity_flags = true;
+    } else if (arg.rfind("--werror=", 0) == 0) {
+      werror_list = arg.substr(9);
+      severity_flags = true;
+    } else if (arg.rfind("--no-warn=", 0) == 0) {
+      no_warn_list = arg.substr(10);
+      severity_flags = true;
     } else if (arg == "--fix") {
       fix = true;
     } else if (arg == "--dry-run") {
@@ -108,6 +126,21 @@ int main(int argc, char** argv) {
     std::cerr << "--dry-run requires --fix\n";
     return Usage();
   }
+  // Flags win over the environment; a typo in either is a hard error so
+  // CI configs fail loudly instead of silently linting at the wrong
+  // severity.
+  serena::analysis::SeverityConfig severity;
+  if (severity_flags) {
+    auto parsed =
+        serena::analysis::SeverityConfig::Parse(werror_list, no_warn_list);
+    if (!parsed.ok()) {
+      std::cerr << parsed.status() << "\n";
+      return 2;
+    }
+    severity = *parsed;
+  } else {
+    severity = serena::analysis::SeverityConfig::FromEnv();
+  }
 
   std::vector<FileReport> reports;
   if (files.empty()) {
@@ -116,12 +149,13 @@ int main(int argc, char** argv) {
     std::string text = buffer.str();
     if (fix) {
       std::string fixed;
-      if (!ApplyFixes("<stdin>", text, dry_run, /*to_stdout=*/true, &fixed)) {
+      if (!ApplyFixes("<stdin>", text, severity, dry_run, /*to_stdout=*/true,
+                      &fixed)) {
         return 2;
       }
       text = std::move(fixed);
     }
-    auto result = serena::LintScript(text);
+    auto result = serena::LintScript(text, severity);
     if (!result.ok()) {
       std::cerr << result.status() << "\n";
       return 2;
@@ -140,14 +174,15 @@ int main(int argc, char** argv) {
     in.close();
     if (fix) {
       std::string fixed;
-      if (!ApplyFixes(file, text, dry_run, /*to_stdout=*/false, &fixed)) {
+      if (!ApplyFixes(file, text, severity, dry_run, /*to_stdout=*/false,
+                      &fixed)) {
         return 2;
       }
       // Report the diagnostics that remain after the rewrite (the file on
       // disk under --fix, the hypothetical rewrite under --dry-run).
       text = std::move(fixed);
     }
-    auto result = serena::LintScript(text);
+    auto result = serena::LintScript(text, severity);
     if (!result.ok()) {
       std::cerr << file << ": " << result.status() << "\n";
       return 2;
@@ -183,6 +218,7 @@ int main(int argc, char** argv) {
               << warnings << " warning(s)\n";
   }
 
-  if (errors > 0 || (werror && warnings > 0)) return 1;
-  return 0;
+  // Promotion already happened inside the lint (severity config), so
+  // the error count alone decides the exit status.
+  return errors > 0 ? 1 : 0;
 }

@@ -1,0 +1,90 @@
+// serena_scale_smoke: registration-scaling smoke test for CI.
+//
+//   $ serena_scale_smoke [N]      (default N = 1000)
+//
+// Registers N standing queries against the standard scenario and checks
+// — via the `serena.analyze.*` counters — that registering the i-th
+// query analyzed only that query: the incremental session lint must
+// keep total plan analyses within a constant factor of N (gate +
+// registration lint per query, never a re-lint of the committed set)
+// and must walk no dependency frontier at all for independent queries.
+// A quadratic regression in the registration path fails loudly here
+// long before it would show up as wall-clock noise.
+//
+// Exit status: 0 when the counters scale linearly, 1 otherwise,
+// 2 on setup failure.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "env/scenario.h"
+#include "obs/metrics.h"
+#include "pems/query_processor.h"
+
+int main(int argc, char** argv) {
+  std::size_t n = 1000;
+  if (argc > 1) {
+    n = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+    if (n == 0) {
+      std::cerr << "usage: serena_scale_smoke [N>0]\n";
+      return 2;
+    }
+  }
+
+  auto scenario = serena::TemperatureScenario::Build();
+  if (!scenario.ok()) {
+    std::cerr << "scenario: " << scenario.status() << "\n";
+    return 2;
+  }
+  serena::QueryProcessor processor(&(*scenario)->env(),
+                                   &(*scenario)->streams());
+  processor.executor().AddSource(
+      [&scenario](serena::Timestamp t) {
+        return (*scenario)->PumpTemperatureStream(t);
+      },
+      /*feeds=*/{"temperatures"});
+
+  serena::obs::MetricsRegistry& metrics =
+      serena::obs::MetricsRegistry::Global();
+  metrics.set_enabled(true);
+  const std::uint64_t plans_before =
+      metrics.GetCounter("serena.analyze.plans").value();
+  const std::uint64_t frontier_before =
+      metrics.GetCounter("serena.analyze.frontier_queries").value();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = "w";
+    name += std::to_string(i);
+    const serena::Status status =
+        processor.RegisterContinuous(name, "window[1](temperatures)");
+    if (!status.ok()) {
+      std::cerr << "registration " << i << ": " << status << "\n";
+      return 2;
+    }
+  }
+
+  const std::uint64_t plans =
+      metrics.GetCounter("serena.analyze.plans").value() - plans_before;
+  const std::uint64_t frontier =
+      metrics.GetCounter("serena.analyze.frontier_queries").value() -
+      frontier_before;
+
+  std::cout << n << " registrations: " << plans << " plan analyses ("
+            << (static_cast<double>(plans) / static_cast<double>(n))
+            << " per query), " << frontier << " frontier visits\n";
+
+  bool ok = true;
+  if (plans > 3 * n) {
+    std::cerr << "FAIL: " << plans << " plan analyses for " << n
+              << " registrations — registration is no longer O(new query)\n";
+    ok = false;
+  }
+  if (frontier != 0) {
+    std::cerr << "FAIL: " << frontier << " frontier visits for independent "
+              << "queries (expected 0)\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
