@@ -47,6 +47,17 @@ void ReproduceExperiment() {
               forward->accumulated_actions().size());
   std::printf("(paper shape: matches appear as news arrive and expire as "
               "the window slides; each is sent once)\n");
+
+  bench::RecordRepro("news_retained",
+                     static_cast<double>(news->size()), "tuples");
+  bench::RecordRepro("final_window_matches",
+                     static_cast<double>(window_size), "tuples");
+  bench::RecordRepro(
+      "items_forwarded",
+      static_cast<double>(scenario->email()->outbox().size()), "messages");
+  bench::RecordRepro(
+      "forward_action_set",
+      static_cast<double>(forward->accumulated_actions().size()), "actions");
 }
 
 // ---------------------------------------------------------------------------

@@ -76,6 +76,16 @@ void ReproduceSweep() {
                 static_cast<unsigned long long>(opt_inv),
                 r2.ok() ? r2->relation.size() : 0);
     (void)r1;
+    // Per-population invocation counts are the paper's cost argument in
+    // miniature: exact records, so --compare catches optimizer drift.
+    bench::RecordRepro(
+        StringFormat("naive_invocations_s%d", sensors + 4),
+        static_cast<double>(naive_inv), "invocations");
+    bench::RecordRepro(StringFormat("opt_invocations_s%d", sensors + 4),
+                       static_cast<double>(opt_inv), "invocations");
+    bench::RecordRepro(StringFormat("result_tuples_s%d", sensors + 4),
+                       r2.ok() ? static_cast<double>(r2->relation.size()) : 0,
+                       "tuples");
   }
   std::printf(
       "(shape check: naive invocations grow with the full sensor "

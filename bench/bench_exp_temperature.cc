@@ -48,6 +48,14 @@ void ReproduceExperiment() {
   // instants collapse in the accumulated *set*.
   std::printf("distinct actions accumulated by Q3 (Def. 8): %zu\n",
               q3->accumulated_actions().size());
+
+  bench::RecordRepro("total_alerts",
+                     static_cast<double>(scenario->AllSentMessages().size()),
+                     "messages");
+  bench::RecordRepro("roof_manager_alerted", roof_alerted ? 1 : 0, "bool");
+  bench::RecordRepro("q3_distinct_actions",
+                     static_cast<double>(q3->accumulated_actions().size()),
+                     "actions");
 }
 
 // ---------------------------------------------------------------------------

@@ -70,6 +70,19 @@ void ReproducePipeline() {
     std::printf("\nper-room peak of windowed means:\n%s",
                 peaks->relation.ToTableString().c_str());
   }
+
+  const PemsMetrics snapshot = SnapshotMetrics(*pems);
+  bench::RecordRepro("pipeline_rooms_with_peaks",
+                     peaks.ok() ? static_cast<double>(peaks->relation.size())
+                                : 0,
+                     "tuples");
+  bench::RecordRepro(
+      "pipeline_logical_invocations",
+      static_cast<double>(snapshot.invocations.logical_invocations),
+      "invocations");
+  bench::RecordRepro("pipeline_memo_hits",
+                     static_cast<double>(snapshot.invocations.memo_hits),
+                     "invocations");
 }
 
 void BM_PipelineTick(benchmark::State& state) {

@@ -1,0 +1,233 @@
+#ifndef SERENA_BENCH_BENCH_REPORT_H_
+#define SERENA_BENCH_BENCH_REPORT_H_
+
+// The shared BENCH_*.json schema: produced by the microbenchmark
+// binaries (via bench_util.h) and the serena_bench scenario harness,
+// consumed by `serena_bench --compare` and the regression-gate tests.
+// Deliberately free of google-benchmark so tools and tests can use the
+// report/compare machinery without its static initializers.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace serena {
+namespace bench {
+
+/// Version of the BENCH_*.json document layout. v2 added
+/// `schema_version`, `kind` and per-record `mode` on top of the original
+/// ad-hoc `{bench, records, metrics}` shape.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// How a record behaves under `CompareBenchReports`:
+///  - kExact: a deterministic count (rows, ticks, invocations). Any
+///    difference from the baseline is a failure, with zero tolerance —
+///    these records are the determinism gate.
+///  - kTiming: a wall-clock measurement. Only a regression beyond the
+///    configured noise threshold AND absolute floor fails; improvements
+///    and jitter pass.
+enum class RecordMode { kExact, kTiming };
+
+inline const char* RecordModeName(RecordMode mode) {
+  return mode == RecordMode::kTiming ? "timing" : "exact";
+}
+
+/// One measurement from the reproduction section, destined for the
+/// machine-readable BENCH_*.json record.
+struct ReproRecord {
+  std::string name;
+  double value = 0;
+  std::string unit;
+  RecordMode mode = RecordMode::kExact;
+};
+
+/// One BENCH_*.json document: the shared schema produced by both the
+/// microbenchmark binaries (`kind` == "micro") and the scenario harness
+/// (`kind` == "scenario"), and consumed by `serena_bench --compare`.
+struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
+  std::string name;
+  std::string kind = "micro";
+  std::vector<ReproRecord> records;
+};
+
+/// Renders a report as one compact JSON document. When `metrics_json` is
+/// non-empty it is spliced in verbatim as the "metrics" member (callers
+/// pass `MetricsRegistry::Global().ToJson()`); baselines are committed
+/// without it to keep diffs reviewable.
+inline std::string BenchReportJson(const BenchReport& report,
+                                   const std::string& metrics_json = {}) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Value(std::int64_t{report.schema_version});
+  json.Key("bench").Value(report.name);
+  json.Key("kind").Value(report.kind);
+  json.Key("records").BeginArray();
+  for (const ReproRecord& record : report.records) {
+    json.BeginObject();
+    json.Key("name").Value(record.name);
+    json.Key("value").Value(record.value);
+    json.Key("unit").Value(record.unit);
+    json.Key("mode").Value(RecordModeName(record.mode));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::string doc = json.TakeString();
+  if (!metrics_json.empty()) {
+    doc.pop_back();
+    doc += ",\"metrics\":";
+    doc += metrics_json;
+    doc += "}";
+  }
+  return doc;
+}
+
+inline bool WriteBenchReport(const std::string& path,
+                             const BenchReport& report,
+                             const std::string& metrics_json = {}) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  const std::string doc = BenchReportJson(report, metrics_json);
+  std::fputs(doc.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
+}
+
+/// Parses one BENCH_*.json document. v1 documents (no schema_version /
+/// kind / mode) load with defaults, so pre-existing records keep working.
+inline Result<BenchReport> ParseBenchReport(std::string_view json) {
+  SERENA_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::ParseJson(json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("bench report is not a JSON object");
+  }
+  BenchReport report;
+  report.schema_version =
+      static_cast<int>(doc.NumberOr("schema_version", 1));
+  report.name = doc.StringOr("bench", "");
+  report.kind = doc.StringOr("kind", "micro");
+  const obs::JsonValue* records = doc.Find("records");
+  if (records != nullptr && records->is_array()) {
+    for (const obs::JsonValue& entry : records->array()) {
+      if (!entry.is_object()) continue;
+      ReproRecord record;
+      record.name = entry.StringOr("name", "");
+      record.value = entry.NumberOr("value", 0);
+      record.unit = entry.StringOr("unit", "");
+      record.mode = entry.StringOr("mode", "exact") == "timing"
+                        ? RecordMode::kTiming
+                        : RecordMode::kExact;
+      if (!record.name.empty()) report.records.push_back(std::move(record));
+    }
+  }
+  return report;
+}
+
+inline Result<BenchReport> LoadBenchReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open bench report: ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SERENA_ASSIGN_OR_RETURN(BenchReport report, ParseBenchReport(buffer.str()));
+  if (report.name.empty()) {
+    return Status::InvalidArgument("bench report has no name: ", path);
+  }
+  return report;
+}
+
+/// Noise tolerance of the perf-regression gate (timing records only;
+/// exact records always require equality).
+struct CompareOptions {
+  /// Relative slowdown tolerated, e.g. 2.5 means current may exceed the
+  /// baseline by up to 250%. CI uses a generous value because baselines
+  /// are committed from a different machine.
+  double threshold = 2.5;
+  /// Absolute slack in milliseconds: a timing regression also needs to
+  /// exceed the baseline by this much wall time before it fails, so
+  /// microsecond-scale records don't flake. Applies to records with a
+  /// recognized time unit (ns/us/ms/s); others compare threshold-only.
+  double floor_ms = 5.0;
+};
+
+inline double ToMilliseconds(double value, const std::string& unit) {
+  if (unit == "ns") return value / 1e6;
+  if (unit == "us") return value / 1e3;
+  if (unit == "ms") return value;
+  if (unit == "s") return value * 1e3;
+  return std::nan("");  // Not a time unit.
+}
+
+/// Diffs `current` against `baseline`; returns one human-readable line
+/// per failure (empty == gate passes). Failures: a baseline record
+/// missing from the current run, a unit or mode change, an exact record
+/// whose value differs at all, or a timing record regressing beyond
+/// BOTH the relative threshold and the absolute floor. Records only in
+/// `current` are new measurements, not failures — refresh the baseline
+/// to start tracking them.
+inline std::vector<std::string> CompareBenchReports(
+    const BenchReport& baseline, const BenchReport& current,
+    const CompareOptions& options = {}) {
+  std::vector<std::string> failures;
+  for (const ReproRecord& expected : baseline.records) {
+    const ReproRecord* actual = nullptr;
+    for (const ReproRecord& record : current.records) {
+      if (record.name == expected.name) {
+        actual = &record;
+        break;
+      }
+    }
+    if (actual == nullptr) {
+      failures.push_back(StringFormat("%s: record '%s' missing from run",
+                                      baseline.name.c_str(),
+                                      expected.name.c_str()));
+      continue;
+    }
+    if (actual->unit != expected.unit) {
+      failures.push_back(StringFormat(
+          "%s: record '%s' changed unit (%s -> %s)", baseline.name.c_str(),
+          expected.name.c_str(), expected.unit.c_str(),
+          actual->unit.c_str()));
+      continue;
+    }
+    if (expected.mode == RecordMode::kExact) {
+      if (actual->value != expected.value) {
+        failures.push_back(StringFormat(
+            "%s: exact record '%s' = %.17g, baseline %.17g",
+            baseline.name.c_str(), expected.name.c_str(), actual->value,
+            expected.value));
+      }
+      continue;
+    }
+    // Timing: only regressions beyond threshold AND floor fail.
+    if (expected.value <= 0) continue;  // No meaningful baseline.
+    const double ratio = actual->value / expected.value;
+    if (ratio <= 1.0 + options.threshold) continue;
+    const double delta_ms =
+        ToMilliseconds(actual->value - expected.value, expected.unit);
+    if (!std::isnan(delta_ms) && delta_ms < options.floor_ms) continue;
+    failures.push_back(StringFormat(
+        "%s: timing record '%s' regressed %.1f%% (%.6g -> %.6g %s, "
+        "threshold %.0f%%)",
+        baseline.name.c_str(), expected.name.c_str(), (ratio - 1.0) * 100.0,
+        expected.value, actual->value, expected.unit.c_str(),
+        options.threshold * 100.0));
+  }
+  return failures;
+}
+
+}  // namespace bench
+}  // namespace serena
+
+#endif  // SERENA_BENCH_BENCH_REPORT_H_

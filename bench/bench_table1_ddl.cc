@@ -51,6 +51,19 @@ void ReproduceTable1() {
   }
   std::printf("\nservices implementing getTemperature: %zu (paper: 4)\n",
               env.registry().ServicesImplementing("getTemperature").size());
+
+  bench::RecordRepro("catalog_load_ok", status.ok() ? 1 : 0, "bool");
+  bench::RecordRepro("prototypes_declared",
+                     static_cast<double>(env.PrototypeNames().size()),
+                     "prototypes");
+  bench::RecordRepro(
+      "services_declared",
+      static_cast<double>(env.registry().ServiceRefs().size()), "services");
+  bench::RecordRepro(
+      "temperature_services",
+      static_cast<double>(
+          env.registry().ServicesImplementing("getTemperature").size()),
+      "services");
 }
 
 /// Synthesizes a DDL script with `n` prototype+service pairs.

@@ -52,6 +52,18 @@ void ReproduceTable2() {
       "delta_Contact(messenger): schema position 4 -> tuple coordinate %zu "
       "(paper Example 4: 3rd coordinate)\n",
       *contacts->schema().CoordinateOf("messenger") + 1);
+
+  bench::RecordRepro("catalog_load_ok", status.ok() ? 1 : 0, "bool");
+  bench::RecordRepro(
+      "contacts_real_attrs",
+      static_cast<double>(contacts->schema().RealNames().size()), "attrs");
+  bench::RecordRepro(
+      "contacts_virtual_attrs",
+      static_cast<double>(contacts->schema().VirtualNames().size()), "attrs");
+  bench::RecordRepro(
+      "messenger_coordinate",
+      static_cast<double>(*contacts->schema().CoordinateOf("messenger") + 1),
+      "coordinate");
 }
 
 /// Schema with `n` attributes, half virtual.

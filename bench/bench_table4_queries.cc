@@ -64,6 +64,21 @@ void ReproduceTable4() {
   std::printf("photos taken by roof camera: %llu\n",
               static_cast<unsigned long long>(
                   scenario->cameras()[2]->photos_taken()));
+
+  bench::RecordRepro("q1_actions", static_cast<double>(r1.actions.size()),
+                     "actions");
+  bench::RecordRepro("q1prime_actions",
+                     static_cast<double>(r1p.actions.size()), "actions");
+  bench::RecordRepro("q1_vs_q1prime_equivalent",
+                     r1.actions == r1p.actions ? 1 : 0, "bool");
+  bench::RecordRepro("q2_vs_q2prime_equivalent",
+                     q2_report.equivalent() ? 1 : 0, "bool");
+  bench::RecordRepro("continuous_alerts",
+                     static_cast<double>(scenario->AllSentMessages().size()),
+                     "messages");
+  bench::RecordRepro(
+      "roof_photos",
+      static_cast<double>(scenario->cameras()[2]->photos_taken()), "photos");
 }
 
 // ---------------------------------------------------------------------------

@@ -26,9 +26,13 @@ void ShowRule(const char* label, const PlanPtr& before,
                          &scenario->streams(), instant)
             .ValueOrDie();
     std::printf("  Def. 9: %s\n", report.ToString().c_str());
+    bench::RecordRepro(StringFormat("rule_%s_equivalent", label),
+                       report.equivalent() ? 1 : 0, "bool");
   } else {
     std::printf("  (rule correctly refused: side condition failed)\n");
   }
+  bench::RecordRepro(StringFormat("rule_%s_applied", label), changed ? 1 : 0,
+                     "bool");
 }
 
 void ReproduceTable5() {
@@ -109,6 +113,10 @@ void ReproduceTable5() {
                 opt_inv > 0 ? static_cast<double>(naive_inv) /
                                   static_cast<double>(opt_inv)
                             : 0.0);
+    bench::RecordRepro(StringFormat("naive_invocations_c%d", 3 + extra),
+                       static_cast<double>(naive_inv), "invocations");
+    bench::RecordRepro(StringFormat("opt_invocations_c%d", 3 + extra),
+                       static_cast<double>(opt_inv), "invocations");
   }
   std::printf(
       "(shape check: savings grow with the non-office camera population, "

@@ -1,6 +1,12 @@
 #ifndef SERENA_BENCH_BENCH_UTIL_H_
 #define SERENA_BENCH_BENCH_UTIL_H_
 
+// Harness glue for the microbenchmark binaries: the reproduction-record
+// collector and the google-benchmark runner. The BENCH_*.json schema
+// itself (BenchReport, ParseBenchReport, CompareBenchReports) lives in
+// bench_report.h so tools and tests can consume it without linking
+// google-benchmark.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -9,7 +15,7 @@
 #include <string_view>
 #include <vector>
 
-#include "obs/json.h"
+#include "bench_report.h"
 #include "obs/metrics.h"
 
 namespace serena {
@@ -30,25 +36,27 @@ inline void PrintSection(const char* title) {
   std::printf("\n--- %s ---\n", title);
 }
 
-/// One measurement from the reproduction section, destined for the
-/// machine-readable BENCH_*.json record.
-struct ReproRecord {
-  std::string name;
-  double value = 0;
-  std::string unit;
-};
-
 inline std::vector<ReproRecord>& ReproRecords() {
   static std::vector<ReproRecord> records;
   return records;
 }
 
-/// Registers one reproduction measurement (e.g. "discovery_ticks", 2,
-/// "ticks"). Shows up under "records" in the JSON emitted by
-/// `RunReproAndBenchmarks` when SERENA_BENCH_JSON_DIR is set.
+/// Registers one deterministic reproduction measurement (e.g.
+/// "discovery_ticks", 2, "ticks"). Shows up under "records" in the JSON
+/// emitted by `RunReproAndBenchmarks` when SERENA_BENCH_JSON_DIR is set,
+/// and must reproduce bit-for-bit under `--compare`.
 inline void RecordRepro(std::string name, double value, std::string unit) {
   ReproRecords().push_back(
       ReproRecord{std::move(name), value, std::move(unit)});
+}
+
+/// Registers one wall-clock measurement (e.g. "serial_invoke_ns"). Under
+/// `CompareBenchReports` it tolerates noise up to the configured
+/// threshold/floor instead of requiring exact equality.
+inline void RecordReproTiming(std::string name, double value,
+                              std::string unit) {
+  ReproRecords().push_back(ReproRecord{std::move(name), value,
+                                       std::move(unit), RecordMode::kTiming});
 }
 
 /// "bench/bench_fig1_pems" -> "fig1_pems".
@@ -62,38 +70,16 @@ inline std::string BenchBaseName(const char* argv0) {
   return std::string(base);
 }
 
-/// Writes `{"bench":..., "records":[...], "metrics":{...}}` — the repro
-/// measurements plus a full `MetricsRegistry` dump — to `path`.
+/// Writes the accumulated `ReproRecords()` plus a full metrics-registry
+/// dump to `path` in the shared BENCH schema.
 inline void WriteBenchJson(const std::string& path, const std::string& name) {
-  obs::JsonWriter json;
-  json.BeginObject();
-  json.Key("bench").Value(name);
-  json.Key("records").BeginArray();
-  for (const ReproRecord& record : ReproRecords()) {
-    json.BeginObject();
-    json.Key("name").Value(record.name);
-    json.Key("value").Value(record.value);
-    json.Key("unit").Value(record.unit);
-    json.EndObject();
+  BenchReport report;
+  report.name = name;
+  report.records = ReproRecords();
+  if (WriteBenchReport(path, report,
+                       obs::MetricsRegistry::Global().ToJson())) {
+    std::printf("\nwrote %s\n", path.c_str());
   }
-  json.EndArray();
-  json.EndObject();
-  std::string doc = json.TakeString();
-  // Splice the registry dump (already a JSON object) in as "metrics".
-  doc.pop_back();
-  doc += ",\"metrics\":";
-  doc += obs::MetricsRegistry::Global().ToJson();
-  doc += "}";
-
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "could not write %s\n", path.c_str());
-    return;
-  }
-  std::fputs(doc.c_str(), file);
-  std::fputc('\n', file);
-  std::fclose(file);
-  std::printf("\nwrote %s\n", path.c_str());
 }
 
 /// Runs the reproduction `body` then hands over to google-benchmark.
@@ -102,7 +88,8 @@ inline void WriteBenchJson(const std::string& path, const std::string& name) {
 /// When the SERENA_BENCH_JSON_DIR environment variable names a directory,
 /// two machine-readable records land there:
 ///  - `BENCH_<name>.json` — the reproduction measurements registered via
-///    `RecordRepro` plus a full metrics-registry dump, and
+///    `RecordRepro`/`RecordReproTiming` in the shared BENCH schema, plus
+///    a full metrics-registry dump, and
 ///  - `BENCH_<name>.gbench.json` — google-benchmark's own JSON report
 ///    (unless the caller already passed --benchmark_out).
 template <typename Body>

@@ -34,6 +34,7 @@
 #include "io/csv.h"
 #include "obs/meta.h"
 #include "obs/metrics.h"
+#include "obs/stats.h"
 #include "pems/monitor.h"
 #include "pems/pems.h"
 
@@ -69,6 +70,10 @@ void PrintHelp() {
       "  \\exec NAME k=v ...    bind parameters and run a template\n"
       "  \\tick [N]          advance N logical instants (default 1)\n"
       "  \\stats [json]      invocation / network statistics\n"
+      "  \\stats ops         per-operator runtime statistics "
+      "(fingerprint, selectivity, memo)\n"
+      "  \\stats save [FILE] write the stats store as JSON "
+      "(default: $SERENA_STATS_FILE)\n"
       "  \\health            per-query health (lag, error streak, "
       "latency)\n"
       "  \\metrics [prom]    telemetry registry as JSON (or Prometheus "
@@ -330,6 +335,47 @@ void RunCommand(Pems& pems, const std::string& line) {
   } else if (command == "\\stats") {
     if (arg == "json") {
       std::cout << SnapshotMetrics(pems).ToJson() << "\n";
+    } else if (arg == "ops") {
+      // The runtime statistics store: cross-run per-operator aggregates
+      // keyed by stable fingerprint (also queryable as
+      // sys_operator_stats).
+      const auto operators = obs::StatsStore::Global().Snapshot();
+      if (operators.empty()) {
+        std::cout << "no operator statistics yet (run some queries)\n";
+      }
+      for (const obs::OperatorStats& op : operators) {
+        std::cout << "  " << op.fingerprint << " " << op.label
+                  << ": evals " << op.evals << ", rows in/out "
+                  << op.rows_in << "/" << op.rows_out << ", sel "
+                  << op.selectivity() << ", time "
+                  << static_cast<double>(op.wall_ns) / 1e6 << "ms";
+        if (op.invocations > 0) {
+          std::cout << ", invocations " << op.invocations << " (memo "
+                    << op.memo_hit_rate() * 100 << "%)";
+        }
+        if (op.errors > 0) std::cout << ", errors " << op.errors;
+        std::cout << "\n";
+      }
+      for (const obs::BetaLatencyProfile& beta :
+           obs::StatsStore::Global().BetaProfiles()) {
+        std::cout << "  β " << beta.prototype << ": " << beta.count
+                  << " physical calls, mean " << beta.mean_ns / 1e6
+                  << "ms, p99 " << static_cast<double>(beta.p99_ns) / 1e6
+                  << "ms, memo " << beta.memo_hit_rate() * 100 << "%\n";
+      }
+    } else if (arg == "save" || arg.rfind("save ", 0) == 0) {
+      const std::string path(Trim(arg.substr(4)));
+      if (!path.empty()) {
+        const Status status = obs::StatsStore::Global().SaveToFile(path);
+        std::cout << (status.ok() ? "stats saved to " + path
+                                  : status.ToString())
+                  << "\n";
+      } else if (obs::StatsStore::Global().MaybeSaveEnvFile()) {
+        std::cout << "stats saved to $SERENA_STATS_FILE\n";
+      } else {
+        std::cout << "nothing saved (set SERENA_STATS_FILE or pass a "
+                     "path)\n";
+      }
     } else {
       std::cout << SnapshotMetrics(pems).ToString();
     }

@@ -1,6 +1,7 @@
 #include "algebra/explain.h"
 
 #include "common/string_util.h"
+#include "obs/stats.h"
 
 namespace serena {
 
@@ -79,11 +80,64 @@ std::string AnalyzeAnnotation(const NodeRuntimeStats* stats) {
     s += StringFormat(" invocations=%llu",
                       static_cast<unsigned long long>(stats->invocations));
   }
+  if (stats->memo_hits > 0) {
+    s += StringFormat(" memo_hits=%llu",
+                      static_cast<unsigned long long>(stats->memo_hits));
+  }
   if (stats->errors > 0) {
     s += StringFormat(" errors=%llu",
                       static_cast<unsigned long long>(stats->errors));
   }
   return s + ")";
+}
+
+/// The runtime-statistics-store clauses of one analyzed node: the
+/// cross-run aggregates under the node's stable fingerprint ("observed:"),
+/// and — when `SERENA_STATS_FILE` supplied a previous run — the last run's
+/// per-eval figures with deltas against this evaluation ("last run:").
+std::string StatsStoreAnnotation(const PlanNode& node,
+                                 const NodeRuntimeStats* stats) {
+  obs::StatsStore& store = obs::StatsStore::Global();
+  std::string out;
+  const std::string fingerprint = obs::OperatorFingerprint(node);
+  if (const std::optional<obs::OperatorStats> observed =
+          store.Find(fingerprint);
+      observed.has_value() && observed->evals > 0) {
+    out += StringFormat(
+        " (observed: evals=%llu rows/eval=%.1f sel=%.3f time/eval=%.3fms",
+        static_cast<unsigned long long>(observed->evals),
+        observed->mean_rows_out(), observed->selectivity(),
+        observed->mean_wall_ns() / 1e6);
+    if (observed->invocations > 0) {
+      out += StringFormat(" memo=%.0f%%", observed->memo_hit_rate() * 100.0);
+    }
+    out += ")";
+  }
+  if (const std::optional<obs::OperatorStats> baseline =
+          store.FindBaseline(fingerprint);
+      baseline.has_value() && baseline->evals > 0) {
+    out += StringFormat(" (last run: rows/eval=%.1f time/eval=%.3fms",
+                        baseline->mean_rows_out(),
+                        baseline->mean_wall_ns() / 1e6);
+    if (stats != nullptr && stats->evals > 0) {
+      const double now_ns = static_cast<double>(stats->wall_ns) /
+                            static_cast<double>(stats->evals);
+      const double then_ns = baseline->mean_wall_ns();
+      if (then_ns > 0) {
+        out += StringFormat(", Δtime %+.1f%%",
+                            (now_ns - then_ns) / then_ns * 100.0);
+      }
+      const double now_rows = static_cast<double>(stats->rows_out) /
+                              static_cast<double>(stats->evals);
+      const double then_rows = baseline->mean_rows_out();
+      if (then_rows > 0) {
+        out += StringFormat(", Δrows %+.1f%%",
+                            (now_rows - then_rows) / then_rows * 100.0);
+      }
+    }
+    out += ")";
+  }
+  return out;
 }
 
 void ExplainNode(const PlanPtr& plan, const Environment& env,
@@ -113,7 +167,9 @@ void ExplainNode(const PlanPtr& plan, const Environment& env,
   }
   if (analyze != nullptr) {
     if (!annotation.empty()) annotation += " ";
-    annotation += AnalyzeAnnotation(analyze->Find(plan.get()));
+    const NodeRuntimeStats* node_stats = analyze->Find(plan.get());
+    annotation += AnalyzeAnnotation(node_stats);
+    annotation += StatsStoreAnnotation(*plan, node_stats);
   }
   if (!annotation.empty()) {
     out->append("   -- ");
@@ -162,6 +218,11 @@ std::string ExplainAnalyzePlan(const PlanPtr& plan, Environment* env,
   ctx.error_policy = options.error_policy;
   ctx.stats = &collector;
   const Result<XRelation> result = plan->Evaluate(ctx);
+  // EXPLAIN ANALYZE is an explicit observation: its actuals always feed
+  // the runtime statistics store. Flushed before rendering so the
+  // "observed:" clause includes this very evaluation; "last run:" reads
+  // the baseline map and cannot self-contaminate.
+  obs::StatsStore::Global().RecordPlan(*plan, collector);
 
   std::string out =
       RenderPlanWithStats(plan, *env, streams, collector, options.explain);

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 
 namespace serena {
@@ -57,9 +58,13 @@ Result<XRelation> PlanNode::Evaluate(EvalContext& ctx) const {
     span.emplace(std::string("op.") + PlanKindToString(kind()), ctx.instant);
   }
 
-  const std::uint64_t invocations_before =
-      ctx.env != nullptr ? ctx.env->registry().stats().logical_invocations
-                         : 0;
+  std::uint64_t invocations_before = 0;
+  std::uint64_t memo_hits_before = 0;
+  if (collect && ctx.env != nullptr) {
+    const InvocationStats before = ctx.env->registry().stats();
+    invocations_before = before.logical_invocations;
+    memo_hits_before = before.memo_hits;
+  }
   const std::uint64_t start_ns = obs::MonotonicNowNs();
   Result<XRelation> result = EvaluateImpl(ctx);
   const std::uint64_t elapsed_ns = obs::MonotonicNowNs() - start_ns;
@@ -78,8 +83,9 @@ Result<XRelation> PlanNode::Evaluate(EvalContext& ctx) const {
     stats.rows_out += rows;
     stats.wall_ns += elapsed_ns;
     if (ctx.env != nullptr) {
-      stats.invocations += ctx.env->registry().stats().logical_invocations -
-                           invocations_before;
+      const InvocationStats after = ctx.env->registry().stats();
+      stats.invocations += after.logical_invocations - invocations_before;
+      stats.memo_hits += after.memo_hits - memo_hits_before;
     }
     if (!result.ok()) ++stats.errors;
   }
@@ -618,8 +624,18 @@ Result<QueryResult> Execute(const PlanPtr& plan, Environment* env,
   ctx.streams = streams;
   ctx.instant = instant.value_or(env->clock().now());
   ctx.actions = &actions;
-  SERENA_ASSIGN_OR_RETURN(XRelation relation, plan->Evaluate(ctx));
-  return QueryResult{std::move(relation), std::move(actions)};
+  // With metrics on, one-shot queries feed the runtime statistics store:
+  // a scratch collector gathers this evaluation's per-node actuals and
+  // flushes them (even on failure — error counts matter) keyed by the
+  // operators' stable fingerprints.
+  PlanStatsCollector scratch;
+  const bool record_stats =
+      ctx.stats == nullptr && obs::MetricsRegistry::Global().enabled();
+  if (record_stats) ctx.stats = &scratch;
+  Result<XRelation> relation = plan->Evaluate(ctx);
+  if (record_stats) obs::StatsStore::Global().RecordPlan(*plan, scratch);
+  if (!relation.ok()) return relation.status();
+  return QueryResult{std::move(*relation), std::move(actions)};
 }
 
 Result<ActionSet> ComputeActionSet(const PlanPtr& plan, Environment* env,

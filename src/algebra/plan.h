@@ -79,6 +79,9 @@ struct NodeRuntimeStats {
   std::uint64_t wall_ns = 0;
   /// Logical service invocations issued while evaluating this subtree.
   std::uint64_t invocations = 0;
+  /// Invocations answered from the per-instant memo (§3.2 determinism)
+  /// while evaluating this subtree.
+  std::uint64_t memo_hits = 0;
   std::uint64_t errors = 0;
 };
 
@@ -93,6 +96,22 @@ class PlanStatsCollector {
     return it == stats_.end() ? nullptr : &it->second;
   }
   void Clear() { stats_.clear(); }
+
+  /// Adds every per-node counter of `other` into this collector. Lets a
+  /// continuous query evaluate each step into a scratch collector (whose
+  /// deltas feed the global StatsStore) while still accumulating
+  /// query-lifetime totals for RenderPlanWithStats.
+  void MergeFrom(const PlanStatsCollector& other) {
+    for (const auto& [node, stats] : other.stats_) {
+      NodeRuntimeStats& dst = stats_[node];
+      dst.evals += stats.evals;
+      dst.rows_out += stats.rows_out;
+      dst.wall_ns += stats.wall_ns;
+      dst.invocations += stats.invocations;
+      dst.memo_hits += stats.memo_hits;
+      dst.errors += stats.errors;
+    }
+  }
 
  private:
   std::unordered_map<const PlanNode*, NodeRuntimeStats> stats_;

@@ -242,6 +242,17 @@ std::string ExportChromeTrace(const TraceBuffer& buffer) {
   return json.TakeString();
 }
 
+namespace {
+
+bool WriteMetricsFileNow(const char* path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ExportPrometheus(MetricsRegistry::Global());
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
 bool MaybeWriteMetricsFile(std::uint64_t min_interval_ns) {
   const char* path = std::getenv("SERENA_METRICS_FILE");
   if (path == nullptr || path[0] == '\0') return false;
@@ -253,10 +264,13 @@ bool MaybeWriteMetricsFile(std::uint64_t min_interval_ns) {
                                              std::memory_order_relaxed)) {
     return false;  // Another thread is writing this interval.
   }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << ExportPrometheus(MetricsRegistry::Global());
-  return static_cast<bool>(out);
+  return WriteMetricsFileNow(path);
+}
+
+bool FlushMetricsFile() {
+  const char* path = std::getenv("SERENA_METRICS_FILE");
+  if (path == nullptr || path[0] == '\0') return false;
+  return WriteMetricsFileNow(path);
 }
 
 }  // namespace obs

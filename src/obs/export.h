@@ -42,6 +42,13 @@ std::string ExportChromeTrace(const TraceBuffer& buffer);
 /// Returns true when a write happened.
 bool MaybeWriteMetricsFile(std::uint64_t min_interval_ns = 1000000000ull);
 
+/// Unconditional SERENA_METRICS_FILE write, ignoring the rate limit: the
+/// clean-shutdown flush. The periodic writer above can leave up to one
+/// interval of final counter increments unwritten when the process exits;
+/// the QueryProcessor destructor calls this so the exposition file's last
+/// state matches the registry's. Returns true when a write happened.
+bool FlushMetricsFile();
+
 }  // namespace obs
 }  // namespace serena
 

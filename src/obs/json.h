@@ -2,10 +2,14 @@
 #define SERENA_OBS_JSON_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/result.h"
 
 namespace serena {
 namespace obs {
@@ -68,6 +72,66 @@ class JsonWriter {
   /// A key was just written; the next value attaches to it.
   bool after_key_ = false;
 };
+
+/// A parsed JSON value — the reader-side twin of `JsonWriter`, just rich
+/// enough for the documents this codebase writes itself (stats-store
+/// baselines, BENCH_*.json records). Numbers are held as doubles, which
+/// is exact for the counters we round-trip (< 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  std::uint64_t AsUint64() const {
+    return number_ <= 0 ? 0 : static_cast<std::uint64_t>(number_ + 0.5);
+  }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Object members in document order (duplicate keys keep the first).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// `Find(key)->number()`, or `fallback` when absent / not a number.
+  double NumberOr(std::string_view key, double fallback) const;
+  /// `Find(key)->string()`, or `fallback` when absent / not a string.
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> values);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else
+/// after the value). InvalidArgument with a byte offset on malformed
+/// input. Handles the escapes `AppendJsonString` emits; `\uXXXX` decodes
+/// BMP code points to UTF-8.
+Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace obs
 }  // namespace serena

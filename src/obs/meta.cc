@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 #include "schema/extended_schema.h"
 #include "stream/executor.h"
@@ -51,6 +52,23 @@ Result<ExtendedSchemaPtr> QueryHealthSchema() {
                                 {"p99_step_ns", DataType::kInt},
                                 {"rows_in_rate", DataType::kReal},
                                 {"rows_out_rate", DataType::kReal}});
+}
+
+Result<ExtendedSchemaPtr> OperatorStatsSchema() {
+  return ExtendedSchema::Create(
+      kSysOperatorStatsRelation, {{"fingerprint", DataType::kString},
+                                  {"op_kind", DataType::kString},
+                                  {"label", DataType::kString},
+                                  {"prototype", DataType::kString},
+                                  {"evals", DataType::kInt},
+                                  {"rows_in", DataType::kInt},
+                                  {"rows_out", DataType::kInt},
+                                  {"wall_ns", DataType::kInt},
+                                  {"invocations", DataType::kInt},
+                                  {"memo_hits", DataType::kInt},
+                                  {"errors", DataType::kInt},
+                                  {"selectivity", DataType::kReal},
+                                  {"memo_hit_rate", DataType::kReal}});
 }
 
 Value IntValue(std::uint64_t v) {
@@ -130,6 +148,23 @@ Status RefreshQueryHealth(Environment* env, const QueryHealth* health) {
   return env->PutRelation(std::move(relation));
 }
 
+Status RefreshOperatorStats(Environment* env) {
+  SERENA_ASSIGN_OR_RETURN(const XRelation* existing,
+                          env->GetRelation(kSysOperatorStatsRelation));
+  XRelation relation(existing->schema_ptr());
+  for (const OperatorStats& op : StatsStore::Global().Snapshot()) {
+    relation.InsertUnchecked(
+        Tuple{Value::String(op.fingerprint), Value::String(op.kind),
+              Value::String(op.label), Value::String(op.prototype),
+              IntValue(op.evals), IntValue(op.rows_in),
+              IntValue(op.rows_out), IntValue(op.wall_ns),
+              IntValue(op.invocations), IntValue(op.memo_hits),
+              IntValue(op.errors), Value::Real(op.selectivity()),
+              Value::Real(op.memo_hit_rate())});
+  }
+  return env->PutRelation(std::move(relation));
+}
+
 }  // namespace
 
 Status RefreshMetaRelations(Environment* env, const QueryHealth* health) {
@@ -142,6 +177,9 @@ Status RefreshMetaRelations(Environment* env, const QueryHealth* health) {
   }
   if (env->HasRelation(kSysQueryHealthRelation)) {
     SERENA_RETURN_NOT_OK(RefreshQueryHealth(env, health));
+  }
+  if (env->HasRelation(kSysOperatorStatsRelation)) {
+    SERENA_RETURN_NOT_OK(RefreshOperatorStats(env));
   }
   return Status::OK();
 }
@@ -159,6 +197,10 @@ Status RegisterMetaRelations(Environment* env,
   }
   if (!env->HasRelation(kSysQueryHealthRelation)) {
     SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema, QueryHealthSchema());
+    SERENA_RETURN_NOT_OK(env->AddRelation(std::move(schema)));
+  }
+  if (!env->HasRelation(kSysOperatorStatsRelation)) {
+    SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema, OperatorStatsSchema());
     SERENA_RETURN_NOT_OK(env->AddRelation(std::move(schema)));
   }
   SERENA_RETURN_NOT_OK(RefreshMetaRelations(

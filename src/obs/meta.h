@@ -19,8 +19,9 @@ namespace obs {
 inline constexpr char kSysMetricsRelation[] = "sys_metrics";
 inline constexpr char kSysSpansRelation[] = "sys_spans";
 inline constexpr char kSysQueryHealthRelation[] = "sys_query_health";
+inline constexpr char kSysOperatorStatsRelation[] = "sys_operator_stats";
 
-/// Creates the three meta-relations in `env` (skipping ones that already
+/// Creates the four meta-relations in `env` (skipping ones that already
 /// exist) and registers an executor source that refreshes them each tick
 /// before any query steps. Schemas:
 ///
@@ -37,6 +38,14 @@ inline constexpr char kSysQueryHealthRelation[] = "sys_query_health";
 ///                    p50_step_ns INTEGER, p99_step_ns INTEGER,
 ///                    rows_in_rate REAL, rows_out_rate REAL)
 ///     — one row per registered continuous query.
+///   sys_operator_stats(fingerprint STRING, op_kind STRING, label STRING,
+///                      prototype STRING, evals INTEGER, rows_in INTEGER,
+///                      rows_out INTEGER, wall_ns INTEGER,
+///                      invocations INTEGER, memo_hits INTEGER,
+///                      errors INTEGER, selectivity REAL,
+///                      memo_hit_rate REAL)
+///     — one row per distinct plan operator observed by the runtime
+///       statistics store (see obs/stats.h), keyed by stable fingerprint.
 ///
 /// Opt-in: call it once after constructing the PEMS (the shell does).
 /// Fails when a same-named attribute elsewhere in `env` has a conflicting

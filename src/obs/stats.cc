@@ -1,0 +1,322 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "algebra/plan.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace serena {
+namespace obs {
+
+namespace {
+
+constexpr std::size_t kMaxLabelLength = 160;
+
+std::string TruncatedLabel(const std::string& rendered) {
+  if (rendered.size() <= kMaxLabelLength) return rendered;
+  return rendered.substr(0, kMaxLabelLength) + "...";
+}
+
+/// The β prototype an invoke operator calls, empty for everything else —
+/// lets `sys_operator_stats` join against the per-prototype service
+/// instruments.
+std::string NodePrototype(const PlanNode& node) {
+  if (node.kind() != PlanKind::kInvoke) return {};
+  return static_cast<const InvokeNode&>(node).prototype();
+}
+
+void WriteOperator(JsonWriter& json, const OperatorStats& op) {
+  json.BeginObject();
+  json.Key("fingerprint").Value(op.fingerprint);
+  json.Key("kind").Value(op.kind);
+  json.Key("label").Value(op.label);
+  if (!op.prototype.empty()) json.Key("prototype").Value(op.prototype);
+  json.Key("evals").Value(op.evals);
+  json.Key("rows_in").Value(op.rows_in);
+  json.Key("rows_out").Value(op.rows_out);
+  json.Key("wall_ns").Value(op.wall_ns);
+  json.Key("invocations").Value(op.invocations);
+  json.Key("memo_hits").Value(op.memo_hits);
+  json.Key("errors").Value(op.errors);
+  // Derived ratios, recomputed on load; written for human readers and
+  // external tooling only.
+  json.Key("selectivity").Value(op.selectivity());
+  json.Key("memo_hit_rate").Value(op.memo_hit_rate());
+  json.EndObject();
+}
+
+OperatorStats ReadOperator(const JsonValue& value) {
+  OperatorStats op;
+  op.fingerprint = value.StringOr("fingerprint", "");
+  op.kind = value.StringOr("kind", "");
+  op.label = value.StringOr("label", "");
+  op.prototype = value.StringOr("prototype", "");
+  op.evals = static_cast<std::uint64_t>(value.NumberOr("evals", 0));
+  op.rows_in = static_cast<std::uint64_t>(value.NumberOr("rows_in", 0));
+  op.rows_out = static_cast<std::uint64_t>(value.NumberOr("rows_out", 0));
+  op.wall_ns = static_cast<std::uint64_t>(value.NumberOr("wall_ns", 0));
+  op.invocations =
+      static_cast<std::uint64_t>(value.NumberOr("invocations", 0));
+  op.memo_hits = static_cast<std::uint64_t>(value.NumberOr("memo_hits", 0));
+  op.errors = static_cast<std::uint64_t>(value.NumberOr("errors", 0));
+  return op;
+}
+
+}  // namespace
+
+std::string OperatorFingerprint(const PlanNode& node) {
+  // Kind is prefixed separately: two operators could in principle render
+  // identically while differing in kind, and the prefix keeps the
+  // fingerprint honest if a ToString ever becomes ambiguous.
+  std::string key = PlanKindToString(node.kind());
+  key.push_back('|');
+  key += node.ToString();
+  return StringFormat("%016llx",
+                      static_cast<unsigned long long>(StableHash(key)));
+}
+
+StatsStore::StatsStore() {
+  const char* path = std::getenv("SERENA_STATS_FILE");
+  if (path != nullptr && path[0] != '\0') {
+    // Best-effort: a missing or corrupt file simply means no baseline
+    // (first run, or the previous run crashed mid-write).
+    (void)LoadBaselineFromFile(path);
+  }
+}
+
+StatsStore& StatsStore::Global() {
+  static StatsStore* store = new StatsStore();
+  return *store;
+}
+
+void StatsStore::RecordPlan(const PlanNode& root,
+                            const PlanStatsCollector& collector) {
+  // Collect the merge outside the lock; fingerprinting renders each
+  // subtree and is the expensive part.
+  struct Update {
+    const PlanNode* node;
+    const NodeRuntimeStats* stats;
+    std::uint64_t rows_in;
+  };
+  std::vector<Update> updates;
+  std::unordered_set<const PlanNode*> seen;
+  // Iterative DFS; plans are shallow but shared subtrees must merge once.
+  std::vector<const PlanNode*> pending = {&root};
+  while (!pending.empty()) {
+    const PlanNode* node = pending.back();
+    pending.pop_back();
+    if (!seen.insert(node).second) continue;
+    const std::vector<PlanPtr> children = node->children();
+    std::uint64_t rows_in = 0;
+    for (const PlanPtr& child : children) {
+      if (const NodeRuntimeStats* stats = collector.Find(child.get())) {
+        rows_in += stats->rows_out;
+      }
+      pending.push_back(child.get());
+    }
+    if (const NodeRuntimeStats* stats = collector.Find(node)) {
+      if (stats->evals > 0) updates.push_back({node, stats, rows_in});
+    }
+  }
+  if (updates.empty()) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Update& update : updates) {
+    const std::string fingerprint = OperatorFingerprint(*update.node);
+    OperatorStats& op = operators_[fingerprint];
+    if (op.fingerprint.empty()) {
+      op.fingerprint = fingerprint;
+      op.kind = PlanKindToString(update.node->kind());
+      op.label = TruncatedLabel(update.node->ToString());
+      op.prototype = NodePrototype(*update.node);
+    }
+    op.evals += update.stats->evals;
+    op.rows_in += update.rows_in;
+    op.rows_out += update.stats->rows_out;
+    op.wall_ns += update.stats->wall_ns;
+    op.invocations += update.stats->invocations;
+    op.memo_hits += update.stats->memo_hits;
+    op.errors += update.stats->errors;
+  }
+}
+
+std::vector<OperatorStats> StatsStore::Snapshot() const {
+  std::vector<OperatorStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(operators_.size());
+    for (const auto& [fingerprint, op] : operators_) out.push_back(op);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const OperatorStats& a, const OperatorStats& b) {
+                     return a.wall_ns > b.wall_ns;
+                   });
+  return out;
+}
+
+std::optional<OperatorStats> StatsStore::Find(
+    const std::string& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = operators_.find(fingerprint);
+  if (it == operators_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t StatsStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return operators_.size();
+}
+
+bool StatsStore::has_baseline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_baseline_;
+}
+
+std::optional<OperatorStats> StatsStore::FindBaseline(
+    const std::string& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = baseline_.find(fingerprint);
+  if (it == baseline_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<BetaLatencyProfile> StatsStore::BetaProfiles() const {
+  static constexpr std::string_view kPrefix = "serena.service.";
+  static constexpr std::string_view kSuffix = ".invoke_ns";
+  std::vector<BetaLatencyProfile> out;
+  const MetricsRegistry& metrics = MetricsRegistry::Global();
+  for (const std::string& name : metrics.HistogramNames()) {
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    BetaLatencyProfile profile;
+    profile.prototype = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    const Histogram* histogram = metrics.FindHistogram(name);
+    if (histogram != nullptr) {
+      const HistogramSnapshot snapshot = histogram->Snapshot();
+      profile.count = snapshot.count;
+      profile.mean_ns = snapshot.mean();
+      profile.p50_ns = snapshot.ValueAtPercentile(50);
+      profile.p99_ns = snapshot.ValueAtPercentile(99);
+      profile.max_ns = snapshot.max;
+    }
+    const std::string proto_prefix =
+        std::string(kPrefix) + profile.prototype + ".";
+    if (const Counter* hits = metrics.FindCounter(proto_prefix + "memo_hits");
+        hits != nullptr) {
+      profile.memo_hits = hits->value();
+    }
+    if (const Counter* misses =
+            metrics.FindCounter(proto_prefix + "memo_misses");
+        misses != nullptr) {
+      profile.memo_misses = misses->value();
+    }
+    if (const Counter* errors = metrics.FindCounter(proto_prefix + "errors");
+        errors != nullptr) {
+      profile.errors = errors->value();
+    }
+    out.push_back(std::move(profile));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BetaLatencyProfile& a, const BetaLatencyProfile& b) {
+              return a.prototype < b.prototype;
+            });
+  return out;
+}
+
+void StatsStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  operators_.clear();
+}
+
+std::string StatsStore::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Value(std::int64_t{1});
+  json.Key("operators").BeginArray();
+  // std::map iteration order — stable across runs for a given workload.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fingerprint, op] : operators_) WriteOperator(json, op);
+  }
+  json.EndArray();
+  json.Key("services").BeginArray();
+  for (const BetaLatencyProfile& profile : BetaProfiles()) {
+    json.BeginObject();
+    json.Key("prototype").Value(profile.prototype);
+    json.Key("count").Value(profile.count);
+    json.Key("mean_ns").Value(profile.mean_ns);
+    json.Key("p50_ns").Value(profile.p50_ns);
+    json.Key("p99_ns").Value(profile.p99_ns);
+    json.Key("max_ns").Value(profile.max_ns);
+    json.Key("memo_hits").Value(profile.memo_hits);
+    json.Key("memo_misses").Value(profile.memo_misses);
+    json.Key("errors").Value(profile.errors);
+    json.Key("memo_hit_rate").Value(profile.memo_hit_rate());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status StatsStore::SaveToFile(const std::string& path) const {
+  const std::string document = ToJson();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open stats file: ", path);
+  out << document << '\n';
+  out.flush();
+  if (!out) return Status::Internal("cannot write stats file: ", path);
+  return Status::OK();
+}
+
+Status StatsStore::LoadBaselineFromJson(std::string_view json) {
+  SERENA_ASSIGN_OR_RETURN(JsonValue document, ParseJson(json));
+  if (!document.is_object()) {
+    return Status::InvalidArgument("stats document is not a JSON object");
+  }
+  const JsonValue* operators = document.Find("operators");
+  if (operators == nullptr || !operators->is_array()) {
+    return Status::InvalidArgument("stats document has no operators array");
+  }
+  std::map<std::string, OperatorStats> baseline;
+  for (const JsonValue& entry : operators->array()) {
+    if (!entry.is_object()) continue;
+    OperatorStats op = ReadOperator(entry);
+    if (op.fingerprint.empty()) continue;
+    baseline[op.fingerprint] = std::move(op);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  baseline_ = std::move(baseline);
+  has_baseline_ = true;
+  return Status::OK();
+}
+
+Status StatsStore::LoadBaselineFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open stats file: ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadBaselineFromJson(buffer.str());
+}
+
+bool StatsStore::MaybeSaveEnvFile() const {
+  const char* path = std::getenv("SERENA_STATS_FILE");
+  if (path == nullptr || path[0] == '\0') return false;
+  if (size() == 0) return false;
+  return SaveToFile(path).ok();
+}
+
+}  // namespace obs
+}  // namespace serena

@@ -1,0 +1,175 @@
+#ifndef SERENA_OBS_STATS_H_
+#define SERENA_OBS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace serena {
+
+class PlanNode;
+class PlanStatsCollector;
+
+namespace obs {
+
+/// Aggregated runtime statistics of one plan operator, keyed by its
+/// stable fingerprint (see `OperatorFingerprint`). Unlike the per-query
+/// `PlanStatsCollector` (keyed by node *identity*, scoped to one plan
+/// instance), these records accumulate across ticks, queries and plan
+/// instances: every occurrence of a structurally identical operator —
+/// `select[temperature > 30](window[5](temperatures))`, wherever it
+/// appears — feeds the same record. This is the observed-cardinality
+/// feedstock of the cost-based optimizer (ROADMAP).
+struct OperatorStats {
+  std::string fingerprint;  ///< 16 hex chars, stable across runs.
+  std::string kind;         ///< PlanKindToString, e.g. "select".
+  std::string label;        ///< Rendered operator (truncated).
+  std::string prototype;    ///< β prototype for invoke nodes, else empty.
+
+  std::uint64_t evals = 0;
+  /// Tuples that entered the operator (sum of its children's outputs;
+  /// 0 for leaves, which have no relational input).
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t wall_ns = 0;  ///< Inclusive of children, like EXPLAIN ANALYZE.
+  /// Logical service invocations issued while evaluating this subtree.
+  std::uint64_t invocations = 0;
+  /// Invocations served from the per-instant memo (§3.2 determinism).
+  std::uint64_t memo_hits = 0;
+  std::uint64_t errors = 0;
+
+  /// Observed selectivity: output/input cardinality. 1.0 when the
+  /// operator saw no input (leaves, never-evaluated nodes) — the neutral
+  /// prior a cost model would start from.
+  double selectivity() const {
+    return rows_in == 0 ? 1.0
+                        : static_cast<double>(rows_out) /
+                              static_cast<double>(rows_in);
+  }
+  double mean_rows_out() const {
+    return evals == 0 ? 0.0
+                      : static_cast<double>(rows_out) /
+                            static_cast<double>(evals);
+  }
+  double mean_wall_ns() const {
+    return evals == 0 ? 0.0
+                      : static_cast<double>(wall_ns) /
+                            static_cast<double>(evals);
+  }
+  /// Fraction of this operator's invocations answered from the memo.
+  double memo_hit_rate() const {
+    return invocations == 0 ? 0.0
+                            : static_cast<double>(memo_hits) /
+                                  static_cast<double>(invocations);
+  }
+};
+
+/// The observed latency profile of one β prototype, read back from the
+/// per-prototype instruments the ServiceRegistry maintains
+/// (`serena.service.<proto>.invoke_ns` / `.memo_hits` / `.memo_misses` /
+/// `.errors` — see docs/OBSERVABILITY.md).
+struct BetaLatencyProfile {
+  std::string prototype;
+  std::uint64_t count = 0;  ///< Physical invocations timed.
+  double mean_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t errors = 0;
+
+  double memo_hit_rate() const {
+    const std::uint64_t total = memo_hits + memo_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(memo_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The stable fingerprint of a plan operator: a hash of the operator
+/// kind plus its full rendered subtree (`PlanNode::ToString`, which the
+/// algebra parser round-trips). Identical algebra ⇒ identical
+/// fingerprint, across plan instances, processes and runs — the property
+/// that lets a persisted statistics file describe the *next* run's plans.
+std::string OperatorFingerprint(const PlanNode& node);
+
+/// The process-wide runtime statistics store ("gen 3" observability):
+/// per-operator cardinality/selectivity/latency aggregates keyed by
+/// fingerprint, fed by every instrumented evaluation path (one-shot
+/// `Execute`, `ContinuousQuery::Step`, `ExplainAnalyzePlan`).
+///
+/// Persistence: `SaveToFile` writes the store as one JSON document;
+/// when the `SERENA_STATS_FILE` environment variable names a path, the
+/// store loads it as the *baseline* (the previous run's observations) on
+/// first use and `MaybeSaveEnvFile` (called on clean PEMS shutdown)
+/// rewrites it — so consecutive runs see each other's statistics, and
+/// EXPLAIN ANALYZE can annotate observed-vs-last-run deltas.
+///
+/// Thread-safe; recording takes one mutex per *plan* (not per node).
+class StatsStore {
+ public:
+  StatsStore();
+
+  StatsStore(const StatsStore&) = delete;
+  StatsStore& operator=(const StatsStore&) = delete;
+
+  /// The process-wide store used by all built-in instrumentation.
+  static StatsStore& Global();
+
+  /// Aggregates one evaluation's per-node actuals into the store. The
+  /// collector must hold *deltas* for exactly the evaluations being
+  /// recorded (the callers pass per-evaluation scratch collectors);
+  /// `rows_in` is derived as the sum of each node's children's outputs.
+  void RecordPlan(const PlanNode& root, const PlanStatsCollector& collector);
+
+  /// All live records, most expensive (total wall time) first.
+  std::vector<OperatorStats> Snapshot() const;
+  std::optional<OperatorStats> Find(const std::string& fingerprint) const;
+  std::size_t size() const;
+
+  /// Baseline records (the previous run, when one was loaded).
+  bool has_baseline() const;
+  std::optional<OperatorStats> FindBaseline(
+      const std::string& fingerprint) const;
+
+  /// Per-prototype β latency profiles, read live from the global metrics
+  /// registry. Sorted by prototype name.
+  std::vector<BetaLatencyProfile> BetaProfiles() const;
+
+  /// Drops live records (baseline and cached env-file path stay).
+  void Clear();
+
+  /// The store as one JSON document:
+  /// `{"schema_version":1, "operators":[{...}], "services":[{...}]}`.
+  std::string ToJson() const;
+
+  Status SaveToFile(const std::string& path) const;
+  /// Parses `json` (a `ToJson` document) into the baseline map,
+  /// replacing any previous baseline.
+  Status LoadBaselineFromJson(std::string_view json);
+  Status LoadBaselineFromFile(const std::string& path);
+
+  /// Writes the store to `SERENA_STATS_FILE` if the variable is set and
+  /// any record exists. Returns true when a write happened. Called on
+  /// clean shutdown (QueryProcessor destructor) and by the shell's
+  /// `\stats save`.
+  bool MaybeSaveEnvFile() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, OperatorStats> operators_;
+  std::map<std::string, OperatorStats> baseline_;
+  bool has_baseline_ = false;
+};
+
+}  // namespace obs
+}  // namespace serena
+
+#endif  // SERENA_OBS_STATS_H_

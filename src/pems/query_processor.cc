@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/export.h"
+#include "obs/stats.h"
 #include "rewrite/semantic.h"
 
 namespace serena {
@@ -44,6 +46,12 @@ QueryProcessor::~QueryProcessor() {
   if (has_listener_) {
     env_->registry().RemoveListener(registry_listener_token_);
   }
+  // Clean-shutdown flushes: the periodic SERENA_METRICS_FILE writer is
+  // rate-limited, so the final tick's counters may never have hit disk;
+  // the stats store only persists on demand. Both are no-ops unless
+  // their environment variable is set.
+  obs::FlushMetricsFile();
+  obs::StatsStore::Global().MaybeSaveEnvFile();
 }
 
 Status QueryProcessor::GatePlan(const PlanPtr& plan,

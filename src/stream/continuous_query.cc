@@ -1,6 +1,7 @@
 #include "stream/continuous_query.h"
 
 #include "obs/metrics.h"
+#include "obs/stats.h"
 
 namespace serena {
 
@@ -43,10 +44,19 @@ Result<XRelation> ContinuousQuery::Step(Environment* env,
   ctx.state = &state_;
   // Collect per-node actuals while metrics are on: they power
   // RenderPlanWithStats and the rows-in figure below (leaf rows this step
-  // = delta of the accumulated leaf totals).
+  // = delta of the accumulated leaf totals). Each step evaluates into a
+  // scratch collector whose deltas feed the global runtime statistics
+  // store, then merges into the query-lifetime accumulation — recording
+  // the accumulated collector wholesale every step would double-count.
   const bool track = obs::MetricsRegistry::Global().enabled();
-  if (track) ctx.stats = &stats_;
-  SERENA_ASSIGN_OR_RETURN(XRelation result, plan_->Evaluate(ctx));
+  PlanStatsCollector step_stats;
+  if (track) ctx.stats = &step_stats;
+  Result<XRelation> evaluated = plan_->Evaluate(ctx);
+  if (track) {
+    obs::StatsStore::Global().RecordPlan(*plan_, step_stats);
+    stats_.MergeFrom(step_stats);
+  }
+  SERENA_ASSIGN_OR_RETURN(XRelation result, std::move(evaluated));
   ++steps_;
   if (track) {
     const std::uint64_t leaf_total = LeafRowsTotal();

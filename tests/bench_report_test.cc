@@ -1,0 +1,155 @@
+// Tests for the shared BENCH_*.json schema (bench/bench_report.h):
+// serialization roundtrip, v1 compatibility, and the compare semantics
+// that back the serena_bench perf-regression gate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+
+namespace serena {
+namespace bench {
+namespace {
+
+BenchReport MakeReport() {
+  BenchReport report;
+  report.name = "scenario_demo";
+  report.kind = "scenario";
+  report.records = {
+      {"rows", 42.0, "", RecordMode::kExact},
+      {"ticks", 8.0, "", RecordMode::kExact},
+      {"wall", 120.0, "ms", RecordMode::kTiming},
+  };
+  return report;
+}
+
+TEST(BenchReportTest, JsonRoundtrip) {
+  const BenchReport report = MakeReport();
+  const std::string json = BenchReportJson(report);
+  const Result<BenchReport> parsed = ParseBenchReport(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const BenchReport& loaded = parsed.ValueOrDie();
+  EXPECT_EQ(loaded.schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(loaded.name, "scenario_demo");
+  EXPECT_EQ(loaded.kind, "scenario");
+  ASSERT_EQ(loaded.records.size(), 3u);
+  EXPECT_EQ(loaded.records[0].name, "rows");
+  EXPECT_EQ(loaded.records[0].value, 42.0);
+  EXPECT_EQ(loaded.records[0].mode, RecordMode::kExact);
+  EXPECT_EQ(loaded.records[2].unit, "ms");
+  EXPECT_EQ(loaded.records[2].mode, RecordMode::kTiming);
+}
+
+TEST(BenchReportTest, MetricsJsonSplicedVerbatim) {
+  const std::string json =
+      BenchReportJson(MakeReport(), "{\"counters\":{}}");
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{}}"), std::string::npos);
+  // Still a parseable report; the metrics member is informational.
+  EXPECT_TRUE(ParseBenchReport(json).ok());
+}
+
+TEST(BenchReportTest, V1DocumentsLoadWithDefaults) {
+  // The pre-schema_version shape: bare bench + records, no kind/mode.
+  const std::string v1 =
+      "{\"bench\":\"old_micro\",\"records\":["
+      "{\"name\":\"rows\",\"value\":7,\"unit\":\"\"},"
+      "{\"name\":\"\",\"value\":1,\"unit\":\"\"}]}";
+  const Result<BenchReport> parsed = ParseBenchReport(v1);
+  ASSERT_TRUE(parsed.ok());
+  const BenchReport& report = parsed.ValueOrDie();
+  EXPECT_EQ(report.schema_version, 1);
+  EXPECT_EQ(report.name, "old_micro");
+  EXPECT_EQ(report.kind, "micro");
+  // Nameless records are dropped; the rest default to exact mode.
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].mode, RecordMode::kExact);
+}
+
+TEST(BenchReportTest, ParseRejectsNonObjects) {
+  EXPECT_FALSE(ParseBenchReport("[]").ok());
+  EXPECT_FALSE(ParseBenchReport("not json").ok());
+}
+
+TEST(BenchReportTest, ToMillisecondsHandlesTimeUnits) {
+  EXPECT_DOUBLE_EQ(ToMilliseconds(2e6, "ns"), 2.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(1500.0, "us"), 1.5);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(3.0, "ms"), 3.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(2.0, "s"), 2000.0);
+  EXPECT_TRUE(std::isnan(ToMilliseconds(5.0, "rows")));
+}
+
+TEST(BenchReportTest, CompareFailsOnExactMismatch) {
+  const BenchReport baseline = MakeReport();
+  BenchReport current = MakeReport();
+  current.records[0].value = 43.0;  // rows: exact, zero tolerance.
+  const std::vector<std::string> failures =
+      CompareBenchReports(baseline, current);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("exact record 'rows'"), std::string::npos);
+}
+
+TEST(BenchReportTest, CompareFailsOnMissingRecordAndUnitChange) {
+  const BenchReport baseline = MakeReport();
+  BenchReport current = MakeReport();
+  current.records.erase(current.records.begin());  // drop "rows"
+  current.records[1].unit = "us";                  // "wall" changes unit
+  const std::vector<std::string> failures =
+      CompareBenchReports(baseline, current);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_NE(failures[0].find("missing from run"), std::string::npos);
+  EXPECT_NE(failures[1].find("changed unit"), std::string::npos);
+}
+
+TEST(BenchReportTest, CompareTimingRespectsThresholdAndFloor) {
+  const BenchReport baseline = MakeReport();  // wall = 120 ms
+  const CompareOptions options{/*threshold=*/0.5, /*floor_ms=*/5.0};
+
+  // Within the relative threshold: passes.
+  BenchReport mild = MakeReport();
+  mild.records[2].value = 170.0;  // +41%
+  EXPECT_TRUE(CompareBenchReports(baseline, mild, options).empty());
+
+  // Beyond both threshold and floor: fails.
+  BenchReport slow = MakeReport();
+  slow.records[2].value = 300.0;  // +150%, +180 ms
+  const std::vector<std::string> failures =
+      CompareBenchReports(baseline, slow, options);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("regressed"), std::string::npos);
+
+  // Improvements never fail.
+  BenchReport fast = MakeReport();
+  fast.records[2].value = 10.0;
+  EXPECT_TRUE(CompareBenchReports(baseline, fast, options).empty());
+}
+
+TEST(BenchReportTest, CompareTimingFloorAbsorbsSmallRegressions) {
+  BenchReport baseline = MakeReport();
+  baseline.records[2] = {"wall", 1.0, "ms", RecordMode::kTiming};
+  BenchReport current = MakeReport();
+  // +300% relative but only +3 ms absolute: under the 5 ms floor.
+  current.records[2] = {"wall", 4.0, "ms", RecordMode::kTiming};
+  const CompareOptions options{/*threshold=*/0.5, /*floor_ms=*/5.0};
+  EXPECT_TRUE(CompareBenchReports(baseline, current, options).empty());
+}
+
+TEST(BenchReportTest, CompareIgnoresRecordsOnlyInCurrent) {
+  const BenchReport baseline = MakeReport();
+  BenchReport current = MakeReport();
+  current.records.push_back({"new_counter", 1.0, "", RecordMode::kExact});
+  EXPECT_TRUE(CompareBenchReports(baseline, current).empty());
+}
+
+TEST(BenchReportTest, CompareSkipsTimingWithNonPositiveBaseline) {
+  BenchReport baseline = MakeReport();
+  baseline.records[2].value = 0.0;
+  BenchReport current = MakeReport();
+  current.records[2].value = 9999.0;
+  EXPECT_TRUE(CompareBenchReports(baseline, current).empty());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace serena

@@ -217,6 +217,81 @@ TEST(PrometheusExportTest, MetricsFileWriterHonorsEnvVar) {
   EXPECT_FALSE(MaybeWriteMetricsFile(0));  // No destination, no write.
 }
 
+TEST(PrometheusExportTest, ZeroCountHistogramStillExportsSeries) {
+  // A histogram that was created but never recorded into (e.g. a query
+  // registered and immediately dropped) must still produce a complete,
+  // parseable series: one bounded bucket, +Inf, sum and count — all 0.
+  MetricsRegistry registry;
+  registry.GetHistogram("serena.test.never_recorded");
+  const std::string text = ExportPrometheus(registry);
+  EXPECT_NE(
+      text.find("serena_test_never_recorded_bucket{le=\"256\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("serena_test_never_recorded_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serena_test_never_recorded_sum 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serena_test_never_recorded_count 0\n"),
+            std::string::npos);
+  EXPECT_TRUE(ValidPrometheusText(text));
+}
+
+TEST(PrometheusExportTest, LabelEscapingEdgeCases) {
+  // Escaping is idempotent-unfriendly by design (escaping twice doubles
+  // backslashes) and must handle every special character in one value.
+  EXPECT_EQ(PrometheusEscapeLabel(""), "");
+  EXPECT_EQ(PrometheusEscapeLabel("\\"), "\\\\");
+  EXPECT_EQ(PrometheusEscapeLabel("\\n"), "\\\\n");  // Literal backslash-n.
+  EXPECT_EQ(PrometheusEscapeLabel("\n"), "\\n");     // Real newline.
+  EXPECT_EQ(PrometheusEscapeLabel("a\\\"b\nc"), "a\\\\\\\"b\\nc");
+  // Double-escaping doubles the backslashes rather than being a no-op.
+  EXPECT_EQ(PrometheusEscapeLabel(PrometheusEscapeLabel("\\")), "\\\\\\\\");
+}
+
+TEST(PrometheusExportTest, CountersStayMonotonicAcrossSnapshots) {
+  // The exposition format promises counters never go backwards between
+  // scrapes; the registry's increments and repeated exports must agree.
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("serena.test.monotonic");
+  std::uint64_t previous = 0;
+  for (int round = 0; round < 5; ++round) {
+    counter.Increment(static_cast<std::uint64_t>(round));
+    const std::string text = ExportPrometheus(registry);
+    // Newline-anchored so the `# TYPE` header line doesn't match.
+    const std::string needle = "\nserena_test_monotonic ";
+    const std::size_t pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    const std::uint64_t scraped =
+        std::strtoull(text.c_str() + pos + needle.size(), nullptr, 10);
+    EXPECT_GE(scraped, previous) << "counter went backwards at round "
+                                 << round;
+    EXPECT_EQ(scraped, counter.value());
+    previous = scraped;
+  }
+}
+
+TEST(PrometheusExportTest, FlushIgnoresRateLimit) {
+  // The shutdown flush must write even when the periodic writer's
+  // interval has not elapsed — that is its whole point.
+  const std::string path = ::testing::TempDir() + "/serena_flush_test.prom";
+  ASSERT_EQ(::setenv("SERENA_METRICS_FILE", path.c_str(), 1), 0);
+  MetricsRegistry::Global().GetCounter("serena.test.flush").Increment();
+  // Arm the rate limiter, then prove Flush bypasses it.
+  (void)MaybeWriteMetricsFile(/*min_interval_ns=*/UINT64_MAX);
+  EXPECT_FALSE(MaybeWriteMetricsFile(/*min_interval_ns=*/UINT64_MAX));
+  MetricsRegistry::Global().GetCounter("serena.test.flush").Increment(41);
+  EXPECT_TRUE(FlushMetricsFile());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("serena_test_flush 42"), std::string::npos);
+
+  ASSERT_EQ(::unsetenv("SERENA_METRICS_FILE"), 0);
+  EXPECT_FALSE(FlushMetricsFile());  // No destination, no write.
+}
+
 // ---------------------------------------------------------------------------
 // Chrome trace_event export
 // ---------------------------------------------------------------------------

@@ -1,0 +1,472 @@
+// serena_bench: the scenario perf harness (docs/BENCHMARKING.md).
+//
+// Deterministically replays `.serena` scripts — the shell's language —
+// against a fresh PEMS per scenario and emits one BENCH_<scenario>.json
+// per script in the shared schema of bench/bench_util.h. Exact records
+// (rows, ticks, invocations, memo hits) are the determinism gate; the
+// single wall-clock record per scenario is the perf gate, compared
+// against committed baselines with a noise threshold:
+//
+//   serena_bench --list
+//   serena_bench --out=/tmp/bench                     # emit reports
+//   serena_bench --compare=bench/baselines            # CI gate
+//   serena_bench --compare=bench/baselines --update   # refresh baselines
+//
+// Determinism comes from three choices: SERENA_THREADS=0 (serial query
+// stepping, stable memo-hit counts), synthetic services answering
+// hash(service, prototype, input, instant), and stream pumps appending
+// hash-derived tuples per tick. Replaying a scenario twice must produce
+// bit-identical exact records (`--check-determinism` verifies this).
+//
+// SERENA_BENCH_INJECT_SLEEP_NS (or --inject-sleep-ns) adds an artificial
+// per-tick delay inside the timed region — CI uses it to prove the
+// regression gate actually fails on a slowdown.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "analysis/lint_runner.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/meta.h"
+#include "obs/stats.h"
+#include "pems/monitor.h"
+#include "pems/pems.h"
+
+namespace serena {
+namespace {
+
+#ifndef SERENA_BENCH_SCENARIO_DIR
+#define SERENA_BENCH_SCENARIO_DIR "examples/scripts"
+#endif
+
+struct HarnessOptions {
+  std::string scenario_dir = SERENA_BENCH_SCENARIO_DIR;
+  std::string out_dir;      // Write BENCH_<scenario>.json here.
+  std::string compare_dir;  // Gate against baselines here.
+  std::string only;         // Run a single scenario by name.
+  bool update = false;      // Rewrite the compared baselines.
+  bool list = false;
+  bool check_determinism = false;
+  std::int64_t inject_sleep_ns = 0;
+  bench::CompareOptions compare;
+};
+
+/// Deterministic, schema-conformant value for a stream pump: the same
+/// (stream, attribute, instant, row) always yields the same value, so a
+/// replay is bit-identical and standing queries see stable selectivities.
+Value PumpValue(const Attribute& attr, std::uint64_t h) {
+  switch (attr.type) {
+    case DataType::kBool:
+      return Value::Bool(h % 2 == 0);
+    case DataType::kInt:
+      return Value::Int(static_cast<std::int64_t>(h % 100));
+    case DataType::kReal:
+      return Value::Real(static_cast<double>(h % 1000) / 10.0);
+    case DataType::kBlob:
+      return Value::BlobValue(Blob{static_cast<std::uint8_t>(h % 256)});
+    case DataType::kService:
+    case DataType::kString:
+      break;
+  }
+  // A small vocabulary shared with the example scripts' areas, so pumped
+  // tuples actually join against catalog relations.
+  static constexpr const char* kWords[] = {"office", "kitchen", "roof",
+                                           "lobby",  "garage",  "corridor",
+                                           "lab",    "hall"};
+  return Value::String(kWords[h % (sizeof(kWords) / sizeof(kWords[0]))]);
+}
+
+/// Is this statement DDL (executed by the table manager) rather than a
+/// one-shot algebra query? Mirrors the shell's dispatch.
+bool IsDdl(const std::string& text) {
+  std::istringstream in(text);
+  std::string head;
+  in >> head;
+  const std::string lower = ToLower(head);
+  return lower == "prototype" || lower == "service" || lower == "extended" ||
+         lower == "insert" || lower == "delete" || lower == "drop";
+}
+
+/// Everything one replay counted. All fields must be deterministic
+/// functions of the script — they become the exact records.
+struct ReplayCounters {
+  std::int64_t statements = 0;
+  std::int64_t ddl_statements = 0;
+  std::int64_t oneshot_queries = 0;
+  std::int64_t oneshot_rows = 0;
+  std::int64_t oneshot_actions = 0;
+  std::int64_t continuous_registered = 0;
+  std::int64_t ticks = 0;
+  std::int64_t stream_tuples = 0;
+  std::int64_t statement_errors = 0;
+  std::int64_t ignored_directives = 0;
+};
+
+constexpr int kPumpRowsPerTick = 4;
+
+/// Registers a deterministic pump for `stream`: every tick appends
+/// kPumpRowsPerTick hash-derived tuples. Declared `feeds` so SER041 sees
+/// a producer, exactly like an embedding application would.
+void AddPump(Pems& pems, const std::string& stream,
+             std::int64_t* stream_tuples) {
+  pems.queries().executor().AddSource(
+      [&pems, stream, stream_tuples](Timestamp t) -> Status {
+        SERENA_ASSIGN_OR_RETURN(XDRelation * xd,
+                                pems.streams().GetStream(stream));
+        for (int k = 0; k < kPumpRowsPerTick; ++k) {
+          std::vector<Value> values;
+          for (const Attribute& attr : xd->schema().attributes()) {
+            if (!attr.is_real()) continue;
+            const std::uint64_t h = StableHash(
+                stream + "|" + attr.name + "|" + std::to_string(t) + "|" +
+                std::to_string(k));
+            values.push_back(PumpValue(attr, h));
+          }
+          const Status append = xd->Append(t, Tuple(std::move(values)));
+          if (!append.ok()) return append;
+          ++*stream_tuples;
+        }
+        return Status::OK();
+      },
+      {stream});
+}
+
+/// Replays one script statement-by-statement and returns the BENCH
+/// report (kind "scenario"). Directives beyond \register / \source /
+/// \tick are display commands in the shell — counted and skipped here.
+Result<bench::BenchReport> RunScenario(const std::string& name,
+                                       const std::string& script,
+                                       const HarnessOptions& options) {
+  SERENA_ASSIGN_OR_RETURN(std::unique_ptr<Pems> pems, Pems::Create());
+  // sys_* meta-relations, as in the shell: scripts like
+  // self_monitoring.serena query the runtime's own telemetry.
+  const Status meta = obs::RegisterMetaRelations(
+      &pems->env(), &pems->queries().executor());
+  if (!meta.ok()) return meta;
+
+  // Per-scenario slate for the operator statistics store (it is
+  // process-global; fingerprint counts must not leak across scenarios).
+  obs::StatsStore::Global().Clear();
+
+  ReplayCounters counters;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (const std::string& statement : SplitScript(script)) {
+    ++counters.statements;
+    if (statement[0] != '\\') {
+      if (IsDdl(statement)) {
+        ++counters.ddl_statements;
+        if (!pems->tables().ExecuteDdl(statement).ok()) {
+          ++counters.statement_errors;
+        }
+      } else {
+        ++counters.oneshot_queries;
+        // SplitScript keeps the ';' terminator; algebra carries none.
+        std::string expr = statement;
+        if (!expr.empty() && expr.back() == ';') expr.pop_back();
+        auto result = pems->queries().ExecuteOneShot(expr);
+        if (result.ok()) {
+          counters.oneshot_rows +=
+              static_cast<std::int64_t>(result->relation.size());
+          counters.oneshot_actions +=
+              static_cast<std::int64_t>(result->actions.size());
+        } else {
+          ++counters.statement_errors;
+        }
+      }
+      continue;
+    }
+
+    std::istringstream in(statement);
+    std::string directive;
+    in >> directive;
+    if (directive == "\\register") {
+      std::string query_name;
+      in >> query_name;
+      std::string rest;
+      std::getline(in, rest);
+      std::string expr(Trim(rest));
+      std::string stream;
+      if (expr.rfind("into ", 0) == 0) {  // \register NAME into STREAM EXPR
+        std::istringstream tail(expr.substr(5));
+        tail >> stream;
+        std::string remainder;
+        std::getline(tail, remainder);
+        expr = std::string(Trim(remainder));
+      }
+      const Status status =
+          stream.empty()
+              ? pems->queries().RegisterContinuous(query_name, expr)
+              : pems->queries().RegisterContinuousInto(query_name, expr,
+                                                       stream);
+      if (status.ok()) {
+        ++counters.continuous_registered;
+      } else {
+        std::fprintf(stderr, "[%s] \\register %s: %s\n", name.c_str(),
+                     query_name.c_str(), status.ToString().c_str());
+        ++counters.statement_errors;
+      }
+    } else if (directive == "\\source") {
+      std::string stream;
+      while (in >> stream) {
+        AddPump(*pems, stream, &counters.stream_tuples);
+      }
+    } else if (directive == "\\tick") {
+      int n = 1;
+      in >> n;
+      if (n < 1) n = 1;
+      for (int i = 0; i < n; ++i) {
+        if (options.inject_sleep_ns > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(options.inject_sleep_ns));
+        }
+        pems->Tick();
+        ++counters.ticks;
+      }
+    } else {
+      ++counters.ignored_directives;  // \show, \health, \metrics, ...
+    }
+  }
+
+  const double wall_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count()) /
+      1e6;
+
+  const PemsMetrics metrics = SnapshotMetrics(*pems);
+  std::int64_t continuous_actions = 0;
+  for (const PemsMetrics::QueryInfo& query : metrics.queries) {
+    continuous_actions += static_cast<std::int64_t>(query.actions);
+  }
+
+  bench::BenchReport report;
+  report.name = name;
+  report.kind = "scenario";
+  auto exact = [&report](std::string record_name, std::int64_t value,
+                         std::string unit) {
+    report.records.push_back(bench::ReproRecord{
+        std::move(record_name), static_cast<double>(value), std::move(unit),
+        bench::RecordMode::kExact});
+  };
+  exact("statements", counters.statements, "statements");
+  exact("ddl_statements", counters.ddl_statements, "statements");
+  exact("oneshot_queries", counters.oneshot_queries, "queries");
+  exact("oneshot_rows", counters.oneshot_rows, "tuples");
+  exact("oneshot_actions", counters.oneshot_actions, "actions");
+  exact("continuous_queries", counters.continuous_registered, "queries");
+  exact("continuous_actions", continuous_actions, "actions");
+  exact("ticks", counters.ticks, "ticks");
+  exact("stream_tuples", counters.stream_tuples, "tuples");
+  exact("logical_invocations",
+        static_cast<std::int64_t>(metrics.invocations.logical_invocations),
+        "invocations");
+  exact("physical_invocations",
+        static_cast<std::int64_t>(metrics.invocations.physical_invocations),
+        "invocations");
+  exact("memo_hits",
+        static_cast<std::int64_t>(metrics.invocations.memo_hits), "hits");
+  exact("statement_errors", counters.statement_errors, "errors");
+  exact("operator_fingerprints",
+        static_cast<std::int64_t>(obs::StatsStore::Global().size()),
+        "operators");
+  report.records.push_back(bench::ReproRecord{
+      "wall_ms", wall_ms, "ms", bench::RecordMode::kTiming});
+  return report;
+}
+
+Result<std::string> ReadFileToString(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open ", path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Scenario scripts, sorted by name. `lint_errors.serena` is the
+/// deliberately broken lint fixture, never a runnable scenario.
+std::vector<std::filesystem::path> FindScenarios(
+    const HarnessOptions& options) {
+  std::vector<std::filesystem::path> scripts;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.scenario_dir, ec)) {
+    if (entry.path().extension() != ".serena") continue;
+    const std::string stem = entry.path().stem().string();
+    if (stem == "lint_errors") continue;
+    if (!options.only.empty() && stem != options.only) continue;
+    scripts.push_back(entry.path());
+  }
+  std::sort(scripts.begin(), scripts.end());
+  return scripts;
+}
+
+bool ParseFlag(std::string_view arg, std::string_view name,
+               std::string* value) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = std::string(arg.substr(prefix.size()));
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: serena_bench [options]\n"
+      "  --list                   list scenarios and exit\n"
+      "  --scenario=NAME          run one scenario only\n"
+      "  --scenario-dir=DIR       script directory (default: %s)\n"
+      "  --out=DIR                write BENCH_<scenario>.json reports\n"
+      "  --compare=DIR            gate against baselines in DIR\n"
+      "  --update                 rewrite the compared baselines\n"
+      "  --threshold=X            relative timing slack (default 2.5)\n"
+      "  --floor=MS               absolute timing slack in ms (default 5)\n"
+      "  --check-determinism      replay twice, require identical exact "
+      "records\n"
+      "  --inject-sleep-ns=N      artificial per-tick delay (gate test)\n",
+      SERENA_BENCH_SCENARIO_DIR);
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  HarnessOptions options;
+  if (const char* inject = std::getenv("SERENA_BENCH_INJECT_SLEEP_NS")) {
+    options.inject_sleep_ns = std::atoll(inject);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--update") {
+      options.update = true;
+    } else if (arg == "--check-determinism") {
+      options.check_determinism = true;
+    } else if (ParseFlag(arg, "--scenario", &value)) {
+      options.only = value;
+    } else if (ParseFlag(arg, "--scenario-dir", &value)) {
+      options.scenario_dir = value;
+    } else if (ParseFlag(arg, "--out", &value)) {
+      options.out_dir = value;
+    } else if (ParseFlag(arg, "--compare", &value)) {
+      options.compare_dir = value;
+    } else if (ParseFlag(arg, "--threshold", &value)) {
+      options.compare.threshold = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--floor", &value)) {
+      options.compare.floor_ms = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--inject-sleep-ns", &value)) {
+      options.inject_sleep_ns = std::atoll(value.c_str());
+    } else {
+      return Usage();
+    }
+  }
+
+  const std::vector<std::filesystem::path> scripts = FindScenarios(options);
+  if (scripts.empty()) {
+    std::fprintf(stderr, "no scenarios found in %s\n",
+                 options.scenario_dir.c_str());
+    return 1;
+  }
+  if (options.list) {
+    for (const auto& path : scripts) {
+      std::printf("%s\n", path.stem().string().c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> failures;
+  for (const auto& path : scripts) {
+    const std::string name = path.stem().string();
+    auto script = ReadFileToString(path);
+    if (!script.ok()) {
+      failures.push_back(name + ": " + script.status().ToString());
+      continue;
+    }
+    auto report = RunScenario(name, *script, options);
+    if (!report.ok()) {
+      failures.push_back(name + ": " + report.status().ToString());
+      continue;
+    }
+
+    if (options.check_determinism) {
+      // A second replay on a fresh PEMS must land the same exact records
+      // — the shared-schema `mode` field makes "exact" machine-checkable.
+      auto replay = RunScenario(name, *script, options);
+      if (!replay.ok()) {
+        failures.push_back(name + ": replay: " + replay.status().ToString());
+      } else {
+        bench::CompareOptions strict;
+        strict.threshold = 1e9;  // Timing records never flag here.
+        for (std::string& failure :
+             bench::CompareBenchReports(*report, *replay, strict)) {
+          failures.push_back("determinism: " + failure);
+        }
+      }
+    }
+
+    std::printf("%-24s", name.c_str());
+    for (const bench::ReproRecord& record : report->records) {
+      if (record.name == "ticks" || record.name == "oneshot_rows" ||
+          record.name == "physical_invocations") {
+        std::printf("  %s=%.0f", record.name.c_str(), record.value);
+      }
+      if (record.name == "wall_ms") {
+        std::printf("  wall=%.2fms", record.value);
+      }
+    }
+    std::printf("\n");
+
+    if (!options.out_dir.empty()) {
+      bench::WriteBenchReport(
+          options.out_dir + "/BENCH_" + name + ".json", *report);
+    }
+    if (!options.compare_dir.empty()) {
+      const std::string baseline_path =
+          options.compare_dir + "/BENCH_" + name + ".json";
+      if (options.update) {
+        bench::WriteBenchReport(baseline_path, *report);
+        std::printf("  baseline updated: %s\n", baseline_path.c_str());
+        continue;
+      }
+      auto baseline = bench::LoadBenchReport(baseline_path);
+      if (!baseline.ok()) {
+        failures.push_back(name + ": " + baseline.status().ToString());
+        continue;
+      }
+      for (std::string& failure : bench::CompareBenchReports(
+               *baseline, *report, options.compare)) {
+        failures.push_back(std::move(failure));
+      }
+    }
+  }
+
+  if (!failures.empty()) {
+    std::fprintf(stderr, "\n%zu regression(s):\n", failures.size());
+    for (const std::string& failure : failures) {
+      std::fprintf(stderr, "  FAIL %s\n", failure.c_str());
+    }
+    return 1;
+  }
+  std::printf("all %zu scenario(s) pass\n", scripts.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace serena
+
+int main(int argc, char** argv) {
+  // Serial stepping by default: memo-hit counts and per-tick order are
+  // reproducible. An explicit SERENA_THREADS in the environment wins.
+  setenv("SERENA_THREADS", "0", /*overwrite=*/0);
+  return serena::Main(argc, argv);
+}
