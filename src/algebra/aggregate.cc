@@ -188,6 +188,7 @@ Result<XRelation> Aggregate(const XRelation& r,
   }
 
   XRelation result(std::move(schema));
+  result.Reserve(groups.size());
   for (const auto& [key, accs] : groups) {
     std::vector<Value> values(key.values());
     for (std::size_t i = 0; i < aggregates.size(); ++i) {

@@ -88,6 +88,11 @@ std::string AnalyzeAnnotation(const NodeRuntimeStats* stats) {
     s += StringFormat(" errors=%llu",
                       static_cast<unsigned long long>(stats->errors));
   }
+  if (stats->batches > 0) {
+    // The signature of a fused vectorized pipeline having run here.
+    s += StringFormat(" batches=%llu",
+                      static_cast<unsigned long long>(stats->batches));
+  }
   return s + ")";
 }
 

@@ -42,6 +42,31 @@ Result<Value> Resolve(const Operand& operand, const ExtendedSchema& schema,
   return tuple[*coord];
 }
 
+Result<CompiledOperand> CompileOperand(const Operand& operand,
+                                       const ExtendedSchema& schema) {
+  CompiledOperand compiled;
+  if (operand.is_parameter()) {
+    // Same status Resolve raises per tuple; surfacing it at compile time
+    // sends the caller down the interpreted path, which reproduces it.
+    return Status::FailedPrecondition("unbound parameter :",
+                                      operand.parameter(),
+                                      " (bind it before execution)");
+  }
+  if (!operand.is_attribute()) {
+    compiled.constant = operand.value();
+    return compiled;
+  }
+  const auto coord = schema.CoordinateOf(operand.attribute());
+  if (!coord.has_value()) {
+    return Status::InvalidArgument(
+        "selection formula references virtual or missing attribute '",
+        operand.attribute(), "'");
+  }
+  compiled.coord = *coord;
+  compiled.is_coord = true;
+  return compiled;
+}
+
 Status ValidateOperand(const Operand& operand, const ExtendedSchema& schema) {
   if (operand.is_parameter()) {
     return Status::FailedPrecondition("unbound parameter :",
@@ -118,6 +143,32 @@ class ComparisonFormula final : public Formula {
     return CompareValues(lhs, op_, rhs);
   }
 
+  Result<TuplePredicate> Compile(
+      const ExtendedSchema& schema) const override {
+    SERENA_ASSIGN_OR_RETURN(CompiledOperand lhs,
+                            CompileOperand(lhs_, schema));
+    SERENA_ASSIGN_OR_RETURN(CompiledOperand rhs,
+                            CompileOperand(rhs_, schema));
+    const CompareOp op = op_;
+    return TuplePredicate(
+        [lhs = std::move(lhs), rhs = std::move(rhs),
+         op](const Tuple& tuple) -> Result<bool> {
+          return CompareValues(lhs.Get(tuple), op, rhs.Get(tuple));
+        });
+  }
+
+  bool FlattenConjunction(
+      const ExtendedSchema& schema,
+      std::vector<CompiledComparison>* out) const override {
+    Result<CompiledOperand> lhs = CompileOperand(lhs_, schema);
+    if (!lhs.ok()) return false;
+    Result<CompiledOperand> rhs = CompileOperand(rhs_, schema);
+    if (!rhs.ok()) return false;
+    out->push_back(
+        CompiledComparison{std::move(*lhs), op_, std::move(*rhs)});
+    return true;
+  }
+
   void CollectAttributes(std::set<std::string>* out) const override {
     if (lhs_.is_attribute()) out->insert(lhs_.attribute());
     if (rhs_.is_attribute()) out->insert(rhs_.attribute());
@@ -187,6 +238,37 @@ class BinaryFormula final : public Formula {
     return rhs_->Evaluate(schema, tuple);
   }
 
+  Result<TuplePredicate> Compile(
+      const ExtendedSchema& schema) const override {
+    SERENA_ASSIGN_OR_RETURN(TuplePredicate lhs, lhs_->Compile(schema));
+    SERENA_ASSIGN_OR_RETURN(TuplePredicate rhs, rhs_->Compile(schema));
+    // Short-circuits exactly like Evaluate: the right side is never
+    // consulted (and can never error) when the left side decides.
+    if (connective_ == Connective::kAnd) {
+      return TuplePredicate([lhs = std::move(lhs), rhs = std::move(rhs)](
+                                const Tuple& tuple) -> Result<bool> {
+        SERENA_ASSIGN_OR_RETURN(bool left, lhs(tuple));
+        return left ? rhs(tuple) : false;
+      });
+    }
+    return TuplePredicate([lhs = std::move(lhs), rhs = std::move(rhs)](
+                              const Tuple& tuple) -> Result<bool> {
+      SERENA_ASSIGN_OR_RETURN(bool left, lhs(tuple));
+      return left ? Result<bool>(true) : rhs(tuple);
+    });
+  }
+
+  bool FlattenConjunction(
+      const ExtendedSchema& schema,
+      std::vector<CompiledComparison>* out) const override {
+    // Left before right preserves the evaluation order, so the flattened
+    // loop stops on the same conjunct — false or error — as the nested
+    // short-circuit would.
+    return connective_ == Connective::kAnd &&
+           lhs_->FlattenConjunction(schema, out) &&
+           rhs_->FlattenConjunction(schema, out);
+  }
+
   void CollectAttributes(std::set<std::string>* out) const override {
     lhs_->CollectAttributes(out);
     rhs_->CollectAttributes(out);
@@ -253,6 +335,16 @@ class NotFormula final : public Formula {
     return !inner;
   }
 
+  Result<TuplePredicate> Compile(
+      const ExtendedSchema& schema) const override {
+    SERENA_ASSIGN_OR_RETURN(TuplePredicate inner, inner_->Compile(schema));
+    return TuplePredicate(
+        [inner = std::move(inner)](const Tuple& tuple) -> Result<bool> {
+          SERENA_ASSIGN_OR_RETURN(bool value, inner(tuple));
+          return !value;
+        });
+  }
+
   void CollectAttributes(std::set<std::string>* out) const override {
     inner_->CollectAttributes(out);
   }
@@ -285,6 +377,10 @@ class NotFormula final : public Formula {
 };
 
 }  // namespace
+
+Result<bool> CompiledComparison::Eval(const Tuple& tuple) const {
+  return CompareValues(lhs.Get(tuple), op, rhs.Get(tuple));
+}
 
 FormulaPtr Formula::Compare(Operand lhs, CompareOp op, Operand rhs) {
   return std::make_shared<ComparisonFormula>(std::move(lhs), op,

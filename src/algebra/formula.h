@@ -1,6 +1,7 @@
 #ifndef SERENA_ALGEBRA_FORMULA_H_
 #define SERENA_ALGEBRA_FORMULA_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -79,6 +80,39 @@ class Operand {
 class Formula;
 using FormulaPtr = std::shared_ptr<const Formula>;
 
+/// A formula compiled against one fixed schema: attribute references are
+/// resolved to coordinates and constants captured, so evaluating a tuple
+/// does no name lookups and copies no values. The vectorized pipeline
+/// (docs/VECTORIZATION.md) compiles each selection formula once per
+/// pipeline and amortizes the interpretation cost across every batch.
+using TuplePredicate = std::function<Result<bool>(const Tuple&)>;
+
+/// One side of a compiled comparison: either a tuple coordinate resolved
+/// against the compile-time schema or a captured constant. `Get` returns
+/// a reference — no Value copies on the per-tuple path.
+struct CompiledOperand {
+  std::size_t coord = 0;
+  bool is_coord = false;
+  Value constant;
+
+  const Value& Get(const Tuple& tuple) const {
+    return is_coord ? tuple[coord] : constant;
+  }
+};
+
+/// A single compiled comparison — the unit of the flattened-conjunction
+/// fast path (`Formula::FlattenConjunction`). A conjunction of these is
+/// evaluated as a tight loop with direct calls, with none of the nested
+/// `std::function` dispatch a compiled AND-tree would pay per tuple.
+struct CompiledComparison {
+  CompiledOperand lhs;
+  CompareOp op;
+  CompiledOperand rhs;
+
+  /// lhs op rhs on `tuple` (which must conform to the compile schema).
+  Result<bool> Eval(const Tuple& tuple) const;
+};
+
 /// A selection formula F over realSchema(R) (Table 3 (b)).
 ///
 /// Formulas are immutable trees of comparisons combined with AND / OR /
@@ -96,6 +130,30 @@ class Formula {
   /// t ⊨ F (logical implication of [18], §3.1.2).
   virtual Result<bool> Evaluate(const ExtendedSchema& schema,
                                 const Tuple& tuple) const = 0;
+
+  /// Compiles the formula against `schema`: attribute names resolve to
+  /// tuple coordinates once, here, instead of per evaluated tuple. Fails
+  /// on unbound parameters or unresolvable attributes — exactly the
+  /// inputs `Evaluate` would reject per tuple, so callers fall back to
+  /// the interpreted path and reproduce its diagnostics. The returned
+  /// predicate must only be applied to tuples of `schema`.
+  virtual Result<TuplePredicate> Compile(
+      const ExtendedSchema& schema) const = 0;
+
+  /// If this formula is a pure conjunction of comparisons (a single
+  /// comparison counts), appends each compiled conjunct to `out` in
+  /// evaluation order and returns true. The appended sequence, evaluated
+  /// left to right with a stop at the first false or first error, decides
+  /// exactly like `Evaluate`/`Compile` on every tuple. Returns false —
+  /// leaving `out` unspecified — for formulas containing OR/NOT or
+  /// operands that don't compile (unbound parameters, missing
+  /// attributes); callers then fall back to `Compile`.
+  virtual bool FlattenConjunction(const ExtendedSchema& schema,
+                                  std::vector<CompiledComparison>* out) const {
+    (void)schema;
+    (void)out;
+    return false;
+  }
 
   /// Adds every referenced attribute name to `out`. Rewrite rules use this
   /// for their side conditions (e.g. "A ∉ F", Table 5).

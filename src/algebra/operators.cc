@@ -101,6 +101,7 @@ Result<XRelation> Union(const XRelation& r1, const XRelation& r2) {
   return EvaluateSetOp(
       r1, r2, "union", +[](const XRelation& a, const XRelation& b,
                            XRelation* out) {
+        out->Reserve(a.size() + b.size());
         for (const Tuple& t : a.tuples()) out->InsertUnchecked(t);
         for (const Tuple& t : b.tuples()) out->InsertUnchecked(t);
       });
@@ -163,6 +164,7 @@ Result<XRelation> Project(const XRelation& r,
     }
   }
   XRelation result(std::move(schema));
+  result.Reserve(r.size());
   for (const Tuple& t : r.tuples()) {
     result.InsertUnchecked(t.Project(coords));
   }
@@ -186,6 +188,7 @@ Result<XRelation> Select(const XRelation& r, const FormulaPtr& formula) {
   SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema,
                           SelectSchema(r.schema_ptr(), formula));
   XRelation result(schema);
+  result.Reserve(r.size());
   for (const Tuple& t : r.tuples()) {
     SERENA_ASSIGN_OR_RETURN(bool keep, formula->Evaluate(*schema, t));
     if (keep) result.InsertUnchecked(t);
@@ -233,6 +236,7 @@ Result<XRelation> Rename(const XRelation& r, const std::string& from,
   SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema,
                           RenameSchema(r.schema_ptr(), from, to));
   XRelation result(std::move(schema));
+  result.Reserve(r.size());
   for (const Tuple& t : r.tuples()) {
     result.InsertUnchecked(t);
   }
@@ -279,53 +283,58 @@ Result<ExtendedSchemaPtr> JoinSchema(const ExtendedSchemaPtr& s1,
       FilterBindingPatterns(attributes, candidates));
 }
 
-Result<XRelation> NaturalJoin(const XRelation& r1, const XRelation& r2) {
-  SERENA_ASSIGN_OR_RETURN(ExtendedSchemaPtr schema,
-                          JoinSchema(r1.schema_ptr(), r2.schema_ptr()));
+Result<JoinSpec> JoinSpec::Resolve(const ExtendedSchemaPtr& s1,
+                                   const ExtendedSchemaPtr& s2) {
+  JoinSpec spec;
+  SERENA_ASSIGN_OR_RETURN(spec.schema, JoinSchema(s1, s2));
 
   // Join attributes: real in both operands (Table 3 (d) — virtual ones
   // impose no predicate).
-  std::vector<std::size_t> key1;
-  std::vector<std::size_t> key2;
-  for (const Attribute& attr : schema->attributes()) {
-    const auto c1 = r1.schema().CoordinateOf(attr.name);
-    const auto c2 = r2.schema().CoordinateOf(attr.name);
+  for (const Attribute& attr : spec.schema->attributes()) {
+    const auto c1 = s1->CoordinateOf(attr.name);
+    const auto c2 = s2->CoordinateOf(attr.name);
     if (c1.has_value() && c2.has_value()) {
-      key1.push_back(*c1);
-      key2.push_back(*c2);
+      spec.key1.push_back(*c1);
+      spec.key2.push_back(*c2);
     }
   }
 
   // Output construction plan: for each real output attribute, where to
   // fetch the value (side 1 wins for shared attributes).
-  struct Source {
-    bool from_r1;
-    std::size_t coord;
-  };
-  std::vector<Source> sources;
-  for (const Attribute& attr : schema->attributes()) {
+  for (const Attribute& attr : spec.schema->attributes()) {
     if (!attr.is_real()) continue;
-    const auto c1 = r1.schema().CoordinateOf(attr.name);
+    const auto c1 = s1->CoordinateOf(attr.name);
     if (c1.has_value()) {
-      sources.push_back({true, *c1});
+      spec.sources.push_back({true, *c1});
     } else {
       // Real in the result and not real in R1 => real in R2.
-      sources.push_back({false, *r2.schema().CoordinateOf(attr.name)});
+      spec.sources.push_back({false, *s2->CoordinateOf(attr.name)});
     }
   }
+  return spec;
+}
 
-  XRelation result(std::move(schema));
+Tuple JoinSpec::Merge(const Tuple& t1, const Tuple& t2) const {
+  std::vector<Value> values;
+  values.reserve(sources.size());
+  for (const Source& src : sources) {
+    values.push_back(src.from_r1 ? t1[src.coord] : t2[src.coord]);
+  }
+  return Tuple(std::move(values));
+}
+
+Result<XRelation> NaturalJoin(const XRelation& r1, const XRelation& r2) {
+  SERENA_ASSIGN_OR_RETURN(JoinSpec spec,
+                          JoinSpec::Resolve(r1.schema_ptr(), r2.schema_ptr()));
+
+  XRelation result(spec.schema);
   auto emit = [&](const Tuple& t1, const Tuple& t2) {
-    std::vector<Value> values;
-    values.reserve(sources.size());
-    for (const Source& src : sources) {
-      values.push_back(src.from_r1 ? t1[src.coord] : t2[src.coord]);
-    }
-    result.InsertUnchecked(Tuple(std::move(values)));
+    result.InsertUnchecked(spec.Merge(t1, t2));
   };
 
-  if (key1.empty()) {
+  if (spec.key1.empty()) {
     // Cartesian product.
+    result.Reserve(r1.size() * r2.size());
     for (const Tuple& t1 : r1.tuples()) {
       for (const Tuple& t2 : r2.tuples()) emit(t1, t2);
     }
@@ -339,8 +348,10 @@ Result<XRelation> NaturalJoin(const XRelation& r1, const XRelation& r2) {
   const bool build_r1 = r1.size() < r2.size();
   const XRelation& build = build_r1 ? r1 : r2;
   const XRelation& probe = build_r1 ? r2 : r1;
-  const std::vector<std::size_t>& build_key = build_r1 ? key1 : key2;
-  const std::vector<std::size_t>& probe_key = build_r1 ? key2 : key1;
+  const std::vector<std::size_t>& build_key =
+      build_r1 ? spec.key1 : spec.key2;
+  const std::vector<std::size_t>& probe_key =
+      build_r1 ? spec.key2 : spec.key1;
 
   struct BuildEntry {
     Tuple key;
@@ -353,6 +364,7 @@ Result<XRelation> NaturalJoin(const XRelation& r1, const XRelation& r2) {
     const std::uint64_t hash = key.Hash();
     built.emplace(hash, BuildEntry{std::move(key), &t});
   }
+  result.Reserve(probe.size());
   for (const Tuple& t : probe.tuples()) {
     const Tuple k = t.Project(probe_key);
     const auto [begin, end] = built.equal_range(k.Hash());
@@ -420,6 +432,7 @@ Result<XRelation> AssignImpl(const XRelation& r, const std::string& target,
     }
   }
   XRelation result(std::move(schema));
+  result.Reserve(r.size());
   for (const Tuple& u : r.tuples()) {
     SERENA_ASSIGN_OR_RETURN(Value realized, make_value(u));
     if (!realized.ConformsTo(declared)) {
@@ -568,6 +581,7 @@ Result<XRelation> Invoke(const XRelation& r, const BindingPattern& bp,
   // relation, `failed_tuples`, and action emission are deterministic and
   // identical to the serial loop.
   XRelation result(std::move(schema));
+  result.Reserve(r.size());
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const Tuple& u = r.tuples()[idx];
     const Result<TupleRows>& outputs = invocations[idx];

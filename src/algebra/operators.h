@@ -89,6 +89,31 @@ Result<ExtendedSchemaPtr> JoinSchema(const ExtendedSchemaPtr& s1,
 /// exist the join degrades to a Cartesian product (Table 3 (d) note).
 Result<XRelation> NaturalJoin(const XRelation& r1, const XRelation& r2);
 
+/// The resolved execution plan of one natural join over operand schemas
+/// (s1, s2): output schema, join-key coordinates on each side, and the
+/// output-row construction plan. Shared by the scalar `NaturalJoin` and
+/// the vectorized join cursor so both emit bit-identical rows.
+struct JoinSpec {
+  ExtendedSchemaPtr schema;
+  /// Coordinates (in s1 / s2) of the attributes real in both operands —
+  /// the equality predicate. Empty => Cartesian product.
+  std::vector<std::size_t> key1;
+  std::vector<std::size_t> key2;
+  /// For each real output attribute: which side and coordinate supplies
+  /// its value (side 1 wins for shared attributes).
+  struct Source {
+    bool from_r1;
+    std::size_t coord;
+  };
+  std::vector<Source> sources;
+
+  static Result<JoinSpec> Resolve(const ExtendedSchemaPtr& s1,
+                                  const ExtendedSchemaPtr& s2);
+
+  /// The output row for the matched pair (t1 ∈ r1, t2 ∈ r2).
+  Tuple Merge(const Tuple& t1, const Tuple& t2) const;
+};
+
 // ---------------------------------------------------------------------------
 // Assignment α_{A:=B} / α_{A:=a} (Table 3 (e)) — realization operator.
 // ---------------------------------------------------------------------------

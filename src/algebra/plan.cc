@@ -4,6 +4,7 @@
 #include <array>
 #include <optional>
 
+#include "algebra/vectorized.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/stats.h"
@@ -45,11 +46,38 @@ const OperatorInstruments& InstrumentsFor(PlanKind kind) {
 
 }  // namespace
 
+namespace internal {
+
+void RecordOperatorMetrics(PlanKind kind, std::uint64_t evals,
+                           std::uint64_t rows_out, std::uint64_t wall_ns) {
+  const OperatorInstruments& instruments = InstrumentsFor(kind);
+  instruments.evals->Increment(evals);
+  instruments.rows_out->Increment(rows_out);
+  instruments.wall_ns->Increment(wall_ns);
+}
+
+}  // namespace internal
+
+Result<XRelation> PlanNode::EvaluateDispatch(EvalContext& ctx) const {
+  // Tracing forces the scalar path: a fused pipeline would collapse the
+  // interior operators into one span, breaking the per-operator causal
+  // chain the trace exists to show.
+  if (vec::Enabled() && vec::IsFusedRoot(kind()) &&
+      !obs::TraceBuffer::Global().enabled()) {
+    if (std::optional<Result<XRelation>> batched =
+            vec::TryExecute(*this, ctx);
+        batched.has_value()) {
+      return std::move(*batched);
+    }
+  }
+  return EvaluateImpl(ctx);
+}
+
 Result<XRelation> PlanNode::Evaluate(EvalContext& ctx) const {
   const bool collect = ctx.stats != nullptr;
   const bool meter = obs::MetricsRegistry::Global().enabled();
   const bool trace = obs::TraceBuffer::Global().enabled();
-  if (!collect && !meter && !trace) return EvaluateImpl(ctx);
+  if (!collect && !meter && !trace) return EvaluateDispatch(ctx);
 
   // Operator span: nests under the enclosing query-step span (and any
   // parent operator), completing the tick→step→operator causal chain.
@@ -66,7 +94,7 @@ Result<XRelation> PlanNode::Evaluate(EvalContext& ctx) const {
     memo_hits_before = before.memo_hits;
   }
   const std::uint64_t start_ns = obs::MonotonicNowNs();
-  Result<XRelation> result = EvaluateImpl(ctx);
+  Result<XRelation> result = EvaluateDispatch(ctx);
   const std::uint64_t elapsed_ns = obs::MonotonicNowNs() - start_ns;
   const std::uint64_t rows =
       result.ok() ? static_cast<std::uint64_t>(result->size()) : 0;
@@ -485,6 +513,7 @@ Result<XRelation> WindowNode::EvaluateImpl(EvalContext& ctx) const {
           ? stream->InsertedDuring(ctx.instant - period_, ctx.instant)
           : stream->LastInserted(static_cast<std::size_t>(period_),
                                  ctx.instant);
+  result.Reserve(slice.size());
   for (Tuple& t : slice) {
     result.InsertUnchecked(std::move(t));
   }

@@ -19,6 +19,10 @@
 
 namespace serena {
 
+namespace vec {
+class BatchPool;
+}  // namespace vec
+
 class PlanNode;
 using PlanPtr = std::shared_ptr<const PlanNode>;
 
@@ -83,6 +87,10 @@ struct NodeRuntimeStats {
   /// while evaluating this subtree.
   std::uint64_t memo_hits = 0;
   std::uint64_t errors = 0;
+  /// Tuple batches this operator emitted while running inside a fused
+  /// vectorized pipeline (docs/VECTORIZATION.md). 0 for scalar
+  /// evaluations — the EXPLAIN ANALYZE signal of which fusion ran.
+  std::uint64_t batches = 0;
 };
 
 /// Collects per-node runtime statistics during evaluation — the substrate
@@ -110,6 +118,7 @@ class PlanStatsCollector {
       dst.invocations += stats.invocations;
       dst.memo_hits += stats.memo_hits;
       dst.errors += stats.errors;
+      dst.batches += stats.batches;
     }
   }
 
@@ -140,6 +149,10 @@ struct EvalContext {
   /// (nullptr = `ThreadPool::Shared()`). Evaluation results are
   /// deterministic regardless of the pool.
   ThreadPool* pool = nullptr;
+  /// Optional: reusable batch storage for the vectorized execution core
+  /// (nullptr = a per-pipeline scratch pool). A continuous query owns one
+  /// so its steady-state batch loop is allocation-free across ticks.
+  vec::BatchPool* batch_pool = nullptr;
 };
 
 /// A query over a relational pervasive environment (Def. 7): an immutable
@@ -185,6 +198,11 @@ class PlanNode {
   virtual Result<XRelation> EvaluateImpl(EvalContext& ctx) const = 0;
 
  private:
+  /// Routes the evaluation either through the vectorized batch core
+  /// (fusable subtree, `SERENA_VECTORIZE` on) or the scalar
+  /// `EvaluateImpl`. Both produce byte-identical relations.
+  Result<XRelation> EvaluateDispatch(EvalContext& ctx) const;
+
   PlanKind kind_;
 };
 
@@ -550,6 +568,17 @@ bool ContainsActiveInvoke(const PlanPtr& plan, const Environment& env,
 /// shared by the classic rewriter and the semantic rewrite pass.
 Result<PlanPtr> ReplaceChildren(const PlanPtr& plan,
                                 std::vector<PlanPtr> children);
+
+namespace internal {
+
+/// Adds to the cached process-wide `serena.op.<kind>.*` counters — the
+/// same instruments `PlanNode::Evaluate` feeds. The vectorized core uses
+/// this to flush per-operator metrics for the interior of a fused
+/// pipeline, where the per-node `Evaluate` wrapper never runs.
+void RecordOperatorMetrics(PlanKind kind, std::uint64_t evals,
+                           std::uint64_t rows_out, std::uint64_t wall_ns);
+
+}  // namespace internal
 
 }  // namespace serena
 

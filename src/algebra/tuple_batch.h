@@ -1,0 +1,116 @@
+#ifndef SERENA_ALGEBRA_TUPLE_BATCH_H_
+#define SERENA_ALGEBRA_TUPLE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "types/tuple.h"
+
+namespace serena {
+namespace vec {
+
+/// One unit of vectorized dataflow (docs/VECTORIZATION.md): a bounded run
+/// of tuples flowing through a fused operator pipeline. A batch is either
+/// *borrowing* (a compacted vector of pointers into storage owned by a
+/// producer further down the pipeline — the selection-vector
+/// representation σ uses to drop rows without copying survivors) or
+/// *owning* (materialized tuples, produced by operators that build new
+/// rows: π, α, ⋈).
+///
+/// Lifetime contract: a batch's rows — and any pointers borrowed from
+/// them — are valid until the producing cursor's next `Next()` call.
+/// Batches are acquired from a `BatchPool` and reused across calls, so
+/// the steady-state hot loop performs no allocations.
+class TupleBatch {
+ public:
+  void Clear() {
+    refs_.clear();
+    hashes_.clear();
+    owned_.clear();
+  }
+
+  /// Borrow `tuple` into the batch (no copy). The pointer must outlive
+  /// the batch's current fill (see the lifetime contract above). `hash`
+  /// is the tuple's content hash (`Tuple::Hash`) when the producer knows
+  /// it — stream entries hash once at append time — or 0 for unknown;
+  /// consumers re-hash on 0. Carrying the hash lets the terminal collect
+  /// index its result relation without re-hashing any stream tuple.
+  void AppendRef(const Tuple* tuple, std::uint64_t hash = 0) {
+    refs_.push_back(tuple);
+    hashes_.push_back(hash);
+  }
+
+  /// Materialize `tuple` into the batch's own storage.
+  void AppendOwned(Tuple tuple) { owned_.push_back(std::move(tuple)); }
+
+  /// Pre-sizes the owning storage (capacity is retained across Clear, so
+  /// this is free after the first batch).
+  void ReserveOwned(std::size_t n) {
+    if (owned_.capacity() < n) owned_.reserve(n);
+  }
+
+  /// A batch is all-refs or all-owned; producers pick one representation
+  /// per fill.
+  std::size_t size() const {
+    return owned_.empty() ? refs_.size() : owned_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  const Tuple& at(std::size_t i) const {
+    return owned_.empty() ? *refs_[i] : owned_[i];
+  }
+
+  /// The known content hash of row `i`, or 0 when the producer did not
+  /// carry one (owned rows, catalog scans, opaque results).
+  std::uint64_t hash_at(std::size_t i) const {
+    return owned_.empty() && i < hashes_.size() ? hashes_[i] : 0;
+  }
+
+ private:
+  std::vector<const Tuple*> refs_;
+  std::vector<std::uint64_t> hashes_;  // Parallel to refs_; 0 = unknown.
+  std::vector<Tuple> owned_;
+};
+
+/// Reusable batch storage for one evaluation context. Cursors acquire
+/// batches at pipeline-build time; when a pipeline finishes it releases
+/// back to the mark it started from (pipelines nest: an opaque operator
+/// inside one pipeline may run an inner pipeline over the same pool).
+/// The pool keeps every batch's capacity, so a continuous query's steady
+/// state — the same plan evaluated every tick against a pool owned by
+/// the query — runs its batch loop allocation-free.
+///
+/// Not thread-safe; each concurrently-stepped query owns its own pool.
+class BatchPool {
+ public:
+  TupleBatch* Acquire() {
+    if (in_use_ == batches_.size()) {
+      batches_.push_back(std::make_unique<TupleBatch>());
+    }
+    TupleBatch* batch = batches_[in_use_++].get();
+    batch->Clear();
+    return batch;
+  }
+
+  /// Position to restore to once the pipeline holding batches above it
+  /// completes.
+  std::size_t Mark() const { return in_use_; }
+  void ReleaseToMark(std::size_t mark) {
+    if (mark < in_use_) in_use_ = mark;
+  }
+
+  /// Batches ever allocated (capacity telemetry).
+  std::size_t allocated() const { return batches_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<TupleBatch>> batches_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace vec
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_TUPLE_BATCH_H_

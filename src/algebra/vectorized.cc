@@ -1,0 +1,930 @@
+#include "algebra/vectorized.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "algebra/tuple_batch.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace serena {
+namespace vec {
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// -1 = no override; 0 = forced off; 1 = forced on.
+std::atomic<int> g_enabled_override{-1};
+// 0 = no override.
+std::atomic<std::size_t> g_batch_size_override{0};
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("SERENA_VECTORIZE");
+  if (env == nullptr) return true;
+  const std::string value = ToLower(env);
+  return !(value == "off" || value == "0" || value == "false" ||
+           value == "no");
+}
+
+std::size_t BatchSizeFromEnv() {
+  constexpr std::size_t kDefault = 1024;
+  const char* env = std::getenv("SERENA_BATCH_SIZE");
+  if (env == nullptr) return kDefault;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return kDefault;
+  return parsed < 1 ? 1 : static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+bool Enabled() {
+  const int override = g_enabled_override.load(std::memory_order_relaxed);
+  if (override >= 0) return override == 1;
+  static const bool from_env = EnabledFromEnv();
+  return from_env;
+}
+
+std::size_t BatchSize() {
+  const std::size_t override =
+      g_batch_size_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  static const std::size_t from_env = BatchSizeFromEnv();
+  return from_env;
+}
+
+void SetEnabledForTesting(std::optional<bool> enabled) {
+  g_enabled_override.store(enabled.has_value() ? (*enabled ? 1 : 0) : -1,
+                           std::memory_order_relaxed);
+}
+
+void SetBatchSizeForTesting(std::optional<std::size_t> batch_size) {
+  g_batch_size_override.store(
+      batch_size.has_value() && *batch_size > 0 ? *batch_size : 0,
+      std::memory_order_relaxed);
+}
+
+bool IsFusedRoot(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+    case PlanKind::kRename:
+    case PlanKind::kAssign:
+    case PlanKind::kJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline metrics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VecInstruments {
+  obs::Counter* pipelines;
+  obs::Counter* fused_ops;
+  obs::Counter* batches;
+  obs::Counter* rows;
+};
+
+const VecInstruments& VectorizeInstruments() {
+  static const VecInstruments* instruments = [] {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    return new VecInstruments{
+        &metrics.GetCounter("serena.vectorize.pipelines"),
+        &metrics.GetCounter("serena.vectorize.fused_ops"),
+        &metrics.GetCounter("serena.vectorize.batches"),
+        &metrics.GetCounter("serena.vectorize.rows")};
+  }();
+  return *instruments;
+}
+
+// ---------------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------------
+
+/// One stage of a fused pipeline. `Next` yields the stage's output one
+/// TupleBatch at a time (nullptr = exhausted; a non-null batch is never
+/// empty — stages loop internally over empty fills). A batch stays valid
+/// until the producing cursor's next `Next` call.
+///
+/// Every cursor emits exactly the tuple sequence the scalar operator
+/// would materialize (docs/VECTORIZATION.md: the per-cursor dedup
+/// invariant — Window and Project deduplicate eagerly; σ/ρ/α/⋈ preserve
+/// distinctness), so interior row counts match the scalar path and the
+/// terminal collect's dedup is belt-and-braces.
+class Cursor {
+ public:
+  Cursor(const PlanNode* node, ExtendedSchemaPtr schema, bool native)
+      : node(node), schema(std::move(schema)), native(native) {}
+  virtual ~Cursor() = default;
+
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  Result<const TupleBatch*> Next(EvalContext& ctx) {
+    started = true;
+    Result<const TupleBatch*> batch = NextImpl(ctx);
+    if (!batch.ok()) {
+      failed = true;
+    } else if (*batch != nullptr) {
+      rows_out += (*batch)->size();
+      ++batches_out;
+    }
+    return batch;
+  }
+
+  /// Full-output shortcut for consumers that need the whole relation at
+  /// once (the join build/probe sides). A nullptr *value* means the stage
+  /// has no materialized form — the consumer then drains `Next` instead.
+  Result<const XRelation*> Materialize(EvalContext& ctx) {
+    Result<const XRelation*> relation = MaterializeImpl(ctx);
+    if (!relation.ok()) {
+      started = true;
+      failed = true;
+    } else if (*relation != nullptr) {
+      started = true;
+      rows_out += (*relation)->size();
+    }
+    return relation;
+  }
+
+  const PlanNode* node;
+  ExtendedSchemaPtr schema;
+  /// True when this cursor *is* a fused plan node (the pipeline flushes
+  /// its stats); false for opaque stages, whose own `Evaluate` wrapper
+  /// already accounted for them.
+  bool native;
+  bool started = false;
+  bool failed = false;
+  std::uint64_t rows_out = 0;
+  std::uint64_t batches_out = 0;
+
+ protected:
+  virtual Result<const TupleBatch*> NextImpl(EvalContext& ctx) = 0;
+  virtual Result<const XRelation*> MaterializeImpl(EvalContext& /*ctx*/) {
+    return {nullptr};
+  }
+};
+
+/// Drains `cursor` into a fresh relation (used where a consumer needs a
+/// stable, indexed whole — the join sides without a materialized form).
+Result<XRelation> CollectToRelation(Cursor* cursor, EvalContext& ctx) {
+  XRelation out(cursor->schema);
+  for (;;) {
+    SERENA_ASSIGN_OR_RETURN(const TupleBatch* batch, cursor->Next(ctx));
+    if (batch == nullptr) break;
+    out.Reserve(out.size() + batch->size());
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      // Rows that flowed from a stream entry carry its append-time hash;
+      // inserting with it skips the only remaining per-row hash.
+      if (const std::uint64_t hash = batch->hash_at(i); hash != 0) {
+        out.InsertHashed(batch->at(i), hash);
+      } else {
+        out.InsertUnchecked(batch->at(i));
+      }
+    }
+  }
+  return out;
+}
+
+/// Source: serves an environment relation in borrowed batches. The
+/// environment is stable for the duration of a query step, so no copy is
+/// made until the pipeline's terminal collect.
+class ScanCursor final : public Cursor {
+ public:
+  ScanCursor(const PlanNode* node, const XRelation* relation,
+             TupleBatch* out, std::size_t batch_size)
+      : Cursor(node, relation->schema_ptr(), /*native=*/true),
+        relation_(relation),
+        out_(out),
+        batch_size_(batch_size) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& /*ctx*/) override {
+    const std::vector<Tuple>& tuples = relation_->tuples();
+    if (pos_ >= tuples.size()) return {nullptr};
+    out_->Clear();
+    const std::size_t n = std::min(batch_size_, tuples.size() - pos_);
+    for (std::size_t i = 0; i < n; ++i) {
+      out_->AppendRef(&tuples[pos_ + i]);
+    }
+    pos_ += n;
+    return {out_};
+  }
+
+  Result<const XRelation*> MaterializeImpl(EvalContext& /*ctx*/) override {
+    return {relation_};
+  }
+
+ private:
+  const XRelation* relation_;
+  TupleBatch* out_;
+  std::size_t batch_size_;
+  std::size_t pos_ = 0;
+};
+
+/// Source: the deduplicated window slice of a stream, as borrowed
+/// pointers into the stream's entry deque (stable until the executor's
+/// post-step pruning). Deduplicating here is what makes every downstream
+/// cursor see exactly the scalar window's X-Relation sequence. Each ref
+/// carries the entry's append-time content hash, so neither this dedup
+/// nor the terminal collect re-hashes a stream tuple.
+class WindowCursor final : public Cursor {
+ public:
+  WindowCursor(const PlanNode* node, ExtendedSchemaPtr schema,
+               std::vector<HashedTupleRef> kept, TupleBatch* out,
+               std::size_t batch_size)
+      : Cursor(node, std::move(schema), /*native=*/true),
+        kept_(std::move(kept)),
+        out_(out),
+        batch_size_(batch_size) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& /*ctx*/) override {
+    if (pos_ >= kept_.size()) return {nullptr};
+    out_->Clear();
+    const std::size_t n = std::min(batch_size_, kept_.size() - pos_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const HashedTupleRef& ref = kept_[pos_ + i];
+      out_->AppendRef(ref.tuple, ref.hash);
+    }
+    pos_ += n;
+    return {out_};
+  }
+
+ private:
+  std::vector<HashedTupleRef> kept_;
+  TupleBatch* out_;
+  std::size_t batch_size_;
+  std::size_t pos_ = 0;
+};
+
+/// Any non-fusable stage (set ops, β, γ, S, …): evaluated once through
+/// the normal `Evaluate` wrapper — which records its stats and may itself
+/// vectorize subtrees below it — then served in borrowed batches.
+class OpaqueCursor final : public Cursor {
+ public:
+  OpaqueCursor(const PlanNode* node, ExtendedSchemaPtr schema,
+               TupleBatch* out, std::size_t batch_size)
+      : Cursor(node, std::move(schema), /*native=*/false),
+        out_(out),
+        batch_size_(batch_size) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& ctx) override {
+    SERENA_RETURN_NOT_OK(EvaluateOnce(ctx));
+    const std::vector<Tuple>& tuples = evaluated_->tuples();
+    if (pos_ >= tuples.size()) return {nullptr};
+    out_->Clear();
+    const std::size_t n = std::min(batch_size_, tuples.size() - pos_);
+    for (std::size_t i = 0; i < n; ++i) {
+      out_->AppendRef(&tuples[pos_ + i]);
+    }
+    pos_ += n;
+    return {out_};
+  }
+
+  Result<const XRelation*> MaterializeImpl(EvalContext& ctx) override {
+    SERENA_RETURN_NOT_OK(EvaluateOnce(ctx));
+    return {&*evaluated_};
+  }
+
+ private:
+  Status EvaluateOnce(EvalContext& ctx) {
+    if (evaluated_.has_value()) return Status::OK();
+    SERENA_ASSIGN_OR_RETURN(XRelation relation, node->Evaluate(ctx));
+    evaluated_ = std::move(relation);
+    return Status::OK();
+  }
+
+  TupleBatch* out_;
+  std::size_t batch_size_;
+  std::optional<XRelation> evaluated_;
+  std::size_t pos_ = 0;
+};
+
+/// σ_F: evaluates the formula per row and forwards survivors as a
+/// selection vector (borrowed pointers) — no copies, no materialization.
+/// The formula is compiled once at pipeline-build time (coordinates
+/// resolved, constants captured), so the per-row cost is one comparison
+/// on value references — the amortization that makes batching pay.
+///
+/// Formulas that are pure conjunctions of comparisons — the common shape
+/// after the merge-selections rewrite folds a σ-chain into one σ — take
+/// a further fast path: the conjuncts are flattened into a vector and
+/// evaluated in a tight loop of direct calls, with none of the nested
+/// `std::function` dispatch the general compiled tree pays per tuple.
+class FilterCursor final : public Cursor {
+ public:
+  FilterCursor(const PlanNode* node, ExtendedSchemaPtr schema, Cursor* child,
+               std::vector<CompiledComparison> conjuncts,
+               TuplePredicate predicate, TupleBatch* out)
+      : Cursor(node, std::move(schema), /*native=*/true),
+        child_(child),
+        conjuncts_(std::move(conjuncts)),
+        predicate_(std::move(predicate)),
+        out_(out) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& ctx) override {
+    // One child batch per fill: survivor pointers borrow the child
+    // batch's storage, which the child reuses on its next Next().
+    for (;;) {
+      SERENA_ASSIGN_OR_RETURN(const TupleBatch* in, child_->Next(ctx));
+      if (in == nullptr) return {nullptr};
+      out_->Clear();
+      for (std::size_t i = 0; i < in->size(); ++i) {
+        const Tuple& t = in->at(i);
+        bool keep = true;
+        if (!conjuncts_.empty()) {
+          for (const CompiledComparison& conjunct : conjuncts_) {
+            SERENA_ASSIGN_OR_RETURN(bool value, conjunct.Eval(t));
+            if (!value) {
+              keep = false;
+              break;
+            }
+          }
+        } else {
+          SERENA_ASSIGN_OR_RETURN(keep, predicate_(t));
+        }
+        if (keep) out_->AppendRef(&t, in->hash_at(i));
+      }
+      if (!out_->empty()) return {out_};
+    }
+  }
+
+ private:
+  Cursor* child_;
+  // Flattened-conjunction fast path; when empty, predicate_ decides.
+  std::vector<CompiledComparison> conjuncts_;
+  TuplePredicate predicate_;
+  TupleBatch* out_;
+};
+
+/// π_Y: projects each row and deduplicates the output stream (projection
+/// can collapse distinct inputs), emitting first occurrences in input
+/// order — exactly the scalar operator's insertion sequence. The batch
+/// borrows the dedup table's stored tuples, so each output row is
+/// materialized once.
+class ProjectCursor final : public Cursor {
+ public:
+  ProjectCursor(const PlanNode* node, ExtendedSchemaPtr schema, Cursor* child,
+                std::vector<std::size_t> coords, TupleBatch* out)
+      : Cursor(node, std::move(schema), /*native=*/true),
+        child_(child),
+        coords_(std::move(coords)),
+        out_(out) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& ctx) override {
+    for (;;) {
+      SERENA_ASSIGN_OR_RETURN(const TupleBatch* in, child_->Next(ctx));
+      if (in == nullptr) return {nullptr};
+      out_->Clear();
+      for (std::size_t i = 0; i < in->size(); ++i) {
+        Tuple projected = in->at(i).Project(coords_);
+        const std::uint64_t hash = projected.Hash();
+        const auto [begin, end] = seen_.equal_range(hash);
+        bool duplicate = false;
+        for (auto it = begin; it != end && !duplicate; ++it) {
+          duplicate = it->second == projected;
+        }
+        if (duplicate) continue;
+        const auto it = seen_.emplace(hash, std::move(projected));
+        out_->AppendRef(&it->second);
+      }
+      if (!out_->empty()) return {out_};
+    }
+  }
+
+ private:
+  Cursor* child_;
+  std::vector<std::size_t> coords_;
+  TupleBatch* out_;
+  // Unordered-container references are stable, so batches may borrow.
+  std::unordered_multimap<std::uint64_t, Tuple> seen_;
+};
+
+/// ρ_{A→B}: tuples are untouched — forwards the child's batches under the
+/// renamed schema.
+class RenameCursor final : public Cursor {
+ public:
+  RenameCursor(const PlanNode* node, ExtendedSchemaPtr schema, Cursor* child)
+      : Cursor(node, std::move(schema), /*native=*/true), child_(child) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& ctx) override {
+    return child_->Next(ctx);
+  }
+
+ private:
+  Cursor* child_;
+};
+
+/// α_{A:=B} / α_{A:=a}: realizes the target attribute per row into owned
+/// batches. Mirrors the scalar AssignImpl row construction (and its
+/// TypeMismatch diagnostic) exactly.
+class AssignCursor final : public Cursor {
+ public:
+  static constexpr std::size_t kNew = static_cast<std::size_t>(-1);
+
+  AssignCursor(const PlanNode* node, ExtendedSchemaPtr schema, Cursor* child,
+               std::string target, DataType declared,
+               std::vector<std::size_t> plan,
+               std::optional<std::size_t> source_coord,
+               std::optional<Value> constant, TupleBatch* out)
+      : Cursor(node, std::move(schema), /*native=*/true),
+        child_(child),
+        target_(std::move(target)),
+        declared_(declared),
+        plan_(std::move(plan)),
+        source_coord_(source_coord),
+        constant_(std::move(constant)),
+        out_(out) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& ctx) override {
+    SERENA_ASSIGN_OR_RETURN(const TupleBatch* in, child_->Next(ctx));
+    if (in == nullptr) return {nullptr};
+    out_->Clear();
+    out_->ReserveOwned(in->size());
+    for (std::size_t i = 0; i < in->size(); ++i) {
+      const Tuple& u = in->at(i);
+      const Value realized =
+          source_coord_.has_value() ? u[*source_coord_] : *constant_;
+      if (!realized.ConformsTo(declared_)) {
+        return Status::TypeMismatch("assign: value ", realized.ToString(),
+                                    " does not conform to '", target_,
+                                    "' of type ",
+                                    DataTypeToString(declared_));
+      }
+      std::vector<Value> values;
+      values.reserve(plan_.size());
+      for (std::size_t coord : plan_) {
+        values.push_back(coord == kNew ? realized.CoerceTo(declared_)
+                                       : u[coord]);
+      }
+      out_->AppendOwned(Tuple(std::move(values)));
+    }
+    // α emits one row per input row, so a non-null fill is never empty.
+    return {out_};
+  }
+
+ private:
+  Cursor* child_;
+  std::string target_;
+  DataType declared_;
+  std::vector<std::size_t> plan_;
+  std::optional<std::size_t> source_coord_;
+  std::optional<Value> constant_;
+  TupleBatch* out_;
+};
+
+/// ⋈: materializes both sides on first pull (operand order, like the
+/// scalar node), builds the hash table once on the smaller side, then
+/// probes batch-by-batch. Build/probe roles, hash-table construction and
+/// probe order replicate the scalar NaturalJoin, so emission order — and
+/// therefore the output relation — is identical.
+class JoinCursor final : public Cursor {
+ public:
+  JoinCursor(const PlanNode* node, JoinSpec spec, Cursor* left, Cursor* right,
+             TupleBatch* out, std::size_t batch_size)
+      : Cursor(node, spec.schema, /*native=*/true),
+        spec_(std::move(spec)),
+        left_(left),
+        right_(right),
+        out_(out),
+        batch_size_(batch_size) {}
+
+ protected:
+  Result<const TupleBatch*> NextImpl(EvalContext& ctx) override {
+    if (!prepared_) {
+      SERENA_RETURN_NOT_OK(Prepare(ctx));
+      prepared_ = true;
+    }
+    out_->Clear();
+    if (spec_.key1.empty()) return Cartesian();
+    return Probe();
+  }
+
+ private:
+  struct BuildEntry {
+    Tuple key;
+    const Tuple* tuple;
+  };
+
+  Status Prepare(EvalContext& ctx) {
+    SERENA_ASSIGN_OR_RETURN(const XRelation* left_rel,
+                            MaterializeSide(left_, &left_store_, ctx));
+    SERENA_ASSIGN_OR_RETURN(const XRelation* right_rel,
+                            MaterializeSide(right_, &right_store_, ctx));
+    left_rel_ = left_rel;
+    right_rel_ = right_rel;
+    if (spec_.key1.empty()) return Status::OK();
+
+    const bool build_r1 = left_rel_->size() < right_rel_->size();
+    build_r1_ = build_r1;
+    const XRelation& build = build_r1 ? *left_rel_ : *right_rel_;
+    probe_ = build_r1 ? right_rel_ : left_rel_;
+    probe_key_ = build_r1 ? &spec_.key2 : &spec_.key1;
+    const std::vector<std::size_t>& build_key =
+        build_r1 ? spec_.key1 : spec_.key2;
+    built_.reserve(build.size());
+    for (const Tuple& t : build.tuples()) {
+      Tuple key = t.Project(build_key);
+      const std::uint64_t hash = key.Hash();
+      built_.emplace(hash, BuildEntry{std::move(key), &t});
+    }
+    out_->ReserveOwned(batch_size_);
+    return Status::OK();
+  }
+
+  static Result<const XRelation*> MaterializeSide(
+      Cursor* side, std::optional<XRelation>* store, EvalContext& ctx) {
+    SERENA_ASSIGN_OR_RETURN(const XRelation* relation,
+                            side->Materialize(ctx));
+    if (relation != nullptr) return {relation};
+    SERENA_ASSIGN_OR_RETURN(XRelation collected,
+                            CollectToRelation(side, ctx));
+    *store = std::move(collected);
+    return {&**store};
+  }
+
+  Result<const TupleBatch*> Cartesian() {
+    const std::vector<Tuple>& r1 = left_rel_->tuples();
+    const std::vector<Tuple>& r2 = right_rel_->tuples();
+    while (i1_ < r1.size()) {
+      if (i2_ == r2.size()) {
+        i2_ = 0;
+        ++i1_;
+        continue;
+      }
+      if (out_->size() >= batch_size_) return {out_};
+      out_->AppendOwned(spec_.Merge(r1[i1_], r2[i2_]));
+      ++i2_;
+    }
+    if (out_->empty()) return {nullptr};
+    return {out_};
+  }
+
+  Result<const TupleBatch*> Probe() {
+    const std::vector<Tuple>& tuples = probe_->tuples();
+    if (built_.empty()) probe_idx_ = tuples.size();
+    while (probe_idx_ < tuples.size() && out_->size() < batch_size_) {
+      // Finish every match of one probe row before checking the size cap,
+      // so resuming only needs the probe index (batches may overshoot).
+      const Tuple& t = tuples[probe_idx_++];
+      const Tuple k = t.Project(*probe_key_);
+      const auto [begin, end] = built_.equal_range(k.Hash());
+      for (auto it = begin; it != end; ++it) {
+        if (k == it->second.key) {
+          out_->AppendOwned(build_r1_ ? spec_.Merge(*it->second.tuple, t)
+                                      : spec_.Merge(t, *it->second.tuple));
+        }
+      }
+    }
+    if (out_->empty()) return {nullptr};
+    return {out_};
+  }
+
+  JoinSpec spec_;
+  Cursor* left_;
+  Cursor* right_;
+  TupleBatch* out_;
+  std::size_t batch_size_;
+
+  bool prepared_ = false;
+  std::optional<XRelation> left_store_;
+  std::optional<XRelation> right_store_;
+  const XRelation* left_rel_ = nullptr;
+  const XRelation* right_rel_ = nullptr;
+
+  bool build_r1_ = false;
+  std::unordered_multimap<std::uint64_t, BuildEntry> built_;
+  const XRelation* probe_ = nullptr;
+  const std::vector<std::size_t>* probe_key_ = nullptr;
+  std::size_t probe_idx_ = 0;
+
+  std::size_t i1_ = 0;
+  std::size_t i2_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline construction
+// ---------------------------------------------------------------------------
+
+struct Pipeline {
+  std::vector<std::unique_ptr<Cursor>> cursors;
+  Cursor* root = nullptr;
+  BatchPool* pool = nullptr;
+  std::size_t batch_size = 0;
+};
+
+template <typename CursorT, typename... Args>
+CursorT* AddCursor(Pipeline* pipeline, Args&&... args) {
+  pipeline->cursors.push_back(
+      std::make_unique<CursorT>(std::forward<Args>(args)...));
+  return static_cast<CursorT*>(pipeline->cursors.back().get());
+}
+
+/// Builds the cursor for `node` (recursively for fusable subtrees).
+/// Returns nullptr when the pipeline cannot be built — any schema or
+/// lookup failure — in which case the whole TryExecute falls back to the
+/// scalar path, which reproduces the exact scalar diagnostics. Building
+/// performs no evaluation (the one eager step, the window slice read, is
+/// side-effect free), so a fallback re-runs from a clean slate.
+Cursor* BuildCursor(const PlanNode& node, EvalContext& ctx,
+                    Pipeline* pipeline) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      if (ctx.env == nullptr) return nullptr;
+      const auto& scan = static_cast<const ScanNode&>(node);
+      Result<const XRelation*> relation =
+          ctx.env->GetRelation(scan.relation());
+      if (!relation.ok()) return nullptr;
+      return AddCursor<ScanCursor>(pipeline, &node, *relation,
+                                   pipeline->pool->Acquire(),
+                                   pipeline->batch_size);
+    }
+    case PlanKind::kWindow: {
+      if (ctx.streams == nullptr) return nullptr;
+      const auto& window = static_cast<const WindowNode&>(node);
+      Result<XDRelation*> stream = ctx.streams->GetStream(window.stream());
+      if (!stream.ok()) return nullptr;
+      std::vector<HashedTupleRef> slice;
+      if (window.mode() == WindowMode::kTime) {
+        (*stream)->CollectInsertedDuring(ctx.instant - window.period(),
+                                         ctx.instant, &slice);
+      } else {
+        (*stream)->CollectLastInserted(
+            static_cast<std::size_t>(window.period()), ctx.instant, &slice);
+      }
+      // Set semantics: keep the first occurrence of each tuple, exactly
+      // like the scalar window's insertions into its X-Relation. The
+      // entries carry their append-time hashes, so no tuple is hashed
+      // here; contents are only compared on a probe collision. Dedup
+      // runs on an open-addressing table (linear probing, power-of-two
+      // capacity at ≤50% load) instead of a node-based map: this loop
+      // touches every window row of every registered query each tick,
+      // and per-row node allocations would dominate the fused pipeline.
+      std::vector<HashedTupleRef> kept;
+      kept.reserve(slice.size());
+      std::size_t capacity = 16;
+      while (capacity < slice.size() * 2) capacity <<= 1;
+      std::vector<const Tuple*> slots(capacity, nullptr);
+      std::vector<std::uint64_t> slot_hashes(capacity, 0);
+      for (const HashedTupleRef& ref : slice) {
+        std::size_t slot = ref.hash & (capacity - 1);
+        bool duplicate = false;
+        while (slots[slot] != nullptr) {
+          if (slot_hashes[slot] == ref.hash && *slots[slot] == *ref.tuple) {
+            duplicate = true;
+            break;
+          }
+          slot = (slot + 1) & (capacity - 1);
+        }
+        if (duplicate) continue;
+        slots[slot] = ref.tuple;
+        slot_hashes[slot] = ref.hash;
+        kept.push_back(ref);
+      }
+      return AddCursor<WindowCursor>(pipeline, &node, (*stream)->schema_ptr(),
+                                     std::move(kept),
+                                     pipeline->pool->Acquire(),
+                                     pipeline->batch_size);
+    }
+    case PlanKind::kSelect: {
+      const auto& select = static_cast<const SelectNode&>(node);
+      Cursor* child = BuildCursor(*select.child(), ctx, pipeline);
+      if (child == nullptr) return nullptr;
+      Result<ExtendedSchemaPtr> schema =
+          SelectSchema(child->schema, select.formula());
+      if (!schema.ok()) return nullptr;
+      // Pure conjunctions of comparisons flatten into a direct-call loop;
+      // anything else compiles to the general predicate tree. Compile
+      // failures (unbound parameter, unresolvable attribute) are exactly
+      // the per-tuple errors of the interpreted path — falling back to
+      // scalar evaluation reproduces its diagnostics.
+      std::vector<CompiledComparison> conjuncts;
+      TuplePredicate predicate;
+      if (!select.formula()->FlattenConjunction(*child->schema, &conjuncts)) {
+        conjuncts.clear();
+        Result<TuplePredicate> compiled =
+            select.formula()->Compile(*child->schema);
+        if (!compiled.ok()) return nullptr;
+        predicate = std::move(*compiled);
+      }
+      return AddCursor<FilterCursor>(pipeline, &node, std::move(*schema),
+                                     child, std::move(conjuncts),
+                                     std::move(predicate),
+                                     pipeline->pool->Acquire());
+    }
+    case PlanKind::kProject: {
+      const auto& project = static_cast<const ProjectNode&>(node);
+      Cursor* child = BuildCursor(*project.child(), ctx, pipeline);
+      if (child == nullptr) return nullptr;
+      Result<ExtendedSchemaPtr> schema =
+          ProjectSchema(child->schema, project.attributes());
+      if (!schema.ok()) return nullptr;
+      std::vector<std::size_t> coords;
+      for (const Attribute& attr : (*schema)->attributes()) {
+        if (attr.is_real()) {
+          coords.push_back(*child->schema->CoordinateOf(attr.name));
+        }
+      }
+      return AddCursor<ProjectCursor>(pipeline, &node, std::move(*schema),
+                                      child, std::move(coords),
+                                      pipeline->pool->Acquire());
+    }
+    case PlanKind::kRename: {
+      const auto& rename = static_cast<const RenameNode&>(node);
+      Cursor* child = BuildCursor(*rename.child(), ctx, pipeline);
+      if (child == nullptr) return nullptr;
+      Result<ExtendedSchemaPtr> schema =
+          RenameSchema(child->schema, rename.from(), rename.to());
+      if (!schema.ok()) return nullptr;
+      return AddCursor<RenameCursor>(pipeline, &node, std::move(*schema),
+                                     child);
+    }
+    case PlanKind::kAssign: {
+      const auto& assign = static_cast<const AssignNode&>(node);
+      // Unbound parameters fail at runtime on the scalar path; let it.
+      if (assign.from_parameter()) return nullptr;
+      Cursor* child = BuildCursor(*assign.child(), ctx, pipeline);
+      if (child == nullptr) return nullptr;
+      std::optional<std::size_t> source_coord;
+      std::optional<Value> constant;
+      if (assign.from_attribute()) {
+        source_coord = child->schema->CoordinateOf(assign.source_attribute());
+        if (!source_coord.has_value()) return nullptr;
+      } else {
+        constant = assign.constant();
+      }
+      Result<ExtendedSchemaPtr> schema =
+          AssignSchema(child->schema, assign.target());
+      if (!schema.ok()) return nullptr;
+      const DataType declared =
+          (*schema)->FindAttribute(assign.target())->type;
+      std::vector<std::size_t> plan;
+      for (const Attribute& attr : (*schema)->attributes()) {
+        if (!attr.is_real()) continue;
+        if (attr.name == assign.target()) {
+          plan.push_back(AssignCursor::kNew);
+        } else {
+          plan.push_back(*child->schema->CoordinateOf(attr.name));
+        }
+      }
+      return AddCursor<AssignCursor>(
+          pipeline, &node, std::move(*schema), child, assign.target(),
+          declared, std::move(plan), source_coord, std::move(constant),
+          pipeline->pool->Acquire());
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      Cursor* left = BuildCursor(*join.left(), ctx, pipeline);
+      if (left == nullptr) return nullptr;
+      Cursor* right = BuildCursor(*join.right(), ctx, pipeline);
+      if (right == nullptr) return nullptr;
+      Result<JoinSpec> spec = JoinSpec::Resolve(left->schema, right->schema);
+      if (!spec.ok()) return nullptr;
+      return AddCursor<JoinCursor>(pipeline, &node, std::move(*spec), left,
+                                   right, pipeline->pool->Acquire(),
+                                   pipeline->batch_size);
+    }
+    default: {
+      // Opaque stage: needs its schema up front (parents resolve theirs
+      // at build time); InferSchema derives exactly the schema the
+      // runtime evaluation will produce.
+      if (ctx.env == nullptr) return nullptr;
+      Result<ExtendedSchemaPtr> schema =
+          node.InferSchema(*ctx.env, ctx.streams);
+      if (!schema.ok()) return nullptr;
+      return AddCursor<OpaqueCursor>(pipeline, &node, std::move(*schema),
+                                     pipeline->pool->Acquire(),
+                                     pipeline->batch_size);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline execution
+// ---------------------------------------------------------------------------
+
+Result<XRelation> RunPipeline(Pipeline& pipeline, EvalContext& ctx) {
+  XRelation out(pipeline.root->schema);
+  for (;;) {
+    SERENA_ASSIGN_OR_RETURN(const TupleBatch* batch,
+                            pipeline.root->Next(ctx));
+    if (batch == nullptr) break;
+    out.Reserve(out.size() + batch->size());
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      // Rows that flowed from a stream entry carry its append-time hash;
+      // inserting with it skips the only remaining per-row hash.
+      if (const std::uint64_t hash = batch->hash_at(i); hash != 0) {
+        out.InsertHashed(batch->at(i), hash);
+      } else {
+        out.InsertUnchecked(batch->at(i));
+      }
+    }
+  }
+  return out;
+}
+
+/// Flushes the fused interior's statistics so EXPLAIN ANALYZE and the
+/// per-operator metrics match the scalar path: each started native stage
+/// counts one eval, its emitted rows, and the pipeline's (inclusive) wall
+/// time. The root's eval/rows/wall/error are recorded by its `Evaluate`
+/// wrapper — only its batch count comes from here. Stages never started
+/// (the right join side after a left failure) stay unrecorded, exactly
+/// like unevaluated scalar operands.
+void FlushStats(const Pipeline& pipeline, const PlanNode& root_node,
+                EvalContext& ctx, bool collect, bool meter,
+                std::uint64_t elapsed_ns) {
+  for (const auto& cursor : pipeline.cursors) {
+    if (!cursor->native || !cursor->started) continue;
+    if (cursor.get() == pipeline.root) {
+      if (collect) {
+        ctx.stats->StatsFor(&root_node).batches += cursor->batches_out;
+      }
+      continue;
+    }
+    if (collect) {
+      NodeRuntimeStats& stats = ctx.stats->StatsFor(cursor->node);
+      ++stats.evals;
+      stats.rows_out += cursor->rows_out;
+      stats.wall_ns += elapsed_ns;
+      stats.batches += cursor->batches_out;
+      if (cursor->failed) ++stats.errors;
+    }
+    if (meter) {
+      internal::RecordOperatorMetrics(cursor->node->kind(), 1,
+                                      cursor->rows_out, elapsed_ns);
+    }
+  }
+  if (meter) {
+    std::uint64_t fused = 0;
+    for (const auto& cursor : pipeline.cursors) {
+      if (cursor->native) ++fused;
+    }
+    const VecInstruments& instruments = VectorizeInstruments();
+    instruments.pipelines->Increment();
+    instruments.fused_ops->Increment(fused);
+    instruments.batches->Increment(pipeline.root->batches_out);
+    instruments.rows->Increment(pipeline.root->rows_out);
+  }
+}
+
+}  // namespace
+
+std::optional<Result<XRelation>> TryExecute(const PlanNode& node,
+                                            EvalContext& ctx) {
+  if (!IsFusedRoot(node.kind())) return std::nullopt;
+
+  // The pool outlives the pipeline (cursors hold its batches). Marks let
+  // pipelines nest: an opaque stage may run an inner pipeline over the
+  // same pool.
+  BatchPool local_pool;
+  BatchPool* pool =
+      ctx.batch_pool != nullptr ? ctx.batch_pool : &local_pool;
+  const std::size_t mark = pool->Mark();
+
+  Pipeline pipeline;
+  pipeline.pool = pool;
+  pipeline.batch_size = BatchSize();
+  pipeline.root = BuildCursor(node, ctx, &pipeline);
+  if (pipeline.root == nullptr) {
+    pool->ReleaseToMark(mark);
+    return std::nullopt;
+  }
+
+  const bool collect = ctx.stats != nullptr;
+  const bool meter = obs::MetricsRegistry::Global().enabled();
+  const std::uint64_t start_ns =
+      (collect || meter) ? obs::MonotonicNowNs() : 0;
+
+  Result<XRelation> result = RunPipeline(pipeline, ctx);
+
+  if (collect || meter) {
+    const std::uint64_t elapsed_ns = obs::MonotonicNowNs() - start_ns;
+    FlushStats(pipeline, node, ctx, collect, meter, elapsed_ns);
+  }
+  pool->ReleaseToMark(mark);
+  return result;
+}
+
+}  // namespace vec
+}  // namespace serena

@@ -1,0 +1,60 @@
+#ifndef SERENA_ALGEBRA_VECTORIZED_H_
+#define SERENA_ALGEBRA_VECTORIZED_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "common/result.h"
+#include "xrel/xrelation.h"
+
+namespace serena {
+
+struct EvalContext;
+class PlanNode;
+enum class PlanKind;
+
+/// The vectorized batch execution core (docs/VECTORIZATION.md).
+///
+/// `PlanNode::Evaluate` dispatches fusable operator chains here: instead
+/// of materializing one `XRelation` per operator, a pipeline of cursors
+/// pushes `TupleBatch`es (SERENA_BATCH_SIZE rows, default 1024) through
+/// fused σ/π/ρ/α/⋈ stages and materializes only the pipeline's final
+/// output. Results are byte-identical to the scalar path, which stays
+/// available behind `SERENA_VECTORIZE=off` as the differential-testing
+/// oracle.
+namespace vec {
+
+/// Whether batch execution is enabled. Controlled by `SERENA_VECTORIZE`
+/// ("off"/"0"/"false"/"no" disable it); defaults to on. The environment
+/// variable is read once per process; tests toggle via
+/// `SetEnabledForTesting`.
+bool Enabled();
+
+/// Rows per batch. Controlled by `SERENA_BATCH_SIZE` (clamped to >= 1);
+/// defaults to 1024.
+std::size_t BatchSize();
+
+/// Test hooks: override (or, with nullopt, restore) the env-derived
+/// configuration. Process-global; tests must reset what they set.
+void SetEnabledForTesting(std::optional<bool> enabled);
+void SetBatchSizeForTesting(std::optional<std::size_t> batch_size);
+
+/// True for operator kinds that start a fused pipeline (σ, π, ρ, α, ⋈).
+/// Leaves (scan, window) are batch *sources* inside a pipeline but gain
+/// nothing as pipeline roots; everything else stays scalar and is
+/// consumed through an opaque cursor.
+bool IsFusedRoot(PlanKind kind);
+
+/// Attempts batch execution of the pipeline rooted at `node`. Returns
+/// nullopt when the pipeline cannot be built (parameter assignment,
+/// missing relation/stream, schema error, ...) — the caller then falls
+/// back to the scalar `EvaluateImpl`, which reproduces the exact scalar
+/// diagnostics. A non-nullopt result (success or runtime error) is
+/// final and byte-identical to what the scalar path would produce.
+std::optional<Result<XRelation>> TryExecute(const PlanNode& node,
+                                            EvalContext& ctx);
+
+}  // namespace vec
+}  // namespace serena
+
+#endif  // SERENA_ALGEBRA_VECTORIZED_H_

@@ -1,6 +1,7 @@
 #include "analysis/lint_runner.h"
 
 #include <algorithm>
+#include <cctype>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -69,8 +70,16 @@ class LintRun {
     std::string command;
     in >> command;
     if (command == "\\source") {
-      std::string stream;
-      while (in >> stream) source_fed_.insert(stream);
+      // `\source STREAM [ROWS] ...` — all-digit tokens are pump rates
+      // (rows per tick), not stream names.
+      std::string token;
+      while (in >> token) {
+        const bool is_rate =
+            !token.empty() &&
+            std::all_of(token.begin(), token.end(),
+                        [](unsigned char c) { return std::isdigit(c); });
+        if (!is_rate) source_fed_.insert(token);
+      }
       return;
     }
     if (command != "\\register") return;  // Session directives: not lintable.

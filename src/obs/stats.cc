@@ -45,6 +45,7 @@ void WriteOperator(JsonWriter& json, const OperatorStats& op) {
   json.Key("invocations").Value(op.invocations);
   json.Key("memo_hits").Value(op.memo_hits);
   json.Key("errors").Value(op.errors);
+  json.Key("batches").Value(op.batches);
   // Derived ratios, recomputed on load; written for human readers and
   // external tooling only.
   json.Key("selectivity").Value(op.selectivity());
@@ -66,6 +67,7 @@ OperatorStats ReadOperator(const JsonValue& value) {
       static_cast<std::uint64_t>(value.NumberOr("invocations", 0));
   op.memo_hits = static_cast<std::uint64_t>(value.NumberOr("memo_hits", 0));
   op.errors = static_cast<std::uint64_t>(value.NumberOr("errors", 0));
+  op.batches = static_cast<std::uint64_t>(value.NumberOr("batches", 0));
   return op;
 }
 
@@ -144,6 +146,7 @@ void StatsStore::RecordPlan(const PlanNode& root,
     op.invocations += update.stats->invocations;
     op.memo_hits += update.stats->memo_hits;
     op.errors += update.stats->errors;
+    op.batches += update.stats->batches;
   }
 }
 

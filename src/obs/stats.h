@@ -43,6 +43,9 @@ struct OperatorStats {
   /// Invocations served from the per-instant memo (§3.2 determinism).
   std::uint64_t memo_hits = 0;
   std::uint64_t errors = 0;
+  /// Tuple batches emitted while running inside a fused vectorized
+  /// pipeline (docs/VECTORIZATION.md); 0 for scalar evaluations.
+  std::uint64_t batches = 0;
 
   /// Observed selectivity: output/input cardinality. 1.0 when the
   /// operator saw no input (leaves, never-evaluated nodes) — the neutral

@@ -42,6 +42,7 @@ Result<XRelation> ContinuousQuery::Step(Environment* env,
   };
   ctx.error_policy = InvocationErrorPolicy::kSkipTuple;
   ctx.state = &state_;
+  ctx.batch_pool = &batch_pool_;
   // Collect per-node actuals while metrics are on: they power
   // RenderPlanWithStats and the rows-in figure below (leaf rows this step
   // = delta of the accumulated leaf totals). Each step evaluates into a

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "algebra/plan.h"
+#include "algebra/tuple_batch.h"
 
 namespace serena {
 
@@ -93,6 +94,10 @@ class ContinuousQuery {
   std::vector<std::string> feeds_;
   Sink sink_;
   NodeStateStore state_;
+  /// Reusable batch storage for the vectorized execution core: the same
+  /// plan runs every tick, so after the first step the batch loop is
+  /// allocation-free.
+  vec::BatchPool batch_pool_;
   ActionSet accumulated_actions_;
   std::vector<LoggedAction> action_log_;
   std::uint64_t steps_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "algebra/vectorized.h"
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -17,6 +18,9 @@ struct ExecutorInstruments {
   obs::Counter* ticks;
   obs::Counter* query_errors;
   obs::Counter* pruned_tuples;
+  /// Effective rows-per-batch of the vectorized core (0 = vectorization
+  /// off), refreshed every tick so dashboards see knob changes.
+  obs::Gauge* batch_size;
 };
 
 const ExecutorInstruments& Instruments() {
@@ -26,7 +30,8 @@ const ExecutorInstruments& Instruments() {
         &metrics.GetHistogram("serena.executor.tick_ns"),
         &metrics.GetCounter("serena.executor.ticks"),
         &metrics.GetCounter("serena.executor.query_errors"),
-        &metrics.GetCounter("serena.executor.pruned_tuples")};
+        &metrics.GetCounter("serena.executor.pruned_tuples"),
+        &metrics.GetGauge("serena.executor.batch_size")};
   }();
   return instruments;
 }
@@ -249,6 +254,8 @@ Timestamp ContinuousExecutor::Tick() {
   if (meter) {
     Instruments().ticks->Increment();
     Instruments().tick_ns->Record(obs::MonotonicNowNs() - tick_start_ns);
+    Instruments().batch_size->Set(
+        vec::Enabled() ? static_cast<std::int64_t>(vec::BatchSize()) : 0);
   }
   // Periodic Prometheus exposition to SERENA_METRICS_FILE (throttled
   // inside; a fast no-op when the variable is unset).

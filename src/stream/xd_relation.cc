@@ -14,12 +14,15 @@ XDRelation::XDRelation(ExtendedSchemaPtr schema)
 Status XDRelation::Append(Timestamp t, Tuple tuple) {
   SERENA_RETURN_NOT_OK(schema_->ValidateTuple(tuple));
   std::lock_guard<std::mutex> lock(mu_);
-  if (!entries_.empty() && t < entries_.back().first) {
+  if (!entries_.empty() && t < entries_.back().instant) {
     return Status::FailedPrecondition(
         "stream '", schema_->name(), "' is append-only: instant ", t,
-        " precedes last instant ", entries_.back().first);
+        " precedes last instant ", entries_.back().instant);
   }
-  entries_.emplace_back(t, std::move(tuple));
+  // Hash once at append: every window read over this entry — one per
+  // registered query per tick — reuses it instead of re-hashing.
+  const std::uint64_t hash = tuple.Hash();
+  entries_.push_back(Entry{t, std::move(tuple), hash});
   return Status::OK();
 }
 
@@ -30,10 +33,10 @@ std::vector<Tuple> XDRelation::InsertedDuring(Timestamp from_exclusive,
   // Binary search the first entry with instant > from_exclusive.
   const auto begin = std::upper_bound(
       entries_.begin(), entries_.end(), from_exclusive,
-      [](Timestamp t, const auto& entry) { return t < entry.first; });
-  for (auto it = begin; it != entries_.end() && it->first <= to_inclusive;
-       ++it) {
-    result.push_back(it->second);
+      [](Timestamp t, const auto& entry) { return t < entry.instant; });
+  for (auto it = begin;
+       it != entries_.end() && it->instant <= to_inclusive; ++it) {
+    result.push_back(it->tuple);
   }
   return result;
 }
@@ -44,22 +47,51 @@ std::vector<Tuple> XDRelation::LastInserted(std::size_t count,
   // Find the end of the eligible range (instant <= to_inclusive).
   const auto end = std::upper_bound(
       entries_.begin(), entries_.end(), to_inclusive,
-      [](Timestamp t, const auto& entry) { return t < entry.first; });
+      [](Timestamp t, const auto& entry) { return t < entry.instant; });
   const std::size_t eligible =
       static_cast<std::size_t>(std::distance(entries_.begin(), end));
   const std::size_t take = std::min(count, eligible);
   std::vector<Tuple> result;
   result.reserve(take);
   for (auto it = end - static_cast<std::ptrdiff_t>(take); it != end; ++it) {
-    result.push_back(it->second);
+    result.push_back(it->tuple);
   }
   return result;
+}
+
+void XDRelation::CollectInsertedDuring(Timestamp from_exclusive,
+                                       Timestamp to_inclusive,
+                                       std::vector<HashedTupleRef>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto begin = std::upper_bound(
+      entries_.begin(), entries_.end(), from_exclusive,
+      [](Timestamp t, const auto& entry) { return t < entry.instant; });
+  for (auto it = begin;
+       it != entries_.end() && it->instant <= to_inclusive; ++it) {
+    out->push_back(HashedTupleRef{&it->tuple, it->hash});
+  }
+}
+
+void XDRelation::CollectLastInserted(std::size_t count,
+                                     Timestamp to_inclusive,
+                                     std::vector<HashedTupleRef>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto end = std::upper_bound(
+      entries_.begin(), entries_.end(), to_inclusive,
+      [](Timestamp t, const auto& entry) { return t < entry.instant; });
+  const std::size_t eligible =
+      static_cast<std::size_t>(std::distance(entries_.begin(), end));
+  const std::size_t take = std::min(count, eligible);
+  out->reserve(out->size() + take);
+  for (auto it = end - static_cast<std::ptrdiff_t>(take); it != end; ++it) {
+    out->push_back(HashedTupleRef{&it->tuple, it->hash});
+  }
 }
 
 std::size_t XDRelation::PruneBefore(Timestamp t) {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t pruned = 0;
-  while (!entries_.empty() && entries_.front().first < t) {
+  while (!entries_.empty() && entries_.front().instant < t) {
     entries_.pop_front();
     ++pruned;
   }
@@ -70,7 +102,7 @@ std::size_t XDRelation::PruneBeforeKeeping(Timestamp t,
                                            std::size_t min_entries) {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t pruned = 0;
-  while (entries_.size() > min_entries && entries_.front().first < t) {
+  while (entries_.size() > min_entries && entries_.front().instant < t) {
     entries_.pop_front();
     ++pruned;
   }

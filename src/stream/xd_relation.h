@@ -1,6 +1,7 @@
 #ifndef SERENA_STREAM_XD_RELATION_H_
 #define SERENA_STREAM_XD_RELATION_H_
 
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -13,6 +14,16 @@
 #include "types/tuple.h"
 
 namespace serena {
+
+/// A borrowed stream tuple plus its content hash (`Tuple::Hash`),
+/// computed once at append time. Windows over a stream re-read the same
+/// physical entries every tick for every registered query; carrying the
+/// stored hash lets the vectorized pipeline deduplicate window slices
+/// and index its result relation without ever re-hashing a stream tuple.
+struct HashedTupleRef {
+  const Tuple* tuple = nullptr;
+  std::uint64_t hash = 0;
+};
 
 /// An infinite eXtended Dynamic relation (XD-Relation, §4.1): an
 /// append-only mapping from time instants to multisets of tuples over an
@@ -57,6 +68,18 @@ class XDRelation {
   std::vector<Tuple> LastInserted(std::size_t count,
                                   Timestamp to_inclusive) const;
 
+  /// Pointer-borrowing variants of the window reads, for the vectorized
+  /// window cursor: append pointers to the retained entries (with their
+  /// stored content hashes) into `out` instead of copying tuples. The
+  /// pointers stay valid until the next `Prune*` call — deque references
+  /// survive `Append` — which the executor only issues after all query
+  /// steps of a tick.
+  void CollectInsertedDuring(Timestamp from_exclusive,
+                             Timestamp to_inclusive,
+                             std::vector<HashedTupleRef>* out) const;
+  void CollectLastInserted(std::size_t count, Timestamp to_inclusive,
+                           std::vector<HashedTupleRef>* out) const;
+
   /// Drops history strictly older than `t`. Returns the number of
   /// entries dropped.
   std::size_t PruneBefore(Timestamp t);
@@ -75,13 +98,21 @@ class XDRelation {
   /// Instant of the latest insertion, or `fallback` when empty.
   Timestamp LastInstant(Timestamp fallback = -1) const {
     std::lock_guard<std::mutex> lock(mu_);
-    return entries_.empty() ? fallback : entries_.back().first;
+    return entries_.empty() ? fallback : entries_.back().instant;
   }
 
  private:
+  /// One insertion: the tuple, its instant, and its content hash —
+  /// computed once here so the window reads above can hand it out.
+  struct Entry {
+    Timestamp instant;
+    Tuple tuple;
+    std::uint64_t hash;
+  };
+
   ExtendedSchemaPtr schema_;
   mutable std::mutex mu_;
-  std::deque<std::pair<Timestamp, Tuple>> entries_;  // Sorted by instant.
+  std::deque<Entry> entries_;  // Sorted by instant.
 };
 
 }  // namespace serena

@@ -17,14 +17,23 @@ Result<bool> XRelation::Insert(Tuple tuple) {
 }
 
 bool XRelation::InsertUnchecked(Tuple tuple) {
-  const std::uint64_t h = tuple.Hash();
-  const auto [begin, end] = index_.equal_range(h);
+  const std::uint64_t hash = tuple.Hash();
+  return InsertHashed(std::move(tuple), hash);
+}
+
+bool XRelation::InsertHashed(Tuple tuple, std::uint64_t hash) {
+  const auto [begin, end] = index_.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
     if (tuples_[it->second] == tuple) return false;
   }
-  index_.emplace(h, tuples_.size());
+  index_.emplace(hash, tuples_.size());
   tuples_.push_back(std::move(tuple));
   return true;
+}
+
+void XRelation::Reserve(std::size_t n) {
+  tuples_.reserve(n);
+  index_.reserve(n);
 }
 
 bool XRelation::Erase(const Tuple& tuple) {

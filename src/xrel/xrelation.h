@@ -40,6 +40,15 @@ class XRelation {
   /// tuples known to be schema-conformant. Still deduplicates.
   bool InsertUnchecked(Tuple tuple);
 
+  /// Like `InsertUnchecked`, with the tuple's content hash supplied by a
+  /// caller that already knows it (stream entries hash once at append
+  /// time; the vectorized collect carries the hash through the
+  /// pipeline). `hash` must equal `tuple.Hash()`.
+  bool InsertHashed(Tuple tuple, std::uint64_t hash);
+
+  /// Pre-sizes tuple storage and the dedup index for `n` insertions.
+  void Reserve(std::size_t n);
+
   /// Removes a tuple. Returns true if it was present.
   bool Erase(const Tuple& tuple);
 

@@ -1,0 +1,268 @@
+// Unit tests for the vectorized batch execution core itself: the
+// configuration knobs, the fusion surface, the pipeline metrics and
+// per-operator batch counts, batch-pool reuse, the flattened-conjunction
+// predicate fast path, and the scalar-fallback gates.
+
+#include "algebra/vectorized.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algebra/explain.h"
+#include "algebra/formula.h"
+#include "algebra/plan.h"
+#include "algebra/tuple_batch.h"
+#include "env/scenario.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/continuous_query.h"
+
+namespace serena {
+namespace {
+
+class VecModeGuard {
+ public:
+  explicit VecModeGuard(bool enabled) { vec::SetEnabledForTesting(enabled); }
+  ~VecModeGuard() { vec::SetEnabledForTesting(std::nullopt); }
+};
+
+TEST(VectorizedConfigTest, BatchSizeKnobIsClampedAndRestorable) {
+  vec::SetBatchSizeForTesting(7);
+  EXPECT_EQ(vec::BatchSize(), 7u);
+  vec::SetBatchSizeForTesting(0);  // Clamped to at least one row.
+  EXPECT_GE(vec::BatchSize(), 1u);
+  vec::SetBatchSizeForTesting(std::nullopt);
+  EXPECT_GE(vec::BatchSize(), 1u);
+}
+
+TEST(VectorizedConfigTest, FusedRootsAreTheFusableOperators) {
+  EXPECT_TRUE(vec::IsFusedRoot(PlanKind::kSelect));
+  EXPECT_TRUE(vec::IsFusedRoot(PlanKind::kProject));
+  EXPECT_TRUE(vec::IsFusedRoot(PlanKind::kRename));
+  EXPECT_TRUE(vec::IsFusedRoot(PlanKind::kAssign));
+  EXPECT_TRUE(vec::IsFusedRoot(PlanKind::kJoin));
+  // Leaves are batch sources, not roots; everything else stays scalar.
+  EXPECT_FALSE(vec::IsFusedRoot(PlanKind::kScan));
+  EXPECT_FALSE(vec::IsFusedRoot(PlanKind::kWindow));
+  EXPECT_FALSE(vec::IsFusedRoot(PlanKind::kAggregate));
+}
+
+TEST(TupleBatchTest, PoolReusesBatchesAcrossMarks) {
+  vec::BatchPool pool;
+  const std::size_t mark = pool.Mark();
+  vec::TupleBatch* a = pool.Acquire();
+  vec::TupleBatch* b = pool.Acquire();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.allocated(), 2u);
+  pool.ReleaseToMark(mark);
+  // Released batches are handed out again — no new allocations.
+  EXPECT_EQ(pool.Acquire(), a);
+  EXPECT_EQ(pool.Acquire(), b);
+  EXPECT_EQ(pool.allocated(), 2u);
+}
+
+TEST(TupleBatchTest, HashesTravelWithBorrowedRowsOnly) {
+  vec::TupleBatch batch;
+  Tuple t(std::vector<Value>{Value::Int(1)});
+  batch.AppendRef(&t, 42u);
+  EXPECT_EQ(batch.hash_at(0), 42u);
+  batch.Clear();
+  batch.AppendOwned(Tuple(std::vector<Value>{Value::Int(2)}));
+  // Owned rows never carry a producer hash.
+  EXPECT_EQ(batch.hash_at(0), 0u);
+}
+
+TEST(CompiledPredicateTest, FlattenedConjunctionDecidesLikeEvaluate) {
+  auto schema =
+      ExtendedSchema::Create("r", {{"a", DataType::kInt},
+                                   {"b", DataType::kReal}})
+          .ValueOrDie();
+  FormulaPtr formula = Formula::And(
+      Formula::Compare(Operand::Attr("a"), CompareOp::kGt,
+                       Operand::Const(Value::Int(10))),
+      Formula::Compare(Operand::Attr("b"), CompareOp::kLt,
+                       Operand::Const(Value::Real(5.0))));
+  std::vector<CompiledComparison> conjuncts;
+  ASSERT_TRUE(formula->FlattenConjunction(*schema, &conjuncts));
+  ASSERT_EQ(conjuncts.size(), 2u);
+
+  const Tuple pass(std::vector<Value>{Value::Int(11), Value::Real(1.0)});
+  const Tuple fail(std::vector<Value>{Value::Int(11), Value::Real(9.0)});
+  for (const Tuple* tuple : {&pass, &fail}) {
+    bool flattened = true;
+    for (const CompiledComparison& conjunct : conjuncts) {
+      auto value = conjunct.Eval(*tuple);
+      ASSERT_TRUE(value.ok());
+      if (!*value) {
+        flattened = false;
+        break;
+      }
+    }
+    EXPECT_EQ(flattened, formula->Evaluate(*schema, *tuple).ValueOrDie());
+  }
+}
+
+TEST(CompiledPredicateTest, NonConjunctionsAndBadOperandsRefuseToFlatten) {
+  auto schema =
+      ExtendedSchema::Create("r", {{"a", DataType::kInt}}).ValueOrDie();
+  std::vector<CompiledComparison> conjuncts;
+  EXPECT_FALSE(Formula::Or(Formula::Compare(Operand::Attr("a"),
+                                            CompareOp::kEq,
+                                            Operand::Const(Value::Int(1))),
+                           Formula::Compare(Operand::Attr("a"),
+                                            CompareOp::kEq,
+                                            Operand::Const(Value::Int(2))))
+                   ->FlattenConjunction(*schema, &conjuncts));
+  EXPECT_FALSE(Formula::Not(Formula::Compare(Operand::Attr("a"),
+                                             CompareOp::kEq,
+                                             Operand::Const(Value::Int(1))))
+                   ->FlattenConjunction(*schema, &conjuncts));
+  conjuncts.clear();
+  EXPECT_FALSE(Formula::Compare(Operand::Attr("missing"), CompareOp::kEq,
+                                Operand::Const(Value::Int(1)))
+                   ->FlattenConjunction(*schema, &conjuncts));
+  conjuncts.clear();
+  EXPECT_FALSE(Formula::Compare(Operand::Attr("a"), CompareOp::kEq,
+                                Operand::Param("p"))
+                   ->FlattenConjunction(*schema, &conjuncts));
+  // The error-preserving path stays on Compile, which refuses too.
+  EXPECT_FALSE(Formula::Compare(Operand::Attr("a"), CompareOp::kEq,
+                                Operand::Param("p"))
+                   ->Compile(*schema)
+                   .ok());
+}
+
+class VectorizedPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = TemperatureScenario::Build().MoveValueOrDie();
+    for (Timestamp t = 1; t <= 3; ++t) {
+      ASSERT_TRUE(scenario_->PumpTemperatureStream(t).ok());
+    }
+  }
+
+  std::unique_ptr<TemperatureScenario> scenario_;
+};
+
+TEST_F(VectorizedPipelineTest, TryExecuteMatchesScalarEvaluate) {
+  PlanPtr plan = Select(Window("temperatures", 3),
+                        Formula::Compare(Operand::Attr("temperature"),
+                                         CompareOp::kGt,
+                                         Operand::Const(Value::Real(-1e9))));
+  EvalContext ctx;
+  ctx.env = &scenario_->env();
+  ctx.streams = &scenario_->streams();
+  ctx.instant = 3;
+  auto vectorized = vec::TryExecute(*plan, ctx);
+  ASSERT_TRUE(vectorized.has_value());
+  ASSERT_TRUE(vectorized->ok());
+
+  VecModeGuard guard(false);
+  auto scalar = Execute(plan, &scenario_->env(), &scenario_->streams(), 3);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ((*vectorized)->ToTableString(),
+            scalar->relation.ToTableString());
+}
+
+TEST_F(VectorizedPipelineTest, PipelineCounterAndBatchStatsAdvance) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const bool was_enabled = metrics.enabled();
+  metrics.set_enabled(true);
+  VecModeGuard guard(true);
+
+  const std::uint64_t pipelines_before =
+      metrics.GetCounter("serena.vectorize.pipelines").value();
+  const std::uint64_t rows_before =
+      metrics.GetCounter("serena.vectorize.rows").value();
+
+  PlanPtr plan = Select(Window("temperatures", 3),
+                        Formula::Compare(Operand::Attr("temperature"),
+                                         CompareOp::kGt,
+                                         Operand::Const(Value::Real(-1e9))));
+  ContinuousQuery query("q", plan);
+  auto result =
+      query.Step(&scenario_->env(), &scenario_->streams(), 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->empty());
+
+  EXPECT_GT(metrics.GetCounter("serena.vectorize.pipelines").value(),
+            pipelines_before);
+  EXPECT_GT(metrics.GetCounter("serena.vectorize.rows").value(), rows_before);
+  // Per-operator batch counts reach the stats collector, and EXPLAIN
+  // ANALYZE renders them — the visible signal that fusion ran.
+  const NodeRuntimeStats* root_stats = query.stats().Find(plan.get());
+  ASSERT_NE(root_stats, nullptr);
+  EXPECT_GT(root_stats->batches, 0u);
+  const std::string rendered = RenderPlanWithStats(
+      plan, scenario_->env(), &scenario_->streams(), query.stats());
+  EXPECT_NE(rendered.find("batches="), std::string::npos);
+
+  metrics.set_enabled(was_enabled);
+}
+
+TEST_F(VectorizedPipelineTest, TracingForcesTheScalarPath) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const bool was_enabled = metrics.enabled();
+  metrics.set_enabled(true);
+  VecModeGuard guard(true);
+  obs::TraceBuffer::Global().set_enabled(true);
+
+  const std::uint64_t pipelines_before =
+      metrics.GetCounter("serena.vectorize.pipelines").value();
+  PlanPtr plan = Select(Window("temperatures", 3),
+                        Formula::Compare(Operand::Attr("temperature"),
+                                         CompareOp::kGt,
+                                         Operand::Const(Value::Real(-1e9))));
+  auto result = Execute(plan, &scenario_->env(), &scenario_->streams(), 3);
+  ASSERT_TRUE(result.ok());
+  // Causal tracing needs per-operator events, so no pipeline may fuse.
+  EXPECT_EQ(metrics.GetCounter("serena.vectorize.pipelines").value(),
+            pipelines_before);
+
+  obs::TraceBuffer::Global().set_enabled(false);
+  metrics.set_enabled(was_enabled);
+}
+
+TEST_F(VectorizedPipelineTest, SmallBatchSizesStreamTheSameResult) {
+  VecModeGuard guard(true);
+  PlanPtr plan = Project(
+      Select(Window("temperatures", 3),
+             Formula::Compare(Operand::Attr("temperature"), CompareOp::kGt,
+                              Operand::Const(Value::Real(-1e9)))),
+      {"location"});
+  auto reference = Execute(plan, &scenario_->env(), &scenario_->streams(), 3);
+  ASSERT_TRUE(reference.ok());
+  for (const std::size_t batch_size : {1u, 2u, 3u, 1024u}) {
+    vec::SetBatchSizeForTesting(batch_size);
+    auto result = Execute(plan, &scenario_->env(), &scenario_->streams(), 3);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->relation.ToTableString(),
+              reference->relation.ToTableString())
+        << "batch_size=" << batch_size;
+  }
+  vec::SetBatchSizeForTesting(std::nullopt);
+}
+
+TEST_F(VectorizedPipelineTest, UnbuildablePipelinesReturnNullopt) {
+  // Unknown stream: the cursor build fails, TryExecute declines, and the
+  // caller falls back to scalar evaluation for the diagnostic.
+  PlanPtr plan = Select(Window("no_such_stream", 3),
+                        Formula::Compare(Operand::Attr("x"), CompareOp::kEq,
+                                         Operand::Const(Value::Int(1))));
+  EvalContext ctx;
+  ctx.env = &scenario_->env();
+  ctx.streams = &scenario_->streams();
+  ctx.instant = 3;
+  EXPECT_FALSE(vec::TryExecute(*plan, ctx).has_value());
+
+  // Unbound parameter in a selection formula: same decline.
+  PlanPtr param_plan =
+      Select(Window("temperatures", 3),
+             Formula::Compare(Operand::Attr("temperature"), CompareOp::kGt,
+                              Operand::Param("threshold")));
+  EXPECT_FALSE(vec::TryExecute(*param_plan, ctx).has_value());
+}
+
+}  // namespace
+}  // namespace serena
